@@ -1,0 +1,68 @@
+//===- bench/active_set_growth.cpp - §5.3 active set / reclamation ------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §5.3 observation as a measurable series: the set active(o) grows
+/// continuously with fresh keys; the object-reclamation optimization
+/// (attaching analysis state to the object and dropping it when the
+/// object dies) keeps the footprint bounded. One workload allocates a new
+/// short-lived map per batch; we print the detector's live access point
+/// count with and without reclamation.
+///
+/// Usage: ./active_set_growth [batches] [keys-per-batch]
+///
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "detect/CommutativityDetector.h"
+#include "trace/TraceBuilder.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+using namespace crd;
+
+int main(int Argc, char **Argv) {
+  unsigned Batches = Argc > 1 ? std::atoi(Argv[1]) : 64;
+  unsigned KeysPerBatch = Argc > 2 ? std::atoi(Argv[2]) : 128;
+
+  DictionaryRep Rep;
+  CommutativityRaceDetector WithReclaim, WithoutReclaim;
+  WithReclaim.setDefaultProvider(&Rep);
+  WithoutReclaim.setDefaultProvider(&Rep);
+
+  std::cout << "Active access points after each batch (one short-lived map "
+               "per batch,\n"
+            << KeysPerBatch << " fresh keys each):\n\n"
+            << std::right << std::setw(8) << "batch" << std::setw(20)
+            << "without reclaim" << std::setw(18) << "with reclaim" << '\n'
+            << std::string(46, '-') << '\n';
+
+  for (unsigned B = 0; B != Batches; ++B) {
+    for (unsigned K = 0; K != KeysPerBatch; ++K) {
+      Event E = Event::invoke(
+          ThreadId(0),
+          Action(ObjectId(B), symbol("put"),
+                 {Value::integer(static_cast<int64_t>(K)), Value::integer(1)},
+                 Value::nil()));
+      WithReclaim.process(E);
+      WithoutReclaim.process(E);
+    }
+    // The map of batch B dies here (collected by the host program).
+    WithReclaim.objectDied(ObjectId(B));
+
+    if ((B + 1) % (Batches / 8 == 0 ? 1 : Batches / 8) == 0)
+      std::cout << std::setw(8) << (B + 1) << std::setw(20)
+                << WithoutReclaim.activePointCount() << std::setw(18)
+                << WithReclaim.activePointCount() << '\n';
+  }
+
+  std::cout << "\nWithout reclamation the active set grows linearly with "
+               "the number of dead\nobjects; with it, state is dropped as "
+               "objects die (paper section 5.3).\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- bench/complexity_sweep.cpp - §5.4 per-action cost sweep ----------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §5.4 complexity claim as a measurable sweep: total analysis time of
+/// a trace with N dictionary actions under (a) Algorithm 1 with the
+/// ECL-translated representation (Θ(1) probes per action, so Θ(N) total)
+/// and (b) the direct specification-evaluating detector (Θ(N) checks per
+/// action, so Θ(N²) total). Reported complexity (benchmark::oN / oNSquared
+/// fits) makes the asymptotic gap visible in the output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/CommutativityDetector.h"
+#include "detect/DirectDetector.h"
+#include "spec/Builtins.h"
+#include "trace/TraceBuilder.h"
+#include "translate/Translator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace crd;
+
+namespace {
+
+/// A two-thread trace of N puts on one dictionary: half fresh inserts to
+/// distinct keys, half overwrites of a hot key (so both w:k and resize
+/// stay busy but few races fire).
+Trace dictionaryTrace(size_t N) {
+  TraceBuilder TB;
+  TB.fork(0, 1);
+  for (size_t I = 0; I != N; ++I) {
+    uint32_t Tid = I % 2;
+    if (I % 2 == 0)
+      TB.invoke(Tid, 1, "put",
+                {Value::integer(static_cast<int64_t>(I)), Value::integer(1)},
+                Value::nil());
+    else
+      TB.invoke(Tid, 1, "get", {Value::integer(static_cast<int64_t>(I - 1))},
+                Value::integer(1));
+  }
+  return TB.take();
+}
+
+const TranslatedRep &dictRep() {
+  static std::unique_ptr<TranslatedRep> Rep = [] {
+    DiagnosticEngine Diags;
+    auto R = translateSpec(dictionarySpec(), Diags);
+    if (!R)
+      abort();
+    return R;
+  }();
+  return *Rep;
+}
+
+void BM_Algorithm1(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Trace T = dictionaryTrace(N);
+  for (auto _ : State) {
+    CommutativityRaceDetector Detector;
+    Detector.setDefaultProvider(&dictRep());
+    Detector.processTrace(T);
+    benchmark::DoNotOptimize(Detector.races().size());
+  }
+  State.SetComplexityN(static_cast<int64_t>(N));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * N);
+}
+
+void BM_DirectDetector(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Trace T = dictionaryTrace(N);
+  for (auto _ : State) {
+    DirectCommutativityDetector Detector;
+    Detector.setDefaultSpec(&dictionarySpec());
+    Detector.processTrace(T);
+    benchmark::DoNotOptimize(Detector.races().size());
+  }
+  State.SetComplexityN(static_cast<int64_t>(N));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * N);
+}
+
+} // namespace
+
+BENCHMARK(BM_Algorithm1)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+BENCHMARK(BM_DirectDetector)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity();
+
+BENCHMARK_MAIN();

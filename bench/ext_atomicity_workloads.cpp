@@ -1,0 +1,100 @@
+//===- bench/ext_atomicity_workloads.cpp - torn blocks per circuit ------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extension experiment: run the streaming commutativity-aware atomicity
+/// checker (§8 generalization) over the H2 circuits and the snitch test.
+/// MVStore commits and snitch rank recalculations are intended-atomic
+/// blocks; the table reports how many end up torn by concurrent traffic.
+/// Circuits without concurrent commits report zero — atomicity violations
+/// need overlapping blocks, not just races.
+///
+/// Usage: ./ext_atomicity_workloads [workers] [queries-per-worker]
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/OnlineAtomicity.h"
+#include "spec/Builtins.h"
+#include "translate/Translator.h"
+#include "workloads/PolePosition.h"
+#include "workloads/Snitch.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+using namespace crd;
+
+int main(int Argc, char **Argv) {
+  CircuitConfig Config;
+  Config.WorkerThreads = Argc > 1 ? std::atoi(Argv[1]) : 4;
+  Config.QueriesPerWorker = Argc > 2 ? std::atoi(Argv[2]) : 500;
+  Config.Seed = 2014;
+
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(dictionarySpec(), Diags);
+  if (!Rep) {
+    std::cerr << Diags.toString();
+    return 1;
+  }
+
+  std::cout << "Extension: torn intended-atomic blocks per workload ("
+            << Config.WorkerThreads << " workers x "
+            << Config.QueriesPerWorker << " queries)\n\n"
+            << std::left << std::setw(46) << "Workload" << std::right
+            << std::setw(14) << "atomic blocks" << std::setw(14)
+            << "torn blocks" << '\n'
+            << std::string(74, '-') << '\n';
+
+  for (Circuit C : AllCircuits) {
+    SimRuntime RT(Config.Seed);
+    MVStore Store(RT);
+    buildCircuit(C, RT, Store, Config);
+
+    OnlineAtomicityChecker Checker;
+    Checker.setDefaultProvider(Rep.get());
+    TraceRecorder Recorder;
+    RT.run(Recorder);
+    size_t Blocks = 0;
+    for (const Event &E : Recorder.trace())
+      if (E.kind() == EventKind::TxBegin)
+        ++Blocks;
+    Checker.processTrace(Recorder.trace());
+    std::cout << std::left << std::setw(46) << circuitName(C) << std::right
+              << std::setw(14) << Blocks << std::setw(14)
+              << Checker.violations().size() << '\n';
+  }
+
+  {
+    SnitchConfig SC;
+    SC.UpdaterThreads = Config.WorkerThreads;
+    SC.TimingsPerUpdater = Config.QueriesPerWorker;
+    SC.ScoreRecalcs = Config.QueriesPerWorker / 5;
+    SC.Seed = Config.Seed;
+    SimRuntime RT(SC.Seed);
+    DynamicEndpointSnitch Snitch(RT, SC.Hosts);
+    buildSnitchTest(RT, Snitch, SC);
+
+    OnlineAtomicityChecker Checker;
+    Checker.setDefaultProvider(Rep.get());
+    TraceRecorder Recorder;
+    RT.run(Recorder);
+    size_t Blocks = 0;
+    for (const Event &E : Recorder.trace())
+      if (E.kind() == EventKind::TxBegin)
+        ++Blocks;
+    Checker.processTrace(Recorder.trace());
+    std::cout << std::left << std::setw(46) << "DynamicEndpointSnitch test"
+              << std::right << std::setw(14) << Blocks << std::setw(14)
+              << Checker.violations().size() << '\n';
+  }
+
+  std::cout << "\nTorn blocks correspond to the section-7 findings: commits "
+               "computing chunk\nmetadata twice / losing freedPageSpace "
+               "updates, and rank recalculations\nobserving the samples map "
+               "mid-update.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- bench/fig4_checks.cpp - Fig 4 ablation: checks per invocation ----------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantifies Fig 4's motivation: when k threads each perform a fresh put
+/// and the main thread then calls size(), an analysis working directly on
+/// the logical specification performs k commutativity checks for the
+/// size() invocation (one per put), while the access-point detector does a
+/// constant number of probes (size's only conflict partner is o:resize).
+/// Prints one series row per k — the "figure" is checks-vs-k.
+///
+/// Usage: ./fig4_checks [max-puts]
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/CommutativityDetector.h"
+#include "detect/DirectDetector.h"
+#include "spec/Builtins.h"
+#include "trace/TraceBuilder.h"
+#include "translate/Translator.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+using namespace crd;
+
+namespace {
+
+/// k concurrent fresh puts (distinct keys) followed by a size() in main.
+Trace putsThenSize(unsigned K) {
+  TraceBuilder TB;
+  for (unsigned I = 0; I != K; ++I)
+    TB.fork(0, I + 1);
+  for (unsigned I = 0; I != K; ++I)
+    TB.invoke(I + 1, 1, "put",
+              {Value::string("host" + std::to_string(I)), Value::integer(1)},
+              Value::nil());
+  TB.invoke(0, 1, "size", {}, Value::integer(K));
+  return TB.take();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned MaxPuts = Argc > 1 ? std::atoi(Argv[1]) : 4096;
+
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(dictionarySpec(), Diags);
+  if (!Rep) {
+    std::cerr << Diags.toString();
+    return 1;
+  }
+
+  std::cout << "Fig 4 ablation: conflict checks attributable to the final "
+               "size() invocation\n\n";
+  std::cout << std::right << std::setw(10) << "puts k" << std::setw(22)
+            << "direct (spec) checks" << std::setw(26)
+            << "access point (RD2) probes" << '\n'
+            << std::string(58, '-') << '\n';
+
+  for (unsigned K = 1; K <= MaxPuts; K *= 2) {
+    Trace T = putsThenSize(K);
+    Trace WithoutSize(
+        std::vector<Event>(T.events().begin(), T.events().end() - 1));
+
+    DirectCommutativityDetector DirectAll, DirectPrefix;
+    DirectAll.setDefaultSpec(&dictionarySpec());
+    DirectPrefix.setDefaultSpec(&dictionarySpec());
+    DirectAll.processTrace(T);
+    DirectPrefix.processTrace(WithoutSize);
+    size_t DirectChecks =
+        DirectAll.conflictChecks() - DirectPrefix.conflictChecks();
+
+    CommutativityRaceDetector Alg1All, Alg1Prefix;
+    Alg1All.setDefaultProvider(Rep.get());
+    Alg1Prefix.setDefaultProvider(Rep.get());
+    Alg1All.processTrace(T);
+    Alg1Prefix.processTrace(WithoutSize);
+    size_t Alg1Checks =
+        Alg1All.conflictChecks() - Alg1Prefix.conflictChecks();
+
+    std::cout << std::setw(10) << K << std::setw(22) << DirectChecks
+              << std::setw(26) << Alg1Checks << '\n';
+  }
+
+  std::cout << "\nThe direct column grows linearly in k; the access point "
+               "column is constant\n(size() probes only o:resize, Fig 4).\n";
+  return 0;
+}

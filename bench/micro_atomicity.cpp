@@ -1,0 +1,79 @@
+//===- bench/micro_atomicity.cpp - atomicity checker benchmarks ---------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline (quadratic pairwise) vs. online (incremental topological order)
+/// conflict-serializability checking over the same traces: the streaming
+/// checker scales near-linearly while the offline one is quadratic in the
+/// number of actions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "detect/AtomicityChecker.h"
+#include "detect/OnlineAtomicity.h"
+#include "trace/TraceBuilder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace crd;
+
+namespace {
+
+/// Two threads doing transactional read-modify-writes on a small key
+/// space, with occasional size observers — plenty of conflicts, few
+/// cycles.
+Trace rmwTrace(size_t Blocks) {
+  TraceBuilder TB;
+  TB.fork(0, 1);
+  int64_t Value0 = 0, Value1 = 0;
+  for (size_t I = 0; I != Blocks; ++I) {
+    uint32_t Tid = static_cast<uint32_t>(I % 2);
+    int64_t Key = static_cast<int64_t>(Tid); // Disjoint keys: serializable.
+    int64_t &Counter = Tid == 0 ? Value0 : Value1;
+    TB.txBegin(Tid);
+    TB.invoke(Tid, 1, "get", {Value::integer(Key)},
+              Counter == 0 ? Value::nil() : Value::integer(Counter));
+    TB.invoke(Tid, 1, "put", {Value::integer(Key), Value::integer(Counter + 1)},
+              Counter == 0 ? Value::nil() : Value::integer(Counter));
+    ++Counter;
+    TB.txEnd(Tid);
+  }
+  return TB.take();
+}
+
+DictionaryRep &dictRep() {
+  static DictionaryRep Rep;
+  return Rep;
+}
+
+void BM_OfflineAtomicity(benchmark::State &State) {
+  Trace T = rmwTrace(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    AtomicityChecker Checker;
+    Checker.setDefaultProvider(&dictRep());
+    benchmark::DoNotOptimize(Checker.check(T).size());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_OnlineAtomicity(benchmark::State &State) {
+  Trace T = rmwTrace(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    OnlineAtomicityChecker Checker;
+    Checker.setDefaultProvider(&dictRep());
+    Checker.processTrace(T);
+    benchmark::DoNotOptimize(Checker.violations().size());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_OfflineAtomicity)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+BENCHMARK(BM_OnlineAtomicity)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+//===- bench/micro_translator.cpp - translator / parser microbenchmarks -------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Builtins.h"
+#include "spec/SpecParser.h"
+#include "translate/Translator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace crd;
+
+namespace {
+
+const char *DictionarySource = R"(
+object dictionary {
+  method put(k, v) / p;
+  method get(k) / v;
+  method size() / r;
+  commute put(k1, v1)/p1, put(k2, v2)/p2 :
+      k1 != k2 || (v1 == p1 && v2 == p2);
+  commute put(k1, v1)/p1, get(k2)/v2 : k1 != k2 || v1 == p1;
+  commute put(k1, v1)/p1, size()/r :
+      (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil);
+  commute get(k1)/v1, get(k2)/v2 : true;
+  commute get(k1)/v1, size()/r : true;
+  commute size()/r1, size()/r2 : true;
+}
+)";
+
+void BM_ParseDictionarySpec(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Spec = parseObjectSpec(DictionarySource, Diags);
+    benchmark::DoNotOptimize(Spec);
+  }
+}
+
+void BM_TranslateDictionary(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Rep = translateSpec(dictionarySpec(), Diags);
+    benchmark::DoNotOptimize(Rep);
+  }
+}
+
+void BM_TranslateDictionaryNoOptimizations(benchmark::State &State) {
+  TranslationOptions Off;
+  Off.DropIrrelevantAtoms = false;
+  Off.MergeCongruentSlots = false;
+  Off.RemoveConflictFree = false;
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Rep = translateSpec(dictionarySpec(), Diags, Off);
+    benchmark::DoNotOptimize(Rep);
+  }
+}
+
+void BM_TranslateSet(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Rep = translateSpec(setSpec(), Diags);
+    benchmark::DoNotOptimize(Rep);
+  }
+}
+
+void BM_TouchesPerAction(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(dictionarySpec(), Diags);
+  if (!Rep)
+    abort();
+  Action Put(ObjectId(1), symbol("put"),
+             {Value::string("a.com"), Value::integer(7)}, Value::nil());
+  std::vector<AccessPoint> Out;
+  for (auto _ : State) {
+    Out.clear();
+    Rep->touches(Put, Out);
+    benchmark::DoNotOptimize(Out.size());
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_ParseDictionarySpec);
+BENCHMARK(BM_TranslateDictionary);
+BENCHMARK(BM_TranslateDictionaryNoOptimizations);
+BENCHMARK(BM_TranslateSet);
+BENCHMARK(BM_TouchesPerAction);
+
+BENCHMARK_MAIN();

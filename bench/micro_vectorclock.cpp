@@ -1,0 +1,71 @@
+//===- bench/micro_vectorclock.cpp - vector clock microbenchmarks -------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hb/VectorClockState.h"
+#include "support/VectorClock.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using namespace crd;
+
+namespace {
+
+VectorClock randomClock(std::mt19937 &Rng, size_t Threads) {
+  std::vector<uint32_t> Components(Threads);
+  for (uint32_t &C : Components)
+    C = Rng() % 1000 + 1;
+  return VectorClock(std::move(Components));
+}
+
+void BM_VectorClockLeq(benchmark::State &State) {
+  std::mt19937 Rng(42);
+  size_t Threads = static_cast<size_t>(State.range(0));
+  VectorClock A = randomClock(Rng, Threads);
+  VectorClock B = VectorClock::join(A, randomClock(Rng, Threads));
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(A.leq(B));
+    benchmark::DoNotOptimize(B.leq(A));
+  }
+}
+
+void BM_VectorClockJoin(benchmark::State &State) {
+  std::mt19937 Rng(42);
+  size_t Threads = static_cast<size_t>(State.range(0));
+  VectorClock A = randomClock(Rng, Threads);
+  VectorClock B = randomClock(Rng, Threads);
+  for (auto _ : State) {
+    VectorClock C = A;
+    C.joinWith(B);
+    benchmark::DoNotOptimize(C);
+  }
+}
+
+void BM_VectorClockStateSyncEvents(benchmark::State &State) {
+  // Fork/acquire/release churn across 8 threads and 4 locks.
+  for (auto _ : State) {
+    VectorClockState VCState;
+    for (uint32_t T = 1; T != 8; ++T)
+      VCState.process(Event::fork(ThreadId(0), ThreadId(T)));
+    for (int I = 0; I != 64; ++I) {
+      ThreadId T(static_cast<uint32_t>(I % 8));
+      LockId L(static_cast<uint32_t>(I % 4));
+      VCState.process(Event::acquire(T, L));
+      VCState.process(Event::release(T, L));
+    }
+    benchmark::DoNotOptimize(VCState.numThreads());
+  }
+  State.SetItemsProcessed(State.iterations() * (7 + 128));
+}
+
+} // namespace
+
+BENCHMARK(BM_VectorClockLeq)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_VectorClockJoin)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_VectorClockStateSyncEvents);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+//===- examples/atomicity_check.cpp - commutativity-aware atomicity -----------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §8 generalization in action: a Velodrome-style atomicity
+/// (conflict-serializability) checker whose conflicts are commutativity
+/// conflicts over access points. The example checks a check-then-act
+/// block on a concurrent map against three interleavings:
+///
+///   1. a conflicting put lands inside the block          -> violation
+///   2. a put to a different key lands inside the block   -> serializable
+///      (a read/write-level checker would still flag the map's internals)
+///   3. a no-op put to the same key lands inside the block-> serializable
+///
+/// Build & run:  ./atomicity_check
+///
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "detect/AtomicityChecker.h"
+#include "trace/TraceBuilder.h"
+
+#include <iostream>
+
+using namespace crd;
+
+namespace {
+
+Trace checkThenActTrace(const char *IntrudingKey, Value IntrudingValue,
+                        Value IntrudingPrev) {
+  return TraceBuilder()
+      .fork(0, 1)
+      .txBegin(0)
+      .invoke(0, 1, "get", {Value::string("config")}, Value::nil())
+      .invoke(1, 1, "put", {Value::string(IntrudingKey), IntrudingValue},
+              IntrudingPrev)
+      .invoke(0, 1, "put", {Value::string("config"), Value::integer(1)},
+              IntrudingKey == std::string_view("config") &&
+                      !IntrudingValue.isNil()
+                  ? IntrudingValue
+                  : Value::nil())
+      .txEnd(0)
+      .take();
+}
+
+void analyze(const char *Label, const Trace &T) {
+  std::cout << "== " << Label << " ==\n" << T;
+  DictionaryRep Rep;
+  AtomicityChecker Checker;
+  Checker.setDefaultProvider(&Rep);
+  auto Violations = Checker.check(T);
+  if (Violations.empty()) {
+    std::cout << "=> serializable: the intruding operation commutes with "
+                 "the block\n\n";
+    return;
+  }
+  for (const AtomicityViolation &V : Violations)
+    std::cout << "=> " << V << '\n';
+  std::cout << '\n';
+}
+
+} // namespace
+
+int main() {
+  analyze("conflicting put inside the block",
+          checkThenActTrace("config", Value::integer(99), Value::nil()));
+  analyze("put to a different key inside the block",
+          checkThenActTrace("other", Value::integer(99), Value::nil()));
+  analyze("no-op put inside the block",
+          checkThenActTrace("config", Value::nil(), Value::nil()));
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- examples/custom_spec.cpp - user-defined ECL specifications -------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shows the full Fig 2 pipeline for a user-defined object: write an ECL
+/// commutativity specification as text, parse and validate it, translate
+/// it to an access point representation, inspect the translation, and
+/// detect races on a hand-built trace. The object is a bank account with
+/// deposit / withdraw / balance.
+///
+/// Build & run:  ./custom_spec
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/CommutativityDetector.h"
+#include "spec/SpecParser.h"
+#include "trace/TraceBuilder.h"
+#include "translate/Translator.h"
+
+#include <iostream>
+
+using namespace crd;
+
+namespace {
+
+// Deposits always commute with each other. A withdrawal exposes whether it
+// succeeded (ok): failed withdrawals commute with deposits and each other
+// only if... — in fact a failed withdrawal observes the balance, so we
+// conservatively require both to have succeeded-with-enough-margin; the
+// point of the example is the *language*, so we keep the spec simple and
+// sound: withdrawals never commute with anything but balance-free pairs.
+const char *AccountSpec = R"(
+object account {
+  method deposit(amount);
+  method withdraw(amount) / ok;
+  method balance() / b;
+
+  commute deposit(a1), deposit(a2) : true;
+  commute deposit(a1), withdraw(a2)/ok2 : false;
+  commute deposit(a1), balance()/b2 : false;
+  commute withdraw(a1)/ok1, withdraw(a2)/ok2 : ok1 == false && ok2 == false;
+  commute withdraw(a1)/ok1, balance()/b2 : ok1 == false;
+  commute balance()/b1, balance()/b2 : true;
+}
+)";
+
+} // namespace
+
+int main() {
+  // Parse the specification text.
+  DiagnosticEngine Diags;
+  auto Spec = parseObjectSpec(AccountSpec, Diags);
+  if (!Spec) {
+    std::cerr << "specification errors:\n" << Diags.toString();
+    return 1;
+  }
+  Spec->validate(Diags);
+  std::cout << "parsed specification for object '" << Spec->name()
+            << "' with " << Spec->numMethods() << " methods\n";
+  if (!Diags.empty())
+    std::cout << Diags.toString();
+
+  // Translate to an access point representation, with statistics.
+  TranslationStats Stats;
+  auto Rep = translateSpec(*Spec, Diags, {}, &Stats);
+  if (!Rep) {
+    std::cerr << Diags.toString();
+    return 1;
+  }
+  std::cout << "\ntranslation (section 6.2 + appendix A.3 passes):\n"
+            << "  raw slots:             " << Stats.RawSlots << '\n'
+            << "  after dropping:        " << Stats.SlotsAfterDropping << '\n'
+            << "  after merging:         " << Stats.ClassesAfterMerging << '\n'
+            << "  final active classes:  " << Stats.FinalActiveClasses << '\n'
+            << "  max conflicts/class:   " << Stats.MaxConflictsPerClass
+            << "  (Theorem 6.6 bound)\n";
+  for (uint32_t C = 0; C != Rep->numClasses(); ++C) {
+    std::cout << "  class " << C << " = " << Rep->className(C)
+              << (Rep->classCarriesValue(C) ? " [value]" : "") << " conflicts {";
+    const auto &Row = Rep->conflictsOf(C);
+    for (size_t I = 0; I != Row.size(); ++I)
+      std::cout << (I ? ", " : "") << Row[I];
+    std::cout << "}\n";
+  }
+
+  // Detect races on a hand-built trace: two concurrent withdrawals (one
+  // succeeds, one fails) plus an ordered balance check.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .invoke(0, 1, "withdraw", {Value::integer(50)},
+                        Value::boolean(true))
+                .invoke(1, 1, "withdraw", {Value::integer(80)},
+                        Value::boolean(false))
+                .join(0, 1)
+                .invoke(0, 1, "balance", {}, Value::integer(20))
+                .take();
+
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(Rep.get());
+  Detector.processTrace(T);
+
+  std::cout << "\ntrace:\n" << T;
+  std::cout << "\n" << Detector.races().size()
+            << " commutativity race(s):\n";
+  for (const CommutativityRace &R : Detector.races())
+    std::cout << "  " << R << '\n';
+  return 0;
+}

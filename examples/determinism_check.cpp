@@ -1,0 +1,76 @@
+//===- examples/determinism_check.cpp - Theorem 5.2 in action -----------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates paper Theorem 5.2: a trace with no commutativity races is
+/// schedule-deterministic — every execution admitting the same
+/// happens-before relation ends in the same state — while a racy trace
+/// has reorderings that are infeasible or end elsewhere. The example runs
+/// both variants of the Fig 1 program and cross-checks the detector's
+/// verdict against exhaustive linearization replay.
+///
+/// Build & run:  ./determinism_check
+///
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "detect/CommutativityDetector.h"
+#include "replay/Determinism.h"
+#include "trace/TraceBuilder.h"
+
+#include <iostream>
+
+using namespace crd;
+
+namespace {
+
+Trace connectionsTrace(bool DuplicateHosts) {
+  TraceBuilder TB;
+  TB.fork(0, 1).fork(0, 2);
+  TB.invoke(1, 0, "put", {Value::string("a.com"), Value::integer(1)},
+            Value::nil());
+  if (DuplicateHosts)
+    TB.invoke(2, 0, "put", {Value::string("a.com"), Value::integer(2)},
+              Value::integer(1));
+  else
+    TB.invoke(2, 0, "put", {Value::string("b.com"), Value::integer(2)},
+              Value::nil());
+  TB.join(0, 1).join(0, 2);
+  TB.invoke(0, 0, "size", {}, Value::integer(DuplicateHosts ? 1 : 2));
+  return TB.take();
+}
+
+void analyze(const char *Label, const Trace &T) {
+  std::cout << "== " << Label << " ==\n" << T << '\n';
+
+  DictionaryRep Rep;
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&Rep);
+  Detector.processTrace(T);
+  std::cout << "detector: " << Detector.races().size()
+            << " commutativity race(s)\n";
+
+  DeterminismReport Report = checkDeterminism(T);
+  std::cout << "replay:   " << Report.LinearizationsChecked
+            << " linearization(s) checked"
+            << (Report.Exhaustive ? " (exhaustive)" : " (sampled)") << ", "
+            << Report.Infeasible << " infeasible, " << Report.Divergent
+            << " divergent\n";
+  if (Report.deterministic())
+    std::cout << "=> deterministic: every schedule admitting this "
+                 "happens-before ends in the same state (Theorem 5.2)\n\n";
+  else
+    std::cout << "=> NOT deterministic. Witness:\n  " << Report.Witness
+              << "\n\n";
+}
+
+} // namespace
+
+int main() {
+  analyze("distinct hosts (race-free)", connectionsTrace(false));
+  analyze("duplicate hosts (racy)", connectionsTrace(true));
+  return 0;
+}

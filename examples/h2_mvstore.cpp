@@ -1,0 +1,79 @@
+//===- examples/h2_mvstore.cpp - H2 MVStore race discovery --------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the two harmful H2 MVStore races of §7 on the simulated
+/// store: concurrent commits race on the `freedPageSpace` map (lost
+/// updates) and on the `chunks` map (the same chunk metadata computed
+/// twice). Runs the ComplexConcurrency circuit and attributes each race to
+/// the store map it occurred on.
+///
+/// Build & run:  ./h2_mvstore [workers] [queries-per-worker]
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/CommutativityDetector.h"
+#include "spec/Builtins.h"
+#include "translate/Translator.h"
+#include "workloads/PolePosition.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+using namespace crd;
+
+int main(int Argc, char **Argv) {
+  CircuitConfig Config;
+  Config.WorkerThreads = Argc > 1 ? std::atoi(Argv[1]) : 4;
+  Config.QueriesPerWorker = Argc > 2 ? std::atoi(Argv[2]) : 250;
+  Config.Seed = 2014;
+
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(dictionarySpec(), Diags);
+  if (!Rep) {
+    std::cerr << Diags.toString();
+    return 1;
+  }
+
+  SimRuntime RT(Config.Seed);
+  MVStore Store(RT);
+  size_t Queries =
+      buildCircuit(Circuit::ComplexConcurrency, RT, Store, Config);
+
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(Rep.get());
+  DetectorSink<CommutativityRaceDetector> Sink(Detector);
+  RT.run(Sink);
+
+  std::map<uint32_t, std::string> MapNames = {
+      {Store.dataMap().object().index(), "data"},
+      {Store.chunksMap().object().index(), "chunks"},
+      {Store.freedPageSpaceMap().object().index(), "freedPageSpace"},
+  };
+
+  std::cout << "ComplexConcurrency circuit: " << Queries << " queries, "
+            << Detector.races().size() << " commutativity races on "
+            << Detector.distinctRacyObjects() << " object(s)\n\n";
+
+  std::map<std::string, size_t> PerMap;
+  for (const CommutativityRace &R : Detector.races())
+    ++PerMap[MapNames.count(R.Current.object().index())
+                 ? MapNames[R.Current.object().index()]
+                 : "other"];
+  for (const auto &[Name, Count] : PerMap)
+    std::cout << "  races on the " << Name << " map: " << Count << '\n';
+
+  std::cout << "\nFirst few reports:\n";
+  for (size_t I = 0; I != Detector.races().size() && I != 5; ++I)
+    std::cout << "  " << Detector.races()[I] << '\n';
+
+  std::cout << "\nThe races on chunks/freedPageSpace correspond to the two "
+               "harmful H2 MVStore\nraces reported in section 7 of the "
+               "paper (check-then-act metadata creation and\nlost "
+               "read-modify-write updates).\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+//===- examples/quickstart.cpp - Fig 1: the connections example ---------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running example (Fig 1): a program establishes a connection
+/// per host in parallel, storing them in a shared dictionary, then prints
+/// the number of connections. When the host list contains duplicates, two
+/// threads put() the same key — a commutativity race the detector flags.
+///
+/// Build & run:  ./quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/CommutativityDetector.h"
+#include "runtime/InstrumentedMap.h"
+#include "spec/Builtins.h"
+#include "translate/Translator.h"
+
+#include <iostream>
+
+using namespace crd;
+
+namespace {
+
+/// Runs Fig 1 with the given host list and reports commutativity races.
+void analyzeConnectionsProgram(const std::vector<std::string> &Hosts) {
+  std::cout << "hosts = [";
+  for (size_t I = 0; I != Hosts.size(); ++I)
+    std::cout << (I ? ", " : "") << '"' << Hosts[I] << '"';
+  std::cout << "]\n";
+
+  // Step 1+2 (Fig 2): commutativity specification -> access points.
+  DiagnosticEngine Diags;
+  std::unique_ptr<TranslatedRep> Rep = translateSpec(dictionarySpec(), Diags);
+  if (!Rep) {
+    std::cerr << Diags.toString();
+    return;
+  }
+
+  // Step 3: run the program under the online detector.
+  SimRuntime RT(/*Seed=*/2014);
+  InstrumentedMap Dictionary(RT);
+  ThreadId Main = RT.addInitialThread();
+
+  auto Workers = std::make_shared<std::vector<ThreadId>>();
+  RT.schedule(Main, [&, Workers](SimThread &T) {
+    int64_t NextConnection = 1;
+    for (const std::string &Host : Hosts) {
+      Value HostKey = Value::string(Host);
+      Value Connection = Value::integer(NextConnection++);
+      // fork { o.put(host, createConnection(host)); }
+      Workers->push_back(T.fork([&Dictionary, HostKey,
+                                 Connection](SimThread &T2) {
+        Dictionary.put(T2, HostKey, Connection);
+      }));
+    }
+  });
+  // joinall;
+  for (size_t W = 0; W != Hosts.size(); ++W)
+    RT.schedule(Main, [Workers, W](SimThread &T) { T.join((*Workers)[W]); });
+  // print(o.size() + " connections established");
+  RT.schedule(Main, [&Dictionary](SimThread &T) {
+    std::cout << "  " << Dictionary.size(T) << " connections established\n";
+  });
+
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(Rep.get());
+  DetectorSink<CommutativityRaceDetector> Sink(Detector);
+  RT.run(Sink);
+
+  if (Detector.races().empty()) {
+    std::cout << "  no commutativity races found\n\n";
+    return;
+  }
+  std::cout << "  " << Detector.races().size()
+            << " commutativity race(s) found:\n";
+  for (const CommutativityRace &R : Detector.races())
+    std::cout << "    " << R << '\n';
+  std::cout << '\n';
+}
+
+} // namespace
+
+int main() {
+  std::cout << "== Fig 1: distinct hosts (no interference) ==\n";
+  analyzeConnectionsProgram({"a.com", "b.com", "c.com"});
+
+  std::cout << "== Fig 1: duplicate hosts (commutativity race) ==\n";
+  analyzeConnectionsProgram({"a.com", "a.com", "b.com"});
+  return 0;
+}

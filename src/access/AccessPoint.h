@@ -1,0 +1,63 @@
+//===- access/AccessPoint.h - Access points (paper §4.2) --------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Access points: the "micro actions" a method invocation touches
+/// (paper §4.2). A runtime access point is identified by its *class* within
+/// a representation (e.g. Fig 7's o:w:k family is one class) together with
+/// an optional carried value (the k in o:w:k). Two value-carrying points of
+/// conflicting classes only conflict when their values are equal — this is
+/// what makes the §6.2 translation's conflict sets finite (Theorem 6.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_ACCESS_ACCESSPOINT_H
+#define CRD_ACCESS_ACCESSPOINT_H
+
+#include "support/Hashing.h"
+#include "support/Value.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace crd {
+
+/// One touched access point: class id plus optional carried value.
+struct AccessPoint {
+  uint32_t ClassId = 0;
+  bool HasValue = false;
+  Value Val;
+
+  static AccessPoint plain(uint32_t ClassId) { return {ClassId, false, {}}; }
+  static AccessPoint withValue(uint32_t ClassId, Value V) {
+    return {ClassId, true, V};
+  }
+
+  friend bool operator==(const AccessPoint &A, const AccessPoint &B) {
+    return A.ClassId == B.ClassId && A.HasValue == B.HasValue &&
+           (!A.HasValue || A.Val == B.Val);
+  }
+  friend bool operator!=(const AccessPoint &A, const AccessPoint &B) {
+    return !(A == B);
+  }
+
+  size_t hash() const {
+    size_t H = hashCombine(ClassId, HasValue ? 1 : 0);
+    return HasValue ? hashCombine(H, Val.hash()) : H;
+  }
+};
+
+} // namespace crd
+
+namespace std {
+template <> struct hash<crd::AccessPoint> {
+  size_t operator()(const crd::AccessPoint &P) const noexcept {
+    return P.hash();
+  }
+};
+} // namespace std
+
+#endif // CRD_ACCESS_ACCESSPOINT_H

@@ -1,0 +1,68 @@
+//===- access/DictionaryRep.cpp - Fig 7 dictionary representation -----------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+
+#include <cassert>
+
+using namespace crd;
+
+DictionaryRep::DictionaryRep()
+    : PutName(symbol("put")), GetName(symbol("get")), SizeName(symbol("size")) {
+  Conflicts[Read] = {Write};
+  Conflicts[Write] = {Read, Write};
+  Conflicts[Size] = {Resize};
+  Conflicts[Resize] = {Size};
+}
+
+const std::vector<uint32_t> &DictionaryRep::conflictsOf(uint32_t ClassId) const {
+  assert(ClassId < 4 && "class id out of range");
+  return Conflicts[ClassId];
+}
+
+void DictionaryRep::touches(const Action &A,
+                            std::vector<AccessPoint> &Out) const {
+  if (A.method() == PutName) {
+    assert(A.args().size() == 2 && A.rets().size() == 1 &&
+           "malformed put action");
+    const Value &K = A.args()[0];
+    const Value &V = A.args()[1];
+    const Value &P = A.rets()[0];
+    if (V == P) {
+      Out.push_back(AccessPoint::withValue(Read, K));
+      return;
+    }
+    Out.push_back(AccessPoint::withValue(Write, K));
+    if (V.isNil() != P.isNil()) // Exactly one of v, p is nil: size changed.
+      Out.push_back(AccessPoint::plain(Resize));
+    return;
+  }
+  if (A.method() == GetName) {
+    assert(A.args().size() == 1 && "malformed get action");
+    Out.push_back(AccessPoint::withValue(Read, A.args()[0]));
+    return;
+  }
+  if (A.method() == SizeName) {
+    Out.push_back(AccessPoint::plain(Size));
+    return;
+  }
+  assert(false && "action method is not a dictionary method");
+}
+
+std::string DictionaryRep::className(uint32_t ClassId) const {
+  switch (ClassId) {
+  case Read:
+    return "o:r:k";
+  case Write:
+    return "o:w:k";
+  case Size:
+    return "o:size";
+  case Resize:
+    return "o:resize";
+  default:
+    return AccessPointProvider::className(ClassId);
+  }
+}

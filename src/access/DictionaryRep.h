@@ -1,0 +1,58 @@
+//===- access/DictionaryRep.h - Fig 7 dictionary representation -*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hand-optimized access point representation of a dictionary from
+/// paper Fig 7:
+///
+///   Xo = {o:r:k} ∪ {o:w:k} ∪ {o:size, o:resize}
+///
+///   ηo(put(k,v)/p) = {o:w:k, o:resize}  if v ≠ p and the size changed
+///                    {o:w:k}            if v ≠ p and the size is unchanged
+///                    {o:r:k}            if v = p
+///   ηo(get(k)/v)   = {o:r:k}
+///   ηo(size()/r)   = {o:size}
+///
+///   Co: w:k–w:l and w:k–r:l conflict iff k = l; size–resize conflict.
+///
+/// The translator applied to the Fig 6 specification must produce an
+/// equivalent representation (tested via Def 4.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_ACCESS_DICTIONARYREP_H
+#define CRD_ACCESS_DICTIONARYREP_H
+
+#include "access/Provider.h"
+
+namespace crd {
+
+/// Hand-written Fig 7 representation.
+class DictionaryRep : public AccessPointProvider {
+public:
+  /// Class ids, fixed for easy assertions in tests.
+  enum ClassId : uint32_t { Read = 0, Write = 1, Size = 2, Resize = 3 };
+
+  DictionaryRep();
+
+  size_t numClasses() const override { return 4; }
+  bool classCarriesValue(uint32_t ClassId) const override {
+    return ClassId == Read || ClassId == Write;
+  }
+  const std::vector<uint32_t> &conflictsOf(uint32_t ClassId) const override;
+  void touches(const Action &A, std::vector<AccessPoint> &Out) const override;
+  std::string className(uint32_t ClassId) const override;
+
+private:
+  std::vector<uint32_t> Conflicts[4];
+  Symbol PutName;
+  Symbol GetName;
+  Symbol SizeName;
+};
+
+} // namespace crd
+
+#endif // CRD_ACCESS_DICTIONARYREP_H

@@ -1,0 +1,39 @@
+//===- access/Provider.cpp - Access point representations -------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "access/Provider.h"
+
+#include <algorithm>
+
+using namespace crd;
+
+AccessPointProvider::~AccessPointProvider() = default;
+
+std::string AccessPointProvider::className(uint32_t ClassId) const {
+  return "class" + std::to_string(ClassId);
+}
+
+bool crd::pointsConflict(const AccessPointProvider &Provider,
+                         const AccessPoint &A, const AccessPoint &B) {
+  const std::vector<uint32_t> &Partners = Provider.conflictsOf(A.ClassId);
+  if (std::find(Partners.begin(), Partners.end(), B.ClassId) == Partners.end())
+    return false;
+  if (A.HasValue && B.HasValue)
+    return A.Val == B.Val;
+  return true;
+}
+
+bool crd::actionsConflict(const AccessPointProvider &Provider, const Action &A,
+                          const Action &B) {
+  std::vector<AccessPoint> PointsA, PointsB;
+  Provider.touches(A, PointsA);
+  Provider.touches(B, PointsB);
+  for (const AccessPoint &PA : PointsA)
+    for (const AccessPoint &PB : PointsB)
+      if (pointsConflict(Provider, PA, PB))
+        return true;
+  return false;
+}

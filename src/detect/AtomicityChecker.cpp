@@ -1,0 +1,234 @@
+//===- detect/AtomicityChecker.cpp - commutativity-aware atomicity ------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/AtomicityChecker.h"
+
+#include <cassert>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+using namespace crd;
+
+std::string AtomicityViolation::toString() const {
+  std::ostringstream OS;
+  OS << *this;
+  return OS.str();
+}
+
+std::ostream &crd::operator<<(std::ostream &OS, const AtomicityViolation &V) {
+  OS << "atomic block of T" << V.Thread.index() << " (events "
+     << V.BeginEvent << ".." << V.EndEvent
+     << ") is not conflict-serializable; cycle through events:";
+  for (size_t E : V.CycleEvents)
+    OS << ' ' << E;
+  return OS;
+}
+
+void AtomicityChecker::bind(ObjectId Obj, const AccessPointProvider *Provider) {
+  assert(Provider && "null provider");
+  Providers[Obj] = Provider;
+}
+
+const AccessPointProvider *AtomicityChecker::providerFor(ObjectId Obj) const {
+  auto It = Providers.find(Obj);
+  if (It != Providers.end())
+    return It->second;
+  assert(DefaultProvider && "object has no bound access point provider");
+  return DefaultProvider;
+}
+
+namespace {
+
+/// One node of the transactional graph: an atomic block or a unary event.
+struct TxNode {
+  ThreadId Thread;
+  size_t Begin = 0;
+  size_t End = 0;
+  bool Atomic = false;
+  std::vector<size_t> Events;
+};
+
+} // namespace
+
+std::vector<AtomicityViolation> AtomicityChecker::check(const Trace &T) {
+  // Phase 1: partition events into transactions.
+  std::vector<TxNode> Nodes;
+  std::vector<uint32_t> NodeOf(T.size(), 0);
+  std::unordered_map<uint32_t, uint32_t> OpenBlockOf; // thread -> node
+  std::unordered_map<uint32_t, std::vector<uint32_t>> NodesOfThread;
+
+  for (size_t I = 0, E = T.size(); I != E; ++I) {
+    const Event &Ev = T[I];
+    uint32_t Tid = Ev.thread().index();
+
+    uint32_t Node;
+    if (auto It = OpenBlockOf.find(Tid); It != OpenBlockOf.end()) {
+      Node = It->second;
+      Nodes[Node].End = I;
+      if (Ev.kind() == EventKind::TxEnd)
+        OpenBlockOf.erase(It);
+    } else {
+      Node = static_cast<uint32_t>(Nodes.size());
+      Nodes.push_back({Ev.thread(), I, I, Ev.kind() == EventKind::TxBegin, {}});
+      NodesOfThread[Tid].push_back(Node);
+      if (Ev.kind() == EventKind::TxBegin)
+        OpenBlockOf[Tid] = Node;
+    }
+    Nodes[Node].Events.push_back(I);
+    NodeOf[I] = Node;
+  }
+
+  // Phase 2: edges, keyed (from, to) with one representative "to" event.
+  std::map<std::pair<uint32_t, uint32_t>, size_t> Edges;
+  auto AddEdge = [&](uint32_t From, uint32_t To, size_t WitnessEvent) {
+    if (From == To)
+      return;
+    Edges.emplace(std::make_pair(From, To), WitnessEvent);
+  };
+
+  // Program order.
+  for (const auto &[Tid, List] : NodesOfThread) {
+    (void)Tid;
+    for (size_t I = 1; I < List.size(); ++I)
+      AddEdge(List[I - 1], List[I], Nodes[List[I]].Begin);
+  }
+
+  // Synchronization order.
+  {
+    std::unordered_map<uint32_t, size_t> LastReleaseOfLock;
+    std::unordered_map<uint32_t, size_t> ForkEventOfThread;
+    std::unordered_map<uint32_t, size_t> LastEventOfThread;
+    for (size_t I = 0, E = T.size(); I != E; ++I) {
+      const Event &Ev = T[I];
+      uint32_t Tid = Ev.thread().index();
+      if (auto It = ForkEventOfThread.find(Tid);
+          It != ForkEventOfThread.end()) {
+        AddEdge(NodeOf[It->second], NodeOf[I], I);
+        ForkEventOfThread.erase(It);
+      }
+      switch (Ev.kind()) {
+      case EventKind::Fork:
+        ForkEventOfThread[Ev.other().index()] = I;
+        break;
+      case EventKind::Join:
+        if (auto It = LastEventOfThread.find(Ev.other().index());
+            It != LastEventOfThread.end())
+          AddEdge(NodeOf[It->second], NodeOf[I], I);
+        break;
+      case EventKind::Acquire:
+        if (auto It = LastReleaseOfLock.find(Ev.lock().index());
+            It != LastReleaseOfLock.end())
+          AddEdge(NodeOf[It->second], NodeOf[I], I);
+        break;
+      case EventKind::Release:
+        LastReleaseOfLock[Ev.lock().index()] = I;
+        break;
+      default:
+        break;
+      }
+      LastEventOfThread[Tid] = I;
+    }
+  }
+
+  // Optional low-level conflict order (the Velodrome baseline): same
+  // location, at least one write, different nodes.
+  if (IncludeMemoryConflicts) {
+    std::unordered_map<uint32_t, std::vector<size_t>> AccessesOf;
+    for (size_t I = 0, E = T.size(); I != E; ++I)
+      if (T[I].isMemoryAccess())
+        AccessesOf[T[I].var().index()].push_back(I);
+    for (const auto &[Var, Accesses] : AccessesOf) {
+      (void)Var;
+      for (size_t A = 0; A != Accesses.size(); ++A)
+        for (size_t B = A + 1; B != Accesses.size(); ++B) {
+          size_t I = Accesses[A], J = Accesses[B];
+          if (NodeOf[I] == NodeOf[J])
+            continue;
+          if (T[I].kind() == EventKind::Write ||
+              T[J].kind() == EventKind::Write)
+            AddEdge(NodeOf[I], NodeOf[J], J);
+        }
+    }
+  }
+
+  // Conflict order over access points.
+  std::vector<size_t> Invokes;
+  for (size_t I = 0, E = T.size(); I != E; ++I)
+    if (T[I].isInvoke())
+      Invokes.push_back(I);
+  for (size_t A = 0; A != Invokes.size(); ++A) {
+    for (size_t B = A + 1; B != Invokes.size(); ++B) {
+      size_t I = Invokes[A], J = Invokes[B];
+      if (NodeOf[I] == NodeOf[J])
+        continue;
+      const Action &X = T[I].action();
+      const Action &Y = T[J].action();
+      if (X.object() != Y.object())
+        continue;
+      if (actionsConflict(*providerFor(X.object()), X, Y))
+        AddEdge(NodeOf[I], NodeOf[J], J);
+    }
+  }
+
+  // Phase 3: for every atomic node, look for a cycle through it.
+  std::vector<std::vector<uint32_t>> Succ(Nodes.size());
+  for (const auto &[Edge, Witness] : Edges) {
+    (void)Witness;
+    Succ[Edge.first].push_back(Edge.second);
+  }
+
+  std::vector<AtomicityViolation> Violations;
+  for (uint32_t Target = 0; Target != Nodes.size(); ++Target) {
+    if (!Nodes[Target].Atomic)
+      continue;
+    // DFS from Target's successors searching a path back to Target.
+    std::vector<uint32_t> Stack = Succ[Target];
+    std::vector<bool> Visited(Nodes.size(), false);
+    std::vector<uint32_t> Parent(Nodes.size(), UINT32_MAX);
+    for (uint32_t S : Stack)
+      Parent[S] = Target;
+    bool Found = false;
+    while (!Stack.empty() && !Found) {
+      uint32_t N = Stack.back();
+      Stack.pop_back();
+      if (N == Target) {
+        Found = true;
+        break;
+      }
+      if (Visited[N])
+        continue;
+      Visited[N] = true;
+      for (uint32_t S : Succ[N]) {
+        if (Parent[S] == UINT32_MAX)
+          Parent[S] = N;
+        if (S == Target) {
+          Found = true;
+          Parent[Target] = N;
+          break;
+        }
+        if (!Visited[S])
+          Stack.push_back(S);
+      }
+    }
+    if (!Found)
+      continue;
+
+    AtomicityViolation V;
+    V.Thread = Nodes[Target].Thread;
+    V.BeginEvent = Nodes[Target].Begin;
+    V.EndEvent = Nodes[Target].End;
+    // Reconstruct the cycle path Target -> ... -> Target via Parent links.
+    uint32_t Cur = Parent[Target];
+    size_t Guard = 0;
+    while (Cur != Target && Cur != UINT32_MAX && Guard++ < Nodes.size()) {
+      V.CycleEvents.push_back(Nodes[Cur].Begin);
+      Cur = Parent[Cur];
+    }
+    Violations.push_back(std::move(V));
+  }
+  return Violations;
+}

@@ -1,0 +1,107 @@
+//===- detect/FastTrack.cpp - FastTrack read-write race detector -------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/FastTrack.h"
+
+using namespace crd;
+
+void FastTrackDetector::process(const Event &E) {
+  ++EventIndex;
+  switch (E.kind()) {
+  case EventKind::Read:
+    handleRead(E);
+    break;
+  case EventKind::Write:
+    handleWrite(E);
+    break;
+  default:
+    break;
+  }
+  VCState.process(E);
+}
+
+void FastTrackDetector::processTrace(const Trace &T) {
+  for (const Event &E : T)
+    process(E);
+}
+
+void FastTrackDetector::report(MemoryRace::Kind Kind, VarId Var,
+                               ThreadId Prior, ThreadId Current) {
+  Races.push_back({EventIndex - 1, Var, Kind, Prior, Current});
+  RacyVars.insert(Var);
+}
+
+void FastTrackDetector::handleRead(const Event &E) {
+  const VectorClock &C = VCState.clockOf(E.thread());
+  VarState &X = Vars[E.var()];
+  Epoch Current = epochOf(C, E.thread());
+
+  // [Read Same Epoch]
+  if (!X.ReadShared && X.Read == Current)
+    return;
+  // [Read Shared Same Epoch]
+  if (X.ReadShared && X.ReadClock.get(E.thread()) == Current.Clock)
+    return;
+
+  // Write-read race check.
+  if (!X.Write.leq(C))
+    report(MemoryRace::Kind::WriteRead, E.var(), X.Write.Tid, E.thread());
+
+  if (!X.ReadShared) {
+    // [Read Exclusive] — the previous read is ordered before this one.
+    if (X.Read.isBottom() || X.Read.leq(C)) {
+      X.Read = Current;
+      return;
+    }
+    // [Read Share] — inflate to a full vector clock.
+    X.ReadShared = true;
+    X.ReadClock = VectorClock();
+    X.ReadClock.set(X.Read.Tid, X.Read.Clock);
+    X.ReadClock.set(E.thread(), Current.Clock);
+    return;
+  }
+  // [Read Shared]
+  X.ReadClock.set(E.thread(), Current.Clock);
+}
+
+void FastTrackDetector::handleWrite(const Event &E) {
+  const VectorClock &C = VCState.clockOf(E.thread());
+  VarState &X = Vars[E.var()];
+  Epoch Current = epochOf(C, E.thread());
+
+  // [Write Same Epoch]
+  if (X.Write == Current)
+    return;
+
+  // Write-write race check.
+  if (!X.Write.leq(C))
+    report(MemoryRace::Kind::WriteWrite, E.var(), X.Write.Tid, E.thread());
+
+  if (!X.ReadShared) {
+    // [Write Exclusive] — check the last read.
+    if (!X.Read.isBottom() && !X.Read.leq(C))
+      report(MemoryRace::Kind::ReadWrite, E.var(), X.Read.Tid, E.thread());
+  } else {
+    // [Write Shared] — check the full read clock, then deflate.
+    if (!X.ReadClock.leq(C)) {
+      // Find one offending reader for the report.
+      ThreadId Offender = E.thread();
+      for (uint32_t I = 0, N = static_cast<uint32_t>(X.ReadClock.size());
+           I != N; ++I) {
+        ThreadId Tid(I);
+        if (X.ReadClock.get(Tid) > C.get(Tid)) {
+          Offender = Tid;
+          break;
+        }
+      }
+      report(MemoryRace::Kind::ReadWrite, E.var(), Offender, E.thread());
+    }
+    X.ReadShared = false;
+    X.Read = Epoch();
+    X.ReadClock = VectorClock();
+  }
+  X.Write = Current;
+}

@@ -1,0 +1,84 @@
+//===- detect/FastTrack.h - FastTrack read-write race detector --*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FASTTRACK low-level race detector (Flanagan & Freund, PLDI 2009) the
+/// paper evaluates against in Table 2. It consumes the low-level read/write
+/// events of a trace and detects unordered conflicting accesses to the same
+/// memory location, using the epoch optimization: a location's last write
+/// (and, while reads are thread-exclusive, its last read) is a single
+/// clock@thread pair instead of a full vector clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_DETECT_FASTTRACK_H
+#define CRD_DETECT_FASTTRACK_H
+
+#include "detect/Race.h"
+#include "hb/VectorClockState.h"
+#include "trace/Trace.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace crd {
+
+/// FastTrack detector over Read/Write (and synchronization) events.
+class FastTrackDetector {
+public:
+  FastTrackDetector() = default;
+
+  void process(const Event &E);
+  void processTrace(const Trace &T);
+
+  const std::vector<MemoryRace> &races() const { return Races; }
+
+  /// Number of distinct memory locations with at least one race (the
+  /// "(distinct)" column of Table 2 for FASTTRACK).
+  size_t distinctRacyVars() const { return RacyVars.size(); }
+
+private:
+  /// A scalar timestamp c@t.
+  struct Epoch {
+    uint32_t Clock = 0;
+    ThreadId Tid;
+
+    bool leq(const VectorClock &VC) const { return Clock <= VC.get(Tid); }
+    bool isBottom() const { return Clock == 0; }
+    friend bool operator==(const Epoch &A, const Epoch &B) {
+      return A.Clock == B.Clock && A.Tid == B.Tid;
+    }
+  };
+
+  /// Per-location shadow state. ReadShared switches the read side from a
+  /// single epoch to a full vector clock when reads become concurrent.
+  struct VarState {
+    Epoch Write;
+    Epoch Read;
+    bool ReadShared = false;
+    VectorClock ReadClock;
+  };
+
+  void handleRead(const Event &E);
+  void handleWrite(const Event &E);
+  void report(MemoryRace::Kind Kind, VarId Var, ThreadId Prior,
+              ThreadId Current);
+
+  static Epoch epochOf(const VectorClock &VC, ThreadId Tid) {
+    return {VC.get(Tid), Tid};
+  }
+
+  VectorClockState VCState;
+  std::unordered_map<VarId, VarState> Vars;
+  std::vector<MemoryRace> Races;
+  std::unordered_set<VarId> RacyVars;
+  size_t EventIndex = 0;
+};
+
+} // namespace crd
+
+#endif // CRD_DETECT_FASTTRACK_H

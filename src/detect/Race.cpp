@@ -1,0 +1,49 @@
+//===- detect/Race.cpp - Race reports ---------------------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Race.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace crd;
+
+std::string CommutativityRace::toString() const {
+  std::ostringstream OS;
+  OS << *this;
+  return OS.str();
+}
+
+std::string MemoryRace::toString() const {
+  std::ostringstream OS;
+  OS << *this;
+  return OS.str();
+}
+
+std::ostream &crd::operator<<(std::ostream &OS, const CommutativityRace &R) {
+  return OS << "commutativity race at event " << R.EventIndex << ": T"
+            << R.Thread.index() << " performs " << R.Current
+            << " conflicting on " << R.PointName << " (prior " << R.PriorClock
+            << " || current " << R.CurrentClock << ")";
+}
+
+static const char *kindName(MemoryRace::Kind K) {
+  switch (K) {
+  case MemoryRace::Kind::WriteWrite:
+    return "write-write";
+  case MemoryRace::Kind::WriteRead:
+    return "write-read";
+  case MemoryRace::Kind::ReadWrite:
+    return "read-write";
+  }
+  return "race";
+}
+
+std::ostream &crd::operator<<(std::ostream &OS, const MemoryRace &R) {
+  return OS << kindName(R.Access) << " race at event " << R.EventIndex
+            << " on V" << R.Var.index() << " between T"
+            << R.PriorThread.index() << " and T" << R.CurrentThread.index();
+}

@@ -1,0 +1,59 @@
+//===- detect/Summary.h - race report summarization -------------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregation of raw race reports into the per-object / per-access-point
+/// view a developer triages from — the paper's observation that "most
+/// races are highly redundant" made actionable: thousands of reports
+/// usually collapse into a handful of (object, point class) groups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_DETECT_SUMMARY_H
+#define CRD_DETECT_SUMMARY_H
+
+#include "detect/Race.h"
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace crd {
+
+/// Grouped view of a batch of commutativity races.
+class RaceSummary {
+public:
+  struct ObjectGroup {
+    ObjectId Obj;
+    size_t Count = 0;
+    size_t FirstEvent = 0; ///< Event index of the earliest race.
+    Action FirstAction;    ///< Action of the earliest race.
+    /// Reports per conflicting access point class name.
+    std::map<std::string, size_t> ByPoint;
+    /// Reports per method of the current action.
+    std::map<std::string, size_t> ByMethod;
+  };
+
+  /// Builds the summary from raw reports.
+  static RaceSummary build(const std::vector<CommutativityRace> &Races);
+
+  size_t total() const { return Total; }
+  /// Groups sorted by descending report count.
+  const std::vector<ObjectGroup> &objects() const { return Groups; }
+
+  /// Renders a compact triage report.
+  void print(std::ostream &OS) const;
+  std::string toString() const;
+
+private:
+  size_t Total = 0;
+  std::vector<ObjectGroup> Groups;
+};
+
+} // namespace crd
+
+#endif // CRD_DETECT_SUMMARY_H

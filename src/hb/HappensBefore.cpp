@@ -1,0 +1,31 @@
+//===- hb/HappensBefore.cpp - Offline happens-before relation --------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hb/HappensBefore.h"
+
+using namespace crd;
+
+HappensBefore::HappensBefore(const Trace &T) {
+  Clocks.reserve(T.size());
+  VectorClockState State;
+  for (const Event &E : T) {
+    // An event is stamped with the clock the thread holds *while performing
+    // it*: acquire and join first merge their incoming edge (the prior
+    // release / the joined thread) and are stamped afterwards; fork and
+    // release are stamped before their outgoing update (child seeding /
+    // lock transfer and increment), so they are ordered before the events
+    // they enable but not after anything new.
+    bool MergesIncomingEdge =
+        E.kind() == EventKind::Acquire || E.kind() == EventKind::Join;
+    if (MergesIncomingEdge) {
+      State.process(E);
+      Clocks.push_back(State.clockOf(E.thread()));
+    } else {
+      Clocks.push_back(State.clockOf(E.thread()));
+      State.process(E);
+    }
+  }
+}

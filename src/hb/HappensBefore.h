@@ -1,0 +1,57 @@
+//===- hb/HappensBefore.h - Offline happens-before relation -----*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An offline happens-before relation over a whole trace (paper §3.2): every
+/// event is stamped with its vector clock, and pairwise order/‖ queries are
+/// answered from the stored clocks. This is the reference oracle used to
+/// validate the online detectors (Theorem 5.1 tests) and the direct Θ(|A|²)
+/// baseline detector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_HB_HAPPENSBEFORE_H
+#define CRD_HB_HAPPENSBEFORE_H
+
+#include "hb/VectorClockState.h"
+#include "trace/Trace.h"
+
+#include <cassert>
+#include <vector>
+
+namespace crd {
+
+/// Event-indexed happens-before relation for one trace.
+class HappensBefore {
+public:
+  /// Stamps every event of \p T by running the Table 1 machine.
+  explicit HappensBefore(const Trace &T);
+
+  size_t size() const { return Clocks.size(); }
+
+  /// vc(e_i).
+  const VectorClock &clock(size_t EventIndex) const {
+    assert(EventIndex < Clocks.size() && "event index out of range");
+    return Clocks[EventIndex];
+  }
+
+  /// e_i � e_j (strictly happens before; requires i ≤π j).
+  bool happensBefore(size_t I, size_t J) const {
+    return I < J && Clocks[I].leq(Clocks[J]);
+  }
+
+  /// e_i ‖ e_j: neither is ordered before the other.
+  bool mayHappenInParallel(size_t I, size_t J) const {
+    return Clocks[I].concurrentWith(Clocks[J]);
+  }
+
+private:
+  std::vector<VectorClock> Clocks;
+};
+
+} // namespace crd
+
+#endif // CRD_HB_HAPPENSBEFORE_H

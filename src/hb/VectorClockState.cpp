@@ -1,0 +1,86 @@
+//===- hb/VectorClockState.cpp - Table 1 state machine ---------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hb/VectorClockState.h"
+
+#include <cassert>
+
+using namespace crd;
+
+VectorClock &VectorClockState::threadClock(ThreadId Thread) {
+  if (Thread.index() >= Threads.size()) {
+    Threads.resize(Thread.index() + 1);
+    Initialized.resize(Thread.index() + 1, false);
+  }
+  if (!Initialized[Thread.index()]) {
+    // Lazy initialization to inc_τ(⊥): each thread starts one step into its
+    // own local time. See the header comment for why this matters.
+    Threads[Thread.index()].increment(Thread);
+    Initialized[Thread.index()] = true;
+  }
+  return Threads[Thread.index()];
+}
+
+const VectorClock &VectorClockState::clockOf(ThreadId Thread) {
+  return threadClock(Thread);
+}
+
+const VectorClock &VectorClockState::lockClock(LockId Lock) const {
+  auto It = Locks.find(Lock);
+  return It == Locks.end() ? Bottom : It->second;
+}
+
+void VectorClockState::process(const Event &E) {
+  switch (E.kind()) {
+  case EventKind::Fork: {
+    // T(u) ← inc_u(T(τ)); T(τ) ← inc_τ(T(τ)).
+    ThreadId Child = E.other();
+    // Grow the table for the child BEFORE taking a reference to the parent
+    // clock: resizing invalidates references into Threads.
+    if (Child.index() >= Threads.size()) {
+      Threads.resize(Child.index() + 1);
+      Initialized.resize(Child.index() + 1, false);
+    }
+    assert(!Initialized[Child.index()] && "forked thread already initialized");
+    VectorClock &Parent = threadClock(E.thread());
+    VectorClock ChildClock = Parent;
+    ChildClock.increment(Child);
+    Threads[Child.index()] = std::move(ChildClock);
+    Initialized[Child.index()] = true;
+    threadClock(E.thread()).increment(E.thread());
+    return;
+  }
+  case EventKind::Join: {
+    // T(τ) ← T(τ) ⊔ T(u).
+    VectorClock &Self = threadClock(E.thread());
+    Self.joinWith(threadClock(E.other()));
+    return;
+  }
+  case EventKind::Acquire: {
+    // T(τ) ← T(τ) ⊔ L(l).
+    auto It = Locks.find(E.lock());
+    if (It != Locks.end())
+      threadClock(E.thread()).joinWith(It->second);
+    else
+      threadClock(E.thread()); // Still forces lazy initialization.
+    return;
+  }
+  case EventKind::Release: {
+    // L(l) ← T(τ); T(τ) ← inc_τ(T(τ)).
+    VectorClock &Self = threadClock(E.thread());
+    Locks[E.lock()] = Self;
+    Self.increment(E.thread());
+    return;
+  }
+  case EventKind::Invoke:
+  case EventKind::Read:
+  case EventKind::Write:
+  case EventKind::TxBegin:
+  case EventKind::TxEnd:
+    threadClock(E.thread()); // Forces lazy initialization only.
+    return;
+  }
+}

@@ -1,0 +1,68 @@
+//===- hb/VectorClockState.h - Table 1 state machine ------------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The online vector-clock state machine of paper Table 1. It maintains the
+/// auxiliary maps T : Tid -> VC and L : Lock -> VC and updates them at every
+/// synchronization event:
+///
+///   τ : fork(u)   T(u) ← inc_u(T(τ));  T(τ) ← inc_τ(T(τ))
+///   τ : join(u)   T(τ) ← T(τ) ⊔ T(u)
+///   τ : acq(l)    T(τ) ← T(τ) ⊔ L(l)
+///   τ : rel(l)    L(l) ← T(τ);  T(τ) ← inc_τ(T(τ))
+///
+/// For an action event τ : o.m(~x)/~y, vc(e) = T(τ). Thread clocks are
+/// initialized lazily to inc_τ(⊥), establishing the invariant that τ's own
+/// component of T(τ) is strictly larger than τ's component of any clock ever
+/// exported by τ — so clocks of events from different threads are never
+/// equal, and incomparability is exactly the may-happen-in-parallel ‖.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_HB_VECTORCLOCKSTATE_H
+#define CRD_HB_VECTORCLOCKSTATE_H
+
+#include "support/VectorClock.h"
+#include "trace/Event.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace crd {
+
+/// Online happens-before tracker (the "previous work" rows of Table 1).
+class VectorClockState {
+public:
+  VectorClockState() = default;
+
+  /// Processes one event. For synchronization events this applies the
+  /// Table 1 update; for action and memory events it is a no-op (the clock
+  /// is read with clockOf()).
+  void process(const Event &E);
+
+  /// Returns T(τ), the clock an action of \p Thread would be stamped with.
+  /// Initializes the thread lazily to inc_τ(⊥) on first use.
+  const VectorClock &clockOf(ThreadId Thread);
+
+  /// Returns L(l); ⊥ if the lock was never released.
+  const VectorClock &lockClock(LockId Lock) const;
+
+  /// Number of threads seen so far.
+  size_t numThreads() const { return Threads.size(); }
+
+private:
+  VectorClock &threadClock(ThreadId Thread);
+
+  // Dense per-thread clocks; Initialized[i] records lazy initialization.
+  std::vector<VectorClock> Threads;
+  std::vector<bool> Initialized;
+  std::unordered_map<LockId, VectorClock> Locks;
+  VectorClock Bottom;
+};
+
+} // namespace crd
+
+#endif // CRD_HB_VECTORCLOCKSTATE_H

@@ -1,0 +1,70 @@
+//===- locks/AbstractLockManager.cpp - access points as abstract locks --------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "locks/AbstractLockManager.h"
+
+#include <cassert>
+
+using namespace crd;
+
+bool AbstractLockManager::wouldConflict(TxId Tx, const AccessPoint &Pt) const {
+  // Mirror of the detector's phase-1 probe: enumerate the (bounded)
+  // conflict partners of Pt's class and look for a holder that is not Tx.
+  for (uint32_t Partner : Provider.conflictsOf(Pt.ClassId)) {
+    AccessPoint Key = Provider.classCarriesValue(Partner)
+                          ? AccessPoint::withValue(Partner, Pt.Val)
+                          : AccessPoint::plain(Partner);
+    auto It = Held.find(Key);
+    if (It == Held.end())
+      continue;
+    for (const auto &[Holder, Count] : It->second.ByTx) {
+      (void)Count;
+      if (Holder != Tx)
+        return true;
+    }
+  }
+  return false;
+}
+
+bool AbstractLockManager::tryAcquire(TxId Tx, const Action &A) {
+  Scratch.clear();
+  Provider.touches(A, Scratch);
+
+  for (const AccessPoint &Pt : Scratch) {
+    if (wouldConflict(Tx, Pt)) {
+      ++Conflicts;
+      return false;
+    }
+  }
+  // All clear: take every point.
+  for (const AccessPoint &Pt : Scratch) {
+    Holders &H = Held[Pt];
+    auto [It, Inserted] = H.ByTx.try_emplace(Tx, 0);
+    ++It->second;
+    if (Inserted || It->second == 1)
+      PointsOf[Tx].push_back(Pt);
+  }
+  return true;
+}
+
+void AbstractLockManager::releaseAll(TxId Tx) {
+  auto It = PointsOf.find(Tx);
+  if (It == PointsOf.end())
+    return;
+  for (const AccessPoint &Pt : It->second) {
+    auto HeldIt = Held.find(Pt);
+    assert(HeldIt != Held.end() && "held-point bookkeeping out of sync");
+    HeldIt->second.ByTx.erase(Tx);
+    if (HeldIt->second.ByTx.empty())
+      Held.erase(HeldIt);
+  }
+  PointsOf.erase(It);
+}
+
+size_t AbstractLockManager::heldBy(TxId Tx) const {
+  auto It = PointsOf.find(Tx);
+  return It == PointsOf.end() ? 0 : It->second.size();
+}

@@ -1,0 +1,318 @@
+//===- replay/AbstractState.cpp - Abstract object semantics -------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/AbstractState.h"
+
+#include <sstream>
+
+using namespace crd;
+
+AbstractObject::~AbstractObject() = default;
+
+//===----------------------------------------------------------------------===//
+// AbstractDictionary
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<AbstractObject> AbstractDictionary::clone() const {
+  auto Copy = std::make_unique<AbstractDictionary>();
+  Copy->Entries = Entries;
+  return Copy;
+}
+
+bool AbstractDictionary::apply(const Action &A) {
+  Symbol M = A.method();
+  if (M == symbol("put")) {
+    if (A.args().size() != 2 || A.rets().size() != 1)
+      return false;
+    const Value &Key = A.args()[0];
+    auto It = Entries.find(Key);
+    Value Current = It == Entries.end() ? Value::nil() : It->second;
+    if (A.rets()[0] != Current)
+      return false; // p = d(k) violated.
+    const Value &NewValue = A.args()[1];
+    if (NewValue.isNil())
+      Entries.erase(Key);
+    else
+      Entries[Key] = NewValue;
+    return true;
+  }
+  if (M == symbol("get")) {
+    if (A.args().size() != 1 || A.rets().size() != 1)
+      return false;
+    auto It = Entries.find(A.args()[0]);
+    Value Current = It == Entries.end() ? Value::nil() : It->second;
+    return A.rets()[0] == Current;
+  }
+  if (M == symbol("size")) {
+    if (!A.args().empty() || A.rets().size() != 1)
+      return false;
+    return A.rets()[0] ==
+           Value::integer(static_cast<int64_t>(Entries.size()));
+  }
+  return false; // Unknown dictionary method.
+}
+
+bool AbstractDictionary::equals(const AbstractObject &Other) const {
+  if (Other.kind() != kind())
+    return false;
+  return static_cast<const AbstractDictionary &>(Other).Entries == Entries;
+}
+
+std::string AbstractDictionary::toString() const {
+  std::ostringstream OS;
+  OS << "dict{";
+  bool First = true;
+  for (const auto &[Key, Val] : Entries) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << Key << " -> " << Val;
+  }
+  OS << '}';
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// AbstractSet
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<AbstractObject> AbstractSet::clone() const {
+  auto Copy = std::make_unique<AbstractSet>();
+  Copy->Members = Members;
+  return Copy;
+}
+
+bool AbstractSet::apply(const Action &A) {
+  Symbol M = A.method();
+  if (M == symbol("add") || M == symbol("remove")) {
+    if (A.args().size() != 1 || A.rets().size() != 1)
+      return false;
+    const Value &Key = A.args()[0];
+    bool Present = Members.count(Key) != 0;
+    bool Changes = M == symbol("add") ? !Present : Present;
+    if (A.rets()[0] != Value::boolean(Changes))
+      return false;
+    if (M == symbol("add"))
+      Members[Key] = true;
+    else
+      Members.erase(Key);
+    return true;
+  }
+  if (M == symbol("contains")) {
+    if (A.args().size() != 1 || A.rets().size() != 1)
+      return false;
+    return A.rets()[0] == Value::boolean(Members.count(A.args()[0]) != 0);
+  }
+  if (M == symbol("size")) {
+    if (!A.args().empty() || A.rets().size() != 1)
+      return false;
+    return A.rets()[0] ==
+           Value::integer(static_cast<int64_t>(Members.size()));
+  }
+  return false;
+}
+
+bool AbstractSet::equals(const AbstractObject &Other) const {
+  if (Other.kind() != kind())
+    return false;
+  return static_cast<const AbstractSet &>(Other).Members == Members;
+}
+
+std::string AbstractSet::toString() const {
+  std::ostringstream OS;
+  OS << "set{";
+  bool First = true;
+  for (const auto &[Key, Present] : Members) {
+    (void)Present;
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << Key;
+  }
+  OS << '}';
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// AbstractCounter
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<AbstractObject> AbstractCounter::clone() const {
+  auto Copy = std::make_unique<AbstractCounter>();
+  Copy->Count = Count;
+  return Copy;
+}
+
+bool AbstractCounter::apply(const Action &A) {
+  Symbol M = A.method();
+  if (M == symbol("inc")) {
+    ++Count;
+    return A.rets().empty();
+  }
+  if (M == symbol("dec")) {
+    --Count;
+    return A.rets().empty();
+  }
+  if (M == symbol("read"))
+    return A.rets().size() == 1 && A.rets()[0] == Value::integer(Count);
+  return false;
+}
+
+bool AbstractCounter::equals(const AbstractObject &Other) const {
+  if (Other.kind() != kind())
+    return false;
+  return static_cast<const AbstractCounter &>(Other).Count == Count;
+}
+
+std::string AbstractCounter::toString() const {
+  return "counter{" + std::to_string(Count) + "}";
+}
+
+//===----------------------------------------------------------------------===//
+// AbstractRegister
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<AbstractObject> AbstractRegister::clone() const {
+  auto Copy = std::make_unique<AbstractRegister>();
+  Copy->Cell = Cell;
+  return Copy;
+}
+
+bool AbstractRegister::apply(const Action &A) {
+  Symbol M = A.method();
+  if (M == symbol("write")) {
+    if (A.args().size() != 1 || A.rets().size() != 1)
+      return false;
+    if (A.rets()[0] != Cell)
+      return false;
+    Cell = A.args()[0];
+    return true;
+  }
+  if (M == symbol("read"))
+    return A.rets().size() == 1 && A.rets()[0] == Cell;
+  return false;
+}
+
+bool AbstractRegister::equals(const AbstractObject &Other) const {
+  if (Other.kind() != kind())
+    return false;
+  return static_cast<const AbstractRegister &>(Other).Cell == Cell;
+}
+
+std::string AbstractRegister::toString() const {
+  return "register{" + Cell.toString() + "}";
+}
+
+//===----------------------------------------------------------------------===//
+// AbstractQueue
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<AbstractObject> AbstractQueue::clone() const {
+  auto Copy = std::make_unique<AbstractQueue>();
+  Copy->Items = Items;
+  return Copy;
+}
+
+bool AbstractQueue::apply(const Action &A) {
+  Symbol M = A.method();
+  if (M == symbol("enq")) {
+    if (A.args().size() != 1 || A.rets().size() != 1)
+      return false;
+    if (A.rets()[0] != Value::boolean(Items.empty()))
+      return false;
+    Items.push_back(A.args()[0]);
+    return true;
+  }
+  if (M == symbol("deq") || M == symbol("peek")) {
+    if (!A.args().empty() || A.rets().size() != 2)
+      return false;
+    Value Front = Items.empty() ? Value::nil() : Items.front();
+    if (A.rets()[0] != Front ||
+        A.rets()[1] != Value::boolean(!Items.empty()))
+      return false;
+    if (M == symbol("deq") && !Items.empty())
+      Items.erase(Items.begin());
+    return true;
+  }
+  return false;
+}
+
+bool AbstractQueue::equals(const AbstractObject &Other) const {
+  if (Other.kind() != kind())
+    return false;
+  return static_cast<const AbstractQueue &>(Other).Items == Items;
+}
+
+std::string AbstractQueue::toString() const {
+  std::ostringstream OS;
+  OS << "queue[";
+  for (size_t I = 0; I != Items.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Items[I];
+  }
+  OS << ']';
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// AbstractHeap
+//===----------------------------------------------------------------------===//
+
+AbstractHeap::AbstractHeap()
+    : MakeObject([](ObjectId) { return std::make_unique<AbstractDictionary>(); }) {}
+
+AbstractHeap::AbstractHeap(Factory MakeObject)
+    : MakeObject(std::move(MakeObject)) {}
+
+AbstractHeap::AbstractHeap(const AbstractHeap &Other)
+    : MakeObject(Other.MakeObject) {
+  for (const auto &[Obj, State] : Other.Objects)
+    Objects.emplace(Obj, State->clone());
+}
+
+AbstractHeap &AbstractHeap::operator=(const AbstractHeap &Other) {
+  if (this == &Other)
+    return *this;
+  MakeObject = Other.MakeObject;
+  Objects.clear();
+  for (const auto &[Obj, State] : Other.Objects)
+    Objects.emplace(Obj, State->clone());
+  return *this;
+}
+
+bool AbstractHeap::apply(const Action &A) {
+  auto It = Objects.find(A.object());
+  if (It == Objects.end())
+    It = Objects.emplace(A.object(), MakeObject(A.object())).first;
+  return It->second->apply(A);
+}
+
+bool AbstractHeap::equals(const AbstractHeap &Other) const {
+  // Objects never touched are in their initial state; materialize missing
+  // entries as freshly created objects for comparison.
+  for (const auto &[Obj, State] : Objects) {
+    auto It = Other.Objects.find(Obj);
+    if (It == Other.Objects.end()) {
+      if (!State->equals(*Other.MakeObject(Obj)))
+        return false;
+      continue;
+    }
+    if (!State->equals(*It->second))
+      return false;
+  }
+  for (const auto &[Obj, State] : Other.Objects)
+    if (!Objects.count(Obj) && !State->equals(*MakeObject(Obj)))
+      return false;
+  return true;
+}
+
+std::string AbstractHeap::toString() const {
+  std::ostringstream OS;
+  for (const auto &[Obj, State] : Objects)
+    OS << 'o' << Obj.index() << " = " << State->toString() << '\n';
+  return OS.str();
+}

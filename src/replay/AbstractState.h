@@ -1,0 +1,158 @@
+//===- replay/AbstractState.h - Abstract object semantics (Fig 5) -*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable abstract semantics of shared objects (paper §3.1, Fig 5):
+/// every action a denotes a partial map ⟦a⟧ on abstract states — partial
+/// because the recorded return values constrain the states the action can
+/// fire in (e.g. ⟦o.size()/n⟧ is the identity on dictionaries of size n and
+/// undefined otherwise). Replaying a trace under these semantics checks
+/// feasibility and computes the end state — the ingredients of the
+/// Theorem 5.2 determinism checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_REPLAY_ABSTRACTSTATE_H
+#define CRD_REPLAY_ABSTRACTSTATE_H
+
+#include "trace/Action.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace crd {
+
+/// Abstract state of one shared object, with Fig 5-style partial action
+/// semantics.
+class AbstractObject {
+public:
+  /// LLVM-style kind discriminator (the project avoids RTTI).
+  enum class Kind { Dictionary, Set, Counter, Register, Queue };
+
+  virtual ~AbstractObject();
+
+  /// Dynamic kind of this object state.
+  virtual Kind kind() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<AbstractObject> clone() const = 0;
+
+  /// Applies \p A: returns true and transitions when ⟦A⟧ is defined in the
+  /// current state (i.e. the recorded return values match); returns false
+  /// and leaves the state unchanged otherwise.
+  virtual bool apply(const Action &A) = 0;
+
+  /// Structural state equality (same dynamic type and same contents).
+  virtual bool equals(const AbstractObject &Other) const = 0;
+
+  /// Deterministic rendering, usable as a state fingerprint.
+  virtual std::string toString() const = 0;
+};
+
+/// Fig 5 dictionary: d : K -> V ∪ {nil}, with
+///   put(k,v)/p  defined iff p = d(k); d' = d[k -> v]
+///   get(k)/v    defined iff v = d(k)
+///   size()/r    defined iff r = |{k : d(k) != nil}|
+class AbstractDictionary : public AbstractObject {
+public:
+  Kind kind() const override { return Kind::Dictionary; }
+  std::unique_ptr<AbstractObject> clone() const override;
+  bool apply(const Action &A) override;
+  bool equals(const AbstractObject &Other) const override;
+  std::string toString() const override;
+
+private:
+  std::map<Value, Value> Entries; // Only non-nil values are stored.
+};
+
+/// Set with add(k)/changed, remove(k)/changed, contains(k)/present,
+/// size()/n (the shadow-return style of setSpec()).
+class AbstractSet : public AbstractObject {
+public:
+  Kind kind() const override { return Kind::Set; }
+  std::unique_ptr<AbstractObject> clone() const override;
+  bool apply(const Action &A) override;
+  bool equals(const AbstractObject &Other) const override;
+  std::string toString() const override;
+
+private:
+  std::map<Value, bool> Members; // Present keys map to true.
+};
+
+/// Counter with inc(), dec() and read()/v.
+class AbstractCounter : public AbstractObject {
+public:
+  Kind kind() const override { return Kind::Counter; }
+  std::unique_ptr<AbstractObject> clone() const override;
+  bool apply(const Action &A) override;
+  bool equals(const AbstractObject &Other) const override;
+  std::string toString() const override;
+
+private:
+  int64_t Count = 0;
+};
+
+/// Single cell with write(v)/prev and read()/v; initially nil.
+class AbstractRegister : public AbstractObject {
+public:
+  Kind kind() const override { return Kind::Register; }
+  std::unique_ptr<AbstractObject> clone() const override;
+  bool apply(const Action &A) override;
+  bool equals(const AbstractObject &Other) const override;
+  std::string toString() const override;
+
+private:
+  Value Cell;
+};
+
+/// FIFO queue with enq(v)/wasEmpty, deq()/v/ok and peek()/v/ok (ok=false
+/// and v=nil on an empty queue).
+class AbstractQueue : public AbstractObject {
+public:
+  Kind kind() const override { return Kind::Queue; }
+  std::unique_ptr<AbstractObject> clone() const override;
+  bool apply(const Action &A) override;
+  bool equals(const AbstractObject &Other) const override;
+  std::string toString() const override;
+
+private:
+  std::vector<Value> Items; ///< Front at index 0.
+};
+
+/// The shared state H: abstract states of all objects, created on demand
+/// by a per-object factory (defaulting to AbstractDictionary).
+class AbstractHeap {
+public:
+  using Factory = std::function<std::unique_ptr<AbstractObject>(ObjectId)>;
+
+  AbstractHeap();
+  explicit AbstractHeap(Factory MakeObject);
+  AbstractHeap(const AbstractHeap &Other);
+  AbstractHeap &operator=(const AbstractHeap &Other);
+  AbstractHeap(AbstractHeap &&) = default;
+  AbstractHeap &operator=(AbstractHeap &&) = default;
+
+  /// Applies the action to its object's state; false when infeasible.
+  bool apply(const Action &A);
+
+  bool equals(const AbstractHeap &Other) const;
+
+  /// Deterministic rendering of every object state.
+  std::string toString() const;
+
+  size_t numObjects() const { return Objects.size(); }
+
+private:
+  Factory MakeObject;
+  std::map<ObjectId, std::unique_ptr<AbstractObject>> Objects;
+};
+
+} // namespace crd
+
+#endif // CRD_REPLAY_ABSTRACTSTATE_H

@@ -1,0 +1,85 @@
+//===- replay/Determinism.cpp - Theorem 5.2 checker ---------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/Determinism.h"
+
+#include <sstream>
+
+using namespace crd;
+
+ReplayResult crd::replayTrace(const Trace &T, const AbstractHeap &Initial) {
+  ReplayResult Result;
+  Result.Final = Initial;
+  for (size_t I = 0, E = T.size(); I != E; ++I) {
+    const Event &Ev = T[I];
+    if (!Ev.isInvoke())
+      continue;
+    if (!Result.Final.apply(Ev.action())) {
+      Result.Feasible = false;
+      Result.FailedAt = I;
+      return Result;
+    }
+  }
+  Result.Feasible = true;
+  return Result;
+}
+
+DeterminismReport crd::checkDeterminism(const Trace &T,
+                                        const AbstractHeap &Initial,
+                                        size_t EnumerationLimit,
+                                        size_t Samples, uint64_t Seed) {
+  DeterminismReport Report;
+
+  ReplayResult Reference = replayTrace(T, Initial);
+  if (!Reference.Feasible) {
+    // The observed trace itself is inconsistent with the abstract
+    // semantics — nothing sensible to compare against.
+    Report.LinearizationsChecked = 1;
+    Report.Infeasible = 1;
+    Report.Witness = "the original trace is infeasible at event " +
+                     std::to_string(Reference.FailedAt) + ": " +
+                     T[Reference.FailedAt].toString();
+    return Report;
+  }
+
+  HappensBeforeDag Dag(T);
+
+  std::vector<std::vector<uint32_t>> Orders;
+  Report.Exhaustive = Dag.enumerateLinearizations(EnumerationLimit, Orders);
+  if (!Report.Exhaustive) {
+    Orders.clear();
+    for (size_t S = 0; S != Samples; ++S)
+      Orders.push_back(Dag.randomLinearization(Seed + S));
+  }
+
+  for (const std::vector<uint32_t> &Order : Orders) {
+    ++Report.LinearizationsChecked;
+    Trace Permuted = permuteTrace(T, Order);
+    ReplayResult R = replayTrace(Permuted, Initial);
+    if (!R.Feasible) {
+      ++Report.Infeasible;
+      if (Report.Witness.empty()) {
+        std::ostringstream OS;
+        OS << "linearization infeasible at "
+           << Permuted[R.FailedAt].toString()
+           << " (the recorded return values cannot occur in this order)";
+        Report.Witness = OS.str();
+      }
+      continue;
+    }
+    if (!R.Final.equals(Reference.Final)) {
+      ++Report.Divergent;
+      if (Report.Witness.empty()) {
+        std::ostringstream OS;
+        OS << "linearization ends in a different state:\n-- reference --\n"
+           << Reference.Final.toString() << "-- divergent --\n"
+           << R.Final.toString();
+        Report.Witness = OS.str();
+      }
+    }
+  }
+  return Report;
+}

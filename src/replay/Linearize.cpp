@@ -1,0 +1,171 @@
+//===- replay/Linearize.cpp - HB-respecting linearizations --------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/Linearize.h"
+
+#include <cassert>
+#include <random>
+#include <unordered_map>
+
+using namespace crd;
+
+HappensBeforeDag::HappensBeforeDag(const Trace &T) {
+  size_t N = T.size();
+  Predecessors.assign(N, {});
+
+  std::unordered_map<uint32_t, uint32_t> LastOfThread;
+  std::unordered_map<uint32_t, uint32_t> LastReleaseOfLock;
+  std::unordered_map<uint32_t, uint32_t> ForkEventOfThread;
+  std::unordered_map<uint32_t, uint32_t> LastEventOfThreadEver;
+
+  for (uint32_t I = 0; I != N; ++I) {
+    const Event &E = T[I];
+    uint32_t Tid = E.thread().index();
+
+    // Program order, or the fork event for a thread's first event.
+    if (auto It = LastOfThread.find(Tid); It != LastOfThread.end())
+      Predecessors[I].push_back(It->second);
+    else if (auto F = ForkEventOfThread.find(Tid); F != ForkEventOfThread.end())
+      Predecessors[I].push_back(F->second);
+    LastOfThread[Tid] = I;
+    LastEventOfThreadEver[Tid] = I;
+
+    switch (E.kind()) {
+    case EventKind::Fork:
+      ForkEventOfThread[E.other().index()] = I;
+      break;
+    case EventKind::Join:
+      if (auto It = LastEventOfThreadEver.find(E.other().index());
+          It != LastEventOfThreadEver.end())
+        Predecessors[I].push_back(It->second);
+      break;
+    case EventKind::Acquire:
+      if (auto It = LastReleaseOfLock.find(E.lock().index());
+          It != LastReleaseOfLock.end())
+        Predecessors[I].push_back(It->second);
+      break;
+    case EventKind::Release:
+      LastReleaseOfLock[E.lock().index()] = I;
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+namespace {
+
+/// Shared state for the recursive enumeration.
+struct Enumerator {
+  const HappensBeforeDag &Dag;
+  size_t Limit;
+  std::vector<std::vector<uint32_t>> &Out;
+  std::vector<uint32_t> Current;
+  std::vector<uint32_t> MissingPreds; // Per event, unplaced predecessors.
+
+  bool run() {
+    size_t N = Dag.size();
+    Current.reserve(N);
+    MissingPreds.resize(N);
+    for (size_t I = 0; I != N; ++I)
+      MissingPreds[I] = static_cast<uint32_t>(Dag.predecessorsOf(I).size());
+    return recurse();
+  }
+
+  /// Returns false when the output limit was hit (enumeration truncated).
+  bool recurse() {
+    size_t N = Dag.size();
+    if (Current.size() == N) {
+      Out.push_back(Current);
+      return Out.size() < Limit;
+    }
+    // Ready events: all predecessors placed and not yet placed themselves.
+    // Placement is tracked by MissingPreds == UINT32_MAX.
+    for (uint32_t I = 0; I != N; ++I) {
+      if (MissingPreds[I] != 0)
+        continue;
+      place(I);
+      bool KeepGoing = recurse();
+      unplace(I);
+      if (!KeepGoing)
+        return false;
+    }
+    return true;
+  }
+
+  void place(uint32_t I) {
+    Current.push_back(I);
+    MissingPreds[I] = UINT32_MAX;
+    for (uint32_t J = 0, N = static_cast<uint32_t>(Dag.size()); J != N; ++J)
+      for (uint32_t P : Dag.predecessorsOf(J))
+        if (P == I)
+          --MissingPreds[J];
+  }
+
+  void unplace(uint32_t I) {
+    Current.pop_back();
+    MissingPreds[I] = 0;
+    for (uint32_t J = 0, N = static_cast<uint32_t>(Dag.size()); J != N; ++J)
+      for (uint32_t P : Dag.predecessorsOf(J))
+        if (P == I)
+          ++MissingPreds[J];
+  }
+};
+
+} // namespace
+
+bool HappensBeforeDag::enumerateLinearizations(
+    size_t Limit, std::vector<std::vector<uint32_t>> &Out) const {
+  Out.clear();
+  if (Predecessors.empty()) {
+    Out.push_back({});
+    return true;
+  }
+  Enumerator E{*this, Limit, Out, {}, {}};
+  return E.run();
+}
+
+std::vector<uint32_t> HappensBeforeDag::randomLinearization(uint64_t Seed) const {
+  size_t N = Predecessors.size();
+  std::mt19937_64 Rng(Seed);
+
+  std::vector<uint32_t> Missing(N);
+  std::vector<std::vector<uint32_t>> Successors(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    Missing[I] = static_cast<uint32_t>(Predecessors[I].size());
+    for (uint32_t P : Predecessors[I])
+      Successors[P].push_back(I);
+  }
+
+  std::vector<uint32_t> Ready;
+  for (uint32_t I = 0; I != N; ++I)
+    if (Missing[I] == 0)
+      Ready.push_back(I);
+
+  std::vector<uint32_t> Order;
+  Order.reserve(N);
+  while (!Ready.empty()) {
+    size_t Pick = Rng() % Ready.size();
+    uint32_t I = Ready[Pick];
+    Ready[Pick] = Ready.back();
+    Ready.pop_back();
+    Order.push_back(I);
+    for (uint32_t S : Successors[I])
+      if (--Missing[S] == 0)
+        Ready.push_back(S);
+  }
+  assert(Order.size() == N && "happens-before graph has a cycle");
+  return Order;
+}
+
+Trace crd::permuteTrace(const Trace &T, const std::vector<uint32_t> &Order) {
+  assert(Order.size() == T.size() && "order must cover every event");
+  std::vector<Event> Events;
+  Events.reserve(Order.size());
+  for (uint32_t I : Order)
+    Events.push_back(T[I]);
+  return Trace(std::move(Events));
+}

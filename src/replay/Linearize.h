@@ -1,0 +1,54 @@
+//===- replay/Linearize.h - HB-respecting linearizations --------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumeration and sampling of the traces that "admit" a given
+/// happens-before relation (paper Theorem 5.2): permutations of the
+/// original events that are topological orders of the happens-before DAG
+/// (program order + fork/join edges + per-lock release→acquire edges).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_REPLAY_LINEARIZE_H
+#define CRD_REPLAY_LINEARIZE_H
+
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace crd {
+
+/// The happens-before dependency DAG of a trace, as direct-predecessor
+/// lists over event indices.
+class HappensBeforeDag {
+public:
+  explicit HappensBeforeDag(const Trace &T);
+
+  size_t size() const { return Predecessors.size(); }
+  const std::vector<uint32_t> &predecessorsOf(size_t Event) const {
+    return Predecessors[Event];
+  }
+
+  /// All topological orders (as index sequences), up to \p Limit. Returns
+  /// whether enumeration was exhaustive (false when truncated at Limit).
+  bool enumerateLinearizations(size_t Limit,
+                               std::vector<std::vector<uint32_t>> &Out) const;
+
+  /// One random topological order, uniformly chosen among the ready events
+  /// at each step (not uniform over all orders, but covers the space).
+  std::vector<uint32_t> randomLinearization(uint64_t Seed) const;
+
+private:
+  std::vector<std::vector<uint32_t>> Predecessors;
+};
+
+/// Rebuilds a trace from \p T's events in the order given by \p Order.
+Trace permuteTrace(const Trace &T, const std::vector<uint32_t> &Order);
+
+} // namespace crd
+
+#endif // CRD_REPLAY_LINEARIZE_H

@@ -1,0 +1,89 @@
+//===- runtime/InstrumentedMap.cpp - Instrumented ConcurrentHashMap ----------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/InstrumentedMap.h"
+
+using namespace crd;
+
+InstrumentedMap::InstrumentedMap(SimRuntime &RT, unsigned NumStripes)
+    : RT(RT), Obj(RT.newObject()), SizeVar(RT.newVar()),
+      PutName(symbol("put")), GetName(symbol("get")), SizeName(symbol("size")) {
+  StripeLocks.reserve(NumStripes);
+  StripeVars.reserve(NumStripes);
+  for (unsigned I = 0; I != NumStripes; ++I) {
+    StripeLocks.push_back(RT.newLock());
+    StripeVars.push_back(RT.newVar());
+  }
+}
+
+unsigned InstrumentedMap::stripeOf(const Value &Key) const {
+  return static_cast<unsigned>(Key.hash() % StripeLocks.size());
+}
+
+Value InstrumentedMap::uninstrumentedGet(const Value &Key) const {
+  auto It = Data.find(Key);
+  return It == Data.end() ? Value::nil() : It->second;
+}
+
+Value InstrumentedMap::put(SimThread &T, const Value &Key, const Value &Val) {
+  unsigned Stripe = stripeOf(Key);
+  T.acquire(StripeLocks[Stripe]);
+  T.read(StripeVars[Stripe]);
+
+  Value Prev = uninstrumentedGet(Key);
+  if (Val.isNil())
+    Data.erase(Key);
+  else
+    Data[Key] = Val;
+
+  T.write(StripeVars[Stripe]);
+  if (Prev.isNil() != Val.isNil())
+    T.write(SizeVar); // Size changed; counter updated under the stripe lock.
+  T.release(StripeLocks[Stripe]);
+
+  T.invoke(Action(Obj, PutName, {Key, Val}, Prev));
+  return Prev;
+}
+
+Value InstrumentedMap::get(SimThread &T, const Value &Key) {
+  // Lock-free read of the bucket region, as in the real CHM.
+  T.read(StripeVars[stripeOf(Key)]);
+  Value Result = uninstrumentedGet(Key);
+  T.invoke(Action(Obj, GetName, {Key}, Result));
+  return Result;
+}
+
+int64_t InstrumentedMap::size(SimThread &T) {
+  // Unlocked size-counter read, as in the real CHM.
+  T.read(SizeVar);
+  int64_t Result = static_cast<int64_t>(Data.size());
+  T.invoke(Action(Obj, SizeName, {}, Value::integer(Result)));
+  return Result;
+}
+
+Value InstrumentedMap::putIfAbsent(SimThread &T, const Value &Key,
+                                   const Value &Val) {
+  unsigned Stripe = stripeOf(Key);
+  T.acquire(StripeLocks[Stripe]);
+  T.read(StripeVars[Stripe]);
+
+  Value Prev = uninstrumentedGet(Key);
+  bool Stores = Prev.isNil() && !Val.isNil();
+  if (Stores) {
+    Data[Key] = Val;
+    T.write(StripeVars[Stripe]);
+    T.write(SizeVar);
+  }
+  T.release(StripeLocks[Stripe]);
+
+  // Abstract effect: a successful putIfAbsent is a put; a failed one only
+  // observes the key, i.e. a get.
+  if (Stores)
+    T.invoke(Action(Obj, PutName, {Key, Val}, Prev));
+  else
+    T.invoke(Action(Obj, GetName, {Key}, Prev));
+  return Prev;
+}

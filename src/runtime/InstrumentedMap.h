@@ -1,0 +1,109 @@
+//===- runtime/InstrumentedMap.h - Instrumented ConcurrentHashMap -*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated java.util.concurrent.ConcurrentHashMap with RoadRunner-style
+/// instrumentation. Each operation emits:
+///
+///   * the low-level events its implementation performs — striped lock
+///     acquire/release, reads/writes of bucket regions, and the unlocked
+///     size-counter accesses that make get()/size() racy at the memory
+///     level exactly like the real CHM (consumed by FastTrack);
+///   * the high-level action event o.m(~u)/~v matching the dictionary
+///     specification of paper Fig 5/6 (consumed by the commutativity race
+///     detector).
+///
+/// The map is linearizable at the operation level (operations execute
+/// atomically inside one scheduler step), which is the paper's §3.1
+/// assumption: the object is implemented correctly; the question is whether
+/// it is *used* correctly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_RUNTIME_INSTRUMENTEDMAP_H
+#define CRD_RUNTIME_INSTRUMENTEDMAP_H
+
+#include "runtime/SimRuntime.h"
+#include "support/Value.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace crd {
+
+/// Simulated, instrumented concurrent hash map: Value keys to Value values
+/// with nil as the no-value (absent) marker.
+class InstrumentedMap {
+public:
+  /// Allocates the map's object id, stripe locks and shadow memory
+  /// locations from \p RT.
+  explicit InstrumentedMap(SimRuntime &RT, unsigned NumStripes = 8);
+
+  /// m.put(k, v)/p — associates \p Key with \p Val, returning the previous
+  /// value (nil if absent). Storing nil removes the key.
+  Value put(SimThread &T, const Value &Key, const Value &Val);
+
+  /// m.get(k)/v — returns the associated value or nil. Lock-free: emits an
+  /// unlocked read of the bucket region (as in the real CHM).
+  Value get(SimThread &T, const Value &Key);
+
+  /// m.size()/r — number of keys with non-nil values. Reads the size
+  /// counter without locking (as in the real CHM).
+  int64_t size(SimThread &T);
+
+  /// m.putIfAbsent(k, v)/p — atomic check-then-act variant; returns the
+  /// previous value (nil means v was stored). Emitted as a put action only
+  /// when it stores (otherwise as a get), matching its dictionary effect.
+  Value putIfAbsent(SimThread &T, const Value &Key, const Value &Val);
+
+  ObjectId object() const { return Obj; }
+
+  /// Direct (uninstrumented) view for assertions in tests.
+  size_t uninstrumentedSize() const { return Data.size(); }
+  Value uninstrumentedGet(const Value &Key) const;
+
+private:
+  unsigned stripeOf(const Value &Key) const;
+
+  SimRuntime &RT;
+  ObjectId Obj;
+  std::vector<LockId> StripeLocks;
+  std::vector<VarId> StripeVars;
+  VarId SizeVar;
+  std::unordered_map<Value, Value> Data;
+  Symbol PutName;
+  Symbol GetName;
+  Symbol SizeName;
+};
+
+/// A plain shared field (an "application variable"): racy unless the caller
+/// brackets accesses with a lock. Useful for modeling the application-level
+/// counters and cached statistics where FastTrack finds its races.
+class SharedField {
+public:
+  explicit SharedField(SimRuntime &RT, int64_t Initial = 0)
+      : Var(RT.newVar()), Stored(Initial) {}
+
+  int64_t load(SimThread &T) {
+    T.read(Var);
+    return Stored;
+  }
+
+  void store(SimThread &T, int64_t NewValue) {
+    T.write(Var);
+    Stored = NewValue;
+  }
+
+  VarId var() const { return Var; }
+
+private:
+  VarId Var;
+  int64_t Stored;
+};
+
+} // namespace crd
+
+#endif // CRD_RUNTIME_INSTRUMENTEDMAP_H

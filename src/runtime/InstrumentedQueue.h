@@ -1,0 +1,91 @@
+//===- runtime/InstrumentedQueue.h - instrumented FIFO queue ----*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated concurrent FIFO queue (ConcurrentLinkedQueue-style) with
+/// RoadRunner-like instrumentation, matching queueSpec() and
+/// AbstractQueue: enq(v)/wasEmpty, deq()/v/ok, peek()/v/ok. Head and tail
+/// are separate memory locations; mutators lock, peeks read lock-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_RUNTIME_INSTRUMENTEDQUEUE_H
+#define CRD_RUNTIME_INSTRUMENTEDQUEUE_H
+
+#include "runtime/SimRuntime.h"
+#include "support/Value.h"
+
+#include <deque>
+#include <utility>
+
+namespace crd {
+
+/// Simulated, instrumented concurrent queue of Values.
+class InstrumentedQueue {
+public:
+  explicit InstrumentedQueue(SimRuntime &RT)
+      : RT(RT), Obj(RT.newObject()), Lock(RT.newLock()),
+        HeadVar(RT.newVar()), TailVar(RT.newVar()), EnqName(symbol("enq")),
+        DeqName(symbol("deq")), PeekName(symbol("peek")) {}
+
+  /// q.enq(v)/wasEmpty.
+  bool enq(SimThread &T, const Value &V) {
+    T.acquire(Lock);
+    T.read(TailVar);
+    bool WasEmpty = Items.empty();
+    Items.push_back(V);
+    T.write(TailVar);
+    if (WasEmpty)
+      T.write(HeadVar); // First element also becomes the head.
+    T.release(Lock);
+    T.invoke(Action(Obj, EnqName, {V}, Value::boolean(WasEmpty)));
+    return WasEmpty;
+  }
+
+  /// q.deq()/v/ok.
+  std::pair<Value, bool> deq(SimThread &T) {
+    T.acquire(Lock);
+    T.read(HeadVar);
+    Value Front = Items.empty() ? Value::nil() : Items.front();
+    bool Ok = !Items.empty();
+    if (Ok) {
+      Items.pop_front();
+      T.write(HeadVar);
+    }
+    T.release(Lock);
+    T.invoke(Action(Obj, DeqName, {},
+                    std::vector<Value>{Front, Value::boolean(Ok)}));
+    return {Front, Ok};
+  }
+
+  /// q.peek()/v/ok — lock-free head read.
+  std::pair<Value, bool> peek(SimThread &T) {
+    T.read(HeadVar);
+    Value Front = Items.empty() ? Value::nil() : Items.front();
+    bool Ok = !Items.empty();
+    T.invoke(Action(Obj, PeekName, {},
+                    std::vector<Value>{Front, Value::boolean(Ok)}));
+    return {Front, Ok};
+  }
+
+  ObjectId object() const { return Obj; }
+  size_t uninstrumentedSize() const { return Items.size(); }
+
+private:
+  SimRuntime &RT;
+  ObjectId Obj;
+  LockId Lock;
+  VarId HeadVar;
+  VarId TailVar;
+  std::deque<Value> Items;
+  Symbol EnqName;
+  Symbol DeqName;
+  Symbol PeekName;
+};
+
+} // namespace crd
+
+#endif // CRD_RUNTIME_INSTRUMENTEDQUEUE_H

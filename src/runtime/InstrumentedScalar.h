@@ -1,0 +1,96 @@
+//===- runtime/InstrumentedScalar.h - counter & register objects -*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instrumented scalar shared objects matching counterSpec() and
+/// registerSpec(): an atomic counter (inc/dec/read — think
+/// java.util.concurrent.atomic.AtomicLong used as a statistics counter)
+/// and a single-cell register (write/read). Like the map, each operation
+/// emits its low-level memory events and its high-level action.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_RUNTIME_INSTRUMENTEDSCALAR_H
+#define CRD_RUNTIME_INSTRUMENTEDSCALAR_H
+
+#include "runtime/SimRuntime.h"
+#include "support/Value.h"
+
+namespace crd {
+
+/// Simulated atomic counter: inc(), dec(), read()/v.
+class InstrumentedCounter {
+public:
+  explicit InstrumentedCounter(SimRuntime &RT, int64_t Initial = 0)
+      : Obj(RT.newObject()), Cell(RT.newVar()), Count(Initial),
+        IncName(symbol("inc")), DecName(symbol("dec")),
+        ReadName(symbol("read")) {}
+
+  void inc(SimThread &T) {
+    T.write(Cell); // Atomic RMW: modeled as one write.
+    ++Count;
+    T.invoke(Action(Obj, IncName, {}, std::vector<Value>{}));
+  }
+
+  void dec(SimThread &T) {
+    T.write(Cell);
+    --Count;
+    T.invoke(Action(Obj, DecName, {}, std::vector<Value>{}));
+  }
+
+  int64_t read(SimThread &T) {
+    T.read(Cell);
+    T.invoke(Action(Obj, ReadName, {}, Value::integer(Count)));
+    return Count;
+  }
+
+  ObjectId object() const { return Obj; }
+  int64_t uninstrumentedValue() const { return Count; }
+
+private:
+  ObjectId Obj;
+  VarId Cell;
+  int64_t Count;
+  Symbol IncName;
+  Symbol DecName;
+  Symbol ReadName;
+};
+
+/// Simulated single-cell register: write(v)/prev, read()/v; initially nil.
+class InstrumentedRegister {
+public:
+  explicit InstrumentedRegister(SimRuntime &RT)
+      : Obj(RT.newObject()), Cell(RT.newVar()), Stored(Value::nil()),
+        WriteName(symbol("write")), ReadName(symbol("read")) {}
+
+  Value write(SimThread &T, const Value &V) {
+    T.write(Cell);
+    Value Prev = Stored;
+    Stored = V;
+    T.invoke(Action(Obj, WriteName, {V}, Prev));
+    return Prev;
+  }
+
+  Value read(SimThread &T) {
+    T.read(Cell);
+    T.invoke(Action(Obj, ReadName, {}, Stored));
+    return Stored;
+  }
+
+  ObjectId object() const { return Obj; }
+  const Value &uninstrumentedValue() const { return Stored; }
+
+private:
+  ObjectId Obj;
+  VarId Cell;
+  Value Stored;
+  Symbol WriteName;
+  Symbol ReadName;
+};
+
+} // namespace crd
+
+#endif // CRD_RUNTIME_INSTRUMENTEDSCALAR_H

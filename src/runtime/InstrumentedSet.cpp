@@ -1,0 +1,67 @@
+//===- runtime/InstrumentedSet.cpp - Instrumented concurrent set --------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/InstrumentedSet.h"
+
+using namespace crd;
+
+InstrumentedSet::InstrumentedSet(SimRuntime &RT, unsigned NumStripes)
+    : RT(RT), Obj(RT.newObject()), SizeVar(RT.newVar()),
+      AddName(symbol("add")), RemoveName(symbol("remove")),
+      ContainsName(symbol("contains")), SizeName(symbol("size")) {
+  StripeLocks.reserve(NumStripes);
+  StripeVars.reserve(NumStripes);
+  for (unsigned I = 0; I != NumStripes; ++I) {
+    StripeLocks.push_back(RT.newLock());
+    StripeVars.push_back(RT.newVar());
+  }
+}
+
+unsigned InstrumentedSet::stripeOf(const Value &Key) const {
+  return static_cast<unsigned>(Key.hash() % StripeLocks.size());
+}
+
+bool InstrumentedSet::add(SimThread &T, const Value &Key) {
+  unsigned Stripe = stripeOf(Key);
+  T.acquire(StripeLocks[Stripe]);
+  T.read(StripeVars[Stripe]);
+  bool Changed = Data.insert(Key).second;
+  if (Changed) {
+    T.write(StripeVars[Stripe]);
+    T.write(SizeVar);
+  }
+  T.release(StripeLocks[Stripe]);
+  T.invoke(Action(Obj, AddName, {Key}, Value::boolean(Changed)));
+  return Changed;
+}
+
+bool InstrumentedSet::remove(SimThread &T, const Value &Key) {
+  unsigned Stripe = stripeOf(Key);
+  T.acquire(StripeLocks[Stripe]);
+  T.read(StripeVars[Stripe]);
+  bool Changed = Data.erase(Key) != 0;
+  if (Changed) {
+    T.write(StripeVars[Stripe]);
+    T.write(SizeVar);
+  }
+  T.release(StripeLocks[Stripe]);
+  T.invoke(Action(Obj, RemoveName, {Key}, Value::boolean(Changed)));
+  return Changed;
+}
+
+bool InstrumentedSet::contains(SimThread &T, const Value &Key) {
+  T.read(StripeVars[stripeOf(Key)]);
+  bool Present = Data.count(Key) != 0;
+  T.invoke(Action(Obj, ContainsName, {Key}, Value::boolean(Present)));
+  return Present;
+}
+
+int64_t InstrumentedSet::size(SimThread &T) {
+  T.read(SizeVar);
+  int64_t Result = static_cast<int64_t>(Data.size());
+  T.invoke(Action(Obj, SizeName, {}, Value::integer(Result)));
+  return Result;
+}

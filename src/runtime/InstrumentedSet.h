@@ -1,0 +1,64 @@
+//===- runtime/InstrumentedSet.h - Instrumented concurrent set --*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated concurrent set (the newSetFromMap/ConcurrentSkipListSet
+/// style) with RoadRunner-like instrumentation, matching setSpec() and
+/// AbstractSet: add(k)/changed, remove(k)/changed, contains(k)/present,
+/// size()/n. Like InstrumentedMap, mutators lock a stripe while contains()
+/// and size() read without synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_RUNTIME_INSTRUMENTEDSET_H
+#define CRD_RUNTIME_INSTRUMENTEDSET_H
+
+#include "runtime/SimRuntime.h"
+#include "support/Value.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace crd {
+
+/// Simulated, instrumented concurrent set of Values.
+class InstrumentedSet {
+public:
+  explicit InstrumentedSet(SimRuntime &RT, unsigned NumStripes = 8);
+
+  /// s.add(k)/changed — true iff the key was newly inserted.
+  bool add(SimThread &T, const Value &Key);
+
+  /// s.remove(k)/changed — true iff the key was present and removed.
+  bool remove(SimThread &T, const Value &Key);
+
+  /// s.contains(k)/present — lock-free membership test.
+  bool contains(SimThread &T, const Value &Key);
+
+  /// s.size()/n — unlocked size-counter read.
+  int64_t size(SimThread &T);
+
+  ObjectId object() const { return Obj; }
+  size_t uninstrumentedSize() const { return Data.size(); }
+
+private:
+  unsigned stripeOf(const Value &Key) const;
+
+  SimRuntime &RT;
+  ObjectId Obj;
+  std::vector<LockId> StripeLocks;
+  std::vector<VarId> StripeVars;
+  VarId SizeVar;
+  std::unordered_set<Value> Data;
+  Symbol AddName;
+  Symbol RemoveName;
+  Symbol ContainsName;
+  Symbol SizeName;
+};
+
+} // namespace crd
+
+#endif // CRD_RUNTIME_INSTRUMENTEDSET_H

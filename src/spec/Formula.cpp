@@ -1,0 +1,293 @@
+//===- spec/Formula.cpp - Commutativity formulas ----------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Formula.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace crd;
+
+PredKind crd::negatePred(PredKind P) {
+  switch (P) {
+  case PredKind::Eq:
+    return PredKind::Ne;
+  case PredKind::Ne:
+    return PredKind::Eq;
+  case PredKind::Lt:
+    return PredKind::Ge;
+  case PredKind::Le:
+    return PredKind::Gt;
+  case PredKind::Gt:
+    return PredKind::Le;
+  case PredKind::Ge:
+    return PredKind::Lt;
+  }
+  return P;
+}
+
+PredKind crd::mirrorPred(PredKind P) {
+  switch (P) {
+  case PredKind::Eq:
+  case PredKind::Ne:
+    return P;
+  case PredKind::Lt:
+    return PredKind::Gt;
+  case PredKind::Le:
+    return PredKind::Ge;
+  case PredKind::Gt:
+    return PredKind::Lt;
+  case PredKind::Ge:
+    return PredKind::Le;
+  }
+  return P;
+}
+
+bool crd::evalPred(PredKind P, const Value &A, const Value &B) {
+  switch (P) {
+  case PredKind::Eq:
+    return A == B;
+  case PredKind::Ne:
+    return A != B;
+  case PredKind::Lt:
+    return A < B;
+  case PredKind::Le:
+    return !(B < A);
+  case PredKind::Gt:
+    return B < A;
+  case PredKind::Ge:
+    return !(A < B);
+  }
+  return false;
+}
+
+const char *crd::predSpelling(PredKind P) {
+  switch (P) {
+  case PredKind::Eq:
+    return "==";
+  case PredKind::Ne:
+    return "!=";
+  case PredKind::Lt:
+    return "<";
+  case PredKind::Le:
+    return "<=";
+  case PredKind::Gt:
+    return ">";
+  case PredKind::Ge:
+    return ">=";
+  }
+  return "?";
+}
+
+namespace {
+/// Shared constants for true/false.
+struct Constants {
+  FormulaPtr TrueF;
+  FormulaPtr FalseF;
+};
+} // namespace
+
+FormulaPtr Formula::truth(bool B) {
+  static Constants Cs = [] {
+    Constants C;
+    auto *T = new Formula();
+    T->TheKind = Kind::True;
+    C.TrueF = FormulaPtr(T);
+    auto *F = new Formula();
+    F->TheKind = Kind::False;
+    C.FalseF = FormulaPtr(F);
+    return C;
+  }();
+  return B ? Cs.TrueF : Cs.FalseF;
+}
+
+FormulaPtr Formula::atom(PredKind Pred, Term Lhs, Term Rhs) {
+  // Constant-fold atoms over two constants immediately.
+  if (!Lhs.isVar() && !Rhs.isVar())
+    return truth(evalPred(Pred, Lhs.constant(), Rhs.constant()));
+  auto *F = new Formula();
+  F->TheKind = Kind::Atom;
+  F->Pred = Pred;
+  F->Lhs = Lhs;
+  F->Rhs = Rhs;
+  return FormulaPtr(F);
+}
+
+FormulaPtr Formula::notOf(FormulaPtr Inner) {
+  assert(Inner && "null operand");
+  if (Inner->isTrue())
+    return truth(false);
+  if (Inner->isFalse())
+    return truth(true);
+  // Push negation into atoms so downstream passes never see Not-over-Atom.
+  if (Inner->kind() == Kind::Atom)
+    return atom(negatePred(Inner->pred()), Inner->lhs(), Inner->rhs());
+  auto *F = new Formula();
+  F->TheKind = Kind::Not;
+  F->A = std::move(Inner);
+  return FormulaPtr(F);
+}
+
+FormulaPtr Formula::andOf(FormulaPtr A, FormulaPtr B) {
+  assert(A && B && "null operand");
+  if (A->isFalse() || B->isFalse())
+    return truth(false);
+  if (A->isTrue())
+    return B;
+  if (B->isTrue())
+    return A;
+  auto *F = new Formula();
+  F->TheKind = Kind::And;
+  F->A = std::move(A);
+  F->B = std::move(B);
+  return FormulaPtr(F);
+}
+
+FormulaPtr Formula::orOf(FormulaPtr A, FormulaPtr B) {
+  assert(A && B && "null operand");
+  if (A->isTrue() || B->isTrue())
+    return truth(true);
+  if (A->isFalse())
+    return B;
+  if (B->isFalse())
+    return A;
+  auto *F = new Formula();
+  F->TheKind = Kind::Or;
+  F->A = std::move(A);
+  F->B = std::move(B);
+  return FormulaPtr(F);
+}
+
+FormulaPtr Formula::andOf(std::vector<FormulaPtr> Fs) {
+  FormulaPtr Acc = truth(true);
+  for (FormulaPtr &F : Fs)
+    Acc = andOf(std::move(Acc), std::move(F));
+  return Acc;
+}
+
+FormulaPtr Formula::orOf(std::vector<FormulaPtr> Fs) {
+  FormulaPtr Acc = truth(false);
+  for (FormulaPtr &F : Fs)
+    Acc = orOf(std::move(Acc), std::move(F));
+  return Acc;
+}
+
+bool Formula::evaluate(std::span<const Value> First,
+                       std::span<const Value> Second) const {
+  switch (TheKind) {
+  case Kind::True:
+    return true;
+  case Kind::False:
+    return false;
+  case Kind::Atom:
+    return evalPred(Pred, Lhs.eval(First, Second), Rhs.eval(First, Second));
+  case Kind::Not:
+    return !A->evaluate(First, Second);
+  case Kind::And:
+    return A->evaluate(First, Second) && B->evaluate(First, Second);
+  case Kind::Or:
+    return A->evaluate(First, Second) || B->evaluate(First, Second);
+  }
+  return false;
+}
+
+FormulaPtr Formula::swapSides() const {
+  switch (TheKind) {
+  case Kind::True:
+  case Kind::False:
+    return truth(isTrue());
+  case Kind::Atom:
+    return atom(Pred, Lhs.swapped(), Rhs.swapped());
+  case Kind::Not:
+    return notOf(A->swapSides());
+  case Kind::And:
+    return andOf(A->swapSides(), B->swapSides());
+  case Kind::Or:
+    return orOf(A->swapSides(), B->swapSides());
+  }
+  return truth(false);
+}
+
+void Formula::collectAtoms(std::vector<FormulaPtr> &Out) const {
+  switch (TheKind) {
+  case Kind::True:
+  case Kind::False:
+    return;
+  case Kind::Atom:
+    Out.push_back(shared_from_this());
+    return;
+  case Kind::Not:
+    A->collectAtoms(Out);
+    return;
+  case Kind::And:
+  case Kind::Or:
+    A->collectAtoms(Out);
+    B->collectAtoms(Out);
+    return;
+  }
+}
+
+static void printTerm(std::ostream &OS, const Term &T) {
+  if (!T.isVar()) {
+    OS << T.constant();
+    return;
+  }
+  OS << (T.side() == Side::First ? 'x' : 'y') << (T.position() + 1);
+}
+
+static void printFormula(std::ostream &OS, const Formula &F, int ParentPrec) {
+  // Precedence: Or = 1, And = 2, Not = 3, atoms/constants = 4.
+  switch (F.kind()) {
+  case Formula::Kind::True:
+    OS << "true";
+    return;
+  case Formula::Kind::False:
+    OS << "false";
+    return;
+  case Formula::Kind::Atom:
+    printTerm(OS, F.lhs());
+    OS << ' ' << predSpelling(F.pred()) << ' ';
+    printTerm(OS, F.rhs());
+    return;
+  case Formula::Kind::Not:
+    OS << '!';
+    printFormula(OS, *F.operand(), 3);
+    return;
+  case Formula::Kind::And: {
+    bool Paren = ParentPrec > 2;
+    if (Paren)
+      OS << '(';
+    printFormula(OS, *F.left(), 2);
+    OS << " && ";
+    printFormula(OS, *F.right(), 2);
+    if (Paren)
+      OS << ')';
+    return;
+  }
+  case Formula::Kind::Or: {
+    bool Paren = ParentPrec > 1;
+    if (Paren)
+      OS << '(';
+    printFormula(OS, *F.left(), 1);
+    OS << " || ";
+    printFormula(OS, *F.right(), 1);
+    if (Paren)
+      OS << ')';
+    return;
+  }
+  }
+}
+
+std::string Formula::toString() const {
+  std::ostringstream OS;
+  OS << *this;
+  return OS.str();
+}
+
+std::ostream &crd::operator<<(std::ostream &OS, const Formula &F) {
+  printFormula(OS, F, 0);
+  return OS;
+}

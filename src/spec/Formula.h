@@ -1,0 +1,219 @@
+//===- spec/Formula.h - Commutativity formulas (paper §4.1, §6.1) -*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The formula language in which commutativity conditions ϕ^m1_m2(~x1; ~x2)
+/// are written. Formulas are immutable trees shared via FormulaPtr. Atomic
+/// formulas compare two terms; a term is either a constant or a variable
+/// reference (side, position), where side selects the first or second
+/// invocation (the paper's variable supplies V1 and V2) and position indexes
+/// the invocation's flattened argument/return tuple ~u~v.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_SPEC_FORMULA_H
+#define CRD_SPEC_FORMULA_H
+
+#include "support/Value.h"
+
+#include <cassert>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace crd {
+
+/// Selects which invocation a variable belongs to (V1 or V2 of §6.1).
+enum class Side : uint8_t { First, Second };
+
+/// Flips First <-> Second.
+inline Side flip(Side S) {
+  return S == Side::First ? Side::Second : Side::First;
+}
+
+/// A term: a variable x_pos from one side, or a constant value.
+class Term {
+public:
+  static Term var(Side S, uint32_t Position) {
+    Term T;
+    T.IsVar = true;
+    T.TheSide = S;
+    T.Position = Position;
+    return T;
+  }
+  static Term constant(Value V) {
+    Term T;
+    T.IsVar = false;
+    T.Const = V;
+    return T;
+  }
+
+  bool isVar() const { return IsVar; }
+  Side side() const {
+    assert(IsVar && "constant term has no side");
+    return TheSide;
+  }
+  uint32_t position() const {
+    assert(IsVar && "constant term has no position");
+    return Position;
+  }
+  const Value &constant() const {
+    assert(!IsVar && "variable term has no constant value");
+    return Const;
+  }
+
+  /// Evaluates against the flattened value tuples of both invocations.
+  const Value &eval(std::span<const Value> First,
+                    std::span<const Value> Second) const {
+    if (!IsVar)
+      return Const;
+    std::span<const Value> Tuple = TheSide == Side::First ? First : Second;
+    assert(Position < Tuple.size() && "variable position out of range");
+    return Tuple[Position];
+  }
+
+  /// Returns the term with sides exchanged (constants unchanged).
+  Term swapped() const {
+    return IsVar ? var(flip(TheSide), Position) : *this;
+  }
+
+  friend bool operator==(const Term &A, const Term &B) {
+    if (A.IsVar != B.IsVar)
+      return false;
+    if (A.IsVar)
+      return A.TheSide == B.TheSide && A.Position == B.Position;
+    return A.Const == B.Const;
+  }
+  friend bool operator!=(const Term &A, const Term &B) { return !(A == B); }
+
+  /// Deterministic total order for canonicalization.
+  friend bool operator<(const Term &A, const Term &B) {
+    if (A.IsVar != B.IsVar)
+      return A.IsVar < B.IsVar;
+    if (A.IsVar) {
+      if (A.TheSide != B.TheSide)
+        return A.TheSide < B.TheSide;
+      return A.Position < B.Position;
+    }
+    return A.Const < B.Const;
+  }
+
+private:
+  Term() : IsVar(false) {}
+
+  bool IsVar;
+  Side TheSide = Side::First;
+  uint32_t Position = 0;
+  Value Const;
+};
+
+/// Binary comparison predicates available in atomic formulas.
+///
+/// Eq/Ne use structural value equality. The ordered predicates use the
+/// deterministic total order on Value (by kind, then payload), which on
+/// integers is numeric order; this keeps negation involutive.
+enum class PredKind : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/// Negates a predicate (Eq<->Ne, Lt<->Ge, Le<->Gt).
+PredKind negatePred(PredKind P);
+/// Mirrors a predicate around swapped operands (Lt<->Gt, Le<->Ge).
+PredKind mirrorPred(PredKind P);
+/// Evaluates \p P on concrete values.
+bool evalPred(PredKind P, const Value &A, const Value &B);
+/// Renders "==", "!=", "<", ...
+const char *predSpelling(PredKind P);
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// An immutable formula tree node.
+class Formula : public std::enable_shared_from_this<Formula> {
+public:
+  enum class Kind : uint8_t { True, False, Atom, Not, And, Or };
+
+  static FormulaPtr truth(bool B);
+  static FormulaPtr atom(PredKind Pred, Term Lhs, Term Rhs);
+  static FormulaPtr notOf(FormulaPtr F);
+  static FormulaPtr andOf(FormulaPtr A, FormulaPtr B);
+  static FormulaPtr orOf(FormulaPtr A, FormulaPtr B);
+
+  /// n-ary conveniences; empty lists yield the neutral element.
+  static FormulaPtr andOf(std::vector<FormulaPtr> Fs);
+  static FormulaPtr orOf(std::vector<FormulaPtr> Fs);
+
+  Kind kind() const { return TheKind; }
+  bool isTrue() const { return TheKind == Kind::True; }
+  bool isFalse() const { return TheKind == Kind::False; }
+  bool isConst() const { return isTrue() || isFalse(); }
+
+  // Atom accessors.
+  PredKind pred() const {
+    assert(TheKind == Kind::Atom && "not an atom");
+    return Pred;
+  }
+  const Term &lhs() const {
+    assert(TheKind == Kind::Atom && "not an atom");
+    return Lhs;
+  }
+  const Term &rhs() const {
+    assert(TheKind == Kind::Atom && "not an atom");
+    return Rhs;
+  }
+
+  // Composite accessors: left()/right() for And/Or, operand() for Not.
+  const FormulaPtr &left() const {
+    assert((TheKind == Kind::And || TheKind == Kind::Or) && "not binary");
+    return A;
+  }
+  const FormulaPtr &right() const {
+    assert((TheKind == Kind::And || TheKind == Kind::Or) && "not binary");
+    return B;
+  }
+  const FormulaPtr &operand() const {
+    assert(TheKind == Kind::Not && "not a negation");
+    return A;
+  }
+
+  /// Evaluates the formula on the flattened value tuples of two invocations
+  /// (paper: ϕ(~u1~v1; ~u2~v2)).
+  bool evaluate(std::span<const Value> First,
+                std::span<const Value> Second) const;
+
+  /// Returns the formula with V1 and V2 exchanged: ϕ(~x2; ~x1).
+  FormulaPtr swapSides() const;
+
+  /// True when this atom mentions a variable of side \p S (atoms only).
+  bool atomMentionsSide(Side S) const {
+    assert(TheKind == Kind::Atom && "not an atom");
+    return (Lhs.isVar() && Lhs.side() == S) || (Rhs.isVar() && Rhs.side() == S);
+  }
+
+  /// Collects every atom (as FormulaPtr) in the tree, left to right.
+  void collectAtoms(std::vector<FormulaPtr> &Out) const;
+
+  /// Renders e.g. "x1 != y1 || (x2 == y3 && x3 == nil)" with First-side
+  /// variables printed as x<pos+1> and Second-side as y<pos+1>.
+  std::string toString() const;
+
+private:
+  Formula() = default;
+
+  Kind TheKind = Kind::True;
+  PredKind Pred = PredKind::Eq;
+  Term Lhs = Term::constant(Value::nil());
+  Term Rhs = Term::constant(Value::nil());
+  FormulaPtr A;
+  FormulaPtr B;
+};
+
+std::ostream &operator<<(std::ostream &OS, const Formula &F);
+
+} // namespace crd
+
+#endif // CRD_SPEC_FORMULA_H

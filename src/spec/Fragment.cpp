@@ -1,0 +1,191 @@
+//===- spec/Fragment.cpp - LS / LB / ECL fragments --------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Fragment.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace crd;
+
+AtomClass crd::classifyAtom(const Formula &F) {
+  assert(F.kind() == Formula::Kind::Atom && "expected an atom");
+  bool MentionsFirst = F.atomMentionsSide(Side::First);
+  bool MentionsSecond = F.atomMentionsSide(Side::Second);
+  if (MentionsFirst && MentionsSecond) {
+    // The only cross-side atoms admitted by ECL are LS disequalities between
+    // two variables.
+    if (F.pred() == PredKind::Ne && F.lhs().isVar() && F.rhs().isVar())
+      return AtomClass::LS;
+    return AtomClass::Mixed;
+  }
+  return AtomClass::LB;
+}
+
+bool crd::isLS(const Formula &F) {
+  switch (F.kind()) {
+  case Formula::Kind::True:
+  case Formula::Kind::False:
+    return true;
+  case Formula::Kind::Atom:
+    return classifyAtom(F) == AtomClass::LS;
+  case Formula::Kind::And:
+    return isLS(*F.left()) && isLS(*F.right());
+  case Formula::Kind::Not:
+  case Formula::Kind::Or:
+    return false;
+  }
+  return false;
+}
+
+bool crd::isLB(const Formula &F) {
+  switch (F.kind()) {
+  case Formula::Kind::True:
+  case Formula::Kind::False:
+    return true;
+  case Formula::Kind::Atom:
+    return classifyAtom(F) == AtomClass::LB;
+  case Formula::Kind::Not:
+    return isLB(*F.operand());
+  case Formula::Kind::And:
+  case Formula::Kind::Or:
+    return isLB(*F.left()) && isLB(*F.right());
+  }
+  return false;
+}
+
+bool crd::isECL(const Formula &F) {
+  // X ::= S | B | X ∧ X | X ∨ B. Disjunction is commutative, so we accept
+  // B ∨ X as well.
+  if (isLS(F) || isLB(F))
+    return true;
+  switch (F.kind()) {
+  case Formula::Kind::And:
+    return isECL(*F.left()) && isECL(*F.right());
+  case Formula::Kind::Or:
+    return (isECL(*F.left()) && isLB(*F.right())) ||
+           (isLB(*F.left()) && isECL(*F.right()));
+  default:
+    return false;
+  }
+}
+
+std::optional<std::string> crd::explainNotECL(const FormulaPtr &F) {
+  if (isECL(*F))
+    return std::nullopt;
+
+  switch (F->kind()) {
+  case Formula::Kind::Atom: {
+    assert(classifyAtom(*F) == AtomClass::Mixed && "ECL atom rejected");
+    return "atomic formula '" + F->toString() +
+           "' mixes variables of both invocations and is not a disequality "
+           "between two variables";
+  }
+  case Formula::Kind::Not: {
+    if (auto Inner = explainNotECL(F->operand()))
+      return Inner;
+    return "negation '" + F->toString() +
+           "' is only allowed around single-invocation (LB) subformulas";
+  }
+  case Formula::Kind::And: {
+    if (auto L = explainNotECL(F->left()))
+      return L;
+    return explainNotECL(F->right());
+  }
+  case Formula::Kind::Or: {
+    if (!isECL(*F->left()))
+      return explainNotECL(F->left());
+    if (!isECL(*F->right()))
+      return explainNotECL(F->right());
+    // Both operands are individually fine, so the problem is the shape:
+    // X ∨ X with neither side in LB.
+    return "disjunction '" + F->toString() +
+           "' needs at least one operand restricted to a single invocation "
+           "(the ECL grammar only admits X ∨ B)";
+  }
+  default:
+    return "formula '" + F->toString() + "' is outside ECL";
+  }
+}
+
+CanonAtom crd::canonicalizeAtom(const Formula &Atom) {
+  assert(Atom.kind() == Formula::Kind::Atom && "expected an atom");
+  PredKind P = Atom.pred();
+  Term L = Atom.lhs(), R = Atom.rhs();
+  bool Negated = false;
+
+  // Reduce to {Eq, Lt, Le} first by extracting negation.
+  if (P == PredKind::Ne || P == PredKind::Ge || P == PredKind::Gt) {
+    P = negatePred(P); // Ne->Eq, Ge->Lt, Gt->Le.
+    Negated = true;
+  }
+  // Now P ∈ {Eq, Lt, Le}. Le(a,b) = ¬Lt(b,a).
+  if (P == PredKind::Le) {
+    P = PredKind::Lt;
+    std::swap(L, R);
+    Negated = !Negated;
+  }
+  // Eq is symmetric: order operands deterministically.
+  if (P == PredKind::Eq && R < L)
+    std::swap(L, R);
+  return CanonAtom{P, L, R, Negated};
+}
+
+namespace {
+
+using AtomValuation = std::map<CanonAtom, bool>;
+
+bool evalUnder(const Formula &F, const AtomValuation &Val) {
+  switch (F.kind()) {
+  case Formula::Kind::True:
+    return true;
+  case Formula::Kind::False:
+    return false;
+  case Formula::Kind::Atom: {
+    CanonAtom Canon = canonicalizeAtom(F);
+    auto It = Val.find(Canon);
+    assert(It != Val.end() && "atom missing from valuation");
+    return It->second != Canon.Negated;
+  }
+  case Formula::Kind::Not:
+    return !evalUnder(*F.operand(), Val);
+  case Formula::Kind::And:
+    return evalUnder(*F.left(), Val) && evalUnder(*F.right(), Val);
+  case Formula::Kind::Or:
+    return evalUnder(*F.left(), Val) || evalUnder(*F.right(), Val);
+  }
+  return false;
+}
+
+void collectCanonicalAtoms(const Formula &F, std::map<CanonAtom, size_t> &Out) {
+  std::vector<FormulaPtr> Atoms;
+  F.collectAtoms(Atoms);
+  for (const FormulaPtr &A : Atoms)
+    Out.emplace(canonicalizeAtom(*A), Out.size());
+}
+
+} // namespace
+
+std::optional<bool>
+crd::equivalentUnderBooleanAbstraction(const Formula &A, const Formula &B) {
+  std::map<CanonAtom, size_t> Atoms;
+  collectCanonicalAtoms(A, Atoms);
+  collectCanonicalAtoms(B, Atoms);
+
+  constexpr size_t MaxAtoms = 20;
+  if (Atoms.size() > MaxAtoms)
+    return std::nullopt;
+
+  for (uint64_t Bits = 0, E = uint64_t(1) << Atoms.size(); Bits != E; ++Bits) {
+    AtomValuation Val;
+    for (const auto &[Canon, Index] : Atoms)
+      Val[Canon] = (Bits >> Index) & 1;
+    if (evalUnder(A, Val) != evalUnder(B, Val))
+      return false;
+  }
+  return true;
+}

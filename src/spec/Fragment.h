@@ -1,0 +1,93 @@
+//===- spec/Fragment.h - LS / LB / ECL fragments (paper §6.1) ---*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classification of formulas into the paper's logical fragments:
+///
+///   LS  (SIMPLE, Def 6.1):  S ::= V1 ≠ V2 | S ∧ S | true | false
+///   LB  (Def 6.2):          B ::= P_V1 | P_V2 | ¬B | B ∧ B | B ∨ B
+///                                 | true | false
+///   ECL (Def 6.3):          X ::= S | B | X ∧ X | X ∨ B
+///
+/// plus a boolean-abstraction equivalence check used to validate symmetry of
+/// ϕ^m_m specifications and as a test oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_SPEC_FRAGMENT_H
+#define CRD_SPEC_FRAGMENT_H
+
+#include "spec/Formula.h"
+
+#include <optional>
+#include <string>
+
+namespace crd {
+
+/// How an atomic formula relates to the two variable supplies.
+enum class AtomClass {
+  LS,    ///< A disequality between a V1 variable and a V2 variable.
+  LB,    ///< All variables from a single side (or no variables).
+  Mixed, ///< Mentions both sides but is not an LS disequality; not in ECL.
+};
+
+/// Classifies one atom. \p F must be an Atom node.
+AtomClass classifyAtom(const Formula &F);
+
+/// S fragment membership (Def 6.1).
+bool isLS(const Formula &F);
+
+/// B fragment membership (Def 6.2).
+bool isLB(const Formula &F);
+
+/// ECL membership (Def 6.3). Note ECL contains both LS and LB.
+bool isECL(const Formula &F);
+
+/// When \p F is not in ECL, returns a human-readable reason naming the
+/// offending subformula (for diagnostics); std::nullopt when F ∈ ECL.
+std::optional<std::string> explainNotECL(const FormulaPtr &F);
+
+/// An atom in canonical form: a base predicate (Eq or Lt) over
+/// deterministically ordered terms, plus a negation flag such that the
+/// original atom is equivalent to (Negated ? ¬base : base). Ne maps to
+/// negated Eq; Le/Gt/Ge map onto Lt by mirroring/negating.
+struct CanonAtom {
+  PredKind Base = PredKind::Eq;
+  Term Lhs = Term::constant(Value::nil());
+  Term Rhs = Term::constant(Value::nil());
+  bool Negated = false;
+
+  /// Orders by (Base, Lhs, Rhs), ignoring polarity — atoms with the same
+  /// base are the same propositional variable.
+  friend bool operator<(const CanonAtom &A, const CanonAtom &B) {
+    if (A.Base != B.Base)
+      return A.Base < B.Base;
+    if (A.Lhs != B.Lhs)
+      return A.Lhs < B.Lhs;
+    return A.Rhs < B.Rhs;
+  }
+  friend bool operator==(const CanonAtom &A, const CanonAtom &B) {
+    return !(A < B) && !(B < A);
+  }
+};
+
+/// Canonicalizes one atom. \p Atom must be an Atom node.
+CanonAtom canonicalizeAtom(const Formula &Atom);
+
+/// Checks propositional equivalence of two formulas under the boolean
+/// abstraction that treats canonicalized atoms as independent propositional
+/// variables (Eq(a,b)~Eq(b,a), Ne = ¬Eq, Gt(a,b) = Lt(b,a), Ge = ¬Lt, ...).
+///
+/// The check is sound for "equivalent": a true result implies logical
+/// equivalence. A false result may be a false alarm when atoms are
+/// semantically dependent (e.g. x == 5 and x == 6). The number of distinct
+/// atoms is capped; returns std::nullopt when the cap (20) is exceeded.
+std::optional<bool> equivalentUnderBooleanAbstraction(const Formula &A,
+                                                      const Formula &B);
+
+} // namespace crd
+
+#endif // CRD_SPEC_FRAGMENT_H

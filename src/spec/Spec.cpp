@@ -1,0 +1,121 @@
+//===- spec/Spec.cpp - Object commutativity specifications ------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Spec.h"
+
+#include "spec/Fragment.h"
+
+#include <cassert>
+
+using namespace crd;
+
+uint32_t ObjectSpec::addMethod(MethodSig Sig) {
+  assert(!MethodIndexByName.count(Sig.Name) && "duplicate method name");
+  uint32_t Index = static_cast<uint32_t>(Methods.size());
+  MethodIndexByName.emplace(Sig.Name, Index);
+  Methods.push_back(Sig);
+  return Index;
+}
+
+std::optional<uint32_t> ObjectSpec::methodIndex(Symbol Name) const {
+  auto It = MethodIndexByName.find(Name);
+  if (It == MethodIndexByName.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void ObjectSpec::setCommutes(uint32_t I, uint32_t J, FormulaPtr F) {
+  assert(I < Methods.size() && J < Methods.size() && "method out of range");
+  assert(F && "null formula");
+  if (I <= J) {
+    Pairs[pairKey(I, J)] = std::move(F);
+    return;
+  }
+  Pairs[pairKey(J, I)] = F->swapSides();
+}
+
+FormulaPtr ObjectSpec::commutesFormula(uint32_t I, uint32_t J) const {
+  auto It = Pairs.find(I <= J ? pairKey(I, J) : pairKey(J, I));
+  if (It == Pairs.end())
+    return nullptr;
+  return I <= J ? It->second : It->second->swapSides();
+}
+
+bool ObjectSpec::commute(const Action &A, const Action &B) const {
+  auto I = methodIndex(A.method());
+  auto J = methodIndex(B.method());
+  assert(I && J && "action method not declared in this specification");
+  FormulaPtr F = commutesFormula(*I, *J);
+  if (!F)
+    return DefaultCommutes.value_or(false);
+  std::vector<Value> First = A.values();
+  std::vector<Value> Second = B.values();
+  return F->evaluate(First, Second);
+}
+
+/// Checks that every variable of \p F on side \p S has a position within
+/// \p NumValues; reports into \p Diags naming \p MethodName.
+static bool checkArity(const Formula &F, Side S, uint32_t NumValues,
+                       const std::string &MethodName,
+                       DiagnosticEngine &Diags) {
+  std::vector<FormulaPtr> Atoms;
+  F.collectAtoms(Atoms);
+  bool Ok = true;
+  for (const FormulaPtr &A : Atoms) {
+    for (const Term *T : {&A->lhs(), &A->rhs()}) {
+      if (!T->isVar() || T->side() != S)
+        continue;
+      if (T->position() >= NumValues) {
+        Diags.error({}, "variable position " +
+                            std::to_string(T->position() + 1) +
+                            " exceeds the " + std::to_string(NumValues) +
+                            " argument/return values of method '" +
+                            MethodName + "'");
+        Ok = false;
+      }
+    }
+  }
+  return Ok;
+}
+
+bool ObjectSpec::validate(DiagnosticEngine &Diags) const {
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Methods.size()); I != E; ++I) {
+    for (uint32_t J = I; J != E; ++J) {
+      FormulaPtr F = commutesFormula(I, J);
+      std::string PairName = "phi[" + std::string(Methods[I].Name.str()) +
+                             ", " + std::string(Methods[J].Name.str()) + "]";
+      if (!F) {
+        if (!DefaultCommutes)
+          Diags.warning({}, "no commutativity formula for " + PairName +
+                                "; the pair is treated as never commuting");
+        continue;
+      }
+      checkArity(*F, Side::First, Methods[I].numValues(),
+                 std::string(Methods[I].Name.str()), Diags);
+      checkArity(*F, Side::Second, Methods[J].numValues(),
+                 std::string(Methods[J].Name.str()), Diags);
+
+      if (I == J) {
+        std::optional<bool> Symmetric =
+            equivalentUnderBooleanAbstraction(*F, *F->swapSides());
+        if (!Symmetric)
+          Diags.warning({}, "symmetry of " + PairName +
+                                " could not be decided (too many atoms)");
+        else if (!*Symmetric)
+          Diags.error({}, PairName + " must be symmetric: '" + F->toString() +
+                              "' differs from its side-swapped form '" +
+                              F->swapSides()->toString() + "'");
+      }
+
+      if (!isECL(*F))
+        Diags.note({}, PairName + " is outside ECL: " +
+                           *explainNotECL(F) +
+                           "; the constant-time translation of section 6.2 "
+                           "does not apply");
+    }
+  }
+  return !Diags.hasErrors();
+}

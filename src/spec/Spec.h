@@ -1,0 +1,103 @@
+//===- spec/Spec.h - Object commutativity specifications --------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Logical commutativity specifications Φ (paper Def 4.1): per object type,
+/// a method table and one formula ϕ^m1_m2 per unordered method pair. The
+/// stored orientation is always "lower method index = First side"; queries
+/// for the opposite orientation transparently swap sides.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_SPEC_SPEC_H
+#define CRD_SPEC_SPEC_H
+
+#include "spec/Formula.h"
+#include "support/Diagnostics.h"
+#include "support/Symbol.h"
+#include "trace/Action.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crd {
+
+/// Signature of one object method: name and arity of arguments/returns.
+struct MethodSig {
+  Symbol Name;
+  uint32_t NumArgs = 0;
+  uint32_t NumRets = 0;
+
+  /// Length of the flattened value tuple ~u~v.
+  uint32_t numValues() const { return NumArgs + NumRets; }
+};
+
+/// A commutativity specification Φ for one object type.
+class ObjectSpec {
+public:
+  explicit ObjectSpec(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Registers a method; returns its index. Names must be unique.
+  uint32_t addMethod(MethodSig Sig);
+
+  size_t numMethods() const { return Methods.size(); }
+  const MethodSig &method(uint32_t Index) const { return Methods[Index]; }
+  std::optional<uint32_t> methodIndex(Symbol Name) const;
+
+  /// Installs ϕ^mI_mJ given with First = method \p I, Second = method \p J.
+  /// Either orientation may be passed; storage normalizes to I ≤ J.
+  void setCommutes(uint32_t I, uint32_t J, FormulaPtr F);
+
+  /// Returns the formula oriented (First = \p I, Second = \p J), or nullptr
+  /// when the pair has no specification.
+  FormulaPtr commutesFormula(uint32_t I, uint32_t J) const;
+
+  /// Evaluates the specification on two concrete actions: true iff Φ says
+  /// they commute. Pairs without a formula use the default (see
+  /// setDefaultCommutes), which itself defaults to "never commute".
+  /// Both actions must name methods of this spec.
+  bool commute(const Action &A, const Action &B) const;
+
+  /// Sets the fallback for method pairs without an explicit formula
+  /// (the spec language's `commute default : true|false;`). Setting it
+  /// suppresses the missing-pair validation warning.
+  void setDefaultCommutes(bool Commutes) { DefaultCommutes = Commutes; }
+
+  /// The explicit default, if one was set.
+  std::optional<bool> defaultCommutes() const { return DefaultCommutes; }
+
+  /// Checks the specification:
+  ///   * every variable position is within the method's value tuple,
+  ///   * ϕ^m_m is symmetric (Def 4.1 requirement) — checked under the
+  ///     boolean abstraction; failure is an error, an inconclusive check
+  ///     (too many atoms) is a warning,
+  ///   * pairs without a formula produce a warning (treated as "never
+  ///     commute"),
+  ///   * formulas outside ECL produce a note (the detector still works, but
+  ///     the Θ(1) translation of §6.2 does not apply).
+  /// Returns true when no errors were found.
+  bool validate(DiagnosticEngine &Diags) const;
+
+private:
+  static uint64_t pairKey(uint32_t I, uint32_t J) {
+    return (uint64_t(I) << 32) | J;
+  }
+
+  std::string Name;
+  std::vector<MethodSig> Methods;
+  std::map<Symbol, uint32_t> MethodIndexByName;
+  // Keyed by pairKey(I, J) with I <= J; formula oriented First = I.
+  std::map<uint64_t, FormulaPtr> Pairs;
+  std::optional<bool> DefaultCommutes;
+};
+
+} // namespace crd
+
+#endif // CRD_SPEC_SPEC_H

@@ -1,0 +1,761 @@
+//===- spec/SpecParser.cpp - ECL specification language parser --------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/SpecParser.h"
+
+#include "support/CharCursor.h"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <map>
+
+using namespace crd;
+
+namespace {
+
+enum class TokKind {
+  Eof,
+  Ident,
+  Integer,
+  String,
+  // Keywords.
+  KwObject,
+  KwMethod,
+  KwCommute,
+  KwTrue,
+  KwFalse,
+  KwNil,
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Comma,
+  Colon,
+  Semi,
+  Slash,
+  Bang,
+  AmpAmp,
+  PipePipe,
+  EqEq,
+  BangEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Underscore,
+  Error,
+};
+
+const char *tokName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Integer:
+    return "integer";
+  case TokKind::String:
+    return "string";
+  case TokKind::KwObject:
+    return "'object'";
+  case TokKind::KwMethod:
+    return "'method'";
+  case TokKind::KwCommute:
+    return "'commute'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwNil:
+    return "'nil'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::BangEq:
+    return "'!='";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::Underscore:
+    return "'_'";
+  case TokKind::Error:
+    return "invalid token";
+  }
+  return "token";
+}
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLocation Loc;
+  std::string_view Text;
+  int64_t IntValue = 0;
+  std::string StrValue;
+};
+
+class SpecLexer {
+public:
+  SpecLexer(std::string_view Text, DiagnosticEngine &Diags)
+      : Cursor(Text), Diags(Diags) {}
+
+  Token next() {
+    skipSpaceAndComments();
+    Token Tok;
+    Tok.Loc = Cursor.location();
+    if (Cursor.atEnd())
+      return Tok;
+
+    char C = Cursor.peek();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdentOrKeyword();
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' &&
+         std::isdigit(static_cast<unsigned char>(Cursor.peekNext()))))
+      return lexInteger();
+    if (C == '"')
+      return lexString();
+
+    Cursor.advance();
+    switch (C) {
+    case '{':
+      Tok.Kind = TokKind::LBrace;
+      return Tok;
+    case '}':
+      Tok.Kind = TokKind::RBrace;
+      return Tok;
+    case '(':
+      Tok.Kind = TokKind::LParen;
+      return Tok;
+    case ')':
+      Tok.Kind = TokKind::RParen;
+      return Tok;
+    case ',':
+      Tok.Kind = TokKind::Comma;
+      return Tok;
+    case ':':
+      Tok.Kind = TokKind::Colon;
+      return Tok;
+    case ';':
+      Tok.Kind = TokKind::Semi;
+      return Tok;
+    case '/':
+      Tok.Kind = TokKind::Slash;
+      return Tok;
+    case '!':
+      Tok.Kind = Cursor.consume('=') ? TokKind::BangEq : TokKind::Bang;
+      return Tok;
+    case '&':
+      if (Cursor.consume('&')) {
+        Tok.Kind = TokKind::AmpAmp;
+        return Tok;
+      }
+      Diags.error(Tok.Loc, "expected '&&'");
+      Tok.Kind = TokKind::Error;
+      return Tok;
+    case '|':
+      if (Cursor.consume('|')) {
+        Tok.Kind = TokKind::PipePipe;
+        return Tok;
+      }
+      Diags.error(Tok.Loc, "expected '||'");
+      Tok.Kind = TokKind::Error;
+      return Tok;
+    case '=':
+      if (Cursor.consume('=')) {
+        Tok.Kind = TokKind::EqEq;
+        return Tok;
+      }
+      Diags.error(Tok.Loc, "expected '==' (the language has no assignment)");
+      Tok.Kind = TokKind::Error;
+      return Tok;
+    case '<':
+      Tok.Kind = Cursor.consume('=') ? TokKind::Le : TokKind::Lt;
+      return Tok;
+    case '>':
+      Tok.Kind = Cursor.consume('=') ? TokKind::Ge : TokKind::Gt;
+      return Tok;
+    default:
+      Diags.error(Tok.Loc, std::string("unexpected character '") + C + "'");
+      Tok.Kind = TokKind::Error;
+      return Tok;
+    }
+  }
+
+private:
+  void skipSpaceAndComments() {
+    while (!Cursor.atEnd()) {
+      char C = Cursor.peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        Cursor.advance();
+        continue;
+      }
+      if (C == '#' || (C == '/' && Cursor.peekNext() == '/')) {
+        while (!Cursor.atEnd() && Cursor.peek() != '\n')
+          Cursor.advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token lexIdentOrKeyword() {
+    Token Tok;
+    Tok.Loc = Cursor.location();
+    size_t Begin = Cursor.offset();
+    while (!Cursor.atEnd()) {
+      char C = Cursor.peek();
+      if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+        break;
+      Cursor.advance();
+    }
+    Tok.Text = Cursor.slice(Begin, Cursor.offset());
+    if (Tok.Text == "object")
+      Tok.Kind = TokKind::KwObject;
+    else if (Tok.Text == "method")
+      Tok.Kind = TokKind::KwMethod;
+    else if (Tok.Text == "commute")
+      Tok.Kind = TokKind::KwCommute;
+    else if (Tok.Text == "true")
+      Tok.Kind = TokKind::KwTrue;
+    else if (Tok.Text == "false")
+      Tok.Kind = TokKind::KwFalse;
+    else if (Tok.Text == "nil")
+      Tok.Kind = TokKind::KwNil;
+    else if (Tok.Text == "_")
+      Tok.Kind = TokKind::Underscore;
+    else
+      Tok.Kind = TokKind::Ident;
+    return Tok;
+  }
+
+  Token lexInteger() {
+    Token Tok;
+    Tok.Loc = Cursor.location();
+    size_t Begin = Cursor.offset();
+    if (Cursor.peek() == '-')
+      Cursor.advance();
+    while (std::isdigit(static_cast<unsigned char>(Cursor.peek())))
+      Cursor.advance();
+    std::string_view Text = Cursor.slice(Begin, Cursor.offset());
+    Tok.Kind = TokKind::Integer;
+    auto [Ptr, Ec] =
+        std::from_chars(Text.data(), Text.data() + Text.size(), Tok.IntValue);
+    if (Ec != std::errc() || Ptr != Text.data() + Text.size()) {
+      Diags.error(Tok.Loc, "integer literal out of range");
+      Tok.Kind = TokKind::Error;
+    }
+    return Tok;
+  }
+
+  Token lexString() {
+    Token Tok;
+    Tok.Loc = Cursor.location();
+    Cursor.advance(); // Opening quote.
+    std::string Out;
+    while (true) {
+      if (Cursor.atEnd() || Cursor.peek() == '\n') {
+        Diags.error(Tok.Loc, "unterminated string literal");
+        Tok.Kind = TokKind::Error;
+        return Tok;
+      }
+      char C = Cursor.advance();
+      if (C == '"')
+        break;
+      if (C == '\\') {
+        char Esc = Cursor.advance();
+        switch (Esc) {
+        case 'n':
+          Out.push_back('\n');
+          break;
+        case 't':
+          Out.push_back('\t');
+          break;
+        case '"':
+        case '\\':
+          Out.push_back(Esc);
+          break;
+        default:
+          Diags.error(Cursor.location(),
+                      std::string("unknown escape sequence '\\") + Esc + "'");
+          break;
+        }
+        continue;
+      }
+      Out.push_back(C);
+    }
+    Tok.Kind = TokKind::String;
+    Tok.StrValue = std::move(Out);
+    return Tok;
+  }
+
+  CharCursor Cursor;
+  DiagnosticEngine &Diags;
+};
+
+/// Variable environment of one commute clause: name -> (side, position).
+struct VarEnv {
+  std::map<std::string, std::pair<Side, uint32_t>, std::less<>> Vars;
+};
+
+class SpecParser {
+public:
+  SpecParser(std::string_view Text, DiagnosticEngine &Diags)
+      : Lexer(Text, Diags), Diags(Diags) {
+    Tok = Lexer.next();
+  }
+
+  std::vector<ObjectSpec> run() {
+    std::vector<ObjectSpec> Objects;
+    while (Tok.Kind != TokKind::Eof) {
+      if (Tok.Kind != TokKind::KwObject) {
+        Diags.error(Tok.Loc, std::string("expected 'object', found ") +
+                                 tokName(Tok.Kind));
+        skipPast(TokKind::RBrace);
+        continue;
+      }
+      if (auto Obj = parseObject())
+        Objects.push_back(std::move(*Obj));
+    }
+    return Objects;
+  }
+
+private:
+  void consume() { Tok = Lexer.next(); }
+
+  bool expect(TokKind Kind) {
+    if (Tok.Kind == Kind) {
+      consume();
+      return true;
+    }
+    Diags.error(Tok.Loc, std::string("expected ") + tokName(Kind) +
+                             ", found " + tokName(Tok.Kind));
+    return false;
+  }
+
+  void skipPast(TokKind Kind) {
+    while (Tok.Kind != TokKind::Eof) {
+      bool Done = Tok.Kind == Kind;
+      consume();
+      if (Done)
+        return;
+    }
+  }
+
+  std::optional<ObjectSpec> parseObject() {
+    assert(Tok.Kind == TokKind::KwObject);
+    consume();
+    if (Tok.Kind != TokKind::Ident) {
+      Diags.error(Tok.Loc, "expected object name");
+      skipPast(TokKind::RBrace);
+      return std::nullopt;
+    }
+    ObjectSpec Spec(std::string(Tok.Text));
+    consume();
+    if (!expect(TokKind::LBrace)) {
+      skipPast(TokKind::RBrace);
+      return std::nullopt;
+    }
+
+    while (Tok.Kind != TokKind::RBrace && Tok.Kind != TokKind::Eof) {
+      if (Tok.Kind == TokKind::KwMethod) {
+        if (!parseMethod(Spec))
+          skipPast(TokKind::Semi);
+      } else if (Tok.Kind == TokKind::KwCommute) {
+        if (!parseCommute(Spec))
+          skipPast(TokKind::Semi);
+      } else {
+        Diags.error(Tok.Loc,
+                    std::string("expected 'method' or 'commute', found ") +
+                        tokName(Tok.Kind));
+        skipPast(TokKind::Semi);
+      }
+    }
+    expect(TokKind::RBrace);
+    return Spec;
+  }
+
+  bool parseMethod(ObjectSpec &Spec) {
+    assert(Tok.Kind == TokKind::KwMethod);
+    consume();
+    if (Tok.Kind != TokKind::Ident) {
+      Diags.error(Tok.Loc, "expected method name");
+      return false;
+    }
+    SourceLocation NameLoc = Tok.Loc;
+    std::string Name(Tok.Text);
+    consume();
+    if (!expect(TokKind::LParen))
+      return false;
+
+    uint32_t NumArgs = 0;
+    if (Tok.Kind != TokKind::RParen) {
+      do {
+        if (Tok.Kind != TokKind::Ident && Tok.Kind != TokKind::Underscore) {
+          Diags.error(Tok.Loc, "expected parameter name");
+          return false;
+        }
+        ++NumArgs;
+        consume();
+      } while (Tok.Kind == TokKind::Comma && (consume(), true));
+    }
+    if (!expect(TokKind::RParen))
+      return false;
+
+    uint32_t NumRets = 0;
+    while (Tok.Kind == TokKind::Slash) {
+      consume();
+      if (Tok.Kind != TokKind::Ident && Tok.Kind != TokKind::Underscore) {
+        Diags.error(Tok.Loc, "expected return value name after '/'");
+        return false;
+      }
+      ++NumRets;
+      consume();
+    }
+    if (!expect(TokKind::Semi))
+      return false;
+
+    if (Spec.methodIndex(symbol(Name))) {
+      Diags.error(NameLoc, "method '" + Name + "' is declared twice");
+      return false;
+    }
+    Spec.addMethod({symbol(Name), NumArgs, NumRets});
+    return true;
+  }
+
+  /// Parses one invocation pattern `name(v1, v2)/r1`, binding its variable
+  /// names into \p Env with the given \p S side. Returns the method index.
+  std::optional<uint32_t> parseInvocationPattern(ObjectSpec &Spec, Side S,
+                                                 VarEnv &Env) {
+    if (Tok.Kind != TokKind::Ident) {
+      Diags.error(Tok.Loc, "expected method name in commute clause");
+      return std::nullopt;
+    }
+    SourceLocation NameLoc = Tok.Loc;
+    std::string Name(Tok.Text);
+    consume();
+    auto MethodIdx = Spec.methodIndex(symbol(Name));
+    if (!MethodIdx) {
+      Diags.error(NameLoc, "unknown method '" + Name +
+                               "'; declare it with 'method' first");
+      return std::nullopt;
+    }
+    const MethodSig &Sig = Spec.method(*MethodIdx);
+
+    if (!expect(TokKind::LParen))
+      return std::nullopt;
+    uint32_t Position = 0;
+    if (Tok.Kind != TokKind::RParen) {
+      do {
+        if (!bindPatternVar(S, Position, Env))
+          return std::nullopt;
+        ++Position;
+      } while (Tok.Kind == TokKind::Comma && (consume(), true));
+    }
+    if (Position != Sig.NumArgs) {
+      Diags.error(NameLoc, "method '" + Name + "' takes " +
+                               std::to_string(Sig.NumArgs) +
+                               " argument(s) but the pattern names " +
+                               std::to_string(Position));
+      return std::nullopt;
+    }
+    if (!expect(TokKind::RParen))
+      return std::nullopt;
+
+    uint32_t Rets = 0;
+    while (Tok.Kind == TokKind::Slash) {
+      consume();
+      if (!bindPatternVar(S, Position, Env))
+        return std::nullopt;
+      ++Position;
+      ++Rets;
+    }
+    if (Rets != Sig.NumRets) {
+      Diags.error(NameLoc, "method '" + Name + "' has " +
+                               std::to_string(Sig.NumRets) +
+                               " return value(s) but the pattern names " +
+                               std::to_string(Rets));
+      return std::nullopt;
+    }
+    return MethodIdx;
+  }
+
+  bool bindPatternVar(Side S, uint32_t Position, VarEnv &Env) {
+    if (Tok.Kind == TokKind::Underscore) {
+      consume();
+      return true;
+    }
+    if (Tok.Kind != TokKind::Ident) {
+      Diags.error(Tok.Loc, "expected variable name or '_'");
+      return false;
+    }
+    std::string Name(Tok.Text);
+    if (!Env.Vars.emplace(Name, std::make_pair(S, Position)).second) {
+      Diags.error(Tok.Loc, "variable '" + Name +
+                               "' is bound twice in this commute clause");
+      return false;
+    }
+    consume();
+    return true;
+  }
+
+  bool parseCommute(ObjectSpec &Spec) {
+    assert(Tok.Kind == TokKind::KwCommute);
+    SourceLocation ClauseLoc = Tok.Loc;
+    consume();
+
+    // `commute default : true|false;` sets the fallback for pairs without
+    // an explicit clause.
+    if (Tok.Kind == TokKind::Ident && Tok.Text == "default") {
+      consume();
+      if (!expect(TokKind::Colon))
+        return false;
+      bool Commutes;
+      if (Tok.Kind == TokKind::KwTrue)
+        Commutes = true;
+      else if (Tok.Kind == TokKind::KwFalse)
+        Commutes = false;
+      else {
+        Diags.error(Tok.Loc, "expected 'true' or 'false' after "
+                             "'commute default :'");
+        return false;
+      }
+      consume();
+      if (!expect(TokKind::Semi))
+        return false;
+      if (Spec.defaultCommutes()) {
+        Diags.error(ClauseLoc, "'commute default' is specified twice");
+        return false;
+      }
+      Spec.setDefaultCommutes(Commutes);
+      return true;
+    }
+
+    VarEnv Env;
+    auto First = parseInvocationPattern(Spec, Side::First, Env);
+    if (!First)
+      return false;
+    if (!expect(TokKind::Comma))
+      return false;
+    auto Second = parseInvocationPattern(Spec, Side::Second, Env);
+    if (!Second)
+      return false;
+    if (!expect(TokKind::Colon))
+      return false;
+
+    FormulaPtr F = parseFormula(Env);
+    if (!F)
+      return false;
+    if (!expect(TokKind::Semi))
+      return false;
+
+    if (Spec.commutesFormula(*First, *Second)) {
+      Diags.error(ClauseLoc, "commutativity of this method pair is "
+                             "specified twice");
+      return false;
+    }
+    Spec.setCommutes(*First, *Second, std::move(F));
+    return true;
+  }
+
+  // formula := conj ('||' conj)*
+  FormulaPtr parseFormula(const VarEnv &Env) {
+    FormulaPtr Lhs = parseConj(Env);
+    if (!Lhs)
+      return nullptr;
+    while (Tok.Kind == TokKind::PipePipe) {
+      consume();
+      FormulaPtr Rhs = parseConj(Env);
+      if (!Rhs)
+        return nullptr;
+      Lhs = Formula::orOf(std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  // conj := unary ('&&' unary)*
+  FormulaPtr parseConj(const VarEnv &Env) {
+    FormulaPtr Lhs = parseUnary(Env);
+    if (!Lhs)
+      return nullptr;
+    while (Tok.Kind == TokKind::AmpAmp) {
+      consume();
+      FormulaPtr Rhs = parseUnary(Env);
+      if (!Rhs)
+        return nullptr;
+      Lhs = Formula::andOf(std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  // unary := '!' unary | primary
+  FormulaPtr parseUnary(const VarEnv &Env) {
+    if (Tok.Kind == TokKind::Bang) {
+      consume();
+      FormulaPtr Inner = parseUnary(Env);
+      if (!Inner)
+        return nullptr;
+      return Formula::notOf(std::move(Inner));
+    }
+    return parsePrimary(Env);
+  }
+
+  // primary := '(' formula ')' | term (relop term)?
+  // A bare 'true'/'false' term is the constant formula.
+  FormulaPtr parsePrimary(const VarEnv &Env) {
+    if (Tok.Kind == TokKind::LParen) {
+      consume();
+      FormulaPtr Inner = parseFormula(Env);
+      if (!Inner)
+        return nullptr;
+      if (!expect(TokKind::RParen))
+        return nullptr;
+      return Inner;
+    }
+
+    SourceLocation TermLoc = Tok.Loc;
+    bool WasBoolKeyword =
+        Tok.Kind == TokKind::KwTrue || Tok.Kind == TokKind::KwFalse;
+    bool WasTrue = Tok.Kind == TokKind::KwTrue;
+    auto Lhs = parseTerm(Env);
+    if (!Lhs)
+      return nullptr;
+
+    std::optional<PredKind> Pred = parseRelop();
+    if (!Pred) {
+      if (WasBoolKeyword)
+        return Formula::truth(WasTrue);
+      Diags.error(TermLoc, "expected comparison operator after term");
+      return nullptr;
+    }
+    auto Rhs = parseTerm(Env);
+    if (!Rhs)
+      return nullptr;
+    return Formula::atom(*Pred, *Lhs, *Rhs);
+  }
+
+  std::optional<PredKind> parseRelop() {
+    PredKind P;
+    switch (Tok.Kind) {
+    case TokKind::EqEq:
+      P = PredKind::Eq;
+      break;
+    case TokKind::BangEq:
+      P = PredKind::Ne;
+      break;
+    case TokKind::Lt:
+      P = PredKind::Lt;
+      break;
+    case TokKind::Le:
+      P = PredKind::Le;
+      break;
+    case TokKind::Gt:
+      P = PredKind::Gt;
+      break;
+    case TokKind::Ge:
+      P = PredKind::Ge;
+      break;
+    default:
+      return std::nullopt;
+    }
+    consume();
+    return P;
+  }
+
+  std::optional<Term> parseTerm(const VarEnv &Env) {
+    switch (Tok.Kind) {
+    case TokKind::Integer: {
+      Term T = Term::constant(Value::integer(Tok.IntValue));
+      consume();
+      return T;
+    }
+    case TokKind::String: {
+      Term T = Term::constant(Value::string(Tok.StrValue));
+      consume();
+      return T;
+    }
+    case TokKind::KwNil:
+      consume();
+      return Term::constant(Value::nil());
+    case TokKind::KwTrue:
+      consume();
+      return Term::constant(Value::boolean(true));
+    case TokKind::KwFalse:
+      consume();
+      return Term::constant(Value::boolean(false));
+    case TokKind::Ident: {
+      auto It = Env.Vars.find(Tok.Text);
+      if (It == Env.Vars.end()) {
+        Diags.error(Tok.Loc, "unknown variable '" + std::string(Tok.Text) +
+                                 "'; variables must be named in the commute "
+                                 "clause's invocation patterns");
+        return std::nullopt;
+      }
+      Term T = Term::var(It->second.first, It->second.second);
+      consume();
+      return T;
+    }
+    default:
+      Diags.error(Tok.Loc, std::string("expected term, found ") +
+                               tokName(Tok.Kind));
+      return std::nullopt;
+    }
+  }
+
+  SpecLexer Lexer;
+  DiagnosticEngine &Diags;
+  Token Tok;
+};
+
+} // namespace
+
+std::optional<std::vector<ObjectSpec>>
+crd::parseSpecs(std::string_view Text, DiagnosticEngine &Diags) {
+  SpecParser Parser(Text, Diags);
+  std::vector<ObjectSpec> Objects = Parser.run();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Objects;
+}
+
+std::optional<ObjectSpec> crd::parseObjectSpec(std::string_view Text,
+                                               DiagnosticEngine &Diags) {
+  auto Objects = parseSpecs(Text, Diags);
+  if (!Objects)
+    return std::nullopt;
+  if (Objects->size() != 1) {
+    Diags.error({}, "expected exactly one object specification, found " +
+                        std::to_string(Objects->size()));
+    return std::nullopt;
+  }
+  return std::move(Objects->front());
+}

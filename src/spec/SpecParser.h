@@ -1,0 +1,61 @@
+//===- spec/SpecParser.h - ECL specification language parser ----*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small declarative language for writing commutativity specifications,
+/// so users can supply specs as text files rather than building formula
+/// trees by hand:
+///
+/// \code
+///   // Fig 6 of the paper.
+///   object dictionary {
+///     method put(k, v) / p;
+///     method get(k) / v;
+///     method size() / r;
+///
+///     commute put(k1, v1)/p1, put(k2, v2)/p2 :
+///         k1 != k2 || (v1 == p1 && v2 == p2);
+///     commute put(k1, v1)/p1, get(k2)/v2 : k1 != k2 || v1 == p1;
+///     commute put(k1, v1)/p1, size()/r :
+///         (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil);
+///     commute get(k1)/v1, get(k2)/v2 : true;
+///     commute get(k1)/v1, size()/r : true;
+///     commute size()/r1, size()/r2 : true;
+///   }
+/// \endcode
+///
+/// Variable names are declared by the two invocation patterns of a commute
+/// clause and must be distinct across both; `_` declares an anonymous
+/// variable. Literals: integers, strings, nil, true, false. Operators by
+/// decreasing precedence: `!`, `&&`, `||`; comparisons `== != < <= > >=`.
+/// Line comments start with `//` or `#`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_SPEC_SPECPARSER_H
+#define CRD_SPEC_SPECPARSER_H
+
+#include "spec/Spec.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace crd {
+
+/// Parses a specification file possibly containing several object blocks.
+/// Returns std::nullopt when \p Diags received at least one error.
+std::optional<std::vector<ObjectSpec>> parseSpecs(std::string_view Text,
+                                                  DiagnosticEngine &Diags);
+
+/// Convenience wrapper for inputs expected to define exactly one object.
+std::optional<ObjectSpec> parseObjectSpec(std::string_view Text,
+                                          DiagnosticEngine &Diags);
+
+} // namespace crd
+
+#endif // CRD_SPEC_SPECPARSER_H

@@ -1,0 +1,78 @@
+//===- support/CharCursor.h - Line/column tracking scanner ------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A character cursor over a source buffer that tracks 1-based line/column
+/// positions. Shared by the trace lexer and the ECL specification lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_SUPPORT_CHARCURSOR_H
+#define CRD_SUPPORT_CHARCURSOR_H
+
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace crd {
+
+/// Scans a string buffer one character at a time, maintaining the current
+/// SourceLocation for diagnostics.
+class CharCursor {
+public:
+  explicit CharCursor(std::string_view Buffer) : Buffer(Buffer) {}
+
+  bool atEnd() const { return Pos >= Buffer.size(); }
+
+  /// Current character, or '\0' at end of input.
+  char peek() const { return atEnd() ? '\0' : Buffer[Pos]; }
+
+  /// Character after the current one, or '\0'.
+  char peekNext() const {
+    return Pos + 1 < Buffer.size() ? Buffer[Pos + 1] : '\0';
+  }
+
+  /// Consumes and returns the current character.
+  char advance() {
+    char C = peek();
+    if (atEnd())
+      return C;
+    ++Pos;
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  /// Consumes the current character when it equals \p Expected.
+  bool consume(char Expected) {
+    if (peek() != Expected)
+      return false;
+    advance();
+    return true;
+  }
+
+  SourceLocation location() const { return {Line, Column}; }
+  size_t offset() const { return Pos; }
+
+  /// Text between byte offsets [Begin, End).
+  std::string_view slice(size_t Begin, size_t End) const {
+    return Buffer.substr(Begin, End - Begin);
+  }
+
+private:
+  std::string_view Buffer;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace crd
+
+#endif // CRD_SUPPORT_CHARCURSOR_H

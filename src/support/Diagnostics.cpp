@@ -1,0 +1,56 @@
+//===- support/Diagnostics.cpp - Parser/analysis diagnostics --------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace crd;
+
+static const char *severityName(Diagnostic::Severity S) {
+  switch (S) {
+  case Diagnostic::Severity::Error:
+    return "error";
+  case Diagnostic::Severity::Warning:
+    return "warning";
+  case Diagnostic::Severity::Note:
+    return "note";
+  }
+  return "error";
+}
+
+std::string Diagnostic::toString() const {
+  std::ostringstream OS;
+  OS << *this;
+  return OS.str();
+}
+
+std::ostream &crd::operator<<(std::ostream &OS, const Diagnostic &D) {
+  if (D.Loc.isValid())
+    OS << D.Loc.Line << ':' << D.Loc.Column << ": ";
+  return OS << severityName(D.Level) << ": " << D.Message;
+}
+
+void DiagnosticEngine::error(SourceLocation Loc, std::string Message) {
+  Diags.push_back({Diagnostic::Severity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLocation Loc, std::string Message) {
+  Diags.push_back({Diagnostic::Severity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLocation Loc, std::string Message) {
+  Diags.push_back({Diagnostic::Severity::Note, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::toString() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags)
+    OS << D << '\n';
+  return OS.str();
+}

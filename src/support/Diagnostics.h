@@ -1,0 +1,73 @@
+//===- support/Diagnostics.h - Parser/analysis diagnostics ------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostics shared by the trace parser and the ECL specification parser.
+/// Following the LLVM error-message style, messages start lowercase and do
+/// not end with a period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_SUPPORT_DIAGNOSTICS_H
+#define CRD_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crd {
+
+/// A 1-based line/column position within a source buffer.
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(SourceLocation A, SourceLocation B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+/// One reported problem.
+struct Diagnostic {
+  enum class Severity { Error, Warning, Note };
+
+  Severity Level = Severity::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders as "line:col: error: message" (or without location when the
+  /// diagnostic has none).
+  std::string toString() const;
+};
+
+/// Collects diagnostics produced while parsing or analyzing an input.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message);
+  void warning(SourceLocation Loc, std::string Message);
+  void note(SourceLocation Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  size_t errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+
+  /// Renders every diagnostic, one per line.
+  std::string toString() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  size_t NumErrors = 0;
+};
+
+std::ostream &operator<<(std::ostream &OS, const Diagnostic &D);
+
+} // namespace crd
+
+#endif // CRD_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,142 @@
+//===- support/DynamicTopoGraph.cpp - incremental cycle detection --------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DynamicTopoGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace crd;
+
+uint32_t DynamicTopoGraph::addNode() {
+  uint32_t Id = static_cast<uint32_t>(Successors.size());
+  Successors.emplace_back();
+  Predecessors.emplace_back();
+  // Creation order is a valid topological index for an isolated node.
+  Order.push_back(Id);
+  return Id;
+}
+
+bool DynamicTopoGraph::hasEdge(uint32_t From, uint32_t To) const {
+  const std::vector<uint32_t> &Out = Successors[From];
+  return std::find(Out.begin(), Out.end(), To) != Out.end();
+}
+
+/// DFS from \p From towards \p To along successor edges, visiting only
+/// nodes with Order <= UpperBound. Fills \p Path (From..To) on success.
+bool DynamicTopoGraph::findPath(uint32_t From, uint32_t To,
+                                uint64_t UpperBound,
+                                std::vector<uint32_t> &Path) const {
+  std::vector<uint32_t> Stack = {From};
+  std::vector<uint32_t> Parent(Successors.size(), UINT32_MAX);
+  std::vector<bool> Visited(Successors.size(), false);
+  Visited[From] = true;
+
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    if (N == To) {
+      // Reconstruct From -> ... -> To.
+      std::vector<uint32_t> Reverse;
+      for (uint32_t Cur = To; Cur != UINT32_MAX; Cur = Parent[Cur])
+        Reverse.push_back(Cur);
+      Path.assign(Reverse.rbegin(), Reverse.rend());
+      return true;
+    }
+    for (uint32_t S : Successors[N]) {
+      if (Visited[S] || Order[S] > UpperBound)
+        continue;
+      Visited[S] = true;
+      Parent[S] = N;
+      Stack.push_back(S);
+    }
+  }
+  return false;
+}
+
+void DynamicTopoGraph::reorder(uint32_t From, uint32_t To) {
+  uint64_t LowerBound = Order[To];
+  uint64_t UpperBound = Order[From];
+
+  // RF: nodes forward-reachable from To with Order <= UpperBound.
+  // RB: nodes backward-reachable from From with Order >= LowerBound.
+  auto Collect = [&](uint32_t Root,
+                     const std::vector<std::vector<uint32_t>> &Adj,
+                     auto InBounds) {
+    std::vector<uint32_t> Out, Stack = {Root};
+    std::vector<bool> Visited(Successors.size(), false);
+    Visited[Root] = true;
+    while (!Stack.empty()) {
+      uint32_t N = Stack.back();
+      Stack.pop_back();
+      Out.push_back(N);
+      for (uint32_t S : Adj[N]) {
+        if (Visited[S] || !InBounds(Order[S]))
+          continue;
+        Visited[S] = true;
+        Stack.push_back(S);
+      }
+    }
+    return Out;
+  };
+
+  std::vector<uint32_t> RF = Collect(
+      To, Successors, [&](uint64_t O) { return O <= UpperBound; });
+  std::vector<uint32_t> RB = Collect(
+      From, Predecessors, [&](uint64_t O) { return O >= LowerBound; });
+
+  auto ByOrder = [&](uint32_t A, uint32_t B) { return Order[A] < Order[B]; };
+  std::sort(RF.begin(), RF.end(), ByOrder);
+  std::sort(RB.begin(), RB.end(), ByOrder);
+
+  // Pool of order values, reassigned: all of RB (they must precede the
+  // edge) then all of RF, each group keeping its internal relative order.
+  std::vector<uint64_t> Pool;
+  Pool.reserve(RB.size() + RF.size());
+  for (uint32_t N : RB)
+    Pool.push_back(Order[N]);
+  for (uint32_t N : RF)
+    Pool.push_back(Order[N]);
+  std::sort(Pool.begin(), Pool.end());
+
+  size_t Slot = 0;
+  for (uint32_t N : RB)
+    Order[N] = Pool[Slot++];
+  for (uint32_t N : RF)
+    Order[N] = Pool[Slot++];
+}
+
+DynamicTopoGraph::InsertResult DynamicTopoGraph::addEdge(uint32_t From,
+                                                         uint32_t To) {
+  assert(From < Successors.size() && To < Successors.size() &&
+         "node id out of range");
+  InsertResult Result;
+  if (From == To) {
+    Result.CyclePath = {From};
+    return Result;
+  }
+  if (hasEdge(From, To)) {
+    Result.Inserted = true;
+    return Result;
+  }
+
+  if (Order[From] >= Order[To]) {
+    // The edge goes "backwards": either it closes a cycle (To already
+    // reaches From) or the affected region must be reordered.
+    std::vector<uint32_t> Path;
+    if (findPath(To, From, Order[From], Path)) {
+      Result.CyclePath = std::move(Path);
+      return Result;
+    }
+    reorder(From, To);
+  }
+
+  Successors[From].push_back(To);
+  Predecessors[To].push_back(From);
+  ++EdgeCount;
+  Result.Inserted = true;
+  return Result;
+}

@@ -1,0 +1,67 @@
+//===- support/DynamicTopoGraph.h - incremental cycle detection -*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A directed graph that maintains a topological order under online edge
+/// insertion (Pearce & Kelly, "A dynamic topological sort algorithm for
+/// directed acyclic graphs", JEA 2006). Inserting an edge that would close
+/// a cycle is *rejected* and the cycle's node path is reported — exactly
+/// the primitive a streaming conflict-serializability checker needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_SUPPORT_DYNAMICTOPOGRAPH_H
+#define CRD_SUPPORT_DYNAMICTOPOGRAPH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crd {
+
+/// Incrementally maintained DAG over dense uint32_t node ids.
+class DynamicTopoGraph {
+public:
+  DynamicTopoGraph() = default;
+
+  /// Adds a node; returns its id.
+  uint32_t addNode();
+
+  size_t numNodes() const { return Successors.size(); }
+  size_t numEdges() const { return EdgeCount; }
+
+  /// Result of an insertion attempt.
+  struct InsertResult {
+    bool Inserted = false; ///< False when the edge would close a cycle.
+    /// On rejection: a path To -> ... -> From witnessing the cycle the
+    /// edge (From -> To) would have closed. Empty on success.
+    std::vector<uint32_t> CyclePath;
+  };
+
+  /// Attempts to insert the edge From -> To. Self-edges are rejected with
+  /// the trivial path {From}. Duplicate edges succeed idempotently.
+  InsertResult addEdge(uint32_t From, uint32_t To);
+
+  /// Whether the edge already exists.
+  bool hasEdge(uint32_t From, uint32_t To) const;
+
+  /// Current topological index of a node (for tests).
+  uint64_t orderOf(uint32_t Node) const { return Order[Node]; }
+
+private:
+  bool findPath(uint32_t From, uint32_t To, uint64_t UpperBound,
+                std::vector<uint32_t> &Path) const;
+  void reorder(uint32_t From, uint32_t To);
+
+  std::vector<std::vector<uint32_t>> Successors;
+  std::vector<std::vector<uint32_t>> Predecessors;
+  std::vector<uint64_t> Order; ///< Strictly increasing along every edge.
+  size_t EdgeCount = 0;
+};
+
+} // namespace crd
+
+#endif // CRD_SUPPORT_DYNAMICTOPOGRAPH_H

@@ -1,0 +1,36 @@
+//===- support/Hashing.h - Hash combination utilities -----------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hash-combining helpers used by the value domain and access points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_SUPPORT_HASHING_H
+#define CRD_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace crd {
+
+/// Mixes \p Value into the running hash \p Seed (boost::hash_combine style,
+/// with a 64-bit golden-ratio constant).
+inline size_t hashCombine(size_t Seed, size_t Value) {
+  return Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+/// Hashes all arguments into a single value.
+template <typename... Ts> size_t hashAll(const Ts &...Values) {
+  size_t Seed = 0;
+  ((Seed = hashCombine(Seed, std::hash<Ts>{}(Values))), ...);
+  return Seed;
+}
+
+} // namespace crd
+
+#endif // CRD_SUPPORT_HASHING_H

@@ -1,0 +1,61 @@
+//===- support/Symbol.cpp - Interned strings --------------------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+using namespace crd;
+
+struct SymbolTable::Impl {
+  mutable std::mutex Mutex;
+  // Deque keeps the string storage stable so string_views stay valid as the
+  // table grows.
+  std::deque<std::string> Spellings;
+  std::unordered_map<std::string_view, uint32_t> Index;
+};
+
+SymbolTable::SymbolTable() : Storage(new Impl) {}
+
+SymbolTable::~SymbolTable() { delete Storage; }
+
+Symbol SymbolTable::intern(std::string_view Text) {
+  std::lock_guard<std::mutex> Guard(Storage->Mutex);
+  auto It = Storage->Index.find(Text);
+  if (It != Storage->Index.end())
+    return Symbol(It->second);
+
+  uint32_t Id = static_cast<uint32_t>(Storage->Spellings.size());
+  Storage->Spellings.emplace_back(Text);
+  Storage->Index.emplace(Storage->Spellings.back(), Id);
+  return Symbol(Id);
+}
+
+std::string_view SymbolTable::str(Symbol Sym) const {
+  std::lock_guard<std::mutex> Guard(Storage->Mutex);
+  assert(Sym.index() < Storage->Spellings.size() &&
+         "symbol does not belong to this table");
+  return Storage->Spellings[Sym.index()];
+}
+
+size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> Guard(Storage->Mutex);
+  return Storage->Spellings.size();
+}
+
+SymbolTable &SymbolTable::global() {
+  static SymbolTable Table;
+  return Table;
+}
+
+std::string_view Symbol::str() const { return SymbolTable::global().str(*this); }
+
+Symbol crd::symbol(std::string_view Text) {
+  return SymbolTable::global().intern(Text);
+}

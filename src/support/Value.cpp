@@ -1,0 +1,32 @@
+//===- support/Value.cpp - Action argument/return value domain ------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Value.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace crd;
+
+std::string Value::toString() const {
+  std::ostringstream OS;
+  OS << *this;
+  return OS.str();
+}
+
+std::ostream &crd::operator<<(std::ostream &OS, const Value &V) {
+  switch (V.kind()) {
+  case Value::Kind::Nil:
+    return OS << "nil";
+  case Value::Kind::Bool:
+    return OS << (V.asBool() ? "true" : "false");
+  case Value::Kind::Int:
+    return OS << V.asInt();
+  case Value::Kind::Str:
+    return OS << '"' << V.asSymbol().str() << '"';
+  }
+  return OS;
+}

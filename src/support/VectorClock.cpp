@@ -1,0 +1,74 @@
+//===- support/VectorClock.cpp - Vector clocks ----------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/VectorClock.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+using namespace crd;
+
+void VectorClock::normalize() {
+  while (!Components.empty() && Components.back() == 0)
+    Components.pop_back();
+}
+
+void VectorClock::set(ThreadId Thread, uint32_t Time) {
+  if (Thread.index() >= Components.size()) {
+    if (Time == 0)
+      return;
+    Components.resize(Thread.index() + 1, 0);
+  }
+  Components[Thread.index()] = Time;
+  normalize();
+}
+
+void VectorClock::increment(ThreadId Thread) {
+  if (Thread.index() >= Components.size())
+    Components.resize(Thread.index() + 1, 0);
+  ++Components[Thread.index()];
+}
+
+void VectorClock::joinWith(const VectorClock &Other) {
+  if (Other.Components.size() > Components.size())
+    Components.resize(Other.Components.size(), 0);
+  for (size_t I = 0, E = Other.Components.size(); I != E; ++I)
+    Components[I] = std::max(Components[I], Other.Components[I]);
+  // Join never introduces trailing zeros if neither operand had them, so no
+  // normalize() is needed; both operands are kept normalized.
+}
+
+VectorClock VectorClock::join(const VectorClock &A, const VectorClock &B) {
+  VectorClock Result = A;
+  Result.joinWith(B);
+  return Result;
+}
+
+bool VectorClock::leq(const VectorClock &Other) const {
+  if (Components.size() > Other.Components.size())
+    return false; // Some component here is nonzero past Other's extent.
+  for (size_t I = 0, E = Components.size(); I != E; ++I)
+    if (Components[I] > Other.Components[I])
+      return false;
+  return true;
+}
+
+std::string VectorClock::toString() const {
+  std::ostringstream OS;
+  OS << *this;
+  return OS.str();
+}
+
+std::ostream &crd::operator<<(std::ostream &OS, const VectorClock &VC) {
+  OS << '<';
+  for (size_t I = 0, E = VC.size(); I != E; ++I) {
+    if (I != 0)
+      OS << ',';
+    OS << VC.get(ThreadId(static_cast<uint32_t>(I)));
+  }
+  return OS << '>';
+}

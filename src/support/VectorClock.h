@@ -1,0 +1,96 @@
+//===- support/VectorClock.h - Vector clocks (paper §3.2) -------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector clocks: maps Tid -> N ordered pointwise, forming a lattice with
+/// bottom ⊥V = λτ.0 (paper §3.2). Clocks are stored densely, indexed by
+/// thread index, with implicit zero extension so that clocks over different
+/// thread universes compose.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_SUPPORT_VECTORCLOCK_H
+#define CRD_SUPPORT_VECTORCLOCK_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crd {
+
+/// A vector clock c ∈ Tid -> N with the pointwise lattice operations of
+/// paper §3.2: ⊑ (leq), ⊔ (joinWith), ⊥ (default constructed) and inc_τ.
+///
+/// Entries for threads beyond the stored size are implicitly zero, so the
+/// representation never needs to know the total number of threads up front.
+/// Trailing zeros are kept normalized away, making equality structural.
+class VectorClock {
+public:
+  /// Constructs ⊥V (all components zero).
+  VectorClock() = default;
+
+  /// Constructs a clock from explicit components (index i = thread i).
+  explicit VectorClock(std::vector<uint32_t> Components)
+      : Components(std::move(Components)) {
+    normalize();
+  }
+
+  /// Returns component c(τ); zero for threads beyond the stored size.
+  uint32_t get(ThreadId Thread) const {
+    return Thread.index() < Components.size() ? Components[Thread.index()] : 0;
+  }
+
+  /// Sets component c(τ) := Time.
+  void set(ThreadId Thread, uint32_t Time);
+
+  /// inc_τ: increments this clock's τ component by one.
+  void increment(ThreadId Thread);
+
+  /// c := c ⊔ Other (pointwise max).
+  void joinWith(const VectorClock &Other);
+
+  /// Returns c1 ⊔ c2 without mutating either operand.
+  static VectorClock join(const VectorClock &A, const VectorClock &B);
+
+  /// c1 ⊑ c2: pointwise less-or-equal.
+  bool leq(const VectorClock &Other) const;
+
+  /// True when neither c1 ⊑ c2 nor c2 ⊑ c1: events with such clocks may
+  /// happen in parallel (the ‖ relation).
+  bool concurrentWith(const VectorClock &Other) const {
+    return !leq(Other) && !Other.leq(*this);
+  }
+
+  /// True when every component is zero.
+  bool isBottom() const { return Components.empty(); }
+
+  /// Number of stored (non-implicit) components.
+  size_t size() const { return Components.size(); }
+
+  friend bool operator==(const VectorClock &A, const VectorClock &B) {
+    return A.Components == B.Components;
+  }
+  friend bool operator!=(const VectorClock &A, const VectorClock &B) {
+    return !(A == B);
+  }
+
+  /// Renders e.g. ⟨3,0,1⟩ as "<3,0,1>".
+  std::string toString() const;
+
+private:
+  void normalize();
+
+  std::vector<uint32_t> Components;
+};
+
+std::ostream &operator<<(std::ostream &OS, const VectorClock &VC);
+
+} // namespace crd
+
+#endif // CRD_SUPPORT_VECTORCLOCK_H

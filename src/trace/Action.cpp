@@ -1,0 +1,39 @@
+//===- trace/Action.cpp - Method invocations ------------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Action.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace crd;
+
+std::vector<Value> Action::values() const {
+  std::vector<Value> All;
+  All.reserve(numValues());
+  All.insert(All.end(), Args.begin(), Args.end());
+  All.insert(All.end(), Rets.begin(), Rets.end());
+  return All;
+}
+
+std::string Action::toString() const {
+  std::ostringstream OS;
+  OS << *this;
+  return OS.str();
+}
+
+std::ostream &crd::operator<<(std::ostream &OS, const Action &A) {
+  OS << 'o' << A.object().index() << '.' << A.method().str() << '(';
+  for (size_t I = 0, E = A.args().size(); I != E; ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << A.args()[I];
+  }
+  OS << ')';
+  for (const Value &Ret : A.rets())
+    OS << '/' << Ret;
+  return OS;
+}

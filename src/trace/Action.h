@@ -1,0 +1,85 @@
+//===- trace/Action.h - Method invocations (paper §3.1) ---------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Actions: atomic method invocations o.m(~u)/~v on shared objects
+/// (paper §3.1). Objects are assumed linearizable, so an invocation is a
+/// single atomic transition and is fully described by the object, the method
+/// and the concrete argument/return values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_TRACE_ACTION_H
+#define CRD_TRACE_ACTION_H
+
+#include "support/Ids.h"
+#include "support/Symbol.h"
+#include "support/Value.h"
+
+#include <cassert>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crd {
+
+/// One method invocation o.m(~u)/~v.
+///
+/// The flattened sequence w1..wn = ~u~v (arguments followed by returns) is
+/// how specification variables are numbered (paper §6.2), so values() and
+/// value(i) expose that view directly.
+class Action {
+public:
+  Action() = default;
+  Action(ObjectId Obj, Symbol Method, std::vector<Value> Args,
+         std::vector<Value> Rets)
+      : Obj(Obj), Method(Method), Args(std::move(Args)),
+        Rets(std::move(Rets)) {}
+
+  /// Convenience constructor for the common single-return shape.
+  Action(ObjectId Obj, Symbol Method, std::vector<Value> Args, Value Ret)
+      : Action(Obj, Method, std::move(Args), std::vector<Value>{Ret}) {}
+
+  ObjectId object() const { return Obj; }
+  Symbol method() const { return Method; }
+  const std::vector<Value> &args() const { return Args; }
+  const std::vector<Value> &rets() const { return Rets; }
+
+  /// Number of flattened values: |args| + |rets|.
+  size_t numValues() const { return Args.size() + Rets.size(); }
+
+  /// The i-th flattened value (0-based over args then rets).
+  const Value &value(size_t I) const {
+    assert(I < numValues() && "flattened value index out of range");
+    return I < Args.size() ? Args[I] : Rets[I - Args.size()];
+  }
+
+  /// Flattened values ~u~v as one vector.
+  std::vector<Value> values() const;
+
+  friend bool operator==(const Action &A, const Action &B) {
+    return A.Obj == B.Obj && A.Method == B.Method && A.Args == B.Args &&
+           A.Rets == B.Rets;
+  }
+  friend bool operator!=(const Action &A, const Action &B) {
+    return !(A == B);
+  }
+
+  /// Renders e.g. `o1.put("a.com", 7)/nil`.
+  std::string toString() const;
+
+private:
+  ObjectId Obj;
+  Symbol Method;
+  std::vector<Value> Args;
+  std::vector<Value> Rets;
+};
+
+std::ostream &operator<<(std::ostream &OS, const Action &A);
+
+} // namespace crd
+
+#endif // CRD_TRACE_ACTION_H

@@ -1,0 +1,43 @@
+//===- trace/Event.cpp - Trace events --------------------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Event.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace crd;
+
+std::string Event::toString() const {
+  std::ostringstream OS;
+  OS << *this;
+  return OS.str();
+}
+
+std::ostream &crd::operator<<(std::ostream &OS, const Event &E) {
+  OS << 'T' << E.thread().index() << ": ";
+  switch (E.kind()) {
+  case EventKind::Fork:
+    return OS << "fork T" << E.other().index();
+  case EventKind::Join:
+    return OS << "join T" << E.other().index();
+  case EventKind::Acquire:
+    return OS << "acq L" << E.lock().index();
+  case EventKind::Release:
+    return OS << "rel L" << E.lock().index();
+  case EventKind::Invoke:
+    return OS << E.action();
+  case EventKind::Read:
+    return OS << "read V" << E.var().index();
+  case EventKind::Write:
+    return OS << "write V" << E.var().index();
+  case EventKind::TxBegin:
+    return OS << "txbegin";
+  case EventKind::TxEnd:
+    return OS << "txend";
+  }
+  return OS;
+}

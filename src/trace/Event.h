@@ -1,0 +1,140 @@
+//===- trace/Event.h - Trace events (paper §3.1, Table 1) -------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Events of an execution trace. Besides the action events of §3.1, traces
+/// carry the synchronization events of Table 1 (fork/join/acquire/release)
+/// and the low-level read/write events consumed by the FastTrack baseline
+/// (the paper's RoadRunner substrate instruments every memory access).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_TRACE_EVENT_H
+#define CRD_TRACE_EVENT_H
+
+#include "trace/Action.h"
+
+#include <cassert>
+#include <iosfwd>
+#include <string>
+
+namespace crd {
+
+/// Discriminates the event payload.
+enum class EventKind : uint8_t {
+  Fork,    ///< τ : fork(u) — thread τ creates thread u.
+  Join,    ///< τ : join(u) — thread τ waits for thread u to terminate.
+  Acquire, ///< τ : acq(l) — thread τ acquires lock l.
+  Release, ///< τ : rel(l) — thread τ releases lock l.
+  Invoke,  ///< τ : o.m(~u)/~v — an action event.
+  Read,    ///< τ reads memory location v (low-level; FastTrack only).
+  Write,   ///< τ writes memory location v (low-level; FastTrack only).
+  TxBegin, ///< τ opens an atomic block (used by the atomicity checker).
+  TxEnd,   ///< τ closes its atomic block.
+};
+
+/// One occurrence τ : a in a trace.
+class Event {
+public:
+  static Event fork(ThreadId Thread, ThreadId Child) {
+    Event E(EventKind::Fork, Thread);
+    E.Other = Child;
+    return E;
+  }
+  static Event join(ThreadId Thread, ThreadId Child) {
+    Event E(EventKind::Join, Thread);
+    E.Other = Child;
+    return E;
+  }
+  static Event acquire(ThreadId Thread, LockId Lock) {
+    Event E(EventKind::Acquire, Thread);
+    E.Lock = Lock;
+    return E;
+  }
+  static Event release(ThreadId Thread, LockId Lock) {
+    Event E(EventKind::Release, Thread);
+    E.Lock = Lock;
+    return E;
+  }
+  static Event invoke(ThreadId Thread, Action TheAction) {
+    Event E(EventKind::Invoke, Thread);
+    E.TheAction = std::move(TheAction);
+    return E;
+  }
+  static Event read(ThreadId Thread, VarId Var) {
+    Event E(EventKind::Read, Thread);
+    E.Var = Var;
+    return E;
+  }
+  static Event write(ThreadId Thread, VarId Var) {
+    Event E(EventKind::Write, Thread);
+    E.Var = Var;
+    return E;
+  }
+  static Event txBegin(ThreadId Thread) {
+    return Event(EventKind::TxBegin, Thread);
+  }
+  static Event txEnd(ThreadId Thread) {
+    return Event(EventKind::TxEnd, Thread);
+  }
+
+  EventKind kind() const { return Kind; }
+  ThreadId thread() const { return Thread; }
+
+  bool isSync() const {
+    return Kind == EventKind::Fork || Kind == EventKind::Join ||
+           Kind == EventKind::Acquire || Kind == EventKind::Release;
+  }
+  bool isInvoke() const { return Kind == EventKind::Invoke; }
+  bool isMemoryAccess() const {
+    return Kind == EventKind::Read || Kind == EventKind::Write;
+  }
+
+  /// Forked/joined thread; valid for Fork and Join events.
+  ThreadId other() const {
+    assert((Kind == EventKind::Fork || Kind == EventKind::Join) &&
+           "event has no target thread");
+    return Other;
+  }
+
+  /// The lock; valid for Acquire and Release events.
+  LockId lock() const {
+    assert((Kind == EventKind::Acquire || Kind == EventKind::Release) &&
+           "event has no lock");
+    return Lock;
+  }
+
+  /// The memory location; valid for Read and Write events.
+  VarId var() const {
+    assert(isMemoryAccess() && "event has no memory location");
+    return Var;
+  }
+
+  /// The invoked action; valid for Invoke events.
+  const Action &action() const {
+    assert(Kind == EventKind::Invoke && "event is not an action event");
+    return TheAction;
+  }
+
+  /// Renders e.g. `T2: o1.put("a.com", 7)/nil` or `T1: fork T2`.
+  std::string toString() const;
+
+private:
+  Event(EventKind Kind, ThreadId Thread) : Kind(Kind), Thread(Thread) {}
+
+  EventKind Kind;
+  ThreadId Thread;
+  ThreadId Other;
+  LockId Lock;
+  VarId Var;
+  Action TheAction;
+};
+
+std::ostream &operator<<(std::ostream &OS, const Event &E);
+
+} // namespace crd
+
+#endif // CRD_TRACE_EVENT_H

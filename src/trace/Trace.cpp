@@ -1,0 +1,118 @@
+//===- trace/Trace.cpp - Execution traces ----------------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace crd;
+
+uint32_t Trace::numThreads() const {
+  uint32_t Max = 0;
+  for (const Event &E : Events) {
+    Max = std::max(Max, E.thread().index() + 1);
+    if (E.kind() == EventKind::Fork || E.kind() == EventKind::Join)
+      Max = std::max(Max, E.other().index() + 1);
+  }
+  return Max;
+}
+
+bool Trace::validate(DiagnosticEngine &Diags) const {
+  std::unordered_set<ThreadId> Seen;     // Threads that performed any event.
+  std::unordered_set<ThreadId> Forked;   // Threads created by a fork.
+  std::unordered_set<ThreadId> Joined;   // Threads already joined.
+  std::unordered_map<LockId, ThreadId> Held;
+  std::unordered_set<ThreadId> InTx;
+
+  size_t Position = 0;
+  for (const Event &E : Events) {
+    ++Position;
+    SourceLocation Loc{static_cast<uint32_t>(Position), 1};
+    ThreadId Self = E.thread();
+
+    if (Joined.count(Self))
+      Diags.error(Loc, "thread T" + std::to_string(Self.index()) +
+                           " performs an event after being joined");
+
+    switch (E.kind()) {
+    case EventKind::Fork: {
+      ThreadId Child = E.other();
+      if (Child == Self)
+        Diags.error(Loc, "thread T" + std::to_string(Self.index()) +
+                             " forks itself");
+      else if (Seen.count(Child) || Forked.count(Child))
+        Diags.error(Loc, "forked thread T" + std::to_string(Child.index()) +
+                             " already exists");
+      Forked.insert(Child);
+      break;
+    }
+    case EventKind::Join: {
+      ThreadId Child = E.other();
+      if (Child == Self)
+        Diags.error(Loc, "thread T" + std::to_string(Self.index()) +
+                             " joins itself");
+      else if (!Forked.count(Child) && !Seen.count(Child))
+        Diags.error(Loc, "joined thread T" + std::to_string(Child.index()) +
+                             " was never created");
+      else if (!Joined.insert(Child).second)
+        Diags.error(Loc, "thread T" + std::to_string(Child.index()) +
+                             " is joined twice");
+      break;
+    }
+    case EventKind::Acquire: {
+      auto It = Held.find(E.lock());
+      if (It != Held.end())
+        Diags.error(Loc, "lock L" + std::to_string(E.lock().index()) +
+                             " acquired while held by T" +
+                             std::to_string(It->second.index()));
+      else
+        Held.emplace(E.lock(), Self);
+      break;
+    }
+    case EventKind::Release: {
+      auto It = Held.find(E.lock());
+      if (It == Held.end())
+        Diags.error(Loc, "lock L" + std::to_string(E.lock().index()) +
+                             " released while not held");
+      else if (It->second != Self)
+        Diags.error(Loc, "lock L" + std::to_string(E.lock().index()) +
+                             " released by T" + std::to_string(Self.index()) +
+                             " but held by T" +
+                             std::to_string(It->second.index()));
+      else
+        Held.erase(It);
+      break;
+    }
+    case EventKind::TxBegin:
+      if (!InTx.insert(Self).second)
+        Diags.error(Loc, "thread T" + std::to_string(Self.index()) +
+                             " opens a nested atomic block");
+      break;
+    case EventKind::TxEnd:
+      if (!InTx.erase(Self))
+        Diags.error(Loc, "thread T" + std::to_string(Self.index()) +
+                             " closes an atomic block it never opened");
+      break;
+    case EventKind::Invoke:
+    case EventKind::Read:
+    case EventKind::Write:
+      break;
+    }
+
+    Seen.insert(Self);
+  }
+  return !Diags.hasErrors();
+}
+
+std::ostream &crd::operator<<(std::ostream &OS, const Trace &T) {
+  for (const Event &E : T)
+    OS << E << '\n';
+  return OS;
+}

@@ -1,0 +1,64 @@
+//===- trace/Trace.h - Execution traces (paper §3.1) ------------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Traces: sequences of events ordered by position (the ≤π order of §3.1),
+/// plus structural validation (forked threads are fresh, joined threads
+/// exist, locks are held by the releasing thread, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_TRACE_TRACE_H
+#define CRD_TRACE_TRACE_H
+
+#include "support/Diagnostics.h"
+#include "trace/Event.h"
+
+#include <iosfwd>
+#include <vector>
+
+namespace crd {
+
+/// A finite trace π = e1 e2 ... en.
+///
+/// Event indices (0-based) serve as event identities; ei ≤π ej iff i ≤ j.
+class Trace {
+public:
+  Trace() = default;
+  explicit Trace(std::vector<Event> Events) : Events(std::move(Events)) {}
+
+  void append(Event E) { Events.push_back(std::move(E)); }
+
+  const std::vector<Event> &events() const { return Events; }
+  size_t size() const { return Events.size(); }
+  bool empty() const { return Events.empty(); }
+  const Event &operator[](size_t I) const { return Events[I]; }
+
+  std::vector<Event>::const_iterator begin() const { return Events.begin(); }
+  std::vector<Event>::const_iterator end() const { return Events.end(); }
+
+  /// Largest thread index mentioned plus one (0 for the empty trace).
+  uint32_t numThreads() const;
+
+  /// Checks well-formedness and reports problems into \p Diags:
+  ///   * a forked thread must not have appeared before the fork,
+  ///   * a joined thread must have been forked (or be an initial thread)
+  ///     and must perform no events after the join,
+  ///   * a thread must not fork/join itself,
+  ///   * a released lock must be held by the releasing thread, and locks
+  ///     are not re-entrant across threads.
+  /// Returns true when no errors were found.
+  bool validate(DiagnosticEngine &Diags) const;
+
+private:
+  std::vector<Event> Events;
+};
+
+std::ostream &operator<<(std::ostream &OS, const Trace &T);
+
+} // namespace crd
+
+#endif // CRD_TRACE_TRACE_H

@@ -1,0 +1,94 @@
+//===- trace/TraceBuilder.h - Fluent trace construction ---------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fluent builder for constructing traces in tests and examples:
+///
+/// \code
+///   Trace T = TraceBuilder()
+///                 .fork(0, 1)
+///                 .invoke(1, 5, "put", {Value::string("a.com")}, Value::nil())
+///                 .join(0, 1)
+///                 .take();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_TRACE_TRACEBUILDER_H
+#define CRD_TRACE_TRACEBUILDER_H
+
+#include "trace/Trace.h"
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace crd {
+
+/// Builds a Trace event by event. All ids are raw indices for brevity.
+class TraceBuilder {
+public:
+  TraceBuilder &fork(uint32_t Thread, uint32_t Child) {
+    T.append(Event::fork(ThreadId(Thread), ThreadId(Child)));
+    return *this;
+  }
+  TraceBuilder &join(uint32_t Thread, uint32_t Child) {
+    T.append(Event::join(ThreadId(Thread), ThreadId(Child)));
+    return *this;
+  }
+  TraceBuilder &acquire(uint32_t Thread, uint32_t Lock) {
+    T.append(Event::acquire(ThreadId(Thread), LockId(Lock)));
+    return *this;
+  }
+  TraceBuilder &release(uint32_t Thread, uint32_t Lock) {
+    T.append(Event::release(ThreadId(Thread), LockId(Lock)));
+    return *this;
+  }
+  TraceBuilder &read(uint32_t Thread, uint32_t Var) {
+    T.append(Event::read(ThreadId(Thread), VarId(Var)));
+    return *this;
+  }
+  TraceBuilder &write(uint32_t Thread, uint32_t Var) {
+    T.append(Event::write(ThreadId(Thread), VarId(Var)));
+    return *this;
+  }
+  TraceBuilder &txBegin(uint32_t Thread) {
+    T.append(Event::txBegin(ThreadId(Thread)));
+    return *this;
+  }
+  TraceBuilder &txEnd(uint32_t Thread) {
+    T.append(Event::txEnd(ThreadId(Thread)));
+    return *this;
+  }
+
+  /// Appends an action event with a single return value.
+  TraceBuilder &invoke(uint32_t Thread, uint32_t Obj, std::string_view Method,
+                       std::vector<Value> Args, Value Ret) {
+    T.append(Event::invoke(
+        ThreadId(Thread),
+        Action(ObjectId(Obj), symbol(Method), std::move(Args), Ret)));
+    return *this;
+  }
+
+  /// Appends an action event with an explicit return tuple.
+  TraceBuilder &invoke(uint32_t Thread, uint32_t Obj, std::string_view Method,
+                       std::vector<Value> Args, std::vector<Value> Rets) {
+    T.append(Event::invoke(ThreadId(Thread),
+                           Action(ObjectId(Obj), symbol(Method),
+                                  std::move(Args), std::move(Rets))));
+    return *this;
+  }
+
+  /// Moves the built trace out of the builder.
+  Trace take() { return std::move(T); }
+
+private:
+  Trace T;
+};
+
+} // namespace crd
+
+#endif // CRD_TRACE_TRACEBUILDER_H

@@ -1,0 +1,53 @@
+//===- trace/TraceIO.h - Trace text format ----------------------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented text format for traces, so recorded executions can be
+/// stored, diffed and replayed through the detectors offline. One event per
+/// line; `#` starts a comment. Example:
+///
+/// \code
+///   # Fig. 3 of the paper
+///   T0: fork T2
+///   T2: o1.put("a.com", 1)/nil
+///   T0: join T2
+///   T0: o1.size()/1
+///   T0: acq L0
+///   T0: read V7
+///   T0: rel L0
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_TRACE_TRACEIO_H
+#define CRD_TRACE_TRACEIO_H
+
+#include "support/Diagnostics.h"
+#include "trace/Trace.h"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace crd {
+
+/// Serializes \p T in the textual trace format (one event per line).
+void writeTrace(std::ostream &OS, const Trace &T);
+
+/// Serializes \p T to a string.
+std::string traceToString(const Trace &T);
+
+/// Parses the textual trace format.
+///
+/// \returns the trace on success; std::nullopt when \p Diags received at
+/// least one error. The parser recovers per line, so a single malformed line
+/// yields one diagnostic rather than aborting the whole parse.
+std::optional<Trace> parseTrace(std::string_view Text, DiagnosticEngine &Diags);
+
+} // namespace crd
+
+#endif // CRD_TRACE_TRACEIO_H

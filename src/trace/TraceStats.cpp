@@ -1,0 +1,78 @@
+//===- trace/TraceStats.cpp - execution trace statistics -----------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceStats.h"
+
+#include <ostream>
+#include <set>
+#include <sstream>
+
+using namespace crd;
+
+TraceStats TraceStats::compute(const Trace &T) {
+  TraceStats Stats;
+  Stats.Events = T.size();
+
+  std::set<ThreadId> Threads;
+  std::set<LockId> Locks;
+  std::set<VarId> Vars;
+  for (const Event &E : T) {
+    Threads.insert(E.thread());
+    switch (E.kind()) {
+    case EventKind::Fork:
+    case EventKind::Join:
+      Threads.insert(E.other());
+      ++Stats.SyncEvents;
+      break;
+    case EventKind::Acquire:
+    case EventKind::Release:
+      Locks.insert(E.lock());
+      ++Stats.SyncEvents;
+      break;
+    case EventKind::Invoke: {
+      ++Stats.Actions;
+      const Action &A = E.action();
+      ++Stats.ActionsPerObject[A.object()];
+      ++Stats.ActionsPerMethod[A.method()];
+      break;
+    }
+    case EventKind::Read:
+    case EventKind::Write:
+      ++Stats.MemoryAccesses;
+      Vars.insert(E.var());
+      break;
+    case EventKind::TxBegin:
+    case EventKind::TxEnd:
+      ++Stats.TxEvents;
+      break;
+    }
+  }
+  Stats.Threads = Threads.size();
+  Stats.Locks = Locks.size();
+  Stats.MemoryLocations = Vars.size();
+  Stats.Objects = Stats.ActionsPerObject.size();
+  return Stats;
+}
+
+void TraceStats::print(std::ostream &OS) const {
+  OS << Events << " events: " << Actions << " actions on " << Objects
+     << " object(s), " << MemoryAccesses << " memory accesses on "
+     << MemoryLocations << " location(s), " << SyncEvents
+     << " sync event(s), " << TxEvents << " tx marker(s); " << Threads
+     << " thread(s), " << Locks << " lock(s)\n";
+  if (!ActionsPerMethod.empty()) {
+    OS << "  actions by method:";
+    for (const auto &[Method, Count] : ActionsPerMethod)
+      OS << "  " << Method.str() << " x" << Count;
+    OS << '\n';
+  }
+}
+
+std::string TraceStats::toString() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}

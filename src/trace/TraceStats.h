@@ -1,0 +1,50 @@
+//===- trace/TraceStats.h - execution trace statistics ----------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics of an execution trace: event-kind histogram,
+/// per-object action counts, per-method counts, thread/lock/location
+/// population. Used by the offline analyzer for its header line and by
+/// tests to characterize workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_TRACE_TRACESTATS_H
+#define CRD_TRACE_TRACESTATS_H
+
+#include "trace/Trace.h"
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace crd {
+
+/// Aggregated counts over one trace.
+struct TraceStats {
+  size_t Events = 0;
+  size_t Actions = 0;
+  size_t MemoryAccesses = 0;
+  size_t SyncEvents = 0;
+  size_t TxEvents = 0;
+  size_t Threads = 0;
+  size_t Locks = 0;
+  size_t MemoryLocations = 0;
+  size_t Objects = 0;
+  std::map<ObjectId, size_t> ActionsPerObject;
+  std::map<Symbol, size_t> ActionsPerMethod;
+
+  /// Computes the statistics of \p T.
+  static TraceStats compute(const Trace &T);
+
+  /// Renders a compact multi-line report.
+  void print(std::ostream &OS) const;
+  std::string toString() const;
+};
+
+} // namespace crd
+
+#endif // CRD_TRACE_TRACESTATS_H

@@ -1,0 +1,57 @@
+//===- translate/DotExport.cpp - Graphviz export of representations ------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "translate/DotExport.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace crd;
+
+/// Escapes double quotes and backslashes for a DOT string literal.
+static std::string escape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+void crd::exportConflictGraph(std::ostream &OS,
+                              const AccessPointProvider &Provider,
+                              const std::string &Name) {
+  OS << "graph \"" << escape(Name) << "\" {\n";
+  OS << "  node [fontname=\"Helvetica\"];\n";
+  for (uint32_t C = 0, E = static_cast<uint32_t>(Provider.numClasses());
+       C != E; ++C) {
+    OS << "  c" << C << " [label=\"" << escape(Provider.className(C))
+       << "\", shape=" << (Provider.classCarriesValue(C) ? "box" : "ellipse")
+       << "];\n";
+  }
+  for (uint32_t C = 0, E = static_cast<uint32_t>(Provider.numClasses());
+       C != E; ++C) {
+    for (uint32_t Partner : Provider.conflictsOf(C)) {
+      // Emit each undirected edge once.
+      if (Partner < C)
+        continue;
+      OS << "  c" << C << " -- c" << Partner;
+      if (Provider.classCarriesValue(C) && Provider.classCarriesValue(Partner))
+        OS << " [label=\"= value\"]";
+      OS << ";\n";
+    }
+  }
+  OS << "}\n";
+}
+
+std::string crd::conflictGraphToDot(const AccessPointProvider &Provider,
+                                    const std::string &Name) {
+  std::ostringstream OS;
+  exportConflictGraph(OS, Provider, Name);
+  return OS.str();
+}

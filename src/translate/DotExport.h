@@ -1,0 +1,38 @@
+//===- translate/DotExport.h - Graphviz export of representations -*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an access point representation's conflict relation as a
+/// Graphviz graph (classes as nodes, Co as edges), so translated
+/// specifications can be inspected visually — handy when validating that a
+/// hand-written spec produced the intended Fig 7-style structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_TRANSLATE_DOTEXPORT_H
+#define CRD_TRANSLATE_DOTEXPORT_H
+
+#include "access/Provider.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace crd {
+
+/// Writes `graph "<Name>" { ... }` with one node per access point class
+/// (value-carrying classes drawn as boxes, plain ones as ellipses) and one
+/// undirected edge per conflicting class pair; self-conflicts become
+/// self-loops.
+void exportConflictGraph(std::ostream &OS, const AccessPointProvider &Provider,
+                         const std::string &Name);
+
+/// Convenience: renders to a string.
+std::string conflictGraphToDot(const AccessPointProvider &Provider,
+                               const std::string &Name);
+
+} // namespace crd
+
+#endif // CRD_TRANSLATE_DOTEXPORT_H

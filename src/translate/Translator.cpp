@@ -1,0 +1,559 @@
+//===- translate/Translator.cpp - ECL → access points (§6.2) ----------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "translate/Translator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace crd;
+
+/// Each method may contribute at most this many normalized LB atoms; the
+/// (β1, β2) enumeration is quadratic in 2^atoms. Real specifications use a
+/// handful (the dictionary needs 3 for put).
+static constexpr uint32_t MaxAtomsPerMethod = 10;
+
+bool TranslatedRep::classCarriesValue(uint32_t ClassId) const {
+  assert(ClassId < Classes.size() && "class id out of range");
+  return Classes[ClassId].CarriesValue;
+}
+
+const std::vector<uint32_t> &TranslatedRep::conflictsOf(uint32_t ClassId) const {
+  assert(ClassId < Conflicts.size() && "class id out of range");
+  return Conflicts[ClassId];
+}
+
+std::string TranslatedRep::className(uint32_t ClassId) const {
+  assert(ClassId < Classes.size() && "class id out of range");
+  return Classes[ClassId].Name;
+}
+
+const std::vector<CanonAtom> &
+TranslatedRep::methodAtoms(uint32_t MethodIdx) const {
+  assert(MethodIdx < Methods.size() && "method index out of range");
+  return Methods[MethodIdx].Atoms;
+}
+
+/// Evaluates a normalized (single-side) atom on one action's values.
+static bool evalNormalizedAtom(const CanonAtom &Atom,
+                               std::span<const Value> Values) {
+  auto TermValue = [&](const Term &T) -> const Value & {
+    if (!T.isVar())
+      return T.constant();
+    assert(T.side() == Side::First && "normalized atom mentions Second side");
+    assert(T.position() < Values.size() && "position out of range");
+    return Values[T.position()];
+  };
+  return evalPred(Atom.Base, TermValue(Atom.Lhs), TermValue(Atom.Rhs));
+}
+
+uint32_t TranslatedRep::betaMask(uint32_t MethodIdx,
+                                 std::span<const Value> Values) const {
+  assert(MethodIdx < Methods.size() && "method index out of range");
+  const MethodInfo &M = Methods[MethodIdx];
+  uint32_t Mask = 0;
+  for (uint32_t T = 0, E = static_cast<uint32_t>(M.Atoms.size()); T != E; ++T)
+    if (evalNormalizedAtom(M.Atoms[T], Values))
+      Mask |= uint32_t(1) << T;
+  return Mask;
+}
+
+void TranslatedRep::touches(const Action &A,
+                            std::vector<AccessPoint> &Out) const {
+  auto It = MethodIndexByName.find(A.method());
+  assert(It != MethodIndexByName.end() &&
+         "action method not declared in the translated specification");
+  uint32_t MethodIdx = It->second;
+  const MethodInfo &M = Methods[MethodIdx];
+  assert(A.numValues() == M.NumValues && "action arity mismatch");
+
+  std::vector<Value> Values = A.values();
+  uint32_t Mask = betaMask(MethodIdx, Values);
+
+  size_t FirstNew = Out.size();
+  auto emitUnique = [&](AccessPoint Pt) {
+    for (size_t I = FirstNew, E = Out.size(); I != E; ++I)
+      if (Out[I] == Pt)
+        return;
+    Out.push_back(std::move(Pt));
+  };
+
+  uint32_t DsClass = SlotToClass[slotIndex(MethodIdx, Mask, -1)];
+  if (DsClass != NoClass)
+    emitUnique(AccessPoint::plain(DsClass));
+  for (uint32_t Pos = 0; Pos != M.NumValues; ++Pos) {
+    uint32_t Class = SlotToClass[slotIndex(MethodIdx, Mask, Pos)];
+    if (Class != NoClass)
+      emitUnique(AccessPoint::withValue(Class, Values[Pos]));
+  }
+}
+
+namespace crd {
+
+/// Builds a TranslatedRep from an ObjectSpec. Friend of TranslatedRep.
+class TranslatorImpl {
+public:
+  TranslatorImpl(const ObjectSpec &Spec, DiagnosticEngine &Diags,
+                 TranslationOptions Options, TranslationStats *Stats)
+      : Spec(Spec), Diags(Diags), Options(Options), Stats(Stats),
+        Rep(new TranslatedRep()) {}
+
+  std::unique_ptr<TranslatedRep> run() {
+    if (!collectAtoms())
+      return nullptr;
+    layoutSlots();
+    if (!buildConflictRows())
+      return nullptr;
+    optimizeAndFinalize();
+    return std::move(Rep);
+  }
+
+private:
+  using MethodInfo = TranslatedRep::MethodInfo;
+  static constexpr uint32_t NoClass = TranslatedRep::NoClass;
+
+  //===------------------------------------------------------------------===//
+  // Step 1: determine B(Φ, m) for every method.
+  //===------------------------------------------------------------------===//
+
+  /// Rebuilds an LB atom with all its variables moved to the First side
+  /// (the paper's normalization that "drops the distinction between V1 and
+  /// V2"), then canonicalizes it.
+  static CanonAtom normalizeAtom(const Formula &Atom) {
+    auto Normalize = [](const Term &T) {
+      return T.isVar() ? Term::var(Side::First, T.position()) : T;
+    };
+    FormulaPtr Rebuilt =
+        Formula::atom(Atom.pred(), Normalize(Atom.lhs()), Normalize(Atom.rhs()));
+    assert(Rebuilt->kind() == Formula::Kind::Atom &&
+           "LB atom folded to a constant");
+    return canonicalizeAtom(*Rebuilt);
+  }
+
+  /// Index of \p Base within method \p MethodIdx's atom list, adding it on
+  /// first sight. Returns false when the per-method cap is exceeded.
+  bool addMethodAtom(uint32_t MethodIdx, const CanonAtom &Base) {
+    std::vector<CanonAtom> &Atoms = Rep->Methods[MethodIdx].Atoms;
+    if (std::find(Atoms.begin(), Atoms.end(), Base) != Atoms.end())
+      return true;
+    if (Atoms.size() >= MaxAtomsPerMethod) {
+      Diags.error({}, "method '" +
+                          std::string(Rep->Methods[MethodIdx].Name.str()) +
+                          "' uses more than " +
+                          std::to_string(MaxAtomsPerMethod) +
+                          " distinct single-invocation atoms; the "
+                          "translation would be too large");
+      return false;
+    }
+    Atoms.push_back(Base);
+    return true;
+  }
+
+  std::optional<uint32_t> atomIndex(uint32_t MethodIdx,
+                                    const CanonAtom &Base) const {
+    const std::vector<CanonAtom> &Atoms = Rep->Methods[MethodIdx].Atoms;
+    auto It = std::find(Atoms.begin(), Atoms.end(), Base);
+    if (It == Atoms.end())
+      return std::nullopt;
+    return static_cast<uint32_t>(It - Atoms.begin());
+  }
+
+  bool collectAtoms() {
+    uint32_t NumMethods = static_cast<uint32_t>(Spec.numMethods());
+    for (uint32_t I = 0; I != NumMethods; ++I) {
+      const MethodSig &Sig = Spec.method(I);
+      MethodInfo Info;
+      Info.Name = Sig.Name;
+      Info.NumValues = Sig.numValues();
+      Rep->Methods.push_back(std::move(Info));
+      Rep->MethodIndexByName.emplace(Sig.Name, I);
+    }
+
+    for (uint32_t I = 0; I != NumMethods; ++I) {
+      for (uint32_t J = I; J != NumMethods; ++J) {
+        FormulaPtr F = Spec.commutesFormula(I, J);
+        if (!F)
+          continue; // Treated as constant false; contributes no atoms.
+        std::string PairName =
+            "phi[" + std::string(Spec.method(I).Name.str()) + ", " +
+            std::string(Spec.method(J).Name.str()) + "]";
+        if (!isECL(*F)) {
+          Diags.error({}, PairName + " is not in ECL: " + *explainNotECL(F));
+          return false;
+        }
+        std::vector<FormulaPtr> Atoms;
+        F->collectAtoms(Atoms);
+        for (const FormulaPtr &A : Atoms) {
+          if (classifyAtom(*A) != AtomClass::LB)
+            continue; // LS atoms are handled by the residual, not by β.
+          // An LB atom belongs to the side whose variables it mentions.
+          bool OnFirst = A->atomMentionsSide(Side::First);
+          uint32_t Method = OnFirst ? I : J;
+          if (!addMethodAtom(Method, normalizeAtom(*A)))
+            return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Step 2: dense slot layout per (method, β mask, ds/position).
+  //===------------------------------------------------------------------===//
+
+  void layoutSlots() {
+    uint32_t Next = 0;
+    for (MethodInfo &M : Rep->Methods) {
+      M.SlotBase = Next;
+      Next += (uint32_t(1) << M.Atoms.size()) * (M.NumValues + 1);
+    }
+    TotalSlots = Next;
+    Rows.assign(TotalSlots, {});
+    if (Stats)
+      Stats->RawSlots = TotalSlots;
+  }
+
+  uint32_t slot(uint32_t MethodIdx, uint32_t Mask, int32_t Pos) const {
+    return Rep->slotIndex(MethodIdx, Mask, Pos);
+  }
+
+  /// Whether a slot identifies a value access point (position) rather than
+  /// a ds point.
+  bool slotCarriesValue(uint32_t SlotId) const {
+    return slotPos(SlotId) >= 0;
+  }
+
+  uint32_t slotMethod(uint32_t SlotId) const {
+    uint32_t M = 0;
+    while (M + 1 < Rep->Methods.size() &&
+           Rep->Methods[M + 1].SlotBase <= SlotId)
+      ++M;
+    return M;
+  }
+
+  uint32_t slotMask(uint32_t SlotId) const {
+    uint32_t M = slotMethod(SlotId);
+    return (SlotId - Rep->Methods[M].SlotBase) /
+           (Rep->Methods[M].NumValues + 1);
+  }
+
+  int32_t slotPos(uint32_t SlotId) const {
+    uint32_t M = slotMethod(SlotId);
+    return static_cast<int32_t>((SlotId - Rep->Methods[M].SlotBase) %
+                                (Rep->Methods[M].NumValues + 1)) -
+           1;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Step 3: conflict relation via residuals ϕ[β1; β2].
+  //===------------------------------------------------------------------===//
+
+  /// Substitutes β values for the LB atoms of \p F and constant-folds.
+  /// By Lemma 6.4 the result is an LS formula.
+  FormulaPtr residual(const Formula &F, uint32_t MethodI, uint32_t Mask1,
+                      uint32_t MethodJ, uint32_t Mask2) const {
+    switch (F.kind()) {
+    case Formula::Kind::True:
+    case Formula::Kind::False:
+      return Formula::truth(F.isTrue());
+    case Formula::Kind::Atom: {
+      if (classifyAtom(F) == AtomClass::LS)
+        return Formula::atom(F.pred(), F.lhs(), F.rhs());
+      bool OnFirst = F.atomMentionsSide(Side::First);
+      CanonAtom Canon = normalizeAtom(F);
+      uint32_t Method = OnFirst ? MethodI : MethodJ;
+      uint32_t Mask = OnFirst ? Mask1 : Mask2;
+      auto Index = atomIndex(Method, Canon);
+      assert(Index && "LB atom missing from B(Phi, m)");
+      bool BaseValue = (Mask >> *Index) & 1;
+      return Formula::truth(BaseValue != Canon.Negated);
+    }
+    case Formula::Kind::Not: {
+      FormulaPtr Inner =
+          residual(*F.operand(), MethodI, Mask1, MethodJ, Mask2);
+      return Formula::notOf(std::move(Inner));
+    }
+    case Formula::Kind::And:
+      return Formula::andOf(residual(*F.left(), MethodI, Mask1, MethodJ, Mask2),
+                            residual(*F.right(), MethodI, Mask1, MethodJ, Mask2));
+    case Formula::Kind::Or:
+      return Formula::orOf(residual(*F.left(), MethodI, Mask1, MethodJ, Mask2),
+                           residual(*F.right(), MethodI, Mask1, MethodJ, Mask2));
+    }
+    return Formula::truth(false);
+  }
+
+  /// LS normal form of a residual: false, or a list of (i, j) disequality
+  /// conjuncts (empty = true). Returns false on malformed input.
+  bool normalForm(const FormulaPtr &F, bool &IsFalse,
+                  std::vector<std::pair<uint32_t, uint32_t>> &Conjuncts) const {
+    IsFalse = false;
+    Conjuncts.clear();
+    if (F->isFalse()) {
+      IsFalse = true;
+      return true;
+    }
+    return collectConjuncts(*F, Conjuncts);
+  }
+
+  bool collectConjuncts(
+      const Formula &F,
+      std::vector<std::pair<uint32_t, uint32_t>> &Conjuncts) const {
+    switch (F.kind()) {
+    case Formula::Kind::True:
+      return true;
+    case Formula::Kind::And:
+      return collectConjuncts(*F.left(), Conjuncts) &&
+             collectConjuncts(*F.right(), Conjuncts);
+    case Formula::Kind::Atom: {
+      if (classifyAtom(F) != AtomClass::LS)
+        return false;
+      const Term &L = F.lhs(), &R = F.rhs();
+      uint32_t I = L.side() == Side::First ? L.position() : R.position();
+      uint32_t J = L.side() == Side::First ? R.position() : L.position();
+      Conjuncts.emplace_back(I, J);
+      return true;
+    }
+    default:
+      return false; // Or/Not must not survive substitution in ECL.
+    }
+  }
+
+  void addConflict(uint32_t A, uint32_t B) {
+    Rows[A].push_back(B);
+    if (A != B)
+      Rows[B].push_back(A);
+  }
+
+  bool buildConflictRows() {
+    uint32_t NumMethods = static_cast<uint32_t>(Rep->Methods.size());
+    std::vector<std::pair<uint32_t, uint32_t>> Conjuncts;
+
+    for (uint32_t I = 0; I != NumMethods; ++I) {
+      for (uint32_t J = I; J != NumMethods; ++J) {
+        FormulaPtr F = Spec.commutesFormula(I, J);
+        if (!F)
+          F = Formula::truth(Spec.defaultCommutes().value_or(false));
+        if (F->isTrue())
+          continue; // Always commutes: no conflicts at all.
+
+        uint32_t Masks1 = uint32_t(1) << Rep->Methods[I].Atoms.size();
+        uint32_t Masks2 = uint32_t(1) << Rep->Methods[J].Atoms.size();
+        for (uint32_t B1 = 0; B1 != Masks1; ++B1) {
+          // For I == J the relation is symmetrized by addConflict, so the
+          // (B2, B1) enumeration would duplicate (B1, B2).
+          uint32_t B2Begin = I == J ? B1 : 0;
+          for (uint32_t B2 = B2Begin; B2 != Masks2; ++B2) {
+            FormulaPtr Res = residual(*F, I, B1, J, B2);
+            bool IsFalse = false;
+            if (!normalForm(Res, IsFalse, Conjuncts)) {
+              Diags.error({}, "internal: residual of phi[" +
+                                  std::string(Rep->Methods[I].Name.str()) +
+                                  ", " +
+                                  std::string(Rep->Methods[J].Name.str()) +
+                                  "] is not in LS normal form: " +
+                                  Res->toString());
+              return false;
+            }
+            if (IsFalse) {
+              addConflict(slot(I, B1, -1), slot(J, B2, -1));
+              continue;
+            }
+            for (auto [Pi, Pj] : Conjuncts)
+              addConflict(slot(I, B1, static_cast<int32_t>(Pi)),
+                          slot(J, B2, static_cast<int32_t>(Pj)));
+          }
+        }
+      }
+    }
+
+    for (std::vector<uint32_t> &Row : Rows) {
+      std::sort(Row.begin(), Row.end());
+      Row.erase(std::unique(Row.begin(), Row.end()), Row.end());
+    }
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Step 4: appendix A.3 simplification passes.
+  //===------------------------------------------------------------------===//
+
+  /// Dropping: per slot family (method, ds/position), keep only the β atoms
+  /// whose value influences the family's conflict rows; slots whose masks
+  /// agree on the relevant atoms are identified.
+  void computeDropping(std::vector<uint32_t> &Canon) const {
+    for (uint32_t M = 0, E = static_cast<uint32_t>(Rep->Methods.size());
+         M != E; ++M) {
+      const MethodInfo &Info = Rep->Methods[M];
+      uint32_t NumAtoms = static_cast<uint32_t>(Info.Atoms.size());
+      uint32_t NumMasks = uint32_t(1) << NumAtoms;
+      for (int32_t Pos = -1; Pos < static_cast<int32_t>(Info.NumValues);
+           ++Pos) {
+        uint32_t Relevant = 0;
+        for (uint32_t T = 0; T != NumAtoms; ++T) {
+          uint32_t Bit = uint32_t(1) << T;
+          for (uint32_t Mask = 0; Mask != NumMasks; ++Mask) {
+            if (Mask & Bit)
+              continue;
+            if (Rows[slot(M, Mask, Pos)] != Rows[slot(M, Mask | Bit, Pos)]) {
+              Relevant |= Bit;
+              break;
+            }
+          }
+        }
+        for (uint32_t Mask = 0; Mask != NumMasks; ++Mask)
+          Canon[slot(M, Mask, Pos)] = slot(M, Mask & Relevant, Pos);
+      }
+    }
+  }
+
+  void optimizeAndFinalize() {
+    // Canonical slot per slot; starts as identity.
+    std::vector<uint32_t> Canon(TotalSlots);
+    for (uint32_t S = 0; S != TotalSlots; ++S)
+      Canon[S] = S;
+    if (Options.DropIrrelevantAtoms)
+      computeDropping(Canon);
+
+    size_t NumReps = 0;
+    for (uint32_t S = 0; S != TotalSlots; ++S)
+      if (Canon[S] == S)
+        ++NumReps;
+    if (Stats)
+      Stats->SlotsAfterDropping = NumReps;
+
+    // Row of a representative, expressed over canonical slot ids.
+    auto canonicalRow = [&](uint32_t S) {
+      std::vector<uint32_t> Row;
+      Row.reserve(Rows[S].size());
+      for (uint32_t T : Rows[S])
+        Row.push_back(Canon[T]);
+      std::sort(Row.begin(), Row.end());
+      Row.erase(std::unique(Row.begin(), Row.end()), Row.end());
+      return Row;
+    };
+
+    // Replacement: merge congruent representatives (same kind, same row).
+    // With the pass disabled, every representative is its own class.
+    std::vector<uint32_t> ClassOf(TotalSlots, NoClass);
+    std::vector<uint32_t> ClassRep;
+    std::map<std::pair<bool, std::vector<uint32_t>>, uint32_t> Groups;
+    for (uint32_t S = 0; S != TotalSlots; ++S) {
+      if (Canon[S] != S)
+        continue;
+      if (Options.MergeCongruentSlots) {
+        auto Key = std::make_pair(slotCarriesValue(S), canonicalRow(S));
+        auto [It, Inserted] =
+            Groups.emplace(std::move(Key),
+                           static_cast<uint32_t>(ClassRep.size()));
+        if (Inserted)
+          ClassRep.push_back(S);
+        ClassOf[S] = It->second;
+      } else {
+        ClassOf[S] = static_cast<uint32_t>(ClassRep.size());
+        ClassRep.push_back(S);
+      }
+    }
+    if (Stats)
+      Stats->ClassesAfterMerging = ClassRep.size();
+
+    // Conflict rows per class.
+    std::vector<std::vector<uint32_t>> ClassRows(ClassRep.size());
+    for (uint32_t C = 0, E = static_cast<uint32_t>(ClassRep.size()); C != E;
+         ++C) {
+      for (uint32_t T : canonicalRow(ClassRep[C]))
+        ClassRows[C].push_back(ClassOf[T]);
+      std::sort(ClassRows[C].begin(), ClassRows[C].end());
+      ClassRows[C].erase(
+          std::unique(ClassRows[C].begin(), ClassRows[C].end()),
+          ClassRows[C].end());
+    }
+
+    // Cleanup: deactivate conflict-free classes and compact ids.
+    std::vector<uint32_t> Remap(ClassRep.size(), NoClass);
+    uint32_t Next = 0;
+    for (uint32_t C = 0, E = static_cast<uint32_t>(ClassRep.size()); C != E;
+         ++C) {
+      if (Options.RemoveConflictFree && ClassRows[C].empty())
+        continue;
+      Remap[C] = Next++;
+    }
+
+    Rep->Classes.resize(Next);
+    Rep->Conflicts.resize(Next);
+    for (uint32_t C = 0, E = static_cast<uint32_t>(ClassRep.size()); C != E;
+         ++C) {
+      if (Remap[C] == NoClass)
+        continue;
+      TranslatedRep::ClassInfo &Info = Rep->Classes[Remap[C]];
+      Info.CarriesValue = slotCarriesValue(ClassRep[C]);
+      Info.Name = slotName(ClassRep[C]);
+      std::vector<uint32_t> &Out = Rep->Conflicts[Remap[C]];
+      for (uint32_t T : ClassRows[C]) {
+        assert(Remap[T] != NoClass &&
+               "conflict partner removed by cleanup despite nonempty row");
+        Out.push_back(Remap[T]);
+      }
+    }
+
+    Rep->SlotToClass.assign(TotalSlots, NoClass);
+    for (uint32_t S = 0; S != TotalSlots; ++S) {
+      uint32_t C = ClassOf[Canon[S]];
+      Rep->SlotToClass[S] = C == NoClass ? NoClass : Remap[C];
+    }
+
+    if (Stats) {
+      Stats->FinalActiveClasses = Next;
+      for (const std::vector<uint32_t> &Row : Rep->Conflicts)
+        Stats->MaxConflictsPerClass =
+            std::max(Stats->MaxConflictsPerClass, Row.size());
+    }
+  }
+
+  /// Debug name for a slot, e.g. "put{x2 == x3}:1" or "size{}:ds".
+  std::string slotName(uint32_t SlotId) const {
+    uint32_t M = slotMethod(SlotId);
+    uint32_t Mask = slotMask(SlotId);
+    int32_t Pos = slotPos(SlotId);
+    const MethodInfo &Info = Rep->Methods[M];
+    std::ostringstream OS;
+    OS << Info.Name.str() << '{';
+    for (uint32_t T = 0, E = static_cast<uint32_t>(Info.Atoms.size()); T != E;
+         ++T) {
+      if (T)
+        OS << ',';
+      const CanonAtom &A = Info.Atoms[T];
+      bool Holds = (Mask >> T) & 1;
+      OS << (Holds ? "" : "!") << '('
+         << Formula::atom(A.Base, A.Lhs, A.Rhs)->toString() << ')';
+    }
+    OS << '}';
+    if (Pos < 0)
+      OS << ":ds";
+    else
+      OS << ':' << (Pos + 1);
+    return OS.str();
+  }
+
+  const ObjectSpec &Spec;
+  DiagnosticEngine &Diags;
+  TranslationOptions Options;
+  TranslationStats *Stats;
+  std::unique_ptr<TranslatedRep> Rep;
+  uint32_t TotalSlots = 0;
+  std::vector<std::vector<uint32_t>> Rows;
+};
+
+} // namespace crd
+
+std::unique_ptr<TranslatedRep>
+crd::translateSpec(const ObjectSpec &Spec, DiagnosticEngine &Diags,
+                   TranslationOptions Options, TranslationStats *Stats) {
+  TranslatorImpl Impl(Spec, Diags, Options, Stats);
+  return Impl.run();
+}

@@ -1,0 +1,129 @@
+//===- translate/Translator.h - ECL → access points (§6.2) ------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The translation procedure of paper §6.2 from ECL commutativity
+/// specifications to access point representations, plus the simplification
+/// passes of appendix A.3.
+///
+/// For every method m the translator determines the relevant normalized LB
+/// atoms B(Φ,m); an action's β vector is the bitmask of their truth values.
+/// Raw access points ("slots") are laid out densely per (method, β mask,
+/// position-or-ds). The conflict relation is computed by enumerating all
+/// (β1, β2) pairs per method pair and simplifying the residual ϕ[β1;β2] to
+/// its LS normal form (Lemma 6.4):
+///
+///   rule 1: residual ≡ false        → the two ds slots conflict
+///   rule 2: residual has x_i ≠ y_j  → value slots (i, j) conflict on
+///                                     equal values
+///
+/// Optimizer passes (appendix A.3):
+///   * dropping:    projects each slot family's β mask onto the atoms that
+///                  actually influence its conflicts (subsumes the
+///                  consolidation step);
+///   * replacement: merges congruent slots (identical conflict rows);
+///   * cleanup:     deactivates slots that conflict with nothing.
+///
+/// The result is a TranslatedRep whose per-class conflict lists are bounded
+/// by the specification size (Theorem 6.6), independent of the execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_TRANSLATE_TRANSLATOR_H
+#define CRD_TRANSLATE_TRANSLATOR_H
+
+#include "access/Provider.h"
+#include "spec/Fragment.h"
+#include "spec/Spec.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace crd {
+
+/// Which appendix A.3 passes to run. All enabled by default; disabling them
+/// is useful for the ablation benchmarks and for testing pass-by-pass.
+struct TranslationOptions {
+  bool DropIrrelevantAtoms = true;
+  bool MergeCongruentSlots = true;
+  bool RemoveConflictFree = true;
+};
+
+/// Size accounting before/after each pass.
+struct TranslationStats {
+  size_t RawSlots = 0;
+  size_t SlotsAfterDropping = 0;
+  size_t ClassesAfterMerging = 0;
+  size_t FinalActiveClasses = 0;
+  size_t MaxConflictsPerClass = 0; ///< Theorem 6.6 bound witness.
+};
+
+/// Access point representation generated from an ECL specification.
+class TranslatedRep : public AccessPointProvider {
+public:
+  size_t numClasses() const override { return Classes.size(); }
+  bool classCarriesValue(uint32_t ClassId) const override;
+  const std::vector<uint32_t> &conflictsOf(uint32_t ClassId) const override;
+  void touches(const Action &A, std::vector<AccessPoint> &Out) const override;
+  std::string className(uint32_t ClassId) const override;
+
+  /// The β vector (as a bitmask over B(Φ,m)) of an action of method
+  /// \p MethodIdx with flattened values \p Values. Exposed for tests that
+  /// mirror the paper's worked example.
+  uint32_t betaMask(uint32_t MethodIdx, std::span<const Value> Values) const;
+
+  /// The normalized atoms B(Φ,m) of a method, in mask-bit order.
+  const std::vector<CanonAtom> &methodAtoms(uint32_t MethodIdx) const;
+
+  /// Number of methods (mirrors the source specification).
+  size_t numMethods() const { return Methods.size(); }
+
+private:
+  friend class TranslatorImpl;
+
+  static constexpr uint32_t NoClass = ~0u;
+
+  struct MethodInfo {
+    Symbol Name;
+    uint32_t NumValues = 0;
+    uint32_t SlotBase = 0; ///< First slot of this method's dense block.
+    std::vector<CanonAtom> Atoms;
+  };
+
+  struct ClassInfo {
+    bool CarriesValue = false;
+    std::string Name;
+  };
+
+  /// Dense slot index of (method, mask, position); Pos == -1 means ds.
+  uint32_t slotIndex(uint32_t MethodIdx, uint32_t Mask, int32_t Pos) const {
+    const MethodInfo &M = Methods[MethodIdx];
+    return M.SlotBase + Mask * (M.NumValues + 1) +
+           static_cast<uint32_t>(Pos + 1);
+  }
+
+  std::vector<MethodInfo> Methods;
+  std::map<Symbol, uint32_t> MethodIndexByName;
+  std::vector<uint32_t> SlotToClass; ///< NoClass = never touched.
+  std::vector<ClassInfo> Classes;
+  std::vector<std::vector<uint32_t>> Conflicts;
+};
+
+/// Translates \p Spec (which must be in ECL) into an access point
+/// representation. On failure (non-ECL formula, too many atoms per method)
+/// reports into \p Diags and returns nullptr. Method pairs without a
+/// formula are treated as never commuting (constant false), matching
+/// ObjectSpec::commute.
+std::unique_ptr<TranslatedRep>
+translateSpec(const ObjectSpec &Spec, DiagnosticEngine &Diags,
+              TranslationOptions Options = {},
+              TranslationStats *Stats = nullptr);
+
+} // namespace crd
+
+#endif // CRD_TRANSLATE_TRANSLATOR_H

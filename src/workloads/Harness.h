@@ -1,0 +1,55 @@
+//===- workloads/Harness.h - Table 2 measurement harness --------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the evaluation workloads in the paper's three configurations
+/// (uninstrumented, FASTTRACK, RD2), measuring throughput and collecting
+/// race counts — the machinery behind Table 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_WORKLOADS_HARNESS_H
+#define CRD_WORKLOADS_HARNESS_H
+
+#include "workloads/PolePosition.h"
+#include "workloads/Snitch.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crd {
+
+/// The three configurations of Table 2.
+enum class AnalysisMode { Uninstrumented, FastTrack, RD2 };
+
+const char *modeName(AnalysisMode M);
+
+/// One measurement (one Table 2 cell group).
+struct RunResult {
+  std::string Benchmark;
+  AnalysisMode Mode = AnalysisMode::Uninstrumented;
+  size_t Queries = 0;
+  double Seconds = 0.0;
+  double Qps = 0.0;
+  size_t RacesTotal = 0;
+  size_t RacesDistinct = 0; ///< Distinct objects (RD2) / variables (FT).
+};
+
+/// Runs one H2 PolePosition circuit under \p Mode. Fresh runtime, store and
+/// detector per call; deterministic given Config.Seed.
+RunResult runH2Circuit(Circuit C, AnalysisMode Mode,
+                       const CircuitConfig &Config);
+
+/// Runs the Cassandra DynamicEndpointSnitch test under \p Mode.
+RunResult runSnitchTest(AnalysisMode Mode, const SnitchConfig &Config);
+
+/// Renders results as a Table 2-shaped text table.
+void printTable2(std::ostream &OS, const std::vector<RunResult> &Results);
+
+} // namespace crd
+
+#endif // CRD_WORKLOADS_HARNESS_H

@@ -1,0 +1,67 @@
+//===- workloads/MVStore.cpp - Simplified H2 MVStore --------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/MVStore.h"
+
+using namespace crd;
+
+MVStore::MVStore(SimRuntime &RT)
+    : Data(RT), Chunks(RT), FreedPageSpace(RT), CurrentVersion(RT, 0),
+      CacheHits(RT, 0), UnsavedMemory(RT, 0) {}
+
+void MVStore::put(SimThread &T, const Value &Key, const Value &Val) {
+  Data.put(T, Key, Val);
+  // Racy bookkeeping of unsaved memory (read-modify-write on a plain field).
+  UnsavedMemory.store(T, UnsavedMemory.load(T) + 16);
+}
+
+Value MVStore::get(SimThread &T, const Value &Key) {
+  Value Result = Data.get(T, Key);
+  // Racy cache statistics, as kept by the H2 page cache.
+  CacheHits.store(T, CacheHits.load(T) + 1);
+  return Result;
+}
+
+int64_t MVStore::count(SimThread &T) { return Data.size(T); }
+
+void MVStore::commit(SimThread &T) {
+  // A commit is intended to be atomic — mark it so the atomicity checker
+  // can judge whether concurrent commits tear it.
+  T.txBegin();
+  // Unlocked read of the version counter (H2 keeps currentVersion in a
+  // plain long on the hot path).
+  int64_t Version = CurrentVersion.load(T);
+  int64_t ChunkId = Version / VersionsPerChunk;
+  Value ChunkKey = Value::integer(ChunkId);
+
+  // Check-then-act on the chunks map: if the chunk metadata is absent,
+  // "compute" it and store it. Two concurrent commits for the same chunk
+  // both see nil and both compute — §7's harmful race #2. The computation
+  // is expensive, so it completes in a later scheduler step, giving
+  // concurrent commits room to interleave.
+  Value Existing = Chunks.get(T, ChunkKey);
+  T.defer([this, ChunkKey, Existing, Version](SimThread &T2) {
+    if (Existing.isNil())
+      Chunks.put(T2, ChunkKey, Value::integer(Version));
+
+    // Read-modify-write on freedPageSpace: accumulate freed bytes for the
+    // chunk. Concurrent commits can lose updates — §7's harmful race #1.
+    Value Freed = FreedPageSpace.get(T2, ChunkKey);
+    int64_t FreedBytes = Freed.isNil() ? 0 : Freed.asInt();
+    FreedPageSpace.put(T2, ChunkKey, Value::integer(FreedBytes + 64));
+
+    CurrentVersion.store(T2, Version + 1);
+    UnsavedMemory.store(T2, 0);
+    T2.txEnd();
+  });
+}
+
+void MVStore::maintenanceTick(SimThread &T) {
+  // Only racy plain-field traffic: flush decision based on unsaved memory.
+  if (UnsavedMemory.load(T) > 1024)
+    UnsavedMemory.store(T, 0);
+  CacheHits.load(T);
+}

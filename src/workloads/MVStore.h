@@ -1,0 +1,77 @@
+//===- workloads/MVStore.h - Simplified H2 MVStore --------------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simplified re-creation of the H2 database's Multi-Version Store — the
+/// substrate of the paper's H2 experiments (§7). We model the parts the
+/// reported races live in:
+///
+///   * `chunks`         — ConcurrentHashMap from chunk id to chunk metadata.
+///     Commit uses a get-then-put (check-then-act) pattern, so two
+///     concurrent commits can compute the same chunk metadata twice —
+///     harmful commutativity race #2 of §7.
+///   * `freedPageSpace` — ConcurrentHashMap from chunk id to freed bytes.
+///     Concurrent read-modify-write updates can lose increments — harmful
+///     commutativity race #1 of §7.
+///   * `data`           — the user-visible key/value map queries operate on.
+///   * racy cached statistics fields (version counter, cache hits) that the
+///     low-level FastTrack detector flags.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_WORKLOADS_MVSTORE_H
+#define CRD_WORKLOADS_MVSTORE_H
+
+#include "runtime/InstrumentedMap.h"
+#include "runtime/SimRuntime.h"
+
+namespace crd {
+
+/// Simplified multi-version store over instrumented concurrent hash maps.
+class MVStore {
+public:
+  explicit MVStore(SimRuntime &RT);
+
+  /// Stores \p Val under \p Key in the user data map and bumps the (racy)
+  /// write counter.
+  void put(SimThread &T, const Value &Key, const Value &Val);
+
+  /// Reads \p Key from the user data map, updating the (racy) cache-hit
+  /// statistic.
+  Value get(SimThread &T, const Value &Key);
+
+  /// Number of live keys (data map size()).
+  int64_t count(SimThread &T);
+
+  /// Commits the current version: allocates/updates chunk metadata with a
+  /// get-then-put on `chunks` and accumulates into `freedPageSpace` with a
+  /// get-then-put read-modify-write. Both patterns race when commits run
+  /// concurrently.
+  void commit(SimThread &T);
+
+  /// Background-maintenance heartbeat touching only the racy statistics
+  /// fields (no map actions). Gives the low-level detector something to
+  /// find even in single-threaded circuits.
+  void maintenanceTick(SimThread &T);
+
+  InstrumentedMap &dataMap() { return Data; }
+  InstrumentedMap &chunksMap() { return Chunks; }
+  InstrumentedMap &freedPageSpaceMap() { return FreedPageSpace; }
+
+private:
+  static constexpr int64_t VersionsPerChunk = 4;
+
+  InstrumentedMap Data;
+  InstrumentedMap Chunks;
+  InstrumentedMap FreedPageSpace;
+  SharedField CurrentVersion;
+  SharedField CacheHits;
+  SharedField UnsavedMemory;
+};
+
+} // namespace crd
+
+#endif // CRD_WORKLOADS_MVSTORE_H

@@ -1,0 +1,263 @@
+//===- workloads/PolePosition.cpp - PolePosition circuits ---------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/PolePosition.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace crd;
+
+const char *crd::circuitName(Circuit C) {
+  switch (C) {
+  case Circuit::ComplexConcurrency:
+    return "ComplexConcurrency";
+  case Circuit::ComplexConcurrencyAlt:
+    return "ComplexConcurrency (alternate query distrib.)";
+  case Circuit::QueryCentricConcurrency:
+    return "QueryCentricConcurrency";
+  case Circuit::InsertCentricConcurrency:
+    return "InsertCentricConcurrency";
+  case Circuit::Complex:
+    return "Complex";
+  case Circuit::NestedLists:
+    return "NestedLists";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Appends \p Count steps to \p Tid, each invoking Body(thread, iteration).
+void scheduleLoop(SimRuntime &RT, ThreadId Tid, unsigned Count,
+                  std::function<void(SimThread &, unsigned)> Body) {
+  for (unsigned I = 0; I != Count; ++I)
+    RT.schedule(Tid, [Body, I](SimThread &T) { Body(T, I); });
+}
+
+Value hotKey(uint64_t I) {
+  return Value::string("hot" + std::to_string(I));
+}
+
+Value itemKey(uint64_t I) {
+  return Value::string("item" + std::to_string(I));
+}
+
+/// Per-circuit racy statistics fields; the low-level detector's fodder.
+struct CircuitStats {
+  explicit CircuitStats(SimRuntime &RT)
+      : QueriesExecuted(RT), RowsTouched(RT), PeakLatency(RT),
+        LastQueryTime(RT) {}
+
+  void recordQuery(SimThread &T, int64_t Rows) {
+    QueriesExecuted.store(T, QueriesExecuted.load(T) + 1);
+    RowsTouched.store(T, RowsTouched.load(T) + Rows);
+    int64_t Now = QueriesExecuted.load(T);
+    if (Now > PeakLatency.load(T))
+      PeakLatency.store(T, Now);
+    LastQueryTime.store(T, Now);
+  }
+
+  SharedField QueriesExecuted;
+  SharedField RowsTouched;
+  SharedField PeakLatency;
+  SharedField LastQueryTime;
+};
+
+/// Shared builder for the two concurrent mixed-workload circuits; the
+/// distribution is (get%, put%, commit%) out of 100, the remainder polls
+/// size().
+size_t buildMixedConcurrency(SimRuntime &RT, MVStore &Store,
+                             const CircuitConfig &Config, unsigned GetPct,
+                             unsigned PutPct, unsigned CommitPct) {
+  constexpr unsigned HotKeys = 16;
+  auto Stats = std::make_shared<CircuitStats>(RT);
+  ThreadId Main = RT.addInitialThread();
+
+  // Preload the hot range so gets have something to observe.
+  RT.schedule(Main, [&Store](SimThread &T) {
+    for (uint64_t K = 0; K != HotKeys; ++K)
+      Store.put(T, hotKey(K), Value::integer(static_cast<int64_t>(K)));
+  });
+
+  auto Workers = std::make_shared<std::vector<ThreadId>>();
+  RT.schedule(Main, [&RT, &Store, Config, Workers, Stats, GetPct, PutPct,
+                     CommitPct](SimThread &T) {
+    for (unsigned W = 0; W != Config.WorkerThreads; ++W) {
+      ThreadId Tid = T.fork([](SimThread &) {});
+      Workers->push_back(Tid);
+      scheduleLoop(RT, Tid, Config.QueriesPerWorker,
+                   [&Store, Stats, GetPct, PutPct, CommitPct](SimThread &T,
+                                                              unsigned Q) {
+                     uint64_t Dice = T.random(100);
+                     uint64_t Key = T.random(HotKeys);
+                     if (Dice < GetPct) {
+                       Store.get(T, hotKey(Key));
+                       Stats->recordQuery(T, 1);
+                     } else if (Dice < GetPct + PutPct) {
+                       Store.put(T, hotKey(Key),
+                                 Value::integer(static_cast<int64_t>(Q)));
+                       Stats->recordQuery(T, 1);
+                     } else if (Dice < GetPct + PutPct + CommitPct) {
+                       Store.commit(T);
+                       Stats->recordQuery(T, 0);
+                     } else {
+                       Store.count(T);
+                       Stats->recordQuery(T, 0);
+                     }
+                   });
+    }
+  });
+
+  // Poll the table size concurrently with the workers.
+  constexpr unsigned Polls = 8;
+  scheduleLoop(RT, Main, Polls,
+               [&Store](SimThread &T, unsigned) { Store.count(T); });
+
+  // Join every worker, then report the final count.
+  for (unsigned W = 0; W != Config.WorkerThreads; ++W)
+    RT.schedule(Main, [Workers, W](SimThread &T) { T.join((*Workers)[W]); });
+  RT.schedule(Main, [&Store](SimThread &T) { Store.count(T); });
+
+  return static_cast<size_t>(Config.WorkerThreads) * Config.QueriesPerWorker +
+         Polls + 1;
+}
+
+size_t buildQueryCentric(SimRuntime &RT, MVStore &Store,
+                         const CircuitConfig &Config) {
+  auto Stats = std::make_shared<CircuitStats>(RT);
+  ThreadId Main = RT.addInitialThread();
+  unsigned PerWorker = Config.QueriesPerWorker;
+
+  // Preload disjoint per-worker ranges before any worker exists, so the
+  // fork orders the setup writes before the workers' reads.
+  RT.schedule(Main, [&Store, Config, PerWorker](SimThread &T) {
+    for (uint64_t K = 0,
+                  E = uint64_t(Config.WorkerThreads) * PerWorker;
+         K != E; ++K)
+      Store.put(T, itemKey(K), Value::integer(static_cast<int64_t>(K)));
+  });
+
+  auto Workers = std::make_shared<std::vector<ThreadId>>();
+  RT.schedule(Main, [&RT, &Store, Config, Workers, Stats,
+                     PerWorker](SimThread &T) {
+    for (unsigned W = 0; W != Config.WorkerThreads; ++W) {
+      ThreadId Tid = T.fork([](SimThread &) {});
+      Workers->push_back(Tid);
+      uint64_t Base = uint64_t(W) * PerWorker;
+      scheduleLoop(RT, Tid, PerWorker,
+                   [&Store, Stats, Base](SimThread &T, unsigned Q) {
+                     Store.get(T, itemKey(Base + Q));
+                     Stats->recordQuery(T, 1);
+                   });
+    }
+  });
+
+  for (unsigned W = 0; W != Config.WorkerThreads; ++W)
+    RT.schedule(Main, [Workers, W](SimThread &T) { T.join((*Workers)[W]); });
+  RT.schedule(Main, [&Store](SimThread &T) { Store.count(T); });
+
+  return static_cast<size_t>(Config.WorkerThreads) * PerWorker + 1;
+}
+
+size_t buildInsertCentric(SimRuntime &RT, MVStore &Store,
+                          const CircuitConfig &Config) {
+  auto Stats = std::make_shared<CircuitStats>(RT);
+  ThreadId Main = RT.addInitialThread();
+  unsigned PerWorker = Config.QueriesPerWorker;
+
+  auto Workers = std::make_shared<std::vector<ThreadId>>();
+  RT.schedule(Main, [&RT, &Store, Config, Workers, Stats,
+                     PerWorker](SimThread &T) {
+    for (unsigned W = 0; W != Config.WorkerThreads; ++W) {
+      ThreadId Tid = T.fork([](SimThread &) {});
+      Workers->push_back(Tid);
+      uint64_t Base = uint64_t(W) * PerWorker;
+      scheduleLoop(
+          RT, Tid, PerWorker,
+          [&Store, Stats, Base](SimThread &T, unsigned Q) {
+            // Mostly disjoint inserts; every 50th insert also refreshes a
+            // shared summary row, where the inserts collide.
+            Store.put(T, itemKey(Base + Q),
+                      Value::integer(static_cast<int64_t>(Q)));
+            if (Q % 50 == 0)
+              Store.put(T, Value::string("summary"),
+                        Value::integer(static_cast<int64_t>(Base + Q)));
+            Stats->recordQuery(T, 1);
+          });
+    }
+  });
+
+  for (unsigned W = 0; W != Config.WorkerThreads; ++W)
+    RT.schedule(Main, [Workers, W](SimThread &T) { T.join((*Workers)[W]); });
+  RT.schedule(Main, [&Store](SimThread &T) { Store.count(T); });
+
+  return static_cast<size_t>(Config.WorkerThreads) * PerWorker + 1;
+}
+
+/// Shared builder for the two single-threaded circuits: the main thread
+/// issues every query; a maintenance thread touches only racy statistics
+/// fields, so FastTrack has races to report but the commutativity detector
+/// does not.
+size_t buildSingleThreaded(SimRuntime &RT, MVStore &Store,
+                           const CircuitConfig &Config, bool Nested) {
+  ThreadId Main = RT.addInitialThread();
+  unsigned Queries = Config.QueriesPerWorker * Config.WorkerThreads;
+
+  auto Maintenance = std::make_shared<ThreadId>();
+  RT.schedule(Main, [&RT, &Store, Queries, Maintenance](SimThread &T) {
+    *Maintenance = T.fork([](SimThread &) {});
+    scheduleLoop(RT, *Maintenance, Queries / 4,
+                 [&Store](SimThread &T, unsigned) { Store.maintenanceTick(T); });
+  });
+
+  scheduleLoop(RT, Main, Queries, [&Store, Nested](SimThread &T, unsigned Q) {
+    if (Nested) {
+      // Build and read back a small nested list: parent row plus children.
+      uint64_t List = Q;
+      Store.put(T, itemKey(List * 8), Value::string("parent"));
+      for (uint64_t C = 1; C != 4; ++C)
+        Store.put(T, itemKey(List * 8 + C),
+                  Value::integer(static_cast<int64_t>(C)));
+      Store.get(T, itemKey(List * 8));
+      return;
+    }
+    // Complex circuit: point update, point read, occasional commit.
+    Store.put(T, hotKey(Q % 32), Value::integer(Q));
+    Store.get(T, hotKey((Q + 7) % 32));
+    if (Q % 64 == 0)
+      Store.commit(T);
+  });
+
+  RT.schedule(Main, [Maintenance](SimThread &T) { T.join(*Maintenance); });
+  RT.schedule(Main, [&Store](SimThread &T) { Store.count(T); });
+  return Queries + 1;
+}
+
+} // namespace
+
+size_t crd::buildCircuit(Circuit C, SimRuntime &RT, MVStore &Store,
+                         const CircuitConfig &Config) {
+  switch (C) {
+  case Circuit::ComplexConcurrency:
+    return buildMixedConcurrency(RT, Store, Config, /*GetPct=*/55,
+                                 /*PutPct=*/35, /*CommitPct=*/5);
+  case Circuit::ComplexConcurrencyAlt:
+    return buildMixedConcurrency(RT, Store, Config, /*GetPct=*/20,
+                                 /*PutPct=*/70, /*CommitPct=*/5);
+  case Circuit::QueryCentricConcurrency:
+    return buildQueryCentric(RT, Store, Config);
+  case Circuit::InsertCentricConcurrency:
+    return buildInsertCentric(RT, Store, Config);
+  case Circuit::Complex:
+    return buildSingleThreaded(RT, Store, Config, /*Nested=*/false);
+  case Circuit::NestedLists:
+    return buildSingleThreaded(RT, Store, Config, /*Nested=*/true);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- workloads/PolePosition.h - PolePosition circuits ---------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-creations of the PolePosition benchmark "circuits" the paper drives
+/// the H2 database with (§7, Table 2). Each circuit builds a program on a
+/// SimRuntime against an MVStore and reports how many logical queries it
+/// will execute (the numerator of the qps metric).
+///
+/// Circuit characters (matching the paper's descriptions and the race
+/// profile of Table 2):
+///   * ComplexConcurrency      — mixed reads/writes on a hot key range,
+///     periodic commits and size polling; commutativity races expected.
+///   * ComplexConcurrencyAlt   — same with an alternate query distribution.
+///   * QueryCentricConcurrency — concurrent reads of disjoint preloaded
+///     data; no commutativity races, only low-level counter races.
+///   * InsertCentricConcurrency— concurrent inserts into mostly disjoint
+///     ranges with a small overlapping window; few commutativity races.
+///   * Complex, NestedLists    — single-threaded query streams plus a
+///     maintenance thread touching racy statistics fields; low-level races
+///     only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_WORKLOADS_POLEPOSITION_H
+#define CRD_WORKLOADS_POLEPOSITION_H
+
+#include "workloads/MVStore.h"
+
+#include <array>
+#include <cstddef>
+
+namespace crd {
+
+/// The benchmark circuits of Table 2's H2 block.
+enum class Circuit {
+  ComplexConcurrency,
+  ComplexConcurrencyAlt,
+  QueryCentricConcurrency,
+  InsertCentricConcurrency,
+  Complex,
+  NestedLists,
+};
+
+/// All circuits in Table 2 order.
+inline constexpr std::array<Circuit, 6> AllCircuits = {
+    Circuit::ComplexConcurrency,      Circuit::ComplexConcurrencyAlt,
+    Circuit::QueryCentricConcurrency, Circuit::InsertCentricConcurrency,
+    Circuit::Complex,                 Circuit::NestedLists,
+};
+
+/// Human-readable circuit name as printed in Table 2.
+const char *circuitName(Circuit C);
+
+/// Workload sizing knobs.
+struct CircuitConfig {
+  unsigned WorkerThreads = 4;
+  unsigned QueriesPerWorker = 250;
+  uint64_t Seed = 1;
+};
+
+/// Builds the circuit program on \p RT (threads, queries, joins).
+/// \returns the number of logical queries the program will execute.
+size_t buildCircuit(Circuit C, SimRuntime &RT, MVStore &Store,
+                    const CircuitConfig &Config);
+
+} // namespace crd
+
+#endif // CRD_WORKLOADS_POLEPOSITION_H

@@ -1,0 +1,64 @@
+//===- workloads/QueueWorkload.cpp - producer/consumer extension --------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/QueueWorkload.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+using namespace crd;
+
+namespace {
+
+void scheduleLoop(SimRuntime &RT, ThreadId Tid, unsigned Count,
+                  std::function<void(SimThread &, unsigned)> Body) {
+  for (unsigned I = 0; I != Count; ++I)
+    RT.schedule(Tid, [Body, I](SimThread &T) { Body(T, I); });
+}
+
+} // namespace
+
+size_t crd::buildTaskQueue(SimRuntime &RT, InstrumentedQueue &Jobs,
+                           const QueueWorkloadConfig &Config) {
+  ThreadId Main = RT.addInitialThread();
+
+  auto Threads = std::make_shared<std::vector<ThreadId>>();
+  RT.schedule(Main, [&RT, &Jobs, Config, Threads](SimThread &T) {
+    for (unsigned P = 0; P != Config.Producers; ++P) {
+      ThreadId Tid = T.fork([](SimThread &) {});
+      Threads->push_back(Tid);
+      scheduleLoop(RT, Tid, Config.JobsPerProducer,
+                   [&Jobs, P](SimThread &T2, unsigned J) {
+                     Jobs.enq(T2, Value::integer(
+                                      static_cast<int64_t>(P) * 1000 + J));
+                   });
+    }
+    for (unsigned C = 0; C != Config.Consumers; ++C) {
+      ThreadId Tid = T.fork([](SimThread &) {});
+      Threads->push_back(Tid);
+      unsigned Share = Config.Producers * Config.JobsPerProducer /
+                       (Config.Consumers ? Config.Consumers : 1);
+      scheduleLoop(RT, Tid, Share, [&Jobs](SimThread &T2, unsigned) {
+        Jobs.deq(T2); // Empty dequeues are fine: the job just isn't there yet.
+      });
+    }
+    ThreadId Monitor = T.fork([](SimThread &) {});
+    Threads->push_back(Monitor);
+    scheduleLoop(RT, Monitor, Config.MonitorPeeks,
+                 [&Jobs](SimThread &T2, unsigned) { Jobs.peek(T2); });
+  });
+
+  unsigned Total = Config.Producers + Config.Consumers + 1;
+  for (unsigned I = 0; I != Total; ++I)
+    RT.schedule(Main, [Threads, I](SimThread &T) { T.join((*Threads)[I]); });
+  RT.schedule(Main, [&Jobs](SimThread &T) { Jobs.peek(T); });
+
+  return static_cast<size_t>(Config.Producers) * Config.JobsPerProducer +
+         static_cast<size_t>(Config.Producers) * Config.JobsPerProducer /
+             (Config.Consumers ? Config.Consumers : 1) * Config.Consumers +
+         Config.MonitorPeeks + 1;
+}

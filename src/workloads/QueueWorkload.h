@@ -1,0 +1,42 @@
+//===- workloads/QueueWorkload.h - producer/consumer extension --*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An extension workload over the FIFO queue type: producer threads
+/// enqueue jobs, consumer threads dequeue and "execute" them, and a
+/// monitor thread peeks at the head as a progress heuristic. Queues are
+/// the least commutative builtin type, so almost every concurrent
+/// operation pair is a commutativity race — the workload demonstrates
+/// that the detector's report volume tracks the *specification*, not just
+/// the amount of sharing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_WORKLOADS_QUEUEWORKLOAD_H
+#define CRD_WORKLOADS_QUEUEWORKLOAD_H
+
+#include "runtime/InstrumentedQueue.h"
+#include "runtime/SimRuntime.h"
+
+namespace crd {
+
+/// Sizing knobs for the task-queue workload.
+struct QueueWorkloadConfig {
+  unsigned Producers = 2;
+  unsigned Consumers = 2;
+  unsigned JobsPerProducer = 100;
+  unsigned MonitorPeeks = 20;
+  uint64_t Seed = 1;
+};
+
+/// Builds the task-queue program on \p RT.
+/// \returns the number of logical operations scheduled.
+size_t buildTaskQueue(SimRuntime &RT, InstrumentedQueue &Jobs,
+                      const QueueWorkloadConfig &Config);
+
+} // namespace crd
+
+#endif // CRD_WORKLOADS_QUEUEWORKLOAD_H

@@ -1,0 +1,59 @@
+//===- workloads/SetWorkload.cpp - set-based extension workload ---------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SetWorkload.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+using namespace crd;
+
+namespace {
+
+void scheduleLoop(SimRuntime &RT, ThreadId Tid, unsigned Count,
+                  std::function<void(SimThread &, unsigned)> Body) {
+  for (unsigned I = 0; I != Count; ++I)
+    RT.schedule(Tid, [Body, I](SimThread &T) { Body(T, I); });
+}
+
+} // namespace
+
+size_t crd::buildUniqueVisitors(SimRuntime &RT, InstrumentedSet &Visitors,
+                                const SetWorkloadConfig &Config) {
+  ThreadId Main = RT.addInitialThread();
+
+  auto Threads = std::make_shared<std::vector<ThreadId>>();
+  RT.schedule(Main, [&RT, &Visitors, Config, Threads](SimThread &T) {
+    for (unsigned W = 0; W != Config.WriterThreads; ++W) {
+      ThreadId Tid = T.fork([](SimThread &) {});
+      Threads->push_back(Tid);
+      scheduleLoop(RT, Tid, Config.AddsPerWriter,
+                   [&Visitors, Config](SimThread &T2, unsigned) {
+                     int64_t Visitor = static_cast<int64_t>(
+                         T2.random(Config.VisitorRange));
+                     Visitors.add(T2, Value::integer(Visitor));
+                   });
+    }
+    // The reporter polls size() concurrently with the writers.
+    ThreadId Reporter = T.fork([](SimThread &) {});
+    Threads->push_back(Reporter);
+    unsigned Polls =
+        Config.WriterThreads * Config.AddsPerWriter / Config.ReportEvery;
+    scheduleLoop(RT, Reporter, Polls,
+                 [&Visitors](SimThread &T2, unsigned) { Visitors.size(T2); });
+  });
+
+  unsigned Total = Config.WriterThreads + 1;
+  for (unsigned I = 0; I != Total; ++I)
+    RT.schedule(Main, [Threads, I](SimThread &T) { T.join((*Threads)[I]); });
+  RT.schedule(Main, [&Visitors](SimThread &T) { Visitors.size(T); });
+
+  return static_cast<size_t>(Config.WriterThreads) * Config.AddsPerWriter +
+         static_cast<size_t>(Config.WriterThreads) * Config.AddsPerWriter /
+             Config.ReportEvery +
+         1;
+}

@@ -1,0 +1,40 @@
+//===- workloads/SetWorkload.h - set-based extension workload ---*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An extension workload (not in the paper's Table 2) exercising the *set*
+/// specification — the type the paper highlights as expressible in ECL but
+/// not in SIMPLE. Writer threads record visitor ids into a shared
+/// instrumented set (duplicates happen) while a reporter thread
+/// periodically reads size() — the Fig 1 pattern on a set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_WORKLOADS_SETWORKLOAD_H
+#define CRD_WORKLOADS_SETWORKLOAD_H
+
+#include "runtime/InstrumentedSet.h"
+#include "runtime/SimRuntime.h"
+
+namespace crd {
+
+/// Sizing knobs for the unique-visitors workload.
+struct SetWorkloadConfig {
+  unsigned WriterThreads = 4;
+  unsigned AddsPerWriter = 250;
+  unsigned VisitorRange = 64; ///< Ids drawn from [0, VisitorRange).
+  unsigned ReportEvery = 50;  ///< Reporter polls size() this often.
+  uint64_t Seed = 1;
+};
+
+/// Builds the unique-visitors program on \p RT.
+/// \returns the number of logical operations.
+size_t buildUniqueVisitors(SimRuntime &RT, InstrumentedSet &Visitors,
+                           const SetWorkloadConfig &Config);
+
+} // namespace crd
+
+#endif // CRD_WORKLOADS_SETWORKLOAD_H

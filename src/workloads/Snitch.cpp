@@ -1,0 +1,91 @@
+//===- workloads/Snitch.cpp - Cassandra DynamicEndpointSnitch -----------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Snitch.h"
+
+#include <memory>
+#include <string>
+
+using namespace crd;
+
+DynamicEndpointSnitch::DynamicEndpointSnitch(SimRuntime &RT, unsigned NumHosts)
+    : Samples(RT), ScoresVersion(RT, 0) {
+  Hosts.reserve(NumHosts);
+  for (unsigned I = 0; I != NumHosts; ++I)
+    Hosts.push_back(Value::string("10.0.0." + std::to_string(I)));
+}
+
+void DynamicEndpointSnitch::receiveTiming(SimThread &T, unsigned HostIdx,
+                                          int64_t LatencyMicros) {
+  const Value &Host = Hosts[HostIdx % Hosts.size()];
+  // Get-then-put read-modify-write of the decaying average; the first
+  // timing for a host inserts a new entry (resizing the map).
+  Value Current = Samples.get(T, Host);
+  int64_t Average =
+      Current.isNil() ? LatencyMicros : (Current.asInt() * 3 + LatencyMicros) / 4;
+  Samples.put(T, Host, Value::integer(Average));
+}
+
+void DynamicEndpointSnitch::updateScores(SimThread &T) {
+  // Rank recalculation is intended to see one consistent snapshot.
+  T.txBegin();
+  // The size is used as a performance hint for the rank buffer — the
+  // §7 race: new entries may be added while it is read. Scoring the hosts
+  // takes a while, so it completes in a later scheduler step.
+  int64_t Hint = Samples.size(T);
+  (void)Hint;
+  T.defer([this](SimThread &T2) {
+    for (const Value &Host : Hosts)
+      Samples.get(T2, Host);
+    ScoresVersion.store(T2, ScoresVersion.load(T2) + 1);
+    T2.txEnd();
+  });
+}
+
+namespace {
+
+void scheduleLoop(SimRuntime &RT, ThreadId Tid, unsigned Count,
+                  std::function<void(SimThread &, unsigned)> Body) {
+  for (unsigned I = 0; I != Count; ++I)
+    RT.schedule(Tid, [Body, I](SimThread &T) { Body(T, I); });
+}
+
+} // namespace
+
+size_t crd::buildSnitchTest(SimRuntime &RT, DynamicEndpointSnitch &Snitch,
+                            const SnitchConfig &Config) {
+  ThreadId Main = RT.addInitialThread();
+
+  auto Threads = std::make_shared<std::vector<ThreadId>>();
+  RT.schedule(Main, [&RT, &Snitch, Config, Threads](SimThread &T) {
+    for (unsigned U = 0; U != Config.UpdaterThreads; ++U) {
+      ThreadId Tid = T.fork([](SimThread &) {});
+      Threads->push_back(Tid);
+      scheduleLoop(RT, Tid, Config.TimingsPerUpdater,
+                   [&Snitch, Config](SimThread &T, unsigned I) {
+                     unsigned Host =
+                         static_cast<unsigned>(T.random(Config.Hosts));
+                     Snitch.receiveTiming(T, Host,
+                                          static_cast<int64_t>(100 + I % 37));
+                   });
+    }
+    // The scoring task runs concurrently with the updaters.
+    ThreadId Scorer = T.fork([](SimThread &) {});
+    Threads->push_back(Scorer);
+    scheduleLoop(RT, Scorer, Config.ScoreRecalcs,
+                 [&Snitch](SimThread &T, unsigned) { Snitch.updateScores(T); });
+  });
+
+  unsigned Total = Config.UpdaterThreads + 1;
+  for (unsigned I = 0; I != Total; ++I)
+    RT.schedule(Main, [Threads, I](SimThread &T) { T.join((*Threads)[I]); });
+  RT.schedule(Main,
+              [&Snitch](SimThread &T) { Snitch.samplesMap().size(T); });
+
+  return static_cast<size_t>(Config.UpdaterThreads) *
+             Config.TimingsPerUpdater +
+         Config.ScoreRecalcs + 1;
+}

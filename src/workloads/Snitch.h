@@ -1,0 +1,65 @@
+//===- workloads/Snitch.h - Cassandra DynamicEndpointSnitch -----*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A re-creation of Apache Cassandra's DynamicEndpointSnitch test (§7,
+/// Table 2's last row): nodes continuously report request latencies into a
+/// `samples` ConcurrentHashMap while a scoring task recalculates node ranks,
+/// using samples.size() as a performance hint. New entries can be added
+/// while the size is concurrently read — §7's harmful race #3 — and the
+/// per-host sample updates are get-then-put read-modify-writes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_WORKLOADS_SNITCH_H
+#define CRD_WORKLOADS_SNITCH_H
+
+#include "runtime/InstrumentedMap.h"
+#include "runtime/SimRuntime.h"
+
+#include <vector>
+
+namespace crd {
+
+/// Simplified dynamic snitch: latency samples and rank recalculation.
+class DynamicEndpointSnitch {
+public:
+  explicit DynamicEndpointSnitch(SimRuntime &RT, unsigned NumHosts);
+
+  /// A node reports one latency measurement for \p HostIdx: get-then-put on
+  /// the samples map (exponentially decaying average).
+  void receiveTiming(SimThread &T, unsigned HostIdx, int64_t LatencyMicros);
+
+  /// Recalculates scores: reads samples.size() as a capacity hint, then
+  /// reads every known host's aggregate.
+  void updateScores(SimThread &T);
+
+  InstrumentedMap &samplesMap() { return Samples; }
+  unsigned numHosts() const { return static_cast<unsigned>(Hosts.size()); }
+
+private:
+  InstrumentedMap Samples;
+  SharedField ScoresVersion;
+  std::vector<Value> Hosts;
+};
+
+/// Workload sizing knobs for the snitch test.
+struct SnitchConfig {
+  unsigned Hosts = 10;
+  unsigned UpdaterThreads = 4;
+  unsigned TimingsPerUpdater = 250;
+  unsigned ScoreRecalcs = 50;
+  uint64_t Seed = 1;
+};
+
+/// Builds the DynamicEndpointSnitch test program on \p RT.
+/// \returns the number of logical operations (timings + recalcs).
+size_t buildSnitchTest(SimRuntime &RT, DynamicEndpointSnitch &Snitch,
+                       const SnitchConfig &Config);
+
+} // namespace crd
+
+#endif // CRD_WORKLOADS_SNITCH_H

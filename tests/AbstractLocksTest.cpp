@@ -1,0 +1,192 @@
+//===- tests/AbstractLocksTest.cpp - abstract lock manager tests --------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "locks/AbstractLockManager.h"
+#include "spec/Builtins.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+Action put(std::string_view K, int64_t V, Value P = Value::nil()) {
+  return Action(ObjectId(1), symbol("put"),
+                {Value::string(K), Value::integer(V)}, P);
+}
+Action get(std::string_view K, Value V = Value::nil()) {
+  return Action(ObjectId(1), symbol("get"), {Value::string(K)}, V);
+}
+Action size(int64_t R) {
+  return Action(ObjectId(1), symbol("size"), {}, Value::integer(R));
+}
+
+} // namespace
+
+TEST(AbstractLockTest, CommutingActionsShareTheObject) {
+  DictionaryRep Rep;
+  AbstractLockManager Locks(Rep);
+  // Two transactions writing different keys coexist.
+  EXPECT_TRUE(Locks.tryAcquire(1, put("a", 1)));
+  EXPECT_TRUE(Locks.tryAcquire(2, put("b", 2)));
+  EXPECT_EQ(Locks.conflictsObserved(), 0u);
+}
+
+TEST(AbstractLockTest, ConflictingWritesExclude) {
+  DictionaryRep Rep;
+  AbstractLockManager Locks(Rep);
+  EXPECT_TRUE(Locks.tryAcquire(1, put("a", 1)));
+  EXPECT_FALSE(Locks.tryAcquire(2, put("a", 2, Value::integer(1))));
+  EXPECT_EQ(Locks.conflictsObserved(), 1u);
+  // After Tx1 commits (releases), Tx2 can proceed.
+  Locks.releaseAll(1);
+  EXPECT_TRUE(Locks.tryAcquire(2, put("a", 2, Value::integer(1))));
+}
+
+TEST(AbstractLockTest, ReadersShareWritersExclude) {
+  DictionaryRep Rep;
+  AbstractLockManager Locks(Rep);
+  // Two readers of the same key coexist (r:k does not self-conflict).
+  EXPECT_TRUE(Locks.tryAcquire(1, get("a")));
+  EXPECT_TRUE(Locks.tryAcquire(2, get("a")));
+  // A writer of that key is blocked by both.
+  EXPECT_FALSE(Locks.tryAcquire(3, put("a", 1)));
+  Locks.releaseAll(1);
+  EXPECT_FALSE(Locks.tryAcquire(3, put("a", 1))); // Tx2 still reads.
+  Locks.releaseAll(2);
+  EXPECT_TRUE(Locks.tryAcquire(3, put("a", 1)));
+}
+
+TEST(AbstractLockTest, SizeBlocksResizersOnly) {
+  DictionaryRep Rep;
+  AbstractLockManager Locks(Rep);
+  EXPECT_TRUE(Locks.tryAcquire(1, size(3)));
+  // An overwrite does not resize: allowed concurrently with size().
+  EXPECT_TRUE(Locks.tryAcquire(2, put("a", 2, Value::integer(1))));
+  // A fresh insert resizes: blocked.
+  EXPECT_FALSE(Locks.tryAcquire(3, put("b", 1)));
+  Locks.releaseAll(1);
+  EXPECT_TRUE(Locks.tryAcquire(3, put("b", 1)));
+}
+
+TEST(AbstractLockTest, ReacquireIsIdempotent) {
+  DictionaryRep Rep;
+  AbstractLockManager Locks(Rep);
+  EXPECT_TRUE(Locks.tryAcquire(1, put("a", 1)));
+  size_t HeldBefore = Locks.heldBy(1);
+  EXPECT_TRUE(Locks.tryAcquire(1, put("a", 2, Value::integer(1))));
+  EXPECT_EQ(Locks.heldBy(1), HeldBefore); // w:a already held.
+  EXPECT_TRUE(Locks.tryAcquire(1, get("a", Value::integer(2))));
+  EXPECT_EQ(Locks.heldBy(1), HeldBefore + 1); // r:a newly taken.
+}
+
+TEST(AbstractLockTest, ReleaseAllClearsBookkeeping) {
+  DictionaryRep Rep;
+  AbstractLockManager Locks(Rep);
+  EXPECT_TRUE(Locks.tryAcquire(1, put("a", 1)));
+  EXPECT_TRUE(Locks.tryAcquire(1, put("b", 1)));
+  EXPECT_GT(Locks.totalHeldPoints(), 0u);
+  Locks.releaseAll(1);
+  EXPECT_EQ(Locks.totalHeldPoints(), 0u);
+  EXPECT_EQ(Locks.heldBy(1), 0u);
+  // Releasing an unknown transaction is a no-op.
+  Locks.releaseAll(42);
+}
+
+TEST(AbstractLockTest, FailedAcquireTakesNothing) {
+  DictionaryRep Rep;
+  AbstractLockManager Locks(Rep);
+  EXPECT_TRUE(Locks.tryAcquire(1, size(3)));
+  // Tx2's fresh insert touches w:b AND resize; resize conflicts with the
+  // held size — the whole acquisition must fail atomically.
+  EXPECT_FALSE(Locks.tryAcquire(2, put("b", 1)));
+  EXPECT_EQ(Locks.heldBy(2), 0u);
+  // In particular w:b must NOT be held: a third transaction can take it.
+  Locks.releaseAll(1);
+  EXPECT_TRUE(Locks.tryAcquire(3, put("b", 1)));
+}
+
+TEST(AbstractLockTest, WorksWithTranslatedRepresentations) {
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(setSpec(), Diags);
+  ASSERT_TRUE(Rep) << Diags.toString();
+  AbstractLockManager Locks(*Rep);
+
+  auto Add = [](std::string_view K, bool Changed) {
+    return Action(ObjectId(0), symbol("add"), {Value::string(K)},
+                  Value::boolean(Changed));
+  };
+  auto SizeA = [](int64_t N) {
+    return Action(ObjectId(0), symbol("size"), {}, Value::integer(N));
+  };
+
+  EXPECT_TRUE(Locks.tryAcquire(1, Add("x", true)));
+  EXPECT_FALSE(Locks.tryAcquire(2, Add("x", false))); // Same element.
+  EXPECT_TRUE(Locks.tryAcquire(2, Add("y", true)));   // Different element.
+  EXPECT_FALSE(Locks.tryAcquire(3, SizeA(2))); // Both adds changed the set.
+  Locks.releaseAll(1);
+  Locks.releaseAll(2);
+  EXPECT_TRUE(Locks.tryAcquire(3, SizeA(2)));
+}
+
+TEST(AbstractLockTest, BoostedTransactionsScenario) {
+  // A miniature transactional-boosting executor: transactions acquire
+  // abstract locks per operation, retrying (after the blocker commits)
+  // on conflict — the §2 "optimistic concurrency" use of access points.
+  DictionaryRep Rep;
+  AbstractLockManager Locks(Rep);
+
+  struct Tx {
+    TxId Id;
+    std::vector<Action> Ops;
+    size_t Next = 0;
+    unsigned Retries = 0;
+  };
+  std::vector<Tx> Txs = {
+      {1, {get("acct", Value::integer(100)), put("acct", 150, Value::integer(100))}, 0, 0},
+      {2, {get("acct", Value::integer(100)), put("acct", 80, Value::integer(100))}, 0, 0},
+      {3, {put("log", 1)}, 0, 0},
+  };
+
+  // Round-robin scheduler with retry-on-conflict; abort = release + restart.
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (Tx &T : Txs) {
+      if (T.Next == T.Ops.size())
+        continue;
+      if (Locks.tryAcquire(T.Id, T.Ops[T.Next])) {
+        ++T.Next;
+        if (T.Next == T.Ops.size())
+          Locks.releaseAll(T.Id); // Commit.
+      } else {
+        // Abort and restart from scratch.
+        Locks.releaseAll(T.Id);
+        T.Next = 0;
+        ++T.Retries;
+      }
+      Progress = true;
+      if (T.Retries > 10) // Livelock guard for the test.
+        T.Next = T.Ops.size();
+    }
+    bool AllDone = true;
+    for (const Tx &T : Txs)
+      AllDone &= T.Next == T.Ops.size();
+    if (AllDone)
+      break;
+  }
+
+  // Everyone finished; the "log" transaction never conflicted with the
+  // account transactions, and the two account transactions conflicted at
+  // least once with each other.
+  for (const Tx &T : Txs)
+    EXPECT_EQ(T.Next, T.Ops.size()) << "transaction " << T.Id;
+  EXPECT_EQ(Txs[2].Retries, 0u);
+  EXPECT_GT(Txs[0].Retries + Txs[1].Retries, 0u);
+  EXPECT_EQ(Locks.totalHeldPoints(), 0u);
+}

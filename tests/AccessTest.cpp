@@ -1,0 +1,151 @@
+//===- tests/AccessTest.cpp - access point representation tests ---------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+Action put(std::string_view K, Value V, Value P) {
+  return Action(ObjectId(1), symbol("put"), {Value::string(K), V}, P);
+}
+Action get(std::string_view K, Value V) {
+  return Action(ObjectId(1), symbol("get"), {Value::string(K)}, V);
+}
+Action size(int64_t R) {
+  return Action(ObjectId(1), symbol("size"), {}, Value::integer(R));
+}
+
+std::vector<AccessPoint> touch(const AccessPointProvider &P, const Action &A) {
+  std::vector<AccessPoint> Out;
+  P.touches(A, Out);
+  return Out;
+}
+
+} // namespace
+
+TEST(AccessPointTest, EqualityAndHashing) {
+  AccessPoint A = AccessPoint::withValue(1, Value::string("k"));
+  AccessPoint B = AccessPoint::withValue(1, Value::string("k"));
+  AccessPoint C = AccessPoint::withValue(1, Value::string("j"));
+  AccessPoint D = AccessPoint::plain(1);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, D);
+  EXPECT_NE(AccessPoint::plain(1), AccessPoint::plain(2));
+}
+
+TEST(DictionaryRepTest, TouchesMatchFig7b) {
+  DictionaryRep Rep;
+
+  // Fresh insert: value changed and size changed -> {o:w:k, o:resize}.
+  auto Insert = touch(Rep, put("a.com", Value::integer(1), Value::nil()));
+  ASSERT_EQ(Insert.size(), 2u);
+  EXPECT_EQ(Insert[0],
+            AccessPoint::withValue(DictionaryRep::Write, Value::string("a.com")));
+  EXPECT_EQ(Insert[1], AccessPoint::plain(DictionaryRep::Resize));
+
+  // Overwrite: value changed, size unchanged -> {o:w:k}.
+  auto Overwrite =
+      touch(Rep, put("a.com", Value::integer(2), Value::integer(1)));
+  ASSERT_EQ(Overwrite.size(), 1u);
+  EXPECT_EQ(Overwrite[0].ClassId, uint32_t(DictionaryRep::Write));
+
+  // Removal (store nil over a present key) resizes.
+  auto Remove = touch(Rep, put("a.com", Value::nil(), Value::integer(2)));
+  ASSERT_EQ(Remove.size(), 2u);
+  EXPECT_EQ(Remove[1], AccessPoint::plain(DictionaryRep::Resize));
+
+  // No-op put (v = p) is a read -> {o:r:k}.
+  auto Noop = touch(Rep, put("a.com", Value::integer(2), Value::integer(2)));
+  ASSERT_EQ(Noop.size(), 1u);
+  EXPECT_EQ(Noop[0].ClassId, uint32_t(DictionaryRep::Read));
+
+  // get -> {o:r:k}; size -> {o:size}.
+  auto Get = touch(Rep, get("a.com", Value::integer(2)));
+  ASSERT_EQ(Get.size(), 1u);
+  EXPECT_EQ(Get[0].ClassId, uint32_t(DictionaryRep::Read));
+  auto Size = touch(Rep, size(1));
+  ASSERT_EQ(Size.size(), 1u);
+  EXPECT_EQ(Size[0], AccessPoint::plain(DictionaryRep::Size));
+}
+
+TEST(DictionaryRepTest, ConflictMatrixMatchesFig7c) {
+  DictionaryRep Rep;
+  auto Conflicts = [&](uint32_t C) { return Rep.conflictsOf(C); };
+  EXPECT_EQ(Conflicts(DictionaryRep::Read),
+            std::vector<uint32_t>{DictionaryRep::Write});
+  EXPECT_EQ(Conflicts(DictionaryRep::Write),
+            (std::vector<uint32_t>{DictionaryRep::Read, DictionaryRep::Write}));
+  EXPECT_EQ(Conflicts(DictionaryRep::Size),
+            std::vector<uint32_t>{DictionaryRep::Resize});
+  EXPECT_EQ(Conflicts(DictionaryRep::Resize),
+            std::vector<uint32_t>{DictionaryRep::Size});
+}
+
+TEST(DictionaryRepTest, PointConflictsRespectValues) {
+  DictionaryRep Rep;
+  AccessPoint WriteA =
+      AccessPoint::withValue(DictionaryRep::Write, Value::string("a"));
+  AccessPoint WriteA2 =
+      AccessPoint::withValue(DictionaryRep::Write, Value::string("a"));
+  AccessPoint WriteB =
+      AccessPoint::withValue(DictionaryRep::Write, Value::string("b"));
+  AccessPoint ReadA =
+      AccessPoint::withValue(DictionaryRep::Read, Value::string("a"));
+
+  EXPECT_TRUE(pointsConflict(Rep, WriteA, WriteA2)); // w:k self-conflicts.
+  EXPECT_FALSE(pointsConflict(Rep, WriteA, WriteB)); // Different keys.
+  EXPECT_TRUE(pointsConflict(Rep, WriteA, ReadA));
+  EXPECT_TRUE(pointsConflict(Rep, ReadA, WriteA));
+  EXPECT_FALSE(pointsConflict(Rep, ReadA, ReadA)); // r:k does not self-conflict.
+
+  AccessPoint SizePt = AccessPoint::plain(DictionaryRep::Size);
+  AccessPoint ResizePt = AccessPoint::plain(DictionaryRep::Resize);
+  EXPECT_TRUE(pointsConflict(Rep, SizePt, ResizePt));
+  EXPECT_FALSE(pointsConflict(Rep, SizePt, SizePt));
+  EXPECT_FALSE(pointsConflict(Rep, ResizePt, ResizePt));
+}
+
+TEST(DictionaryRepTest, ActionsConflictExamplesFromFig4) {
+  DictionaryRep Rep;
+  // Fig 4: every fresh put conflicts with size() (via resize/size) ...
+  EXPECT_TRUE(actionsConflict(Rep,
+                              put("a.com", Value::integer(1), Value::nil()),
+                              size(3)));
+  // ... but an overwrite does not affect size().
+  EXPECT_FALSE(actionsConflict(
+      Rep, put("a.com", Value::integer(2), Value::integer(1)), size(3)));
+  // Two fresh puts to different keys conflict only through resize? No —
+  // resize does not conflict with itself, and the keys differ.
+  EXPECT_FALSE(actionsConflict(
+      Rep, put("a.com", Value::integer(1), Value::nil()),
+      put("b.com", Value::integer(2), Value::nil())));
+  // Same key: conflict.
+  EXPECT_TRUE(actionsConflict(
+      Rep, put("a.com", Value::integer(1), Value::nil()),
+      put("a.com", Value::integer(2), Value::integer(1))));
+}
+
+TEST(DictionaryRepTest, ClassNames) {
+  DictionaryRep Rep;
+  EXPECT_EQ(Rep.className(DictionaryRep::Read), "o:r:k");
+  EXPECT_EQ(Rep.className(DictionaryRep::Write), "o:w:k");
+  EXPECT_EQ(Rep.className(DictionaryRep::Size), "o:size");
+  EXPECT_EQ(Rep.className(DictionaryRep::Resize), "o:resize");
+}
+
+TEST(DictionaryRepTest, CarryingFlags) {
+  DictionaryRep Rep;
+  EXPECT_TRUE(Rep.classCarriesValue(DictionaryRep::Read));
+  EXPECT_TRUE(Rep.classCarriesValue(DictionaryRep::Write));
+  EXPECT_FALSE(Rep.classCarriesValue(DictionaryRep::Size));
+  EXPECT_FALSE(Rep.classCarriesValue(DictionaryRep::Resize));
+}

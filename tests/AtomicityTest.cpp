@@ -1,0 +1,252 @@
+//===- tests/AtomicityTest.cpp - commutativity-aware atomicity tests ----------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "detect/AtomicityChecker.h"
+#include "trace/TraceBuilder.h"
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+Value str(std::string_view S) { return Value::string(S); }
+Value num(int64_t I) { return Value::integer(I); }
+
+DictionaryRep &dictRep() {
+  static DictionaryRep Rep;
+  return Rep;
+}
+
+std::vector<AtomicityViolation> check(const Trace &T) {
+  AtomicityChecker Checker;
+  Checker.setDefaultProvider(&dictRep());
+  return Checker.check(T);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Transaction events in the trace model
+//===----------------------------------------------------------------------===//
+
+TEST(TxEventTest, PrintAndParseRoundTrip) {
+  Trace T = TraceBuilder()
+                .txBegin(0)
+                .invoke(0, 1, "get", {str("k")}, Value::nil())
+                .txEnd(0)
+                .take();
+  std::string Text = traceToString(T);
+  EXPECT_NE(Text.find("T0: txbegin"), std::string::npos);
+  EXPECT_NE(Text.find("T0: txend"), std::string::npos);
+  DiagnosticEngine Diags;
+  auto Parsed = parseTrace(Text, Diags);
+  ASSERT_TRUE(Parsed) << Diags.toString();
+  EXPECT_EQ(traceToString(*Parsed), Text);
+}
+
+TEST(TxEventTest, ValidatorRejectsNestingAndStrayEnd) {
+  DiagnosticEngine D1;
+  EXPECT_FALSE(TraceBuilder().txBegin(0).txBegin(0).take().validate(D1));
+  DiagnosticEngine D2;
+  EXPECT_FALSE(TraceBuilder().txEnd(0).take().validate(D2));
+  DiagnosticEngine D3;
+  EXPECT_TRUE(TraceBuilder()
+                  .txBegin(0)
+                  .txEnd(0)
+                  .txBegin(0)
+                  .txEnd(0)
+                  .take()
+                  .validate(D3));
+}
+
+//===----------------------------------------------------------------------===//
+// AtomicityChecker
+//===----------------------------------------------------------------------===//
+
+TEST(AtomicityTest, ClassicCheckThenActViolation) {
+  // T0 atomically does get(k) then put(k); T1's put(k) lands in between.
+  // The cycle: T0's block -> T1 (get before T1's put, conflicting) and
+  // T1 -> T0's block (T1's put before T0's put, conflicting).
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .txBegin(0)
+                .invoke(0, 1, "get", {str("k")}, Value::nil())
+                .invoke(1, 1, "put", {str("k"), num(1)}, Value::nil())
+                .invoke(0, 1, "put", {str("k"), num(2)}, num(1))
+                .txEnd(0)
+                .take();
+  auto Violations = check(T);
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_EQ(Violations[0].Thread, ThreadId(0));
+  EXPECT_FALSE(Violations[0].CycleEvents.empty());
+  EXPECT_NE(Violations[0].toString().find("not conflict-serializable"),
+            std::string::npos);
+}
+
+TEST(AtomicityTest, CommutingInterleavingIsSerializable) {
+  // Same shape, but T1 touches a DIFFERENT key: with commutativity
+  // conflicts there is no edge at all, so the block is serializable. (A
+  // read/write-level atomicity checker on the map's internals would still
+  // complain — the whole point of the generalization.)
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .txBegin(0)
+                .invoke(0, 1, "get", {str("k")}, Value::nil())
+                .invoke(1, 1, "put", {str("other"), num(1)}, Value::nil())
+                .invoke(0, 1, "put", {str("k"), num(2)}, Value::nil())
+                .txEnd(0)
+                .take();
+  EXPECT_TRUE(check(T).empty());
+}
+
+TEST(AtomicityTest, NoopInterleavedPutIsSerializable) {
+  // T1's interleaved put is a no-op (v == p): it commutes with both of
+  // T0's operations, so no cycle forms even on the same key.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .txBegin(0)
+                .invoke(0, 1, "get", {str("k")}, num(7))
+                .invoke(1, 1, "put", {str("k"), num(7)}, num(7))
+                .invoke(0, 1, "put", {str("k"), num(8)}, num(7))
+                .txEnd(0)
+                .take();
+  EXPECT_TRUE(check(T).empty());
+}
+
+TEST(AtomicityTest, SerializableBeforeOrAfter) {
+  // T1's conflicting put happens entirely before the block: only one edge
+  // direction, no cycle.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .invoke(1, 1, "put", {str("k"), num(1)}, Value::nil())
+                .txBegin(0)
+                .invoke(0, 1, "get", {str("k")}, num(1))
+                .invoke(0, 1, "put", {str("k"), num(2)}, num(1))
+                .txEnd(0)
+                .take();
+  EXPECT_TRUE(check(T).empty());
+}
+
+TEST(AtomicityTest, TwoBlocksCanBothBeUnserializable) {
+  // Two atomic read-modify-write blocks interleave crosswise.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .txBegin(0)
+                .txBegin(1)
+                .invoke(0, 1, "get", {str("k")}, Value::nil())
+                .invoke(1, 1, "get", {str("k")}, Value::nil())
+                .invoke(0, 1, "put", {str("k"), num(1)}, Value::nil())
+                .invoke(1, 1, "put", {str("k"), num(2)}, num(1))
+                .txEnd(0)
+                .txEnd(1)
+                .take();
+  auto Violations = check(T);
+  EXPECT_EQ(Violations.size(), 2u);
+}
+
+TEST(AtomicityTest, UnaryEventsNeverReported) {
+  // A plain commutativity race without atomic blocks is not an atomicity
+  // violation (there is a conflict edge but no cycle through a block).
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .invoke(0, 1, "put", {str("k"), num(1)}, Value::nil())
+                .invoke(1, 1, "put", {str("k"), num(2)}, num(1))
+                .take();
+  EXPECT_TRUE(check(T).empty());
+}
+
+TEST(AtomicityTest, LockProtectedBlocksAreSerializable) {
+  // Both threads take the same lock around their read-modify-write: the
+  // sync edges orient all conflicts one way.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .txBegin(0)
+                .acquire(0, 0)
+                .invoke(0, 1, "get", {str("k")}, Value::nil())
+                .invoke(0, 1, "put", {str("k"), num(1)}, Value::nil())
+                .release(0, 0)
+                .txEnd(0)
+                .txBegin(1)
+                .acquire(1, 0)
+                .invoke(1, 1, "get", {str("k")}, num(1))
+                .invoke(1, 1, "put", {str("k"), num(2)}, num(1))
+                .release(1, 0)
+                .txEnd(1)
+                .take();
+  EXPECT_TRUE(check(T).empty());
+}
+
+TEST(AtomicityTest, MemoryConflictModeReproducesVelodromeFalseAlarm) {
+  // The paper's critique of read/write-level atomicity checkers made
+  // concrete: a block of commuting map operations interleaved with
+  // another thread's commuting operation on the SAME internal memory
+  // (the shared size counter / bucket region). At the commutativity level
+  // the block is serializable; with Velodrome-style memory conflicts the
+  // shared counter creates a cycle — a false alarm.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .txBegin(0)
+                // T0's put on key "a": bucket write + size-counter write.
+                .write(0, 10) // bucket region of "a"
+                .write(0, 99) // shared size counter
+                .invoke(0, 1, "put", {str("a"), num(1)}, Value::nil())
+                // T1's put on key "b": different bucket, same size counter.
+                .write(1, 11)
+                .write(1, 99)
+                .invoke(1, 1, "put", {str("b"), num(2)}, Value::nil())
+                // Second half of T0's block: another counter update.
+                .write(0, 99)
+                .invoke(0, 1, "put", {str("c"), num(3)}, Value::nil())
+                .txEnd(0)
+                .take();
+
+  // Commutativity-level: all three puts touch distinct keys; resize does
+  // not conflict with itself -> serializable.
+  AtomicityChecker Commutative;
+  Commutative.setDefaultProvider(&dictRep());
+  EXPECT_TRUE(Commutative.check(T).empty());
+
+  // Memory-level: V99 write-write conflicts run T0 -> T1 -> T0: cycle.
+  AtomicityChecker Velodrome;
+  Velodrome.setDefaultProvider(&dictRep());
+  Velodrome.setIncludeMemoryConflicts(true);
+  EXPECT_EQ(Velodrome.check(T).size(), 1u);
+}
+
+TEST(AtomicityTest, MemoryConflictModeStillCatchesRealViolations) {
+  // A genuine violation is caught in both modes.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .txBegin(0)
+                .invoke(0, 1, "get", {str("k")}, Value::nil())
+                .invoke(1, 1, "put", {str("k"), num(1)}, Value::nil())
+                .invoke(0, 1, "put", {str("k"), num(2)}, num(1))
+                .txEnd(0)
+                .take();
+  AtomicityChecker Checker;
+  Checker.setDefaultProvider(&dictRep());
+  Checker.setIncludeMemoryConflicts(true);
+  EXPECT_EQ(Checker.check(T).size(), 1u);
+}
+
+TEST(AtomicityTest, SizeObserverBreaksBulkInsertBlock) {
+  // A block inserting two fresh keys is torn by a concurrent size()
+  // observation between the inserts (resize conflicts with size).
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .txBegin(0)
+                .invoke(0, 1, "put", {str("a"), num(1)}, Value::nil())
+                .invoke(1, 1, "size", {}, num(1))
+                .invoke(0, 1, "put", {str("b"), num(2)}, Value::nil())
+                .txEnd(0)
+                .take();
+  auto Violations = check(T);
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_EQ(Violations[0].Thread, ThreadId(0));
+}

@@ -1,0 +1,162 @@
+//===- tests/DetectStressTest.cpp - detector stress and scale tests -----------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "detect/CommutativityDetector.h"
+#include "detect/FastTrack.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+DictionaryRep &dictRep() {
+  static DictionaryRep Rep;
+  return Rep;
+}
+
+} // namespace
+
+TEST(DetectStressTest, ManyObjectsIndependentState) {
+  // 500 objects, two threads each putting to its own object: per-object
+  // races only where keys collide.
+  TraceBuilder TB;
+  TB.fork(0, 1);
+  const unsigned Objects = 500;
+  for (unsigned O = 0; O != Objects; ++O) {
+    // Even objects: same key from both threads (race). Odd: disjoint keys.
+    TB.invoke(0, O, "put", {Value::integer(O % 2 ? 1 : 7), Value::integer(1)},
+              Value::nil());
+    TB.invoke(1, O, "put", {Value::integer(O % 2 ? 2 : 7), Value::integer(2)},
+              O % 2 ? Value::nil() : Value::integer(1));
+  }
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&dictRep());
+  Detector.processTrace(TB.take());
+  EXPECT_EQ(Detector.races().size(), Objects / 2);
+  EXPECT_EQ(Detector.distinctRacyObjects(), Objects / 2);
+}
+
+TEST(DetectStressTest, ReclamationScalesDown) {
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&dictRep());
+  const unsigned Objects = 200;
+  for (unsigned O = 0; O != Objects; ++O)
+    Detector.process(Event::invoke(
+        ThreadId(0), Action(ObjectId(O), symbol("put"),
+                            {Value::integer(1), Value::integer(1)},
+                            Value::nil())));
+  size_t Before = Detector.activePointCount();
+  EXPECT_GE(Before, Objects); // At least one point per object.
+  for (unsigned O = 0; O != Objects; O += 2)
+    Detector.objectDied(ObjectId(O));
+  EXPECT_LE(Detector.activePointCount(), Before / 2);
+}
+
+TEST(DetectStressTest, DeepForkChain) {
+  // Thread i forks i+1; the last two threads race on a key. Vector clocks
+  // grow to ~200 components; the detector must still order correctly.
+  TraceBuilder TB;
+  const uint32_t Depth = 200;
+  for (uint32_t I = 0; I + 1 <= Depth; ++I)
+    TB.fork(I, I + 1);
+  // The fork chain orders ancestors before descendants: no race between
+  // thread 0's action and the deepest thread's action on the same key...
+  TB.invoke(0, 1, "put", {Value::string("k"), Value::integer(1)},
+            Value::nil());
+  // ...wait: thread 0's put happens *after* all forks in trace order, and
+  // thread Depth's put below is unordered with it (the chain ordered only
+  // the fork prefix). So these two DO race.
+  TB.invoke(Depth, 1, "put", {Value::string("k"), Value::integer(2)},
+            Value::integer(1));
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&dictRep());
+  Detector.processTrace(TB.take());
+  EXPECT_EQ(Detector.races().size(), 1u);
+
+  // Ordered variant: the deepest thread's put after its own fork-chain
+  // prefix vs an ancestor's put *before* forking it.
+  TraceBuilder TB2;
+  TB2.invoke(0, 1, "put", {Value::string("k"), Value::integer(1)},
+             Value::nil());
+  for (uint32_t I = 0; I + 1 <= Depth; ++I)
+    TB2.fork(I, I + 1);
+  TB2.invoke(Depth, 1, "put", {Value::string("k"), Value::integer(2)},
+             Value::integer(1));
+  CommutativityRaceDetector Detector2;
+  Detector2.setDefaultProvider(&dictRep());
+  Detector2.processTrace(TB2.take());
+  EXPECT_TRUE(Detector2.races().empty());
+}
+
+TEST(DetectStressTest, LockPingPongLongTrace) {
+  // Two threads alternate a lock around same-key puts for thousands of
+  // iterations: never a race, and the active set stays at two points.
+  TraceBuilder TB;
+  TB.fork(0, 1);
+  int64_t Counter = 0;
+  for (unsigned I = 0; I != 2000; ++I) {
+    uint32_t Tid = I % 2;
+    TB.acquire(Tid, 0);
+    TB.invoke(Tid, 1, "put", {Value::string("k"), Value::integer(Counter + 1)},
+              Counter == 0 ? Value::nil() : Value::integer(Counter));
+    ++Counter;
+    TB.release(Tid, 0);
+  }
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&dictRep());
+  Detector.processTrace(TB.take());
+  EXPECT_TRUE(Detector.races().empty());
+  // One w:k point plus the first put's resize point.
+  EXPECT_EQ(Detector.activePointCount(), 2u);
+}
+
+TEST(DetectStressTest, FastTrackManyVarsManyThreads) {
+  TraceBuilder TB;
+  const uint32_t Threads = 8;
+  for (uint32_t T = 1; T != Threads; ++T)
+    TB.fork(0, T);
+  for (unsigned I = 0; I != 4000; ++I) {
+    uint32_t Tid = I % Threads;
+    uint32_t Var = (I * 7) % 60;
+    // Each var is written only by (var % Threads): no write-write races,
+    // but plenty of read traffic.
+    if (Var % Threads == Tid)
+      TB.write(Tid, Var);
+    else
+      TB.read(Tid, Var);
+  }
+  FastTrackDetector Detector;
+  Detector.processTrace(TB.take());
+  // Reads of vars written by other threads race with those writes.
+  EXPECT_GT(Detector.races().size(), 0u);
+  EXPECT_LE(Detector.distinctRacyVars(), 64u);
+}
+
+TEST(DetectStressTest, MixedSyncPatternsStayPrecise) {
+  // A braided pattern: locks, forks and joins interleaved; the final
+  // read-modify-write is fully ordered, so no race anywhere.
+  TraceBuilder TB;
+  TB.fork(0, 1).fork(0, 2);
+  TB.acquire(1, 0);
+  TB.invoke(1, 1, "put", {Value::string("a"), Value::integer(1)},
+            Value::nil());
+  TB.release(1, 0);
+  TB.acquire(2, 0);
+  TB.invoke(2, 1, "put", {Value::string("a"), Value::integer(2)},
+            Value::integer(1));
+  TB.release(2, 0);
+  TB.join(0, 1).join(0, 2);
+  TB.invoke(0, 1, "put", {Value::string("a"), Value::integer(3)},
+            Value::integer(2));
+  TB.invoke(0, 1, "size", {}, Value::integer(1));
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&dictRep());
+  Detector.processTrace(TB.take());
+  EXPECT_TRUE(Detector.races().empty());
+}

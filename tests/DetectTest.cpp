@@ -1,0 +1,263 @@
+//===- tests/DetectTest.cpp - Algorithm 1 detector tests ----------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "detect/CommutativityDetector.h"
+#include "detect/DirectDetector.h"
+#include "spec/Builtins.h"
+#include "trace/TraceBuilder.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+const AccessPointProvider &dictRep() {
+  static DictionaryRep Rep;
+  return Rep;
+}
+
+const TranslatedRep &translatedDictRep() {
+  static std::unique_ptr<TranslatedRep> Rep = [] {
+    DiagnosticEngine Diags;
+    auto R = translateSpec(dictionarySpec(), Diags);
+    EXPECT_TRUE(R) << Diags.toString();
+    return R;
+  }();
+  return *Rep;
+}
+
+/// Fig 3 trace: both forked threads put to the same key, main joins, size.
+Trace fig3Trace(bool WithJoin) {
+  TraceBuilder TB;
+  TB.fork(0, 1).fork(0, 2);
+  TB.invoke(2, 1, "put", {Value::string("a.com"), Value::integer(10)},
+            Value::nil());
+  TB.invoke(1, 1, "put", {Value::string("a.com"), Value::integer(20)},
+            Value::integer(10));
+  if (WithJoin)
+    TB.join(0, 1).join(0, 2);
+  TB.invoke(0, 1, "size", {}, Value::integer(1));
+  return TB.take();
+}
+
+} // namespace
+
+TEST(CommutativityDetectorTest, Fig3RaceDetected) {
+  for (const AccessPointProvider *Provider : {&dictRep(),
+       static_cast<const AccessPointProvider *>(&translatedDictRep())}) {
+    CommutativityRaceDetector Detector;
+    Detector.setDefaultProvider(Provider);
+    Detector.processTrace(fig3Trace(/*WithJoin=*/true));
+    // Exactly one race: the two concurrent puts to "a.com". size() after
+    // joinall is ordered after both and races with neither.
+    ASSERT_EQ(Detector.races().size(), 1u);
+    EXPECT_EQ(Detector.distinctRacyObjects(), 1u);
+    const CommutativityRace &R = Detector.races().front();
+    EXPECT_EQ(R.Current.method(), symbol("put"));
+    EXPECT_TRUE(R.PriorClock.concurrentWith(R.CurrentClock));
+  }
+}
+
+TEST(CommutativityDetectorTest, WithoutJoinSizeRacesWithResize) {
+  // The paper's observation: without joinall, a1 (fresh put, touches
+  // o:resize) races with a3 (size), but a2 (overwrite) does NOT race with
+  // a3 because it does not resize.
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&dictRep());
+  Detector.processTrace(fig3Trace(/*WithJoin=*/false));
+  // Races: put/put on the key, and size against the fresh put's resize.
+  ASSERT_EQ(Detector.races().size(), 2u);
+  EXPECT_EQ(Detector.races()[1].Current.method(), symbol("size"));
+  EXPECT_EQ(Detector.races()[1].PointName, "o:resize");
+}
+
+TEST(CommutativityDetectorTest, OverwriteDoesNotRaceWithSize) {
+  // Only the overwriting put runs concurrently with size(): no race.
+  Trace T = TraceBuilder()
+                .invoke(0, 1, "put", {Value::string("k"), Value::integer(1)},
+                        Value::nil())
+                .fork(0, 1)
+                .invoke(1, 1, "put", {Value::string("k"), Value::integer(2)},
+                        Value::integer(1))
+                .invoke(0, 1, "size", {}, Value::integer(1))
+                .take();
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&dictRep());
+  Detector.processTrace(T);
+  EXPECT_TRUE(Detector.races().empty());
+}
+
+TEST(CommutativityDetectorTest, DifferentKeysNoRace) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .invoke(0, 1, "put", {Value::string("a"), Value::integer(1)},
+                        Value::nil())
+                .invoke(1, 1, "put", {Value::string("b"), Value::integer(2)},
+                        Value::nil())
+                .take();
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&dictRep());
+  Detector.processTrace(T);
+  // Both puts resize, but resize does not conflict with itself.
+  EXPECT_TRUE(Detector.races().empty());
+}
+
+TEST(CommutativityDetectorTest, LockOrderingSuppressesRace) {
+  Value K = Value::string("k");
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .acquire(0, 0)
+                .invoke(0, 1, "put", {K, Value::integer(1)}, Value::nil())
+                .release(0, 0)
+                .acquire(1, 0)
+                .invoke(1, 1, "put", {K, Value::integer(2)},
+                        Value::integer(1))
+                .release(1, 0)
+                .take();
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&dictRep());
+  Detector.processTrace(T);
+  EXPECT_TRUE(Detector.races().empty());
+}
+
+TEST(CommutativityDetectorTest, DistinctObjectsTrackedSeparately) {
+  Value K = Value::string("k");
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                // Concurrent puts to the same key of DIFFERENT objects.
+                .invoke(0, 1, "put", {K, Value::integer(1)}, Value::nil())
+                .invoke(1, 2, "put", {K, Value::integer(2)}, Value::nil())
+                // And a real race on object 3.
+                .invoke(0, 3, "put", {K, Value::integer(1)}, Value::nil())
+                .invoke(1, 3, "put", {K, Value::integer(2)}, Value::nil())
+                .take();
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&dictRep());
+  Detector.processTrace(T);
+  ASSERT_EQ(Detector.races().size(), 1u);
+  EXPECT_EQ(Detector.races()[0].Current.object(), ObjectId(3));
+  EXPECT_EQ(Detector.distinctRacyObjects(), 1u);
+}
+
+TEST(CommutativityDetectorTest, PerObjectProviderBinding) {
+  // Object 1 is a dictionary; object 2 is a counter.
+  DiagnosticEngine Diags;
+  auto CounterRep = translateSpec(counterSpec(), Diags);
+  ASSERT_TRUE(CounterRep);
+
+  CommutativityRaceDetector Detector;
+  Detector.bind(ObjectId(1), &dictRep());
+  Detector.bind(ObjectId(2), CounterRep.get());
+
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .invoke(0, 2, "inc", {}, std::vector<Value>{})
+                .invoke(1, 2, "inc", {}, std::vector<Value>{})
+                .invoke(0, 2, "read", {}, Value::integer(2))
+                .take();
+  Detector.processTrace(T);
+  // inc/inc commute; T0's read is ordered after T0's inc but concurrent
+  // with T1's inc -> exactly one race.
+  ASSERT_EQ(Detector.races().size(), 1u);
+  EXPECT_EQ(Detector.races()[0].Current.method(), symbol("read"));
+}
+
+TEST(CommutativityDetectorTest, VectorClockAccumulationAcrossManyThreads) {
+  // Three threads put to the same key concurrently: each later put races
+  // with every earlier one (clock join keeps all prior puts visible).
+  TraceBuilder TB;
+  TB.fork(0, 1).fork(0, 2).fork(0, 3);
+  for (uint32_t T : {1u, 2u, 3u})
+    TB.invoke(T, 1, "put", {Value::string("k"), Value::integer(T)},
+              Value::integer(0));
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&dictRep());
+  Detector.processTrace(TB.take());
+  // Put #2 races with #1; put #3 races with the accumulated clock of both
+  // (one report per touched conflicting point, and both prior puts touch
+  // the same point o:w:k, so the joined clock yields a single report).
+  EXPECT_EQ(Detector.races().size(), 2u);
+}
+
+TEST(CommutativityDetectorTest, ObjectReclamationDropsState) {
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&dictRep());
+  Trace T1 = TraceBuilder()
+                 .fork(0, 1)
+                 .invoke(0, 1, "put", {Value::string("k"), Value::integer(1)},
+                         Value::nil())
+                 .take();
+  Detector.processTrace(T1);
+  EXPECT_GT(Detector.activePointCount(), 0u);
+  Detector.objectDied(ObjectId(1));
+  EXPECT_EQ(Detector.activePointCount(), 0u);
+  // A concurrent put on the dead object's id afterwards reports nothing.
+  Detector.process(Event::invoke(
+      ThreadId(1), Action(ObjectId(1), symbol("put"),
+                          {Value::string("k"), Value::integer(2)},
+                          Value::integer(1))));
+  EXPECT_TRUE(Detector.races().empty());
+}
+
+TEST(CommutativityDetectorTest, ConflictChecksAreConstantPerAction) {
+  // §5.4: with the dictionary representation, each action performs at most
+  // |Co(pt)| = 2 probes per touched point, regardless of history length.
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&dictRep());
+  TraceBuilder TB;
+  TB.fork(0, 1);
+  const unsigned N = 200;
+  for (unsigned I = 0; I != N; ++I)
+    TB.invoke(I % 2, 1, "put",
+              {Value::string("k" + std::to_string(I)), Value::integer(1)},
+              Value::nil());
+  Detector.processTrace(TB.take());
+  // Each fresh put touches w:k (2 partners) and resize (1 partner).
+  EXPECT_LE(Detector.conflictChecks(), size_t(3) * N);
+}
+
+TEST(DirectDetectorTest, ChecksGrowQuadratically) {
+  DirectCommutativityDetector Detector;
+  Detector.setDefaultSpec(&dictionarySpec());
+  TraceBuilder TB;
+  TB.fork(0, 1);
+  const unsigned N = 100;
+  for (unsigned I = 0; I != N; ++I)
+    TB.invoke(I % 2, 1, "put",
+              {Value::string("k" + std::to_string(I)), Value::integer(1)},
+              Value::nil());
+  Detector.processTrace(TB.take());
+  EXPECT_EQ(Detector.conflictChecks(), size_t(N) * (N - 1) / 2);
+}
+
+TEST(DirectDetectorTest, AgreesOnFig3) {
+  DirectCommutativityDetector Detector;
+  Detector.setDefaultSpec(&dictionarySpec());
+  Detector.processTrace(fig3Trace(/*WithJoin=*/true));
+  ASSERT_EQ(Detector.races().size(), 1u);
+  Detector = DirectCommutativityDetector();
+  Detector.setDefaultSpec(&dictionarySpec());
+  Detector.processTrace(fig3Trace(/*WithJoin=*/false));
+  EXPECT_EQ(Detector.races().size(), 2u);
+}
+
+TEST(RaceReportTest, Printing) {
+  CommutativityRace R;
+  R.EventIndex = 3;
+  R.Thread = ThreadId(2);
+  R.Current = Action(ObjectId(1), symbol("put"),
+                     {Value::string("a.com"), Value::integer(7)}, Value::nil());
+  R.PointName = "o:w:k";
+  R.PriorClock = VectorClock({3, 0, 1});
+  R.CurrentClock = VectorClock({2, 1});
+  std::string S = R.toString();
+  EXPECT_NE(S.find("o:w:k"), std::string::npos);
+  EXPECT_NE(S.find("T2"), std::string::npos);
+  EXPECT_NE(S.find("<3,0,1>"), std::string::npos);
+}

@@ -1,0 +1,234 @@
+//===- tests/ExtrasTest.cpp - scalar objects / DOT export / trace stats -------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "detect/AtomicityChecker.h"
+#include "detect/CommutativityDetector.h"
+#include "runtime/InstrumentedMap.h"
+#include "runtime/InstrumentedScalar.h"
+#include "spec/Builtins.h"
+#include "trace/TraceBuilder.h"
+#include "trace/TraceStats.h"
+#include "translate/DotExport.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+//===----------------------------------------------------------------------===//
+// InstrumentedCounter / InstrumentedRegister
+//===----------------------------------------------------------------------===//
+
+TEST(InstrumentedScalarTest, CounterFunctional) {
+  SimRuntime RT(1);
+  InstrumentedCounter Counter(RT, 5);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Counter](SimThread &T) {
+    Counter.inc(T);
+    Counter.inc(T);
+    Counter.dec(T);
+    EXPECT_EQ(Counter.read(T), 6);
+  });
+  NullSink Sink;
+  RT.run(Sink);
+  EXPECT_EQ(Counter.uninstrumentedValue(), 6);
+}
+
+TEST(InstrumentedScalarTest, RegisterFunctional) {
+  SimRuntime RT(1);
+  InstrumentedRegister Reg(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Reg](SimThread &T) {
+    EXPECT_EQ(Reg.read(T), Value::nil());
+    EXPECT_EQ(Reg.write(T, Value::integer(42)), Value::nil());
+    EXPECT_EQ(Reg.write(T, Value::integer(43)), Value::integer(42));
+    EXPECT_EQ(Reg.read(T), Value::integer(43));
+  });
+  NullSink Sink;
+  RT.run(Sink);
+}
+
+TEST(InstrumentedScalarTest, CounterRacesMatchCounterSpec) {
+  // Concurrent incs commute; a concurrent read races with them.
+  SimRuntime RT(4);
+  InstrumentedCounter Counter(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Counter](SimThread &T) {
+    T.fork([&Counter](SimThread &T2) { Counter.inc(T2); });
+    T.fork([&Counter](SimThread &T2) { Counter.inc(T2); });
+  });
+  RT.schedule(Main, [&Counter](SimThread &T) { Counter.read(T); });
+
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(counterSpec(), Diags);
+  ASSERT_TRUE(Rep);
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(Rep.get());
+  DetectorSink<CommutativityRaceDetector> Sink(Detector);
+  RT.run(Sink);
+  // inc/inc never race; at least one inc is concurrent with the read in
+  // every schedule (no join before the read).
+  EXPECT_GE(Detector.races().size(), 1u);
+  for (const CommutativityRace &R : Detector.races())
+    EXPECT_TRUE(R.Current.method() == symbol("read") ||
+                R.Current.method() == symbol("inc"));
+}
+
+TEST(InstrumentedScalarTest, RegisterWritesRace) {
+  SimRuntime RT(4);
+  InstrumentedRegister Reg(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Reg](SimThread &T) {
+    T.fork([&Reg](SimThread &T2) { Reg.write(T2, Value::integer(1)); });
+    T.fork([&Reg](SimThread &T2) { Reg.write(T2, Value::integer(2)); });
+  });
+
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(registerSpec(), Diags);
+  ASSERT_TRUE(Rep);
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(Rep.get());
+  DetectorSink<CommutativityRaceDetector> Sink(Detector);
+  RT.run(Sink);
+  EXPECT_EQ(Detector.races().size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// DOT export
+//===----------------------------------------------------------------------===//
+
+TEST(DotExportTest, Fig7GraphShape) {
+  DictionaryRep Rep;
+  std::string Dot = conflictGraphToDot(Rep, "dictionary");
+  // Header and all four nodes.
+  EXPECT_NE(Dot.find("graph \"dictionary\" {"), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"o:r:k\", shape=box"), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"o:w:k\", shape=box"), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"o:size\", shape=ellipse"), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"o:resize\", shape=ellipse"), std::string::npos);
+  // Edges: r--w (value), w--w self-loop (value), size--resize.
+  EXPECT_NE(Dot.find("c0 -- c1 [label=\"= value\"];"), std::string::npos);
+  EXPECT_NE(Dot.find("c1 -- c1 [label=\"= value\"];"), std::string::npos);
+  EXPECT_NE(Dot.find("c2 -- c3;"), std::string::npos);
+  // Each undirected edge appears exactly once.
+  EXPECT_EQ(Dot.find("c3 -- c2"), std::string::npos);
+}
+
+TEST(DotExportTest, EscapesQuotes) {
+  DictionaryRep Rep;
+  std::string Dot = conflictGraphToDot(Rep, "na\"me");
+  EXPECT_NE(Dot.find("graph \"na\\\"me\""), std::string::npos);
+}
+
+TEST(DotExportTest, TranslatedRepExports) {
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(setSpec(), Diags);
+  ASSERT_TRUE(Rep);
+  std::string Dot = conflictGraphToDot(*Rep, "set");
+  EXPECT_NE(Dot.find("graph \"set\""), std::string::npos);
+  // A graph with at least one edge and one boxed (keyed) node.
+  EXPECT_NE(Dot.find(" -- "), std::string::npos);
+  EXPECT_NE(Dot.find("shape=box"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// TraceStats
+//===----------------------------------------------------------------------===//
+
+TEST(TraceStatsTest, CountsEverything) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .acquire(1, 3)
+                .write(1, 9)
+                .release(1, 3)
+                .txBegin(0)
+                .invoke(0, 5, "put", {Value::integer(1), Value::integer(2)},
+                        Value::nil())
+                .invoke(0, 5, "get", {Value::integer(1)}, Value::integer(2))
+                .invoke(0, 6, "size", {}, Value::integer(0))
+                .txEnd(0)
+                .read(0, 9)
+                .join(0, 1)
+                .take();
+  TraceStats Stats = TraceStats::compute(T);
+  EXPECT_EQ(Stats.Events, 11u);
+  EXPECT_EQ(Stats.Actions, 3u);
+  EXPECT_EQ(Stats.MemoryAccesses, 2u);
+  EXPECT_EQ(Stats.SyncEvents, 4u);
+  EXPECT_EQ(Stats.TxEvents, 2u);
+  EXPECT_EQ(Stats.Threads, 2u);
+  EXPECT_EQ(Stats.Locks, 1u);
+  EXPECT_EQ(Stats.MemoryLocations, 1u);
+  EXPECT_EQ(Stats.Objects, 2u);
+  EXPECT_EQ(Stats.ActionsPerObject.at(ObjectId(5)), 2u);
+  EXPECT_EQ(Stats.ActionsPerMethod.at(symbol("put")), 1u);
+
+  std::string Rendered = Stats.toString();
+  EXPECT_NE(Rendered.find("11 events"), std::string::npos);
+  EXPECT_NE(Rendered.find("put x1"), std::string::npos);
+}
+
+TEST(TraceStatsTest, EmptyTrace) {
+  TraceStats Stats = TraceStats::compute(Trace());
+  EXPECT_EQ(Stats.Events, 0u);
+  EXPECT_EQ(Stats.Threads, 0u);
+  EXPECT_EQ(Stats.toString().find("0 events"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Atomicity monotonicity: memory-conflict mode only adds edges, so every
+// commutativity-level violation is also found with memory conflicts on.
+//===----------------------------------------------------------------------===//
+
+TEST(AtomicityMonotonicityTest, MemoryModeIsSuperset) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    SimRuntime RT(Seed);
+    InstrumentedMap Map(RT);
+    ThreadId Main = RT.addInitialThread();
+    RT.schedule(Main, [&RT, &Map](SimThread &T) {
+      for (unsigned W = 0; W != 3; ++W) {
+        ThreadId Tid = T.fork([](SimThread &) {});
+        for (unsigned Q = 0; Q != 8; ++Q)
+          RT.schedule(Tid, [&Map](SimThread &T2) {
+            Value Key = Value::integer(static_cast<int64_t>(T2.random(3)));
+            if (T2.random(2)) {
+              // An intended-atomic read-modify-write.
+              T2.txBegin();
+              Value Cur = Map.get(T2, Key);
+              int64_t N = Cur.isNil() ? 0 : Cur.asInt();
+              T2.defer([&Map, Key, N](SimThread &T3) {
+                Map.put(T3, Key, Value::integer(N + 1));
+                T3.txEnd();
+              });
+            } else {
+              Map.size(T2);
+            }
+          });
+      }
+    });
+    TraceRecorder Recorder;
+    RT.run(Recorder);
+
+    DictionaryRep Rep;
+    AtomicityChecker Commutative, Velodrome;
+    Commutative.setDefaultProvider(&Rep);
+    Velodrome.setDefaultProvider(&Rep);
+    Velodrome.setIncludeMemoryConflicts(true);
+
+    auto A = Commutative.check(Recorder.trace());
+    auto B = Velodrome.check(Recorder.trace());
+    // Same blocks or more get flagged with the extra edges.
+    EXPECT_GE(B.size(), A.size()) << "seed " << Seed;
+    // Every commutativity-flagged block is also memory-flagged.
+    for (const AtomicityViolation &V : A) {
+      bool Found = false;
+      for (const AtomicityViolation &W : B)
+        Found |= W.BeginEvent == V.BeginEvent && W.Thread == V.Thread;
+      EXPECT_TRUE(Found) << "seed " << Seed << " block at " << V.BeginEvent;
+    }
+  }
+}

@@ -1,0 +1,212 @@
+//===- tests/FastTrackTest.cpp - FastTrack baseline tests ---------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/FastTrack.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+size_t raceCount(const Trace &T) {
+  FastTrackDetector Detector;
+  Detector.processTrace(T);
+  return Detector.races().size();
+}
+
+} // namespace
+
+TEST(FastTrackTest, WriteWriteRace) {
+  Trace T = TraceBuilder().fork(0, 1).write(0, 7).write(1, 7).take();
+  FastTrackDetector D;
+  D.processTrace(T);
+  ASSERT_EQ(D.races().size(), 1u);
+  EXPECT_EQ(D.races()[0].Access, MemoryRace::Kind::WriteWrite);
+  EXPECT_EQ(D.races()[0].Var, VarId(7));
+  EXPECT_EQ(D.distinctRacyVars(), 1u);
+}
+
+TEST(FastTrackTest, WriteReadRace) {
+  Trace T = TraceBuilder().fork(0, 1).write(0, 7).read(1, 7).take();
+  FastTrackDetector D;
+  D.processTrace(T);
+  ASSERT_EQ(D.races().size(), 1u);
+  EXPECT_EQ(D.races()[0].Access, MemoryRace::Kind::WriteRead);
+}
+
+TEST(FastTrackTest, ReadWriteRace) {
+  Trace T = TraceBuilder().fork(0, 1).read(0, 7).write(1, 7).take();
+  FastTrackDetector D;
+  D.processTrace(T);
+  ASSERT_EQ(D.races().size(), 1u);
+  EXPECT_EQ(D.races()[0].Access, MemoryRace::Kind::ReadWrite);
+}
+
+TEST(FastTrackTest, SharedReadsThenWriteReportsRace) {
+  // Two concurrent readers inflate to a read vector clock; a later write
+  // unordered with either reader races.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .read(1, 7)
+                .read(2, 7)
+                .write(0, 7)
+                .take();
+  EXPECT_GE(raceCount(T), 1u);
+}
+
+TEST(FastTrackTest, NoRaceWhenLockProtected) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .acquire(0, 0)
+                .write(0, 7)
+                .release(0, 0)
+                .acquire(1, 0)
+                .write(1, 7)
+                .read(1, 7)
+                .release(1, 0)
+                .take();
+  EXPECT_EQ(raceCount(T), 0u);
+}
+
+TEST(FastTrackTest, NoRaceWhenForkJoinOrdered) {
+  Trace T = TraceBuilder()
+                .write(0, 7)
+                .fork(0, 1)
+                .write(1, 7) // After fork: ordered with T0's write.
+                .join(0, 1)
+                .read(0, 7) // After join: ordered with T1's write.
+                .take();
+  EXPECT_EQ(raceCount(T), 0u);
+}
+
+TEST(FastTrackTest, SameThreadNeverRaces) {
+  Trace T = TraceBuilder()
+                .write(0, 7)
+                .read(0, 7)
+                .write(0, 7)
+                .read(0, 7)
+                .take();
+  EXPECT_EQ(raceCount(T), 0u);
+}
+
+TEST(FastTrackTest, SameEpochReadsAreCheap) {
+  // Repeated reads in the same epoch take the same-epoch fast path; this
+  // is a behavioral test: no races and no crash on long same-epoch runs.
+  TraceBuilder TB;
+  for (int I = 0; I != 1000; ++I)
+    TB.read(0, 7);
+  EXPECT_EQ(raceCount(TB.take()), 0u);
+}
+
+TEST(FastTrackTest, ReadExclusiveHandoffNoRace) {
+  // Reader hands off through a lock: read epochs stay exclusive.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .acquire(0, 0)
+                .read(0, 7)
+                .release(0, 0)
+                .acquire(1, 0)
+                .read(1, 7)
+                .release(1, 0)
+                .take();
+  EXPECT_EQ(raceCount(T), 0u);
+}
+
+TEST(FastTrackTest, DistinctVarsCounted) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .write(0, 1)
+                .write(0, 2)
+                .write(1, 1)
+                .write(1, 2)
+                .write(1, 2) // Same epoch: no second report for V2.
+                .take();
+  FastTrackDetector D;
+  D.processTrace(T);
+  EXPECT_EQ(D.races().size(), 2u);
+  EXPECT_EQ(D.distinctRacyVars(), 2u);
+}
+
+TEST(FastTrackTest, DeflationAfterSharedWrite) {
+  // Two concurrent readers inflate; a later ordered write (after joining
+  // both) deflates the read state; a subsequent ordered reader/writer pair
+  // must not be flagged.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .read(1, 7)
+                .read(2, 7)
+                .join(0, 1)
+                .join(0, 2)
+                .write(0, 7) // Ordered after both reads: no race, deflates.
+                .read(0, 7)
+                .write(0, 7)
+                .take();
+  EXPECT_EQ(raceCount(T), 0u);
+}
+
+TEST(FastTrackTest, RacesKeepComingAfterTheFirst) {
+  // FastTrack keeps reporting subsequent races on the same variable.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .write(0, 7)
+                .write(1, 7) // Race 1.
+                .write(2, 7) // Race 2 (concurrent with T1's write).
+                .take();
+  FastTrackDetector D;
+  D.processTrace(T);
+  EXPECT_EQ(D.races().size(), 2u);
+  EXPECT_EQ(D.distinctRacyVars(), 1u);
+}
+
+TEST(FastTrackTest, ReadSharedToExclusiveTransition) {
+  // Shared reads, then a write that is ordered after all of them (via
+  // joins), then an exclusive read epoch again in another thread via a
+  // lock handoff: all ordered, no races.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .read(0, 7)
+                .read(1, 7)
+                .join(0, 1)
+                .write(0, 7)
+                .acquire(0, 0)
+                .read(0, 7)
+                .release(0, 0)
+                .fork(0, 2)
+                .acquire(2, 0)
+                .read(2, 7)
+                .release(2, 0)
+                .take();
+  EXPECT_EQ(raceCount(T), 0u);
+}
+
+TEST(FastTrackTest, WriteReadRaceAcrossManyVars) {
+  TraceBuilder TB;
+  TB.fork(0, 1);
+  for (uint32_t V = 0; V != 10; ++V)
+    TB.write(0, V);
+  for (uint32_t V = 0; V != 10; ++V)
+    TB.read(1, V);
+  FastTrackDetector D;
+  D.processTrace(TB.take());
+  EXPECT_EQ(D.races().size(), 10u);
+  EXPECT_EQ(D.distinctRacyVars(), 10u);
+  for (const MemoryRace &R : D.races())
+    EXPECT_EQ(R.Access, MemoryRace::Kind::WriteRead);
+}
+
+TEST(FastTrackTest, RaceReportPrinting) {
+  FastTrackDetector D;
+  D.processTrace(TraceBuilder().fork(0, 1).write(0, 7).write(1, 7).take());
+  ASSERT_EQ(D.races().size(), 1u);
+  std::string S = D.races()[0].toString();
+  EXPECT_NE(S.find("write-write"), std::string::npos);
+  EXPECT_NE(S.find("V7"), std::string::npos);
+}

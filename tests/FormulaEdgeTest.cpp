@@ -1,0 +1,221 @@
+//===- tests/FormulaEdgeTest.cpp - formula/fragment/clock edge cases ----------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hb/VectorClockState.h"
+#include "spec/Fragment.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+Term x(uint32_t P) { return Term::var(Side::First, P); }
+Term y(uint32_t P) { return Term::var(Side::Second, P); }
+FormulaPtr eq(Term A, Term B) { return Formula::atom(PredKind::Eq, A, B); }
+FormulaPtr ne(Term A, Term B) { return Formula::atom(PredKind::Ne, A, B); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Formula construction corners
+//===----------------------------------------------------------------------===//
+
+TEST(FormulaEdgeTest, NaryBuildersFoldNeutralElements) {
+  EXPECT_TRUE(Formula::andOf(std::vector<FormulaPtr>{})->isTrue());
+  EXPECT_TRUE(Formula::orOf(std::vector<FormulaPtr>{})->isFalse());
+
+  std::vector<FormulaPtr> Parts = {Formula::truth(true), eq(x(0), x(1)),
+                                   Formula::truth(true)};
+  FormulaPtr F = Formula::andOf(Parts);
+  EXPECT_EQ(F->kind(), Formula::Kind::Atom);
+
+  std::vector<FormulaPtr> OrParts = {Formula::truth(false), eq(x(0), x(1))};
+  EXPECT_EQ(Formula::orOf(OrParts)->kind(), Formula::Kind::Atom);
+
+  std::vector<FormulaPtr> Absorb = {eq(x(0), x(1)), Formula::truth(false)};
+  EXPECT_TRUE(Formula::andOf(Absorb)->isFalse());
+}
+
+TEST(FormulaEdgeTest, DoubleNegationViaAtomPush) {
+  FormulaPtr F = eq(x(0), x(1));
+  FormulaPtr NotNot = Formula::notOf(Formula::notOf(F));
+  // notOf pushes through the atom: !(x==y) -> x!=y, then back to x==y.
+  ASSERT_EQ(NotNot->kind(), Formula::Kind::Atom);
+  EXPECT_EQ(NotNot->pred(), PredKind::Eq);
+}
+
+TEST(FormulaEdgeTest, NotOverCompositeIsPreserved) {
+  FormulaPtr Composite = Formula::andOf(eq(x(0), x(1)), eq(x(1), x(2)));
+  FormulaPtr Negated = Formula::notOf(Composite);
+  ASSERT_EQ(Negated->kind(), Formula::Kind::Not);
+  EXPECT_EQ(Negated->operand(), Composite);
+  // Evaluation respects the negation.
+  std::vector<Value> W = {Value::integer(1), Value::integer(1),
+                          Value::integer(2)};
+  EXPECT_FALSE(Composite->evaluate(W, W));
+  EXPECT_TRUE(Negated->evaluate(W, W));
+}
+
+TEST(FormulaEdgeTest, TermOrderingIsStrictWeak) {
+  std::vector<Term> Terms = {
+      Term::constant(Value::nil()),       Term::constant(Value::integer(1)),
+      Term::constant(Value::string("s")), x(0),
+      x(1),                               y(0),
+      y(1),
+  };
+  for (const Term &A : Terms) {
+    EXPECT_FALSE(A < A);
+    for (const Term &B : Terms) {
+      if (A < B) {
+        EXPECT_FALSE(B < A);
+      }
+      if (!(A < B) && !(B < A)) {
+        EXPECT_TRUE(A == B);
+      }
+    }
+  }
+}
+
+TEST(FormulaEdgeTest, PredicateHelpersAreInvolutive) {
+  for (PredKind P : {PredKind::Eq, PredKind::Ne, PredKind::Lt, PredKind::Le,
+                     PredKind::Gt, PredKind::Ge}) {
+    EXPECT_EQ(negatePred(negatePred(P)), P);
+    EXPECT_EQ(mirrorPred(mirrorPred(P)), P);
+  }
+  // Semantics: negate flips, mirror swaps operands.
+  Value A = Value::integer(1), B = Value::integer(2);
+  for (PredKind P : {PredKind::Eq, PredKind::Ne, PredKind::Lt, PredKind::Le,
+                     PredKind::Gt, PredKind::Ge}) {
+    EXPECT_NE(evalPred(P, A, B), evalPred(negatePred(P), A, B));
+    EXPECT_EQ(evalPred(P, A, B), evalPred(mirrorPred(P), B, A));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Boolean-abstraction equivalence corners
+//===----------------------------------------------------------------------===//
+
+TEST(FormulaEdgeTest, EquivalenceCapReturnsNullopt) {
+  // 21 distinct atoms exceed the 20-atom cap.
+  std::vector<FormulaPtr> Atoms;
+  for (uint32_t I = 0; I != 21; ++I)
+    Atoms.push_back(eq(x(I), Term::constant(Value::integer(I))));
+  FormulaPtr Big = Formula::andOf(Atoms);
+  EXPECT_EQ(equivalentUnderBooleanAbstraction(*Big, *Big), std::nullopt);
+}
+
+TEST(FormulaEdgeTest, EquivalenceSeesThroughDeMorgan) {
+  FormulaPtr P = eq(x(0), x(1)), Q = eq(x(1), x(2));
+  FormulaPtr Lhs = Formula::notOf(Formula::andOf(P, Q));
+  FormulaPtr Rhs = Formula::orOf(Formula::notOf(P), Formula::notOf(Q));
+  EXPECT_EQ(equivalentUnderBooleanAbstraction(*Lhs, *Rhs),
+            std::optional(true));
+}
+
+TEST(FormulaEdgeTest, EquivalenceIsConservativeOnDependentAtoms) {
+  // x == 1 && x == 2 is semantically false, but the boolean abstraction
+  // treats the atoms as independent, so it is NOT equivalent to false.
+  FormulaPtr Dependent =
+      Formula::andOf(eq(x(0), Term::constant(Value::integer(1))),
+                     eq(x(0), Term::constant(Value::integer(2))));
+  EXPECT_EQ(equivalentUnderBooleanAbstraction(*Dependent,
+                                              *Formula::truth(false)),
+            std::optional(false));
+}
+
+TEST(FormulaEdgeTest, CanonicalizeAtomNormalForms) {
+  // Ne -> negated Eq with sorted operands.
+  CanonAtom A = canonicalizeAtom(*ne(y(1), x(0)));
+  EXPECT_EQ(A.Base, PredKind::Eq);
+  EXPECT_TRUE(A.Negated);
+  // Gt(a,b) -> Lt(b,a) positive; Ge(a,b) -> Lt(a,b) negated.
+  CanonAtom G = canonicalizeAtom(*Formula::atom(PredKind::Gt, x(0), x(1)));
+  EXPECT_EQ(G.Base, PredKind::Lt);
+  EXPECT_FALSE(G.Negated);
+  CanonAtom Ge = canonicalizeAtom(*Formula::atom(PredKind::Ge, x(0), x(1)));
+  EXPECT_EQ(Ge.Base, PredKind::Lt);
+  EXPECT_TRUE(Ge.Negated);
+  // Le(a,b) = !Lt(b,a).
+  CanonAtom Le = canonicalizeAtom(*Formula::atom(PredKind::Le, x(0), x(1)));
+  EXPECT_EQ(Le.Base, PredKind::Lt);
+  EXPECT_TRUE(Le.Negated);
+  EXPECT_EQ(Le.Lhs, x(1));
+}
+
+//===----------------------------------------------------------------------===//
+// Fragment corners
+//===----------------------------------------------------------------------===//
+
+TEST(FragmentEdgeTest, NotOverLSLeavesECL) {
+  // ¬(a ∧ b) with LS atoms is not ECL (negation is only allowed in LB).
+  FormulaPtr F =
+      Formula::notOf(Formula::andOf(ne(x(0), y(0)), ne(x(1), y(1))));
+  EXPECT_FALSE(isECL(*F));
+  auto Reason = explainNotECL(F);
+  ASSERT_TRUE(Reason);
+  EXPECT_NE(Reason->find("negation"), std::string::npos);
+}
+
+TEST(FragmentEdgeTest, ConstantsBelongToAllFragments) {
+  for (bool B : {true, false}) {
+    FormulaPtr F = Formula::truth(B);
+    EXPECT_TRUE(isLS(*F));
+    EXPECT_TRUE(isLB(*F));
+    EXPECT_TRUE(isECL(*F));
+  }
+}
+
+TEST(FragmentEdgeTest, LSAtomRequiresTwoVariables) {
+  // k1 != "c" is LB (single side), not LS.
+  FormulaPtr F = ne(x(0), Term::constant(Value::string("c")));
+  EXPECT_EQ(classifyAtom(*F), AtomClass::LB);
+  // Constant-only atoms fold away at construction, so classifyAtom never
+  // sees them.
+  EXPECT_TRUE(Formula::atom(PredKind::Ne, Term::constant(Value::integer(1)),
+                            Term::constant(Value::integer(1)))
+                  ->isFalse());
+}
+
+//===----------------------------------------------------------------------===//
+// VectorClockState corners
+//===----------------------------------------------------------------------===//
+
+TEST(VectorClockStateEdgeTest, UnknownLockClockIsBottom) {
+  VectorClockState State;
+  EXPECT_TRUE(State.lockClock(LockId(99)).isBottom());
+}
+
+TEST(VectorClockStateEdgeTest, ReacquireSameLockSameThread) {
+  VectorClockState State;
+  State.process(Event::acquire(ThreadId(0), LockId(0)));
+  State.process(Event::release(ThreadId(0), LockId(0)));
+  VectorClock AfterFirst = State.clockOf(ThreadId(0));
+  State.process(Event::acquire(ThreadId(0), LockId(0)));
+  State.process(Event::release(ThreadId(0), LockId(0)));
+  // Each release increments the thread's own component.
+  EXPECT_TRUE(AfterFirst.leq(State.clockOf(ThreadId(0))));
+  EXPECT_FALSE(State.clockOf(ThreadId(0)).leq(AfterFirst));
+}
+
+TEST(VectorClockStateEdgeTest, TwoLocksIndependent) {
+  VectorClockState State;
+  State.process(Event::fork(ThreadId(0), ThreadId(1)));
+  State.process(Event::acquire(ThreadId(0), LockId(0)));
+  State.process(Event::release(ThreadId(0), LockId(0)));
+  // T1 acquires a DIFFERENT lock: no ordering with T0's critical section.
+  State.process(Event::acquire(ThreadId(1), LockId(1)));
+  EXPECT_TRUE(
+      State.lockClock(LockId(0)).concurrentWith(State.clockOf(ThreadId(1))));
+}
+
+TEST(VectorClockStateEdgeTest, JoinOfNeverScheduledThread) {
+  VectorClockState State;
+  State.process(Event::fork(ThreadId(0), ThreadId(1)));
+  // Thread 1 never does anything; joining it is still well-defined.
+  State.process(Event::join(ThreadId(0), ThreadId(1)));
+  EXPECT_GE(State.clockOf(ThreadId(0)).get(ThreadId(1)), 1u);
+}

@@ -1,0 +1,162 @@
+//===- tests/HappensBeforeTest.cpp - Table 1 machine tests --------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hb/HappensBefore.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+Trace fig3Trace() {
+  // The running example of the paper (Fig 3): the main thread T0 forks T1
+  // and T2, both put to the same key, then T0 joins both and reads size.
+  return TraceBuilder()
+      .fork(0, 1)
+      .fork(0, 2)
+      .invoke(2, 1, "put", {Value::string("a.com"), Value::integer(1)},
+              Value::nil())
+      .invoke(1, 1, "put", {Value::string("a.com"), Value::integer(2)},
+              Value::integer(1))
+      .join(0, 1)
+      .join(0, 2)
+      .invoke(0, 1, "size", {}, Value::integer(1))
+      .take();
+}
+
+} // namespace
+
+TEST(HappensBeforeTest, ForkOrdersParentPrefixBeforeChild) {
+  Trace T = TraceBuilder()
+                .read(0, 0) // e0: before fork.
+                .fork(0, 1) // e1
+                .read(1, 1) // e2: child event.
+                .read(0, 2) // e3: parent after fork.
+                .take();
+  HappensBefore HB(T);
+  EXPECT_TRUE(HB.happensBefore(0, 2));  // Pre-fork parent -> child.
+  EXPECT_TRUE(HB.happensBefore(1, 2));  // Fork event -> child.
+  EXPECT_TRUE(HB.mayHappenInParallel(2, 3)); // Child ‖ post-fork parent.
+}
+
+TEST(HappensBeforeTest, JoinOrdersChildBeforeParentSuffix) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .read(1, 0) // e1: child event.
+                .read(0, 1) // e2: parent, concurrent with child.
+                .join(0, 1) // e3
+                .read(0, 2) // e4: parent after join.
+                .take();
+  HappensBefore HB(T);
+  EXPECT_TRUE(HB.mayHappenInParallel(1, 2));
+  EXPECT_TRUE(HB.happensBefore(1, 4));
+  EXPECT_FALSE(HB.mayHappenInParallel(1, 4));
+}
+
+TEST(HappensBeforeTest, ReleaseAcquireOrders) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .acquire(0, 0)
+                .write(0, 9) // e2: under lock in T0.
+                .release(0, 0)
+                .acquire(1, 0)
+                .write(1, 9) // e5: under lock in T1, after T0's release.
+                .release(1, 0)
+                .take();
+  HappensBefore HB(T);
+  EXPECT_TRUE(HB.happensBefore(2, 5));
+  EXPECT_FALSE(HB.mayHappenInParallel(2, 5));
+}
+
+TEST(HappensBeforeTest, NoSyncMeansConcurrent) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .write(0, 9) // e1
+                .write(1, 9) // e2
+                .take();
+  HappensBefore HB(T);
+  EXPECT_TRUE(HB.mayHappenInParallel(1, 2));
+}
+
+TEST(HappensBeforeTest, SameThreadAlwaysOrdered) {
+  Trace T = TraceBuilder().read(0, 1).write(0, 2).read(0, 3).take();
+  HappensBefore HB(T);
+  for (size_t I = 0; I != T.size(); ++I)
+    for (size_t J = I + 1; J != T.size(); ++J) {
+      EXPECT_TRUE(HB.happensBefore(I, J));
+      EXPECT_FALSE(HB.mayHappenInParallel(I, J));
+    }
+}
+
+TEST(HappensBeforeTest, Fig3OrderingsMatchThePaper) {
+  Trace T = fig3Trace();
+  HappensBefore HB(T);
+  constexpr size_t PutT2 = 2, PutT1 = 3, SizeT0 = 6;
+  // The two puts are unordered; both are before the size() after joinall.
+  EXPECT_TRUE(HB.mayHappenInParallel(PutT2, PutT1));
+  EXPECT_TRUE(HB.happensBefore(PutT2, SizeT0));
+  EXPECT_TRUE(HB.happensBefore(PutT1, SizeT0));
+}
+
+TEST(HappensBeforeTest, CrossThreadClocksNeverEqual) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .read(0, 0)
+                .read(1, 1)
+                .acquire(0, 0)
+                .release(0, 0)
+                .acquire(1, 0)
+                .read(1, 2)
+                .take();
+  HappensBefore HB(T);
+  for (size_t I = 0; I != T.size(); ++I)
+    for (size_t J = 0; J != T.size(); ++J)
+      if (T[I].thread() != T[J].thread()) {
+        EXPECT_NE(HB.clock(I), HB.clock(J))
+            << "events " << I << " and " << J;
+      }
+}
+
+TEST(VectorClockStateTest, LazyInitGivesEachThreadItsOwnTime) {
+  VectorClockState State;
+  EXPECT_EQ(State.clockOf(ThreadId(0)).get(ThreadId(0)), 1u);
+  EXPECT_EQ(State.clockOf(ThreadId(3)).get(ThreadId(3)), 1u);
+  EXPECT_TRUE(
+      State.clockOf(ThreadId(0)).concurrentWith(State.clockOf(ThreadId(3))));
+}
+
+TEST(VectorClockStateTest, ForkIncrementsParentAndSeedsChild) {
+  VectorClockState State;
+  VectorClock ParentBefore = State.clockOf(ThreadId(0));
+  State.process(Event::fork(ThreadId(0), ThreadId(1)));
+  const VectorClock &Child = State.clockOf(ThreadId(1));
+  const VectorClock &ParentAfter = State.clockOf(ThreadId(0));
+  EXPECT_TRUE(ParentBefore.leq(Child));
+  EXPECT_EQ(Child.get(ThreadId(1)), 1u);
+  EXPECT_EQ(ParentAfter.get(ThreadId(0)), ParentBefore.get(ThreadId(0)) + 1);
+  EXPECT_TRUE(Child.concurrentWith(ParentAfter));
+}
+
+TEST(VectorClockStateTest, ReleaseStoresClockThenIncrements) {
+  VectorClockState State;
+  State.process(Event::acquire(ThreadId(0), LockId(0)));
+  VectorClock AtRelease = State.clockOf(ThreadId(0));
+  State.process(Event::release(ThreadId(0), LockId(0)));
+  EXPECT_EQ(State.lockClock(LockId(0)), AtRelease);
+  EXPECT_FALSE(State.clockOf(ThreadId(0)).leq(AtRelease));
+}
+
+TEST(VectorClockStateTest, AcquireJoinsLockClock) {
+  VectorClockState State;
+  State.process(Event::fork(ThreadId(0), ThreadId(1)));
+  State.process(Event::acquire(ThreadId(0), LockId(0)));
+  State.process(Event::release(ThreadId(0), LockId(0)));
+  VectorClock Released = State.lockClock(LockId(0));
+  State.process(Event::acquire(ThreadId(1), LockId(0)));
+  EXPECT_TRUE(Released.leq(State.clockOf(ThreadId(1))));
+}

@@ -1,0 +1,259 @@
+//===- tests/IntegrationTest.cpp - end-to-end Fig 1 / Fig 2 pipelines ---------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end tests of the full Fig 2 pipeline: specification text ->
+/// parser -> translator -> access point representation -> detector, driven
+/// by programs running on the simulated runtime (Fig 1's connection
+/// example among them), with trace record/replay in between.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/CommutativityDetector.h"
+#include "detect/FastTrack.h"
+#include "runtime/InstrumentedMap.h"
+#include "spec/SpecParser.h"
+#include "trace/TraceIO.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+const char *DictionarySource = R"(
+object dictionary {
+  method put(k, v) / p;
+  method get(k) / v;
+  method size() / r;
+  commute put(k1, v1)/p1, put(k2, v2)/p2 :
+      k1 != k2 || (v1 == p1 && v2 == p2);
+  commute put(k1, v1)/p1, get(k2)/v2 : k1 != k2 || v1 == p1;
+  commute put(k1, v1)/p1, size()/r :
+      (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil);
+  commute get(k1)/v1, get(k2)/v2 : true;
+  commute get(k1)/v1, size()/r : true;
+  commute size()/r1, size()/r2 : true;
+}
+)";
+
+/// Runs the Fig 1 program: one thread per host, each storing a connection
+/// into a shared dictionary, then joinall and size().
+Trace runConnectionsProgram(const std::vector<std::string> &Hosts,
+                            uint64_t Seed) {
+  SimRuntime RT(Seed);
+  InstrumentedMap Dict(RT);
+  ThreadId Main = RT.addInitialThread();
+
+  auto Workers = std::make_shared<std::vector<ThreadId>>();
+  RT.schedule(Main, [&, Workers](SimThread &T) {
+    int64_t NextConnection = 1;
+    for (const std::string &Host : Hosts) {
+      Value HostKey = Value::string(Host);
+      Value Connection = Value::integer(NextConnection++);
+      Workers->push_back(T.fork([&Dict, HostKey, Connection](SimThread &T2) {
+        Dict.put(T2, HostKey, Connection); // createConnection + store
+      }));
+    }
+  });
+  for (size_t W = 0; W != Hosts.size(); ++W)
+    RT.schedule(Main, [Workers, W](SimThread &T) { T.join((*Workers)[W]); });
+  RT.schedule(Main, [&Dict](SimThread &T) { Dict.size(T); });
+
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+  return Recorder.take();
+}
+
+std::unique_ptr<TranslatedRep> repFromSource() {
+  DiagnosticEngine Diags;
+  auto Spec = parseObjectSpec(DictionarySource, Diags);
+  EXPECT_TRUE(Spec) << Diags.toString();
+  if (!Spec)
+    return nullptr;
+  auto Rep = translateSpec(*Spec, Diags);
+  EXPECT_TRUE(Rep) << Diags.toString();
+  return Rep;
+}
+
+} // namespace
+
+TEST(IntegrationTest, Fig1DuplicateHostsRace) {
+  // hosts = ["a.com", "a.com"]: two threads put the same key -> race.
+  auto Rep = repFromSource();
+  ASSERT_TRUE(Rep);
+  Trace T = runConnectionsProgram({"a.com", "a.com"}, /*Seed=*/5);
+
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(Rep.get());
+  Detector.processTrace(T);
+  ASSERT_EQ(Detector.races().size(), 1u);
+  EXPECT_EQ(Detector.races()[0].Current.method(), symbol("put"));
+  EXPECT_EQ(Detector.distinctRacyObjects(), 1u);
+}
+
+TEST(IntegrationTest, Fig1DistinctHostsNoRace) {
+  auto Rep = repFromSource();
+  ASSERT_TRUE(Rep);
+  Trace T = runConnectionsProgram({"a.com", "b.com", "c.com"}, /*Seed=*/5);
+
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(Rep.get());
+  Detector.processTrace(T);
+  // All puts hit different keys; size() runs after joinall. No races —
+  // even though every put resizes the dictionary (Fig 4's point: resize
+  // conflicts with size, not with itself).
+  EXPECT_TRUE(Detector.races().empty());
+}
+
+TEST(IntegrationTest, Fig1WithoutJoinallSizeRaces) {
+  // Remove the joins: size() now races with the resizing puts.
+  SimRuntime RT(9);
+  InstrumentedMap Dict(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Dict](SimThread &T) {
+    for (int64_t I = 0; I != 3; ++I) {
+      Value HostKey = Value::string("host" + std::to_string(I));
+      T.fork([&Dict, HostKey, I](SimThread &T2) {
+        Dict.put(T2, HostKey, Value::integer(I + 1));
+      });
+    }
+  });
+  RT.schedule(Main, [&Dict](SimThread &T) { Dict.size(T); });
+
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+
+  auto Rep = repFromSource();
+  ASSERT_TRUE(Rep);
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(Rep.get());
+  Detector.processTrace(Recorder.trace());
+  // At least one put is unordered with the size() under every schedule in
+  // which size() does not run last... under some schedules size() may run
+  // before any put has executed, but it still races: the puts come later
+  // and are unordered with it. The detector sees races at the later puts'
+  // resize points against the active size point (or vice versa).
+  EXPECT_GE(Detector.races().size(), 1u);
+}
+
+TEST(IntegrationTest, RecordReplayRoundTripPreservesRaces) {
+  Trace Original = runConnectionsProgram({"a.com", "a.com", "b.com"}, 7);
+
+  // Serialize and re-parse the trace.
+  std::string Text = traceToString(Original);
+  DiagnosticEngine Diags;
+  auto Replayed = parseTrace(Text, Diags);
+  ASSERT_TRUE(Replayed) << Diags.toString();
+
+  auto Rep = repFromSource();
+  ASSERT_TRUE(Rep);
+  CommutativityRaceDetector D1, D2;
+  D1.setDefaultProvider(Rep.get());
+  D2.setDefaultProvider(Rep.get());
+  D1.processTrace(Original);
+  D2.processTrace(*Replayed);
+  ASSERT_EQ(D1.races().size(), D2.races().size());
+  for (size_t I = 0; I != D1.races().size(); ++I) {
+    EXPECT_EQ(D1.races()[I].EventIndex, D2.races()[I].EventIndex);
+    EXPECT_EQ(D1.races()[I].Current, D2.races()[I].Current);
+  }
+}
+
+TEST(IntegrationTest, FastTrackAndRD2SeeDifferentKindsOfProblems) {
+  // The check-then-act pattern: two threads do get(k) then put(k, v).
+  // FastTrack sees nothing wrong at the memory level beyond the unlocked
+  // bucket read; RD2 flags the non-commuting put/get and put/put pairs.
+  SimRuntime RT(3);
+  InstrumentedMap Dict(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&RT, &Dict](SimThread &T) {
+    for (int W = 0; W != 2; ++W) {
+      ThreadId C = T.fork([](SimThread &) {});
+      RT.schedule(C, [&Dict](SimThread &T2) {
+        Value K = Value::string("counter");
+        Value Cur = Dict.get(T2, K);
+        int64_t N = Cur.isNil() ? 0 : Cur.asInt();
+        Dict.put(T2, K, Value::integer(N + 1));
+      });
+    }
+  });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+
+  auto Rep = repFromSource();
+  ASSERT_TRUE(Rep);
+  CommutativityRaceDetector RD2;
+  RD2.setDefaultProvider(Rep.get());
+  RD2.processTrace(Recorder.trace());
+  EXPECT_GE(RD2.races().size(), 1u)
+      << "lost-update pattern must surface as a commutativity race";
+
+  FastTrackDetector FT;
+  FT.processTrace(Recorder.trace());
+  // FastTrack may or may not flag the unlocked bucket read depending on
+  // the schedule, but it can never see the lost update as such. We only
+  // assert the run completes and reports distinct information.
+  for (const MemoryRace &R : FT.races())
+    EXPECT_TRUE(R.Var.index() < 32u);
+}
+
+TEST(IntegrationTest, MultipleObjectTypesInOnePipeline) {
+  DiagnosticEngine Diags;
+  auto Specs = parseSpecs(R"(
+    object dictionary {
+      method put(k, v) / p;
+      method get(k) / v;
+      method size() / r;
+      commute put(k1, v1)/p1, put(k2, v2)/p2 :
+          k1 != k2 || (v1 == p1 && v2 == p2);
+      commute put(k1, v1)/p1, get(k2)/v2 : k1 != k2 || v1 == p1;
+      commute put(k1, v1)/p1, size()/r :
+          (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil);
+      commute get(k1)/v1, get(k2)/v2 : true;
+      commute get(k1)/v1, size()/r : true;
+      commute size()/r1, size()/r2 : true;
+    }
+    object counter {
+      method inc();
+      method read() / v;
+      commute inc(), inc() : true;
+      commute inc(), read()/_ : false;
+      commute read()/_, read()/_ : true;
+    }
+  )",
+                          Diags);
+  ASSERT_TRUE(Specs) << Diags.toString();
+  ASSERT_EQ(Specs->size(), 2u);
+
+  auto DictRep = translateSpec((*Specs)[0], Diags);
+  auto CtrRep = translateSpec((*Specs)[1], Diags);
+  ASSERT_TRUE(DictRep && CtrRep) << Diags.toString();
+
+  CommutativityRaceDetector Detector;
+  Detector.bind(ObjectId(10), DictRep.get());
+  Detector.bind(ObjectId(20), CtrRep.get());
+
+  // Concurrent: dict put/put on different keys (fine) and counter inc vs
+  // read (race).
+  Detector.process(Event::fork(ThreadId(0), ThreadId(1)));
+  Detector.process(Event::invoke(
+      ThreadId(0), Action(ObjectId(10), symbol("put"),
+                          {Value::string("a"), Value::integer(1)},
+                          Value::nil())));
+  Detector.process(Event::invoke(
+      ThreadId(1), Action(ObjectId(10), symbol("put"),
+                          {Value::string("b"), Value::integer(2)},
+                          Value::nil())));
+  Detector.process(Event::invoke(ThreadId(0),
+                                 Action(ObjectId(20), symbol("inc"), {},
+                                        std::vector<Value>{})));
+  Detector.process(Event::invoke(
+      ThreadId(1), Action(ObjectId(20), symbol("read"), {},
+                          Value::integer(0))));
+  ASSERT_EQ(Detector.races().size(), 1u);
+  EXPECT_EQ(Detector.races()[0].Current.object(), ObjectId(20));
+}

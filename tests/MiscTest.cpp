@@ -1,0 +1,143 @@
+//===- tests/MiscTest.cpp - remaining odds and ends ---------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/Determinism.h"
+#include "spec/Builtins.h"
+#include "spec/SpecParser.h"
+#include "trace/TraceIO.h"
+#include "translate/Translator.h"
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace crd;
+
+TEST(MiscHarnessTest, CircuitNamesAreUniqueAndStable) {
+  std::set<std::string> Names;
+  for (Circuit C : AllCircuits)
+    EXPECT_TRUE(Names.insert(circuitName(C)).second) << circuitName(C);
+  EXPECT_EQ(Names.size(), 6u);
+  EXPECT_EQ(std::string(modeName(AnalysisMode::Uninstrumented)),
+            "Uninstrumented");
+  EXPECT_EQ(std::string(modeName(AnalysisMode::FastTrack)), "FASTTRACK");
+  EXPECT_EQ(std::string(modeName(AnalysisMode::RD2)), "RD2");
+}
+
+TEST(MiscHarnessTest, SnitchResultsDeterministicGivenSeed) {
+  SnitchConfig Config;
+  Config.Hosts = 5;
+  Config.UpdaterThreads = 2;
+  Config.TimingsPerUpdater = 30;
+  Config.ScoreRecalcs = 8;
+  Config.Seed = 33;
+  RunResult A = runSnitchTest(AnalysisMode::RD2, Config);
+  RunResult B = runSnitchTest(AnalysisMode::RD2, Config);
+  EXPECT_EQ(A.RacesTotal, B.RacesTotal);
+  EXPECT_EQ(A.RacesDistinct, B.RacesDistinct);
+  EXPECT_EQ(A.Queries, B.Queries);
+}
+
+TEST(MiscTranslatorTest, EveryClassHasANameAndConsistentFlags) {
+  for (const ObjectSpec *Spec :
+       {&dictionarySpec(), &setSpec(), &counterSpec(), &registerSpec(),
+        &queueSpec()}) {
+    DiagnosticEngine Diags;
+    auto Rep = translateSpec(*Spec, Diags);
+    ASSERT_TRUE(Rep) << Spec->name();
+    for (uint32_t C = 0; C != Rep->numClasses(); ++C) {
+      EXPECT_FALSE(Rep->className(C).empty());
+      // Conflict rows are symmetric and never cross the value-carrying
+      // boundary.
+      for (uint32_t Partner : Rep->conflictsOf(C)) {
+        EXPECT_EQ(Rep->classCarriesValue(C),
+                  Rep->classCarriesValue(Partner))
+            << Spec->name() << " class " << C;
+        const auto &Back = Rep->conflictsOf(Partner);
+        EXPECT_NE(std::find(Back.begin(), Back.end(), C), Back.end())
+            << Spec->name() << ": conflict relation not symmetric";
+      }
+    }
+  }
+}
+
+TEST(MiscParserTest, RecoversAcrossBrokenObjects) {
+  DiagnosticEngine Diags;
+  auto Specs = parseSpecs(R"(
+    object broken {
+      method m(;
+    }
+    object fine {
+      method m();
+      commute m(), m() : true;
+    }
+  )",
+                          Diags);
+  // Errors were reported...
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_FALSE(Specs); // ...so the parse fails as a whole,
+  // but recovery kept going: the 'fine' object's clauses produced no
+  // additional spurious errors beyond the one in 'broken'.
+  EXPECT_LE(Diags.errorCount(), 2u);
+}
+
+TEST(MiscParserTest, TraceParserSurvivesGarbage) {
+  std::mt19937_64 Rng(123);
+  for (int Round = 0; Round != 50; ++Round) {
+    std::string Garbage;
+    for (int I = 0; I != 200; ++I)
+      Garbage.push_back(static_cast<char>(' ' + Rng() % 95));
+    DiagnosticEngine Diags;
+    // Must not crash; virtually certain to fail with diagnostics.
+    auto T = parseTrace(Garbage, Diags);
+    if (!T) {
+      EXPECT_TRUE(Diags.hasErrors());
+    }
+  }
+}
+
+TEST(MiscParserTest, SpecParserSurvivesGarbage) {
+  std::mt19937_64 Rng(321);
+  for (int Round = 0; Round != 50; ++Round) {
+    std::string Garbage = "object g {";
+    for (int I = 0; I != 150; ++I)
+      Garbage.push_back(static_cast<char>(' ' + Rng() % 95));
+    DiagnosticEngine Diags;
+    auto Spec = parseObjectSpec(Garbage, Diags);
+    if (!Spec) {
+      EXPECT_TRUE(Diags.hasErrors());
+    }
+  }
+}
+
+TEST(MiscReplayTest, DeterminismCheckerHandlesTxMarkers) {
+  // Traces with atomic-block markers replay fine (markers are not
+  // actions); the torn-commit sample is racy and must show divergence or
+  // infeasibility.
+  DiagnosticEngine Diags;
+  auto T = parseTrace("T0: fork T1\n"
+                      "T0: txbegin\n"
+                      "T0: o1.get(0)/nil\n"
+                      "T1: o1.put(0, 777)/nil\n"
+                      "T0: o1.put(0, 888)/777\n"
+                      "T0: txend\n",
+                      Diags);
+  ASSERT_TRUE(T) << Diags.toString();
+  DeterminismReport Report = checkDeterminism(*T);
+  EXPECT_GT(Report.LinearizationsChecked, 1u);
+  EXPECT_FALSE(Report.deterministic());
+}
+
+TEST(MiscReplayTest, UnknownMethodMakesReplayInfeasible) {
+  Trace T;
+  T.append(Event::invoke(ThreadId(0),
+                         Action(ObjectId(0), symbol("frobnicate"),
+                                {Value::integer(1)}, Value::nil())));
+  ReplayResult R = replayTrace(T, AbstractHeap());
+  EXPECT_FALSE(R.Feasible);
+  EXPECT_EQ(R.FailedAt, 0u);
+}

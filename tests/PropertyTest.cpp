@@ -1,0 +1,322 @@
+//===- tests/PropertyTest.cpp - randomized equivalence properties -------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Randomized end-to-end properties, each an instance of a paper theorem:
+///
+///   * Theorem 5.1: Algorithm 1 flags exactly the events at which the
+///     direct (pairwise, formula-evaluating) detector finds a race.
+///   * Definition 4.5: the translated representation conflicts exactly
+///     where the specification says actions do not commute.
+///   * Table 1 machine vs. a naive transitive-closure happens-before.
+///   * FastTrack per-variable agreement with a naive O(n²) race checker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "detect/CommutativityDetector.h"
+#include "detect/DirectDetector.h"
+#include "detect/FastTrack.h"
+#include "hb/HappensBefore.h"
+#include "runtime/InstrumentedMap.h"
+#include "spec/Builtins.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace crd;
+
+namespace {
+
+/// Generates a random—but well-formed and value-consistent—execution by
+/// actually running a random program on the simulated runtime.
+Trace randomTrace(uint64_t Seed, unsigned Workers, unsigned OpsPerWorker,
+                  unsigned Keys, unsigned Maps = 2) {
+  SimRuntime RT(Seed);
+  std::vector<std::unique_ptr<InstrumentedMap>> MapList;
+  for (unsigned I = 0; I != Maps; ++I)
+    MapList.push_back(std::make_unique<InstrumentedMap>(RT));
+  LockId Lock = RT.newLock();
+
+  ThreadId Main = RT.addInitialThread();
+  auto WorkerIds = std::make_shared<std::vector<ThreadId>>();
+  RT.schedule(Main, [&, WorkerIds](SimThread &T) {
+    for (unsigned W = 0; W != Workers; ++W) {
+      ThreadId Tid = T.fork([](SimThread &) {});
+      WorkerIds->push_back(Tid);
+      for (unsigned Q = 0; Q != OpsPerWorker; ++Q)
+        RT.schedule(Tid, [&MapList, Keys, Lock](SimThread &T2) {
+          InstrumentedMap &M = *MapList[T2.random(MapList.size())];
+          Value Key = Value::integer(
+              static_cast<int64_t>(T2.random(Keys)));
+          switch (T2.random(6)) {
+          case 0:
+          case 1:
+            M.put(T2, Key, Value::integer(static_cast<int64_t>(
+                              T2.random(3)))); // Note: value 0..2.
+            break;
+          case 2:
+            M.put(T2, Key, Value::nil()); // Removal.
+            break;
+          case 3:
+            M.get(T2, Key);
+            break;
+          case 4:
+            M.size(T2);
+            break;
+          case 5:
+            // A lock-protected no-op region, to vary the happens-before.
+            T2.acquire(Lock);
+            M.get(T2, Key);
+            T2.release(Lock);
+            break;
+          }
+        });
+    }
+  });
+  // Poll size concurrently, then join everyone and read once more.
+  for (unsigned P = 0; P != 3; ++P)
+    RT.schedule(Main, [&MapList](SimThread &T) { MapList[0]->size(T); });
+  for (unsigned W = 0; W != Workers; ++W)
+    RT.schedule(Main,
+                [WorkerIds, W](SimThread &T) { T.join((*WorkerIds)[W]); });
+  RT.schedule(Main, [&MapList](SimThread &T) { MapList[0]->size(T); });
+
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(Recorder.trace().validate(Diags)) << Diags.toString();
+  return Recorder.take();
+}
+
+std::set<size_t> racyEvents(const std::vector<CommutativityRace> &Races) {
+  std::set<size_t> Out;
+  for (const CommutativityRace &R : Races)
+    Out.insert(R.EventIndex);
+  return Out;
+}
+
+const TranslatedRep &translatedDict() {
+  static std::unique_ptr<TranslatedRep> Rep = [] {
+    DiagnosticEngine Diags;
+    auto R = translateSpec(dictionarySpec(), Diags);
+    EXPECT_TRUE(R) << Diags.toString();
+    return R;
+  }();
+  return *Rep;
+}
+
+class RandomTraceTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Theorem 5.1: Algorithm 1 == direct detector, per event.
+//===----------------------------------------------------------------------===//
+
+TEST_P(RandomTraceTest, Theorem51_Algorithm1AgreesWithDirectDetector) {
+  Trace T = randomTrace(GetParam(), /*Workers=*/4, /*OpsPerWorker=*/40,
+                        /*Keys=*/4);
+
+  DirectCommutativityDetector Direct;
+  Direct.setDefaultSpec(&dictionarySpec());
+  Direct.processTrace(T);
+
+  static DictionaryRep Hand;
+  for (const AccessPointProvider *Provider :
+       {static_cast<const AccessPointProvider *>(&translatedDict()),
+        static_cast<const AccessPointProvider *>(&Hand)}) {
+    CommutativityRaceDetector Alg1;
+    Alg1.setDefaultProvider(Provider);
+    Alg1.processTrace(T);
+    EXPECT_EQ(racyEvents(Alg1.races()), racyEvents(Direct.races()))
+        << "provider "
+        << (Provider == &Hand ? "hand-written" : "translated") << ", seed "
+        << GetParam();
+    EXPECT_EQ(Alg1.distinctRacyObjects(), Direct.distinctRacyObjects());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Definition 4.5 on actions drawn from real executions.
+//===----------------------------------------------------------------------===//
+
+TEST_P(RandomTraceTest, Def45_TranslationRepresentsSpecOnTraceActions) {
+  Trace T = randomTrace(GetParam(), 3, 30, 3, /*Maps=*/1);
+  const ObjectSpec &Spec = dictionarySpec();
+  DictionaryRep Hand;
+
+  std::vector<Action> Actions;
+  for (const Event &E : T)
+    if (E.isInvoke())
+      Actions.push_back(E.action());
+  ASSERT_FALSE(Actions.empty());
+
+  for (size_t I = 0; I < Actions.size(); I += 3)
+    for (size_t J = 0; J < Actions.size(); J += 3) {
+      bool Commutes = Spec.commute(Actions[I], Actions[J]);
+      EXPECT_EQ(actionsConflict(translatedDict(), Actions[I], Actions[J]),
+                !Commutes)
+          << Actions[I] << " vs " << Actions[J];
+      EXPECT_EQ(actionsConflict(Hand, Actions[I], Actions[J]), !Commutes)
+          << Actions[I] << " vs " << Actions[J];
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Table 1 vector clocks vs. naive transitive closure.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Naive happens-before: program order, fork/join and per-lock
+/// release->acquire edges, transitively closed.
+std::vector<std::vector<bool>> naiveHappensBefore(const Trace &T) {
+  size_t N = T.size();
+  std::vector<std::vector<bool>> HB(N, std::vector<bool>(N, false));
+  auto AddEdge = [&](size_t From, size_t To) { HB[From][To] = true; };
+
+  std::unordered_map<uint32_t, size_t> LastOfThread;
+  std::unordered_map<uint32_t, size_t> LastReleaseOfLock;
+  std::unordered_map<uint32_t, size_t> ForkEventOfThread;
+  std::unordered_map<uint32_t, size_t> LastEventOfThreadEver;
+
+  for (size_t I = 0; I != N; ++I) {
+    const Event &E = T[I];
+    uint32_t Tid = E.thread().index();
+    if (auto It = LastOfThread.find(Tid); It != LastOfThread.end())
+      AddEdge(It->second, I);
+    else if (auto F = ForkEventOfThread.find(Tid);
+             F != ForkEventOfThread.end())
+      AddEdge(F->second, I);
+    LastOfThread[Tid] = I;
+    LastEventOfThreadEver[Tid] = I;
+
+    switch (E.kind()) {
+    case EventKind::Fork:
+      ForkEventOfThread[E.other().index()] = I;
+      break;
+    case EventKind::Join:
+      if (auto It = LastEventOfThreadEver.find(E.other().index());
+          It != LastEventOfThreadEver.end())
+        AddEdge(It->second, I);
+      break;
+    case EventKind::Acquire:
+      if (auto It = LastReleaseOfLock.find(E.lock().index());
+          It != LastReleaseOfLock.end())
+        AddEdge(It->second, I);
+      break;
+    case EventKind::Release:
+      LastReleaseOfLock[E.lock().index()] = I;
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Transitive closure in trace order: predecessors are already closed.
+  for (size_t J = 0; J != N; ++J)
+    for (size_t I = 0; I != J; ++I)
+      if (HB[I][J])
+        for (size_t K = 0; K != I; ++K)
+          if (HB[K][I])
+            HB[K][J] = true;
+  return HB;
+}
+
+} // namespace
+
+TEST_P(RandomTraceTest, VectorClocksMatchNaiveTransitiveClosure) {
+  Trace T = randomTrace(GetParam(), 3, 12, 3, /*Maps=*/1);
+  ASSERT_LE(T.size(), 400u);
+  HappensBefore HB(T);
+  auto Naive = naiveHappensBefore(T);
+  for (size_t I = 0; I != T.size(); ++I)
+    for (size_t J = I + 1; J != T.size(); ++J)
+      EXPECT_EQ(HB.happensBefore(I, J), Naive[I][J])
+          << "events " << I << " (" << T[I] << ") and " << J << " (" << T[J]
+          << ")";
+}
+
+//===----------------------------------------------------------------------===//
+// FastTrack vs naive per-variable race existence.
+//===----------------------------------------------------------------------===//
+
+TEST_P(RandomTraceTest, FastTrackAgreesWithNaivePerVariable) {
+  Trace T = randomTrace(GetParam(), 4, 25, 3, /*Maps=*/2);
+  HappensBefore HB(T);
+
+  // Naive: a variable races iff it has two unordered accesses, at least
+  // one of which is a write.
+  std::set<uint32_t> NaiveRacy;
+  std::unordered_map<uint32_t, std::vector<size_t>> AccessesOf;
+  for (size_t I = 0; I != T.size(); ++I)
+    if (T[I].isMemoryAccess())
+      AccessesOf[T[I].var().index()].push_back(I);
+  for (const auto &[Var, Accesses] : AccessesOf)
+    for (size_t A = 0; A != Accesses.size(); ++A)
+      for (size_t B = A + 1; B != Accesses.size(); ++B) {
+        bool SomeWrite = T[Accesses[A]].kind() == EventKind::Write ||
+                         T[Accesses[B]].kind() == EventKind::Write;
+        if (SomeWrite && HB.mayHappenInParallel(Accesses[A], Accesses[B]))
+          NaiveRacy.insert(Var);
+      }
+
+  FastTrackDetector FT;
+  FT.processTrace(T);
+  std::set<uint32_t> FtRacy;
+  for (const MemoryRace &R : FT.races())
+    FtRacy.insert(R.Var.index());
+
+  EXPECT_EQ(FtRacy, NaiveRacy) << "seed " << GetParam();
+}
+
+//===----------------------------------------------------------------------===//
+// Appendix A.1 invariant: pt.vc = ⊔ of the clocks of all events that
+// touched pt (maintained by phase 2 of Algorithm 1).
+//===----------------------------------------------------------------------===//
+
+TEST_P(RandomTraceTest, AppendixA1ClockAccumulationInvariant) {
+  Trace T = randomTrace(GetParam(), 3, 25, 3, /*Maps=*/1);
+  HappensBefore HB(T);
+  DictionaryRep Rep;
+
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&Rep);
+  Detector.processTrace(T);
+
+  // Recompute each point's expected clock offline.
+  std::unordered_map<AccessPoint, VectorClock> Expected;
+  std::vector<AccessPoint> Points;
+  for (size_t I = 0; I != T.size(); ++I) {
+    if (!T[I].isInvoke())
+      continue;
+    const Action &A = T[I].action();
+    if (A.object() != ObjectId(0))
+      continue;
+    Points.clear();
+    Rep.touches(A, Points);
+    for (const AccessPoint &Pt : Points) {
+      auto [It, Inserted] = Expected.try_emplace(Pt, HB.clock(I));
+      if (!Inserted)
+        It->second.joinWith(HB.clock(I));
+    }
+  }
+
+  auto Snapshot = Detector.activePoints(ObjectId(0));
+  EXPECT_EQ(Snapshot.size(), Expected.size());
+  for (const auto &[Pt, Clock] : Snapshot) {
+    auto It = Expected.find(Pt);
+    ASSERT_NE(It, Expected.end());
+    EXPECT_EQ(Clock, It->second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraceTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));

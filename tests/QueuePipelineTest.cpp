@@ -1,0 +1,240 @@
+//===- tests/QueuePipelineTest.cpp - queue object end-to-end pipeline ---------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end coverage for the FIFO queue: the least commutative of the
+/// builtin types (Definition 3.1's strict effect equality leaves mostly
+/// vacuous commutations). Exercises multi-return methods (deq()/v/ok)
+/// through the spec, translator, detector, runtime and replay layers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/CommutativityDetector.h"
+#include "detect/DirectDetector.h"
+#include "replay/Determinism.h"
+#include "runtime/InstrumentedQueue.h"
+#include "spec/Builtins.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace crd;
+
+namespace {
+
+const TranslatedRep &queueRep() {
+  static std::unique_ptr<TranslatedRep> Rep = [] {
+    DiagnosticEngine Diags;
+    auto R = translateSpec(queueSpec(), Diags);
+    EXPECT_TRUE(R) << Diags.toString();
+    return R;
+  }();
+  return *Rep;
+}
+
+Action enq(int64_t V, bool WasEmpty) {
+  return Action(ObjectId(0), symbol("enq"), {Value::integer(V)},
+                Value::boolean(WasEmpty));
+}
+Action deq(Value V, bool Ok) {
+  return Action(ObjectId(0), symbol("deq"), {},
+                std::vector<Value>{V, Value::boolean(Ok)});
+}
+Action peek(Value V, bool Ok) {
+  return Action(ObjectId(0), symbol("peek"), {},
+                std::vector<Value>{V, Value::boolean(Ok)});
+}
+
+} // namespace
+
+TEST(QueueSpecTest, ValidatesAndTranslates) {
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(queueSpec().validate(Diags)) << Diags.toString();
+  TranslationStats Stats;
+  auto Rep = translateSpec(queueSpec(), Diags, {}, &Stats);
+  ASSERT_TRUE(Rep) << Diags.toString();
+  EXPECT_LE(Stats.MaxConflictsPerClass, 8u);
+}
+
+TEST(QueueSpecTest, CommutativitySemantics) {
+  const ObjectSpec &Q = queueSpec();
+  // Enqueues never commute.
+  EXPECT_FALSE(Q.commute(enq(1, true), enq(2, false)));
+  EXPECT_FALSE(Q.commute(enq(1, false), enq(2, false)));
+  // enq/deq: only the vacuous combination commutes.
+  EXPECT_TRUE(Q.commute(enq(1, false), deq(Value::nil(), false)));
+  EXPECT_FALSE(Q.commute(enq(1, false), deq(Value::integer(9), true)));
+  EXPECT_FALSE(Q.commute(enq(1, true), deq(Value::nil(), false)));
+  // enq on a non-empty queue commutes with any peek.
+  EXPECT_TRUE(Q.commute(enq(1, false), peek(Value::integer(5), true)));
+  EXPECT_TRUE(Q.commute(enq(1, false), peek(Value::nil(), false)));
+  EXPECT_FALSE(Q.commute(enq(1, true), peek(Value::nil(), false)));
+  // Dequeues commute iff both failed.
+  EXPECT_TRUE(Q.commute(deq(Value::nil(), false), deq(Value::nil(), false)));
+  EXPECT_FALSE(Q.commute(deq(Value::integer(1), true),
+                         deq(Value::nil(), false)));
+  // Peeks always commute.
+  EXPECT_TRUE(Q.commute(peek(Value::integer(1), true),
+                        peek(Value::integer(1), true)));
+}
+
+TEST(QueueSpecTest, TranslationRepresentsTheSpec) {
+  const ObjectSpec &Spec = queueSpec();
+  std::vector<Action> Zoo;
+  for (bool WasEmpty : {true, false})
+    Zoo.push_back(enq(7, WasEmpty));
+  for (bool Ok : {true, false}) {
+    Value V = Ok ? Value::integer(7) : Value::nil();
+    Zoo.push_back(deq(V, Ok));
+    Zoo.push_back(peek(V, Ok));
+  }
+  for (const Action &A : Zoo)
+    for (const Action &B : Zoo)
+      EXPECT_EQ(actionsConflict(queueRep(), A, B), !Spec.commute(A, B))
+          << A << " vs " << B;
+}
+
+TEST(AbstractQueueTest, Semantics) {
+  AbstractQueue Q;
+  EXPECT_TRUE(Q.apply(peek(Value::nil(), false)));
+  EXPECT_TRUE(Q.apply(enq(1, true)));
+  EXPECT_FALSE(Q.apply(enq(2, true))); // Queue is no longer empty.
+  EXPECT_TRUE(Q.apply(enq(2, false)));
+  EXPECT_TRUE(Q.apply(peek(Value::integer(1), true)));
+  EXPECT_TRUE(Q.apply(deq(Value::integer(1), true)));
+  EXPECT_TRUE(Q.apply(deq(Value::integer(2), true)));
+  EXPECT_FALSE(Q.apply(deq(Value::integer(2), true))); // Empty now.
+  EXPECT_TRUE(Q.apply(deq(Value::nil(), false)));
+  EXPECT_EQ(Q.toString(), "queue[]");
+}
+
+TEST(InstrumentedQueueTest, FunctionalAndReplayConsistent) {
+  SimRuntime RT(1);
+  InstrumentedQueue Queue(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Queue](SimThread &T) {
+    EXPECT_TRUE(Queue.enq(T, Value::integer(1)));
+    EXPECT_FALSE(Queue.enq(T, Value::integer(2)));
+    EXPECT_EQ(Queue.peek(T).first, Value::integer(1));
+    EXPECT_EQ(Queue.deq(T).first, Value::integer(1));
+    EXPECT_EQ(Queue.deq(T).first, Value::integer(2));
+    EXPECT_FALSE(Queue.deq(T).second);
+  });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+
+  AbstractHeap Heap([](ObjectId) -> std::unique_ptr<AbstractObject> {
+    return std::make_unique<AbstractQueue>();
+  });
+  ReplayResult R = replayTrace(Recorder.trace(), Heap);
+  EXPECT_TRUE(R.Feasible) << "failed at event " << R.FailedAt;
+}
+
+TEST(QueuePipelineTest, ConcurrentProducersRace) {
+  SimRuntime RT(5);
+  InstrumentedQueue Queue(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Queue](SimThread &T) {
+    for (int W = 0; W != 2; ++W)
+      T.fork([&Queue, W](SimThread &T2) {
+        Queue.enq(T2, Value::integer(W));
+      });
+  });
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&queueRep());
+  DetectorSink<CommutativityRaceDetector> Sink(Detector);
+  RT.run(Sink);
+  // Two concurrent enqueues: exactly one race (they never commute).
+  EXPECT_EQ(Detector.races().size(), 1u);
+}
+
+TEST(QueuePipelineTest, OrderedProducerConsumerNoRace) {
+  // Producer enqueues, main joins, consumer dequeues afterwards.
+  SimRuntime RT(5);
+  InstrumentedQueue Queue(RT);
+  ThreadId Main = RT.addInitialThread();
+  auto Producer = std::make_shared<ThreadId>();
+  RT.schedule(Main, [&Queue, Producer](SimThread &T) {
+    *Producer = T.fork([&Queue](SimThread &T2) {
+      Queue.enq(T2, Value::integer(1));
+      Queue.enq(T2, Value::integer(2));
+    });
+  });
+  RT.schedule(Main, [Producer](SimThread &T) { T.join(*Producer); });
+  RT.schedule(Main, [&Queue](SimThread &T) {
+    Queue.deq(T);
+    Queue.deq(T);
+  });
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&queueRep());
+  DetectorSink<CommutativityRaceDetector> Sink(Detector);
+  RT.run(Sink);
+  EXPECT_TRUE(Detector.races().empty());
+}
+
+TEST(QueuePipelineTest, Theorem51AgreementOnQueueTraces) {
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    SimRuntime RT(Seed);
+    InstrumentedQueue Queue(RT);
+    ThreadId Main = RT.addInitialThread();
+    RT.schedule(Main, [&RT, &Queue](SimThread &T) {
+      for (unsigned W = 0; W != 3; ++W) {
+        ThreadId Tid = T.fork([](SimThread &) {});
+        for (unsigned Q = 0; Q != 15; ++Q)
+          RT.schedule(Tid, [&Queue](SimThread &T2) {
+            switch (T2.random(3)) {
+            case 0:
+              Queue.enq(T2, Value::integer(static_cast<int64_t>(
+                                T2.random(5))));
+              break;
+            case 1:
+              Queue.deq(T2);
+              break;
+            case 2:
+              Queue.peek(T2);
+              break;
+            }
+          });
+      }
+    });
+    TraceRecorder Recorder;
+    RT.run(Recorder);
+
+    CommutativityRaceDetector Alg1;
+    Alg1.setDefaultProvider(&queueRep());
+    Alg1.processTrace(Recorder.trace());
+
+    DirectCommutativityDetector Direct;
+    Direct.setDefaultSpec(&queueSpec());
+    Direct.processTrace(Recorder.trace());
+
+    std::set<size_t> A, D;
+    for (const CommutativityRace &R : Alg1.races())
+      A.insert(R.EventIndex);
+    for (const CommutativityRace &R : Direct.races())
+      D.insert(R.EventIndex);
+    EXPECT_EQ(A, D) << "seed " << Seed;
+  }
+}
+
+TEST(QueuePipelineTest, SequentialQueueIsDeterministic) {
+  SimRuntime RT(2);
+  InstrumentedQueue Queue(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Queue](SimThread &T) {
+    Queue.enq(T, Value::integer(1));
+    Queue.enq(T, Value::integer(2));
+    Queue.deq(T);
+  });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+  AbstractHeap Heap([](ObjectId) -> std::unique_ptr<AbstractObject> {
+    return std::make_unique<AbstractQueue>();
+  });
+  DeterminismReport Report = checkDeterminism(Recorder.trace(), Heap);
+  EXPECT_TRUE(Report.deterministic()) << Report.Witness;
+}

@@ -1,0 +1,387 @@
+//===- tests/ReplayTest.cpp - abstract replay & Theorem 5.2 tests -------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "detect/CommutativityDetector.h"
+#include "replay/Determinism.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+using namespace crd;
+
+namespace {
+
+Value str(std::string_view S) { return Value::string(S); }
+Value num(int64_t I) { return Value::integer(I); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Abstract object semantics (Fig 5)
+//===----------------------------------------------------------------------===//
+
+TEST(AbstractDictionaryTest, Fig5Semantics) {
+  AbstractDictionary D;
+  // put defined iff p = d(k).
+  EXPECT_TRUE(D.apply(Action(ObjectId(0), symbol("put"), {str("k"), num(1)},
+                             Value::nil())));
+  EXPECT_FALSE(D.apply(Action(ObjectId(0), symbol("put"), {str("k"), num(2)},
+                              Value::nil()))); // p must be 1 now.
+  EXPECT_TRUE(D.apply(Action(ObjectId(0), symbol("put"), {str("k"), num(2)},
+                             num(1))));
+  // get defined iff v = d(k).
+  EXPECT_TRUE(D.apply(Action(ObjectId(0), symbol("get"), {str("k")}, num(2))));
+  EXPECT_FALSE(D.apply(Action(ObjectId(0), symbol("get"), {str("k")}, num(1))));
+  EXPECT_TRUE(D.apply(
+      Action(ObjectId(0), symbol("get"), {str("absent")}, Value::nil())));
+  // size defined iff r = |dom(d)|.
+  EXPECT_TRUE(D.apply(Action(ObjectId(0), symbol("size"), {}, num(1))));
+  EXPECT_FALSE(D.apply(Action(ObjectId(0), symbol("size"), {}, num(2))));
+  // Storing nil removes the key.
+  EXPECT_TRUE(D.apply(Action(ObjectId(0), symbol("put"), {str("k"), Value::nil()},
+                             num(2))));
+  EXPECT_TRUE(D.apply(Action(ObjectId(0), symbol("size"), {}, num(0))));
+  EXPECT_EQ(D.toString(), "dict{}");
+}
+
+TEST(AbstractDictionaryTest, EqualityAndClone) {
+  AbstractDictionary A;
+  A.apply(Action(ObjectId(0), symbol("put"), {str("k"), num(1)}, Value::nil()));
+  auto B = A.clone();
+  EXPECT_TRUE(A.equals(*B));
+  B->apply(Action(ObjectId(0), symbol("put"), {str("k"), num(2)}, num(1)));
+  EXPECT_FALSE(A.equals(*B));
+  AbstractCounter C;
+  EXPECT_FALSE(A.equals(C)); // Different kinds never compare equal.
+}
+
+TEST(AbstractSetTest, Semantics) {
+  AbstractSet S;
+  auto Add = [](std::string_view K, bool Changed) {
+    return Action(ObjectId(0), symbol("add"), {Value::string(K)},
+                  Value::boolean(Changed));
+  };
+  EXPECT_TRUE(S.apply(Add("x", true)));
+  EXPECT_FALSE(S.apply(Add("x", true))); // Already present: must be false.
+  EXPECT_TRUE(S.apply(Add("x", false)));
+  EXPECT_TRUE(S.apply(Action(ObjectId(0), symbol("contains"), {str("x")},
+                             Value::boolean(true))));
+  EXPECT_TRUE(S.apply(Action(ObjectId(0), symbol("remove"), {str("x")},
+                             Value::boolean(true))));
+  EXPECT_TRUE(S.apply(Action(ObjectId(0), symbol("size"), {}, num(0))));
+}
+
+TEST(AbstractCounterTest, Semantics) {
+  AbstractCounter C;
+  EXPECT_TRUE(C.apply(Action(ObjectId(0), symbol("inc"), {},
+                             std::vector<Value>{})));
+  EXPECT_TRUE(C.apply(Action(ObjectId(0), symbol("inc"), {},
+                             std::vector<Value>{})));
+  EXPECT_TRUE(C.apply(Action(ObjectId(0), symbol("dec"), {},
+                             std::vector<Value>{})));
+  EXPECT_TRUE(C.apply(Action(ObjectId(0), symbol("read"), {}, num(1))));
+  EXPECT_FALSE(C.apply(Action(ObjectId(0), symbol("read"), {}, num(0))));
+}
+
+TEST(AbstractRegisterTest, Semantics) {
+  AbstractRegister R;
+  EXPECT_TRUE(R.apply(Action(ObjectId(0), symbol("read"), {}, Value::nil())));
+  EXPECT_TRUE(
+      R.apply(Action(ObjectId(0), symbol("write"), {num(5)}, Value::nil())));
+  EXPECT_FALSE(
+      R.apply(Action(ObjectId(0), symbol("write"), {num(6)}, Value::nil())));
+  EXPECT_TRUE(R.apply(Action(ObjectId(0), symbol("write"), {num(6)}, num(5))));
+  EXPECT_TRUE(R.apply(Action(ObjectId(0), symbol("read"), {}, num(6))));
+}
+
+TEST(AbstractHeapTest, PerObjectFactoryAndEquality) {
+  AbstractHeap::Factory Mixed = [](ObjectId Obj) -> std::unique_ptr<AbstractObject> {
+    if (Obj.index() == 0)
+      return std::make_unique<AbstractCounter>();
+    return std::make_unique<AbstractDictionary>();
+  };
+  AbstractHeap H(Mixed);
+  EXPECT_TRUE(H.apply(Action(ObjectId(0), symbol("inc"), {},
+                             std::vector<Value>{})));
+  EXPECT_TRUE(H.apply(
+      Action(ObjectId(1), symbol("put"), {str("k"), num(1)}, Value::nil())));
+  AbstractHeap Copy = H;
+  EXPECT_TRUE(H.equals(Copy));
+  Copy.apply(Action(ObjectId(0), symbol("inc"), {}, std::vector<Value>{}));
+  EXPECT_FALSE(H.equals(Copy));
+
+  // An untouched object in one heap equals a fresh object in the other.
+  AbstractHeap A(Mixed), B(Mixed);
+  A.apply(Action(ObjectId(0), symbol("read"), {}, num(0)));
+  EXPECT_TRUE(A.equals(B));
+}
+
+//===----------------------------------------------------------------------===//
+// Linearization machinery
+//===----------------------------------------------------------------------===//
+
+TEST(LinearizeTest, SequentialTraceHasOneLinearization) {
+  Trace T = TraceBuilder().read(0, 1).write(0, 2).read(0, 3).take();
+  HappensBeforeDag Dag(T);
+  std::vector<std::vector<uint32_t>> Orders;
+  EXPECT_TRUE(Dag.enumerateLinearizations(100, Orders));
+  ASSERT_EQ(Orders.size(), 1u);
+  EXPECT_EQ(Orders[0], (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(LinearizeTest, TwoIndependentEventsHaveTwoOrders) {
+  Trace T = TraceBuilder().fork(0, 1).read(0, 1).read(1, 2).take();
+  HappensBeforeDag Dag(T);
+  std::vector<std::vector<uint32_t>> Orders;
+  EXPECT_TRUE(Dag.enumerateLinearizations(100, Orders));
+  // fork first always; the two reads in either order.
+  EXPECT_EQ(Orders.size(), 2u);
+}
+
+TEST(LinearizeTest, LockEdgesConstrain) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .acquire(0, 0)
+                .release(0, 0)
+                .acquire(1, 0) // Must come after T0's release.
+                .release(1, 0)
+                .take();
+  HappensBeforeDag Dag(T);
+  std::vector<std::vector<uint32_t>> Orders;
+  EXPECT_TRUE(Dag.enumerateLinearizations(1000, Orders));
+  for (const auto &Order : Orders) {
+    size_t PosRel0 = 0, PosAcq1 = 0;
+    for (size_t P = 0; P != Order.size(); ++P) {
+      if (Order[P] == 2)
+        PosRel0 = P;
+      if (Order[P] == 3)
+        PosAcq1 = P;
+    }
+    EXPECT_LT(PosRel0, PosAcq1);
+  }
+}
+
+TEST(LinearizeTest, IndependentEventsYieldFactorialOrders) {
+  // Three initial threads (no forks), one read each: 3! = 6 orders.
+  Trace T = TraceBuilder().read(0, 0).read(1, 1).read(2, 2).take();
+  HappensBeforeDag Dag(T);
+  std::vector<std::vector<uint32_t>> Orders;
+  EXPECT_TRUE(Dag.enumerateLinearizations(100, Orders));
+  EXPECT_EQ(Orders.size(), 6u);
+  // All orders are distinct permutations.
+  std::set<std::vector<uint32_t>> Unique(Orders.begin(), Orders.end());
+  EXPECT_EQ(Unique.size(), 6u);
+}
+
+TEST(LinearizeTest, PermuteTraceReordersEvents) {
+  Trace T = TraceBuilder().read(0, 0).read(1, 1).take();
+  Trace P = permuteTrace(T, {1, 0});
+  ASSERT_EQ(P.size(), 2u);
+  EXPECT_EQ(P[0].thread(), ThreadId(1));
+  EXPECT_EQ(P[1].thread(), ThreadId(0));
+}
+
+TEST(LinearizeTest, EnumerationTruncatesAtLimit) {
+  // 8 completely independent events (after the forks) explode
+  // combinatorially; the limit must kick in.
+  TraceBuilder TB;
+  for (uint32_t I = 1; I <= 6; ++I)
+    TB.fork(0, I);
+  for (uint32_t I = 1; I <= 6; ++I)
+    TB.read(I, I);
+  HappensBeforeDag Dag(TB.take());
+  std::vector<std::vector<uint32_t>> Orders;
+  EXPECT_FALSE(Dag.enumerateLinearizations(10, Orders));
+  EXPECT_EQ(Orders.size(), 10u);
+}
+
+TEST(LinearizeTest, RandomLinearizationIsTopological) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .write(1, 1)
+                .write(2, 2)
+                .join(0, 1)
+                .join(0, 2)
+                .read(0, 1)
+                .take();
+  HappensBeforeDag Dag(T);
+  for (uint64_t Seed = 0; Seed != 20; ++Seed) {
+    std::vector<uint32_t> Order = Dag.randomLinearization(Seed);
+    ASSERT_EQ(Order.size(), T.size());
+    std::vector<size_t> PosOf(T.size());
+    for (size_t P = 0; P != Order.size(); ++P)
+      PosOf[Order[P]] = P;
+    for (uint32_t E = 0; E != T.size(); ++E)
+      for (uint32_t Pred : Dag.predecessorsOf(E))
+        EXPECT_LT(PosOf[Pred], PosOf[E]);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Theorem 5.2
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fig 1 with distinct hosts and joinall: race-free.
+Trace raceFreeConnections() {
+  return TraceBuilder()
+      .fork(0, 1)
+      .fork(0, 2)
+      .invoke(1, 0, "put", {str("a.com"), num(1)}, Value::nil())
+      .invoke(2, 0, "put", {str("b.com"), num(2)}, Value::nil())
+      .join(0, 1)
+      .join(0, 2)
+      .invoke(0, 0, "size", {}, num(2))
+      .take();
+}
+
+/// Fig 1 with duplicate hosts: the classic commutativity race.
+Trace racyConnections() {
+  return TraceBuilder()
+      .fork(0, 1)
+      .fork(0, 2)
+      .invoke(1, 0, "put", {str("a.com"), num(1)}, Value::nil())
+      .invoke(2, 0, "put", {str("a.com"), num(2)}, num(1))
+      .join(0, 1)
+      .join(0, 2)
+      .invoke(0, 0, "size", {}, num(1))
+      .take();
+}
+
+} // namespace
+
+TEST(Theorem52Test, RaceFreeTraceIsDeterministic) {
+  Trace T = raceFreeConnections();
+
+  // Confirm race-freedom first (the theorem's hypothesis).
+  DictionaryRep Rep;
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&Rep);
+  Detector.processTrace(T);
+  ASSERT_TRUE(Detector.races().empty());
+
+  DeterminismReport Report = checkDeterminism(T);
+  EXPECT_TRUE(Report.Exhaustive);
+  EXPECT_GT(Report.LinearizationsChecked, 1u);
+  EXPECT_TRUE(Report.deterministic()) << Report.Witness;
+}
+
+TEST(Theorem52Test, RacyTraceHasInfeasibleOrDivergentLinearization) {
+  Trace T = racyConnections();
+
+  DictionaryRep Rep;
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&Rep);
+  Detector.processTrace(T);
+  ASSERT_FALSE(Detector.races().empty());
+
+  // The converse direction of Theorem 5.2 is not a theorem, but for this
+  // trace the race is "real": swapping the two puts makes the recorded
+  // returns impossible.
+  DeterminismReport Report = checkDeterminism(T);
+  EXPECT_TRUE(Report.Exhaustive);
+  EXPECT_FALSE(Report.deterministic());
+  EXPECT_GT(Report.Infeasible, 0u);
+  EXPECT_FALSE(Report.Witness.empty());
+}
+
+TEST(Theorem52Test, InfeasibleOriginalTraceIsReported) {
+  // A size() return inconsistent with the abstract state.
+  Trace T = TraceBuilder()
+                .invoke(0, 0, "put", {str("k"), num(1)}, Value::nil())
+                .invoke(0, 0, "size", {}, num(7))
+                .take();
+  DeterminismReport Report = checkDeterminism(T);
+  EXPECT_FALSE(Report.deterministic());
+  EXPECT_NE(Report.Witness.find("original trace is infeasible"),
+            std::string::npos);
+}
+
+TEST(Theorem52Test, ReplayTraceComputesFinalState) {
+  Trace T = raceFreeConnections();
+  ReplayResult R = replayTrace(T, AbstractHeap());
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_NE(R.Final.toString().find("\"a.com\" -> 1"), std::string::npos);
+  EXPECT_NE(R.Final.toString().find("\"b.com\" -> 2"), std::string::npos);
+}
+
+TEST(Theorem52Test, SamplingPathOnLargeTraces) {
+  // Enough independent workers that exhaustive enumeration is impossible
+  // with a tiny limit; the checker must fall back to sampling and still
+  // find the race-free trace deterministic.
+  TraceBuilder TB;
+  for (uint32_t W = 1; W <= 6; ++W)
+    TB.fork(0, W);
+  for (uint32_t W = 1; W <= 6; ++W)
+    TB.invoke(W, 0, "put", {str("host" + std::to_string(W)), num(W)},
+              Value::nil());
+  for (uint32_t W = 1; W <= 6; ++W)
+    TB.join(0, W);
+  TB.invoke(0, 0, "size", {}, num(6));
+  DeterminismReport Report =
+      checkDeterminism(TB.take(), AbstractHeap(), /*EnumerationLimit=*/16,
+                       /*Samples=*/50, /*Seed=*/3);
+  EXPECT_FALSE(Report.Exhaustive);
+  EXPECT_EQ(Report.LinearizationsChecked, 50u);
+  EXPECT_TRUE(Report.deterministic()) << Report.Witness;
+}
+
+/// Theorem 5.2 as a randomized property: race-free random traces are
+/// deterministic across sampled linearizations.
+class Theorem52PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem52PropertyTest, RaceFreeImpliesDeterministic) {
+  // Per-thread disjoint key ranges + joinall: race-free by construction,
+  // but verify with the detector anyway.
+  TraceBuilder TB;
+  const unsigned Workers = 3, Ops = 4;
+  std::mt19937_64 Rng(GetParam());
+  for (uint32_t W = 1; W <= Workers; ++W)
+    TB.fork(0, W);
+  // Interleave worker actions randomly in the trace order.
+  std::vector<std::pair<uint32_t, unsigned>> Slots;
+  for (uint32_t W = 1; W <= Workers; ++W)
+    for (unsigned I = 0; I != Ops; ++I)
+      Slots.emplace_back(W, I);
+  std::shuffle(Slots.begin(), Slots.end(), Rng);
+  std::map<std::pair<uint32_t, int64_t>, Value> Shadow;
+  for (auto [W, I] : Slots) {
+    int64_t Key = W * 100 + static_cast<int64_t>(Rng() % Ops);
+    Value Prev = Shadow.count({W, Key}) ? Shadow[{W, Key}] : Value::nil();
+    if (Rng() % 2) {
+      Value New = num(static_cast<int64_t>(Rng() % 3 + 1));
+      TB.invoke(W, 0, "put", {num(Key), New}, Prev);
+      Shadow[{W, Key}] = New;
+    } else {
+      TB.invoke(W, 0, "get", {num(Key)}, Prev);
+    }
+  }
+  for (uint32_t W = 1; W <= Workers; ++W)
+    TB.join(0, W);
+  Trace T = TB.take();
+
+  DictionaryRep Rep;
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&Rep);
+  Detector.processTrace(T);
+  ASSERT_TRUE(Detector.races().empty());
+
+  DeterminismReport Report = checkDeterminism(T, AbstractHeap(),
+                                              /*EnumerationLimit=*/500,
+                                              /*Samples=*/60, GetParam());
+  EXPECT_TRUE(Report.deterministic())
+      << Report.Witness << "\ntrace:\n" << T;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem52PropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));

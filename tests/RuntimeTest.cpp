@@ -1,0 +1,232 @@
+//===- tests/RuntimeTest.cpp - simulated runtime tests ------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/InstrumentedMap.h"
+#include "runtime/SimRuntime.h"
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+TEST(SimRuntimeTest, SingleThreadRunsStepsInOrder) {
+  SimRuntime RT(1);
+  ThreadId Main = RT.addInitialThread();
+  std::vector<int> Order;
+  for (int I = 0; I != 5; ++I)
+    RT.schedule(Main, [&Order, I](SimThread &) { Order.push_back(I); });
+  NullSink Sink;
+  EXPECT_EQ(RT.run(Sink), 5u);
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimRuntimeTest, DeferredStepsRunNextInDeferOrder) {
+  SimRuntime RT(1);
+  ThreadId Main = RT.addInitialThread();
+  std::vector<std::string> Order;
+  RT.schedule(Main, [&Order](SimThread &T) {
+    Order.push_back("a");
+    T.defer([&Order](SimThread &) { Order.push_back("a1"); });
+    T.defer([&Order](SimThread &) { Order.push_back("a2"); });
+  });
+  RT.schedule(Main, [&Order](SimThread &) { Order.push_back("b"); });
+  NullSink Sink;
+  RT.run(Sink);
+  EXPECT_EQ(Order, (std::vector<std::string>{"a", "a1", "a2", "b"}));
+}
+
+TEST(SimRuntimeTest, ForkEmitsEventAndRunsChild) {
+  SimRuntime RT(1);
+  ThreadId Main = RT.addInitialThread();
+  bool ChildRan = false;
+  RT.schedule(Main, [&ChildRan](SimThread &T) {
+    T.fork([&ChildRan](SimThread &) { ChildRan = true; });
+  });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+  EXPECT_TRUE(ChildRan);
+  ASSERT_GE(Recorder.trace().size(), 1u);
+  EXPECT_EQ(Recorder.trace()[0].kind(), EventKind::Fork);
+}
+
+TEST(SimRuntimeTest, JoinBlocksUntilTargetFinishes) {
+  SimRuntime RT(7);
+  ThreadId Main = RT.addInitialThread();
+  std::vector<std::string> Order;
+  RT.schedule(Main, [&RT, &Order](SimThread &T) {
+    ThreadId Child = T.fork([&Order](SimThread &) { Order.push_back("c1"); });
+    RT.schedule(Child, [&Order](SimThread &) { Order.push_back("c2"); });
+    T.join(Child);
+  });
+  RT.schedule(Main, [&Order](SimThread &) { Order.push_back("after-join"); });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+  EXPECT_EQ(Order, (std::vector<std::string>{"c1", "c2", "after-join"}));
+  // The recorded trace is well-formed (fork before child events, join after).
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(Recorder.trace().validate(Diags)) << Diags.toString();
+}
+
+TEST(SimRuntimeTest, DeterministicGivenSeed) {
+  auto Run = [](uint64_t Seed) {
+    SimRuntime RT(Seed);
+    InstrumentedMap Map(RT);
+    ThreadId Main = RT.addInitialThread();
+    RT.schedule(Main, [&RT, &Map](SimThread &T) {
+      for (int W = 0; W != 3; ++W) {
+        ThreadId C = T.fork([](SimThread &) {});
+        for (int I = 0; I != 5; ++I)
+          RT.schedule(C, [&Map, W, I](SimThread &T2) {
+            Map.put(T2, Value::integer(W * 5 + I), Value::integer(I));
+          });
+      }
+    });
+    TraceRecorder Recorder;
+    RT.run(Recorder);
+    return traceToString(Recorder.trace());
+  };
+  EXPECT_EQ(Run(42), Run(42));
+  EXPECT_NE(Run(42), Run(43));
+}
+
+TEST(SimRuntimeTest, InterleavesThreads) {
+  // With two busy threads, some schedule interleaves them (not strictly
+  // sequential), for at least one of a few seeds.
+  bool Interleaved = false;
+  for (uint64_t Seed = 0; Seed != 5 && !Interleaved; ++Seed) {
+    SimRuntime RT(Seed);
+    ThreadId Main = RT.addInitialThread();
+    std::vector<uint32_t> Order;
+    RT.schedule(Main, [&RT, &Order](SimThread &T) {
+      for (int W = 0; W != 2; ++W) {
+        ThreadId C = T.fork([](SimThread &) {});
+        for (int I = 0; I != 10; ++I)
+          RT.schedule(C, [&Order](SimThread &T2) {
+            Order.push_back(T2.id().index());
+          });
+      }
+    });
+    NullSink Sink;
+    RT.run(Sink);
+    for (size_t I = 1; I + 1 < Order.size(); ++I)
+      if (Order[I] != Order[I - 1] && Order[I] != Order[I + 1])
+        Interleaved = true;
+  }
+  EXPECT_TRUE(Interleaved);
+}
+
+TEST(SimRuntimeTest, NullSinkSuppressesEventMaterialization) {
+  SimRuntime RT(1);
+  InstrumentedMap Map(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Map](SimThread &T) {
+    Map.put(T, Value::integer(1), Value::integer(2));
+  });
+  NullSink Sink;
+  RT.run(Sink);
+  EXPECT_EQ(Map.uninstrumentedSize(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// InstrumentedMap
+//===----------------------------------------------------------------------===//
+
+TEST(InstrumentedMapTest, FunctionalBehavior) {
+  SimRuntime RT(1);
+  InstrumentedMap Map(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Map](SimThread &T) {
+    EXPECT_EQ(Map.put(T, Value::string("k"), Value::integer(1)), Value::nil());
+    EXPECT_EQ(Map.put(T, Value::string("k"), Value::integer(2)),
+              Value::integer(1));
+    EXPECT_EQ(Map.get(T, Value::string("k")), Value::integer(2));
+    EXPECT_EQ(Map.get(T, Value::string("absent")), Value::nil());
+    EXPECT_EQ(Map.size(T), 1);
+    // Storing nil removes.
+    EXPECT_EQ(Map.put(T, Value::string("k"), Value::nil()),
+              Value::integer(2));
+    EXPECT_EQ(Map.size(T), 0);
+    // putIfAbsent.
+    EXPECT_EQ(Map.putIfAbsent(T, Value::string("j"), Value::integer(5)),
+              Value::nil());
+    EXPECT_EQ(Map.putIfAbsent(T, Value::string("j"), Value::integer(9)),
+              Value::integer(5));
+    EXPECT_EQ(Map.get(T, Value::string("j")), Value::integer(5));
+  });
+  NullSink Sink;
+  RT.run(Sink);
+}
+
+TEST(InstrumentedMapTest, EmitsActionAndMemoryEvents) {
+  SimRuntime RT(1);
+  InstrumentedMap Map(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Map](SimThread &T) {
+    Map.put(T, Value::string("k"), Value::integer(1));
+    Map.get(T, Value::string("k"));
+    Map.size(T);
+  });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+  const Trace &T = Recorder.trace();
+
+  size_t Invokes = 0, Reads = 0, Writes = 0, Acquires = 0, Releases = 0;
+  for (const Event &E : T) {
+    switch (E.kind()) {
+    case EventKind::Invoke:
+      ++Invokes;
+      break;
+    case EventKind::Read:
+      ++Reads;
+      break;
+    case EventKind::Write:
+      ++Writes;
+      break;
+    case EventKind::Acquire:
+      ++Acquires;
+      break;
+    case EventKind::Release:
+      ++Releases;
+      break;
+    default:
+      break;
+    }
+  }
+  EXPECT_EQ(Invokes, 3u);
+  EXPECT_EQ(Acquires, 1u); // Only put locks.
+  EXPECT_EQ(Releases, 1u);
+  EXPECT_GE(Reads, 3u);  // Bucket read in put, get; size counter read.
+  EXPECT_GE(Writes, 2u); // Bucket write + size counter write in put.
+
+  // The put action carries the right abstract values.
+  for (const Event &E : T)
+    if (E.isInvoke() && E.action().method() == symbol("put")) {
+      EXPECT_EQ(E.action().args()[0], Value::string("k"));
+      EXPECT_EQ(E.action().rets()[0], Value::nil());
+      break;
+    }
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(T.validate(Diags)) << Diags.toString();
+}
+
+TEST(InstrumentedMapTest, PutIfAbsentEmitsGetWhenItFails) {
+  SimRuntime RT(1);
+  InstrumentedMap Map(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Map](SimThread &T) {
+    Map.putIfAbsent(T, Value::string("k"), Value::integer(1));
+    Map.putIfAbsent(T, Value::string("k"), Value::integer(2));
+  });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+  std::vector<Symbol> Methods;
+  for (const Event &E : Recorder.trace())
+    if (E.isInvoke())
+      Methods.push_back(E.action().method());
+  ASSERT_EQ(Methods.size(), 2u);
+  EXPECT_EQ(Methods[0], symbol("put"));
+  EXPECT_EQ(Methods[1], symbol("get"));
+}

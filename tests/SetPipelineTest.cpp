@@ -1,0 +1,244 @@
+//===- tests/SetPipelineTest.cpp - set object end-to-end pipeline -------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end coverage for the *set* abstract type (the paper's flagship
+/// example of a specification ECL captures but SIMPLE cannot): simulated
+/// InstrumentedSet executions -> recorded traces -> translated setSpec()
+/// representation -> Algorithm 1, cross-checked against the direct
+/// detector and the abstract replay semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/CommutativityDetector.h"
+#include "detect/DirectDetector.h"
+#include "replay/Determinism.h"
+#include "runtime/InstrumentedSet.h"
+#include "spec/Builtins.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace crd;
+
+namespace {
+
+const TranslatedRep &setRep() {
+  static std::unique_ptr<TranslatedRep> Rep = [] {
+    DiagnosticEngine Diags;
+    auto R = translateSpec(setSpec(), Diags);
+    EXPECT_TRUE(R) << Diags.toString();
+    return R;
+  }();
+  return *Rep;
+}
+
+AbstractHeap setHeap() {
+  return AbstractHeap(
+      [](ObjectId) -> std::unique_ptr<AbstractObject> {
+        return std::make_unique<AbstractSet>();
+      });
+}
+
+std::set<size_t> racyEvents(const std::vector<CommutativityRace> &Races) {
+  std::set<size_t> Out;
+  for (const CommutativityRace &R : Races)
+    Out.insert(R.EventIndex);
+  return Out;
+}
+
+} // namespace
+
+TEST(InstrumentedSetTest, FunctionalBehavior) {
+  SimRuntime RT(1);
+  InstrumentedSet Set(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Set](SimThread &T) {
+    EXPECT_TRUE(Set.add(T, Value::string("x")));
+    EXPECT_FALSE(Set.add(T, Value::string("x")));
+    EXPECT_TRUE(Set.contains(T, Value::string("x")));
+    EXPECT_FALSE(Set.contains(T, Value::string("y")));
+    EXPECT_EQ(Set.size(T), 1);
+    EXPECT_TRUE(Set.remove(T, Value::string("x")));
+    EXPECT_FALSE(Set.remove(T, Value::string("x")));
+    EXPECT_EQ(Set.size(T), 0);
+  });
+  NullSink Sink;
+  RT.run(Sink);
+}
+
+TEST(InstrumentedSetTest, EmitsActionsMatchingAbstractSemantics) {
+  SimRuntime RT(2);
+  InstrumentedSet Set(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Set](SimThread &T) {
+    Set.add(T, Value::integer(1));
+    Set.add(T, Value::integer(1));
+    Set.remove(T, Value::integer(1));
+    Set.contains(T, Value::integer(1));
+    Set.size(T);
+  });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+
+  // The recorded action stream replays feasibly under AbstractSet.
+  ReplayResult R = replayTrace(Recorder.trace(), setHeap());
+  EXPECT_TRUE(R.Feasible) << "failed at event " << R.FailedAt;
+}
+
+TEST(SetPipelineTest, DuplicateAddsRace) {
+  // Two threads concurrently add the same element: one add changes the
+  // set, the other does not — they do not commute (returns differ by
+  // order), so a commutativity race must be reported.
+  SimRuntime RT(3);
+  InstrumentedSet Set(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Set](SimThread &T) {
+    for (int W = 0; W != 2; ++W)
+      T.fork([&Set](SimThread &T2) { Set.add(T2, Value::string("dup")); });
+  });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&setRep());
+  Detector.processTrace(Recorder.trace());
+  EXPECT_EQ(Detector.races().size(), 1u);
+}
+
+TEST(SetPipelineTest, DisjointElementsNoRace) {
+  SimRuntime RT(3);
+  InstrumentedSet Set(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Set](SimThread &T) {
+    for (int W = 0; W != 3; ++W)
+      T.fork([&Set, W](SimThread &T2) { Set.add(T2, Value::integer(W)); });
+  });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&setRep());
+  Detector.processTrace(Recorder.trace());
+  // Every add succeeds (changes the set) — but adds of different elements
+  // commute, and there is no size observer.
+  EXPECT_TRUE(Detector.races().empty());
+}
+
+TEST(SetPipelineTest, AddVersusSizeRace) {
+  SimRuntime RT(4);
+  InstrumentedSet Set(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Set](SimThread &T) {
+    T.fork([&Set](SimThread &T2) { Set.add(T2, Value::integer(42)); });
+  });
+  RT.schedule(Main, [&Set](SimThread &T) { Set.size(T); });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&setRep());
+  Detector.processTrace(Recorder.trace());
+  EXPECT_EQ(Detector.races().size(), 1u);
+  EXPECT_EQ(Detector.distinctRacyObjects(), 1u);
+}
+
+TEST(SetPipelineTest, FailedMutatorsCommuteWithSize) {
+  // A no-op add (element already present, added before the fork) does not
+  // change the set and therefore commutes with a concurrent size().
+  SimRuntime RT(4);
+  InstrumentedSet Set(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main,
+              [&Set](SimThread &T) { Set.add(T, Value::integer(42)); });
+  RT.schedule(Main, [&Set](SimThread &T) {
+    T.fork([&Set](SimThread &T2) { Set.add(T2, Value::integer(42)); });
+  });
+  RT.schedule(Main, [&Set](SimThread &T) { Set.size(T); });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&setRep());
+  Detector.processTrace(Recorder.trace());
+  EXPECT_TRUE(Detector.races().empty());
+}
+
+TEST(SetPipelineTest, Theorem51AgreementOnRandomSetTraces) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    SimRuntime RT(Seed);
+    InstrumentedSet Set(RT);
+    ThreadId Main = RT.addInitialThread();
+    RT.schedule(Main, [&RT, &Set](SimThread &T) {
+      for (unsigned W = 0; W != 3; ++W) {
+        ThreadId Tid = T.fork([](SimThread &) {});
+        for (unsigned Q = 0; Q != 25; ++Q)
+          RT.schedule(Tid, [&Set](SimThread &T2) {
+            Value Key = Value::integer(static_cast<int64_t>(T2.random(4)));
+            switch (T2.random(4)) {
+            case 0:
+              Set.add(T2, Key);
+              break;
+            case 1:
+              Set.remove(T2, Key);
+              break;
+            case 2:
+              Set.contains(T2, Key);
+              break;
+            case 3:
+              Set.size(T2);
+              break;
+            }
+          });
+      }
+    });
+    TraceRecorder Recorder;
+    RT.run(Recorder);
+
+    CommutativityRaceDetector Alg1;
+    Alg1.setDefaultProvider(&setRep());
+    Alg1.processTrace(Recorder.trace());
+
+    DirectCommutativityDetector Direct;
+    Direct.setDefaultSpec(&setSpec());
+    Direct.processTrace(Recorder.trace());
+
+    EXPECT_EQ(racyEvents(Alg1.races()), racyEvents(Direct.races()))
+        << "seed " << Seed;
+  }
+}
+
+TEST(SetPipelineTest, RaceFreeSetTraceIsDeterministic) {
+  // Disjoint keys per thread, joined before the final size: race-free and
+  // hence deterministic (Theorem 5.2 for the set type).
+  SimRuntime RT(9);
+  InstrumentedSet Set(RT);
+  ThreadId Main = RT.addInitialThread();
+  auto Workers = std::make_shared<std::vector<ThreadId>>();
+  RT.schedule(Main, [&Set, Workers](SimThread &T) {
+    for (int W = 0; W != 3; ++W)
+      Workers->push_back(T.fork([&Set, W](SimThread &T2) {
+        Set.add(T2, Value::integer(W));
+        Set.contains(T2, Value::integer(W));
+      }));
+  });
+  for (int W = 0; W != 3; ++W)
+    RT.schedule(Main, [Workers, W](SimThread &T) { T.join((*Workers)[W]); });
+  RT.schedule(Main, [&Set](SimThread &T) { Set.size(T); });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+
+  CommutativityRaceDetector Detector;
+  Detector.setDefaultProvider(&setRep());
+  Detector.processTrace(Recorder.trace());
+  ASSERT_TRUE(Detector.races().empty());
+
+  DeterminismReport Report =
+      checkDeterminism(Recorder.trace(), setHeap(), /*EnumerationLimit=*/200,
+                       /*Samples=*/50, /*Seed=*/1);
+  EXPECT_TRUE(Report.deterministic()) << Report.Witness;
+}

@@ -1,0 +1,159 @@
+//===- tests/SimRuntimeEdgeTest.cpp - scheduler edge cases --------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/InstrumentedMap.h"
+#include "runtime/SimRuntime.h"
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+TEST(SimRuntimeEdgeTest, ForkInsideDeferredStep) {
+  SimRuntime RT(1);
+  ThreadId Main = RT.addInitialThread();
+  std::vector<std::string> Order;
+  RT.schedule(Main, [&Order](SimThread &T) {
+    Order.push_back("step");
+    T.defer([&Order](SimThread &T2) {
+      Order.push_back("deferred");
+      T2.fork([&Order](SimThread &) { Order.push_back("grandchild"); });
+    });
+  });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(Order[2], "grandchild");
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(Recorder.trace().validate(Diags)) << Diags.toString();
+}
+
+TEST(SimRuntimeEdgeTest, ChainedJoins) {
+  // Main joins A which itself joined B: the fork/join nesting must order
+  // all of B's work before main's continuation.
+  SimRuntime RT(3);
+  ThreadId Main = RT.addInitialThread();
+  std::vector<std::string> Order;
+  RT.schedule(Main, [&RT, &Order](SimThread &T) {
+    ThreadId A = T.fork([&RT, &Order](SimThread &TA) {
+      ThreadId B =
+          TA.fork([&Order](SimThread &) { Order.push_back("B"); });
+      TA.join(B);
+      TA.defer([&Order](SimThread &) { Order.push_back("A-after-B"); });
+    });
+    T.join(A);
+    T.defer([&Order](SimThread &) { Order.push_back("main-after-A"); });
+  });
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+  EXPECT_EQ(Order,
+            (std::vector<std::string>{"B", "A-after-B", "main-after-A"}));
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(Recorder.trace().validate(Diags)) << Diags.toString();
+}
+
+TEST(SimRuntimeEdgeTest, ManyThreadsAllComplete) {
+  SimRuntime RT(11);
+  ThreadId Main = RT.addInitialThread();
+  auto Counter = std::make_shared<int>(0);
+  RT.schedule(Main, [&RT, Counter](SimThread &T) {
+    for (int W = 0; W != 50; ++W) {
+      ThreadId Tid = T.fork([](SimThread &) {});
+      for (int S = 0; S != 4; ++S)
+        RT.schedule(Tid, [Counter](SimThread &) { ++*Counter; });
+    }
+  });
+  NullSink Sink;
+  RT.run(Sink);
+  EXPECT_EQ(*Counter, 200);
+  for (uint32_t T = 0; T != 51; ++T)
+    EXPECT_TRUE(RT.finished(ThreadId(T)));
+}
+
+TEST(SimRuntimeEdgeTest, RandomDrawsAreSeedDependent) {
+  auto Draws = [](uint64_t Seed) {
+    SimRuntime RT(Seed);
+    ThreadId Main = RT.addInitialThread();
+    std::vector<uint64_t> Values;
+    RT.schedule(Main, [&Values](SimThread &T) {
+      for (int I = 0; I != 10; ++I)
+        Values.push_back(T.random(1000));
+    });
+    NullSink Sink;
+    RT.run(Sink);
+    return Values;
+  };
+  EXPECT_EQ(Draws(5), Draws(5));
+  EXPECT_NE(Draws(5), Draws(6));
+}
+
+TEST(SimRuntimeEdgeTest, TeeSinkDeliversToBoth) {
+  SimRuntime RT(2);
+  InstrumentedMap Map(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Map](SimThread &T) {
+    Map.put(T, Value::integer(1), Value::integer(2));
+  });
+  TraceRecorder A, B;
+  TeeSink Tee(A, B);
+  RT.run(Tee);
+  EXPECT_GT(A.trace().size(), 0u);
+  EXPECT_EQ(traceToString(A.trace()), traceToString(B.trace()));
+}
+
+TEST(SimRuntimeEdgeTest, TeeWithNullStaysEnabled) {
+  // A tee of a disabled and an enabled sink must stay enabled and deliver
+  // to the enabled side only.
+  SimRuntime RT(2);
+  InstrumentedMap Map(RT);
+  ThreadId Main = RT.addInitialThread();
+  RT.schedule(Main, [&Map](SimThread &T) {
+    Map.get(T, Value::integer(1));
+  });
+  NullSink Null;
+  TraceRecorder Recorder;
+  TeeSink Tee(Null, Recorder);
+  EXPECT_TRUE(Tee.enabled());
+  RT.run(Tee);
+  EXPECT_GT(Recorder.trace().size(), 0u);
+}
+
+TEST(SimRuntimeEdgeTest, IdAllocatorsAreDisjointPerKind) {
+  SimRuntime RT(1);
+  ObjectId O1 = RT.newObject(), O2 = RT.newObject();
+  VarId V1 = RT.newVar();
+  LockId L1 = RT.newLock(), L2 = RT.newLock();
+  EXPECT_NE(O1, O2);
+  EXPECT_NE(L1, L2);
+  EXPECT_EQ(V1.index(), 0u);
+  EXPECT_EQ(O2.index(), 1u);
+}
+
+TEST(SimRuntimeEdgeTest, OfflineReplayMatchesOnlineAnalysis) {
+  // Tee = record + (conceptually) online analysis; here we check that a
+  // recorded trace replayed offline is byte-identical to a second record
+  // of the same seeded run — the record/replay foundation the harness
+  // relies on.
+  auto Record = [] {
+    SimRuntime RT(77);
+    InstrumentedMap Map(RT);
+    ThreadId Main = RT.addInitialThread();
+    RT.schedule(Main, [&RT, &Map](SimThread &T) {
+      for (int W = 0; W != 3; ++W) {
+        ThreadId Tid = T.fork([](SimThread &) {});
+        for (int I = 0; I != 10; ++I)
+          RT.schedule(Tid, [&Map, I](SimThread &T2) {
+            Map.put(T2, Value::integer(I % 4),
+                    Value::integer(static_cast<int64_t>(T2.random(3))));
+          });
+      }
+    });
+    TraceRecorder Recorder;
+    RT.run(Recorder);
+    return traceToString(Recorder.trace());
+  };
+  EXPECT_EQ(Record(), Record());
+}

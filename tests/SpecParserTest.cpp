@@ -1,0 +1,328 @@
+//===- tests/SpecParserTest.cpp - ECL spec language parser tests --------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Builtins.h"
+#include "spec/Fragment.h"
+#include "spec/SpecParser.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+const char *DictionarySource = R"(
+// Fig 6 of the paper.
+object dictionary {
+  method put(k, v) / p;
+  method get(k) / v;
+  method size() / r;
+
+  commute put(k1, v1)/p1, put(k2, v2)/p2 :
+      k1 != k2 || (v1 == p1 && v2 == p2);
+  commute put(k1, v1)/p1, get(k2)/v2 : k1 != k2 || v1 == p1;
+  commute put(k1, v1)/p1, size()/r :
+      (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil);
+  commute get(k1)/v1, get(k2)/v2 : true;
+  commute get(k1)/v1, size()/r : true;
+  commute size()/r1, size()/r2 : true;
+}
+)";
+
+ObjectSpec parseOk(std::string_view Text) {
+  DiagnosticEngine Diags;
+  auto Spec = parseObjectSpec(Text, Diags);
+  EXPECT_TRUE(Spec) << Diags.toString();
+  return Spec ? std::move(*Spec) : ObjectSpec("parse-failed");
+}
+
+void expectParseError(std::string_view Text, std::string_view Needle) {
+  DiagnosticEngine Diags;
+  auto Spec = parseObjectSpec(Text, Diags);
+  EXPECT_FALSE(Spec) << "input unexpectedly parsed";
+  EXPECT_NE(Diags.toString().find(Needle), std::string::npos)
+      << "diagnostics were:\n"
+      << Diags.toString();
+}
+
+} // namespace
+
+TEST(SpecParserTest, ParsesFig6Dictionary) {
+  ObjectSpec Spec = parseOk(DictionarySource);
+  EXPECT_EQ(Spec.name(), "dictionary");
+  ASSERT_EQ(Spec.numMethods(), 3u);
+  EXPECT_EQ(Spec.method(0).Name, symbol("put"));
+  EXPECT_EQ(Spec.method(0).NumArgs, 2u);
+  EXPECT_EQ(Spec.method(0).NumRets, 1u);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(Spec.validate(Diags)) << Diags.toString();
+}
+
+TEST(SpecParserTest, ParsedDictionaryMatchesBuiltin) {
+  ObjectSpec Parsed = parseOk(DictionarySource);
+  const ObjectSpec &Builtin = dictionarySpec();
+  // Every pair formula must be propositionally identical to the builtin.
+  for (uint32_t I = 0; I != 3; ++I)
+    for (uint32_t J = I; J != 3; ++J) {
+      FormulaPtr A = Parsed.commutesFormula(I, J);
+      FormulaPtr B = Builtin.commutesFormula(I, J);
+      ASSERT_TRUE(A && B) << I << "," << J;
+      EXPECT_EQ(equivalentUnderBooleanAbstraction(*A, *B),
+                std::optional(true))
+          << "pair (" << I << "," << J << "): " << A->toString() << " vs "
+          << B->toString();
+    }
+}
+
+TEST(SpecParserTest, UnderscoreBindsNothing) {
+  ObjectSpec Spec = parseOk(R"(
+    object counter {
+      method inc();
+      method read() / v;
+      commute inc(), inc() : true;
+      commute inc(), read()/_ : false;
+      commute read()/_, read()/_ : true;
+    }
+  )");
+  EXPECT_EQ(Spec.numMethods(), 2u);
+  Action Inc(ObjectId(0), symbol("inc"), {}, std::vector<Value>{});
+  Action Read(ObjectId(0), symbol("read"), {}, Value::integer(0));
+  EXPECT_TRUE(Spec.commute(Inc, Inc));
+  EXPECT_FALSE(Spec.commute(Inc, Read));
+}
+
+TEST(SpecParserTest, ParsesAllLiteralKindsAndOperators) {
+  ObjectSpec Spec = parseOk(R"(
+    object mixed {
+      method m(a, b) / r;
+      commute m(a1, b1)/r1, m(a2, b2)/r2 :
+        a1 != a2 || (b1 >= 0 && b2 >= 0 && !(r1 == "err") && r2 != false
+                     && b1 <= 100 && b2 < 100 && b1 > -5);
+    }
+  )");
+  FormulaPtr F = Spec.commutesFormula(0, 0);
+  ASSERT_TRUE(F);
+  EXPECT_TRUE(isECL(*F));
+}
+
+TEST(SpecParserTest, MultipleObjects) {
+  DiagnosticEngine Diags;
+  auto Specs = parseSpecs(R"(
+    object a { method m(); commute m(), m() : true; }
+    object b { method n() / r; commute n()/_, n()/_ : true; }
+  )",
+                          Diags);
+  ASSERT_TRUE(Specs) << Diags.toString();
+  ASSERT_EQ(Specs->size(), 2u);
+  EXPECT_EQ((*Specs)[0].name(), "a");
+  EXPECT_EQ((*Specs)[1].name(), "b");
+}
+
+TEST(SpecParserTest, HashAndSlashSlashComments) {
+  parseOk("# hash comment\n"
+          "object c { // slash comment\n"
+          "  method m();\n"
+          "  commute m(), m() : true; # trailing\n"
+          "}\n");
+}
+
+TEST(SpecParserTest, CommuteDefaultClause) {
+  ObjectSpec Spec = parseOk(R"(
+    object sparse {
+      method a();
+      method b();
+      method observe() / v;
+      commute default : true;
+      commute a(), observe()/_ : false;
+      commute b(), observe()/_ : false;
+    }
+  )");
+  ASSERT_EQ(Spec.defaultCommutes(), std::optional(true));
+
+  Action A(ObjectId(0), symbol("a"), {}, std::vector<Value>{});
+  Action B(ObjectId(0), symbol("b"), {}, std::vector<Value>{});
+  Action Obs(ObjectId(0), symbol("observe"), {}, Value::integer(0));
+  EXPECT_TRUE(Spec.commute(A, B));    // Falls back to the default.
+  EXPECT_TRUE(Spec.commute(A, A));    // Also unspecified.
+  EXPECT_FALSE(Spec.commute(A, Obs)); // Explicit clause wins.
+
+  // With a default set, validate() emits no missing-pair warnings.
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(Spec.validate(Diags));
+  EXPECT_TRUE(Diags.empty()) << Diags.toString();
+
+  // The translator honors the default too.
+  DiagnosticEngine TransDiags;
+  auto Rep = translateSpec(Spec, TransDiags);
+  ASSERT_TRUE(Rep) << TransDiags.toString();
+  EXPECT_FALSE(actionsConflict(*Rep, A, B));
+  EXPECT_TRUE(actionsConflict(*Rep, A, Obs));
+}
+
+TEST(SpecParserTest, CommuteDefaultFalseMatchesImplicitBehavior) {
+  ObjectSpec Spec = parseOk(R"(
+    object d {
+      method a();
+      method b();
+      commute default : false;
+      commute a(), a() : true;
+      commute b(), b() : true;
+    }
+  )");
+  Action A(ObjectId(0), symbol("a"), {}, std::vector<Value>{});
+  Action B(ObjectId(0), symbol("b"), {}, std::vector<Value>{});
+  EXPECT_FALSE(Spec.commute(A, B));
+  EXPECT_TRUE(Spec.commute(A, A));
+}
+
+TEST(SpecParserErrorTest, DuplicateDefault) {
+  expectParseError(R"(
+    object d {
+      method m();
+      commute default : true;
+      commute default : false;
+    }
+  )",
+                   "specified twice");
+}
+
+TEST(SpecParserErrorTest, DefaultNeedsBooleanConstant) {
+  expectParseError(R"(
+    object d {
+      method m(a);
+      commute default : 42;
+    }
+  )",
+                   "expected 'true' or 'false'");
+}
+
+//===----------------------------------------------------------------------===//
+// Error reporting
+//===----------------------------------------------------------------------===//
+
+TEST(SpecParserErrorTest, UnknownVariable) {
+  expectParseError(R"(
+    object d {
+      method put(k, v) / p;
+      commute put(k1, v1)/p1, put(k2, v2)/p2 : k1 != kX;
+    }
+  )",
+                   "unknown variable 'kX'");
+}
+
+TEST(SpecParserErrorTest, DuplicateVariable) {
+  expectParseError(R"(
+    object d {
+      method put(k, v) / p;
+      commute put(k1, v1)/p1, put(k1, v2)/p2 : true;
+    }
+  )",
+                   "bound twice");
+}
+
+TEST(SpecParserErrorTest, UnknownMethodInCommute) {
+  expectParseError(R"(
+    object d {
+      method put(k, v) / p;
+      commute remove(k1)/r1, put(k2, v2)/p2 : true;
+    }
+  )",
+                   "unknown method 'remove'");
+}
+
+TEST(SpecParserErrorTest, ArityMismatch) {
+  expectParseError(R"(
+    object d {
+      method put(k, v) / p;
+      commute put(k1)/p1, put(k2, v2)/p2 : true;
+    }
+  )",
+                   "takes 2 argument(s)");
+}
+
+TEST(SpecParserErrorTest, ReturnArityMismatch) {
+  expectParseError(R"(
+    object d {
+      method put(k, v) / p;
+      commute put(k1, v1), put(k2, v2)/p2 : true;
+    }
+  )",
+                   "has 1 return value(s)");
+}
+
+TEST(SpecParserErrorTest, DuplicateMethod) {
+  expectParseError("object d { method m(); method m(); }",
+                   "declared twice");
+}
+
+TEST(SpecParserErrorTest, DuplicateCommuteClause) {
+  expectParseError(R"(
+    object d {
+      method m();
+      commute m(), m() : true;
+      commute m(), m() : false;
+    }
+  )",
+                   "specified twice");
+}
+
+TEST(SpecParserErrorTest, SingleAmpersand) {
+  expectParseError(R"(
+    object d {
+      method m(a);
+      commute m(a1), m(a2) : a1 != a2 & true;
+    }
+  )",
+                   "expected '&&'");
+}
+
+TEST(SpecParserErrorTest, AssignmentInsteadOfComparison) {
+  expectParseError(R"(
+    object d {
+      method m(a);
+      commute m(a1), m(a2) : a1 = a2;
+    }
+  )",
+                   "no assignment");
+}
+
+TEST(SpecParserErrorTest, MissingSemicolonAfterCommute) {
+  expectParseError(R"(
+    object d {
+      method m(a);
+      commute m(a1), m(a2) : a1 != a2
+    }
+  )",
+                   "expected ';'");
+}
+
+TEST(SpecParserErrorTest, BareTermIsNotAFormula) {
+  expectParseError(R"(
+    object d {
+      method m(a);
+      commute m(a1), m(a2) : a1;
+    }
+  )",
+                   "expected comparison operator");
+}
+
+TEST(SpecParserErrorTest, LocationsPointAtTheProblem) {
+  DiagnosticEngine Diags;
+  parseObjectSpec("object d {\n"
+                  "  method m(a);\n"
+                  "  commute m(a1), m(a2) : a1 != aX;\n"
+                  "}\n",
+                  Diags);
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.all().front().Loc.Line, 3u);
+}
+
+TEST(SpecParserErrorTest, MultipleObjectsRejectedBySingleObjectWrapper) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseObjectSpec(
+      "object a { method m(); commute m(), m() : true; } object b {}", Diags));
+}

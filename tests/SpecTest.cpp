@@ -1,0 +1,344 @@
+//===- tests/SpecTest.cpp - formula / fragment / builtin spec tests -----------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Builtins.h"
+#include "spec/Fragment.h"
+#include "spec/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+Term x(uint32_t P) { return Term::var(Side::First, P); }
+Term y(uint32_t P) { return Term::var(Side::Second, P); }
+FormulaPtr eq(Term A, Term B) { return Formula::atom(PredKind::Eq, A, B); }
+FormulaPtr ne(Term A, Term B) { return Formula::atom(PredKind::Ne, A, B); }
+
+Action put(std::string_view K, Value V, Value P, uint32_t Obj = 1) {
+  return Action(ObjectId(Obj), symbol("put"), {Value::string(K), V}, P);
+}
+Action get(std::string_view K, Value V, uint32_t Obj = 1) {
+  return Action(ObjectId(Obj), symbol("get"), {Value::string(K)}, V);
+}
+Action size(int64_t R, uint32_t Obj = 1) {
+  return Action(ObjectId(Obj), symbol("size"), {}, Value::integer(R));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Formula construction and evaluation
+//===----------------------------------------------------------------------===//
+
+TEST(FormulaTest, ConstantFolding) {
+  EXPECT_TRUE(Formula::andOf(Formula::truth(true), Formula::truth(true))->isTrue());
+  EXPECT_TRUE(Formula::andOf(Formula::truth(true), Formula::truth(false))->isFalse());
+  EXPECT_TRUE(Formula::orOf(Formula::truth(false), Formula::truth(true))->isTrue());
+  EXPECT_TRUE(Formula::notOf(Formula::truth(true))->isFalse());
+  // Atoms over two constants fold immediately.
+  EXPECT_TRUE(Formula::atom(PredKind::Eq, Term::constant(Value::integer(3)),
+                            Term::constant(Value::integer(3)))
+                  ->isTrue());
+  EXPECT_TRUE(Formula::atom(PredKind::Lt, Term::constant(Value::integer(5)),
+                            Term::constant(Value::integer(3)))
+                  ->isFalse());
+}
+
+TEST(FormulaTest, NotPushesIntoAtoms) {
+  FormulaPtr F = Formula::notOf(eq(x(0), y(0)));
+  ASSERT_EQ(F->kind(), Formula::Kind::Atom);
+  EXPECT_EQ(F->pred(), PredKind::Ne);
+}
+
+TEST(FormulaTest, EvaluateDictionaryPutPut) {
+  // k1 != k2 || (v1 == p1 && v2 == p2), positions k=0 v=1 p=2.
+  FormulaPtr F = Formula::orOf(ne(x(0), y(0)),
+                               Formula::andOf(eq(x(1), x(2)), eq(y(1), y(2))));
+  std::vector<Value> A = {Value::string("a"), Value::integer(1), Value::nil()};
+  std::vector<Value> B = {Value::string("b"), Value::integer(2), Value::nil()};
+  EXPECT_TRUE(F->evaluate(A, B)); // Different keys commute.
+
+  std::vector<Value> C = {Value::string("a"), Value::integer(2), Value::nil()};
+  EXPECT_FALSE(F->evaluate(A, C)); // Same key, both real writes.
+
+  std::vector<Value> D = {Value::string("a"), Value::integer(1),
+                          Value::integer(1)};
+  EXPECT_TRUE(F->evaluate(D, D)); // Same key but both no-op writes.
+}
+
+TEST(FormulaTest, OrderedPredicates) {
+  FormulaPtr F = Formula::atom(PredKind::Lt, x(0), y(0));
+  std::vector<Value> A = {Value::integer(1)};
+  std::vector<Value> B = {Value::integer(2)};
+  EXPECT_TRUE(F->evaluate(A, B));
+  EXPECT_FALSE(F->evaluate(B, A));
+  EXPECT_FALSE(F->evaluate(A, A));
+
+  FormulaPtr Ge = Formula::atom(PredKind::Ge, x(0), y(0));
+  EXPECT_FALSE(Ge->evaluate(A, B));
+  EXPECT_TRUE(Ge->evaluate(A, A));
+}
+
+TEST(FormulaTest, SwapSidesIsInvolutive) {
+  FormulaPtr F = Formula::orOf(ne(x(0), y(0)),
+                               Formula::andOf(eq(x(1), x(2)), eq(y(1), y(2))));
+  FormulaPtr Swapped = F->swapSides();
+  EXPECT_NE(F->toString(), Swapped->toString());
+  EXPECT_EQ(F->toString(), Swapped->swapSides()->toString());
+
+  // Semantically: F(a,b) == Swapped(b,a).
+  std::vector<Value> A = {Value::string("a"), Value::integer(1), Value::nil()};
+  std::vector<Value> B = {Value::string("a"), Value::integer(2),
+                          Value::integer(9)};
+  EXPECT_EQ(F->evaluate(A, B), Swapped->evaluate(B, A));
+}
+
+TEST(FormulaTest, Printing) {
+  FormulaPtr F = Formula::orOf(ne(x(0), y(0)),
+                               Formula::andOf(eq(x(1), x(2)), eq(y(1), y(2))));
+  EXPECT_EQ(F->toString(), "x1 != y1 || x2 == x3 && y2 == y3");
+  FormulaPtr G = Formula::andOf(Formula::orOf(ne(x(0), y(0)), eq(x(1), x(1))),
+                                eq(y(0), y(0)));
+  EXPECT_EQ(G->toString(), "(x1 != y1 || x2 == x2) && y1 == y1");
+  EXPECT_EQ(Formula::atom(PredKind::Eq, x(1), Term::constant(Value::nil()))
+                ->toString(),
+            "x2 == nil");
+}
+
+TEST(FormulaTest, CollectAtoms) {
+  FormulaPtr F = Formula::orOf(ne(x(0), y(0)),
+                               Formula::andOf(eq(x(1), x(2)), eq(y(1), y(2))));
+  std::vector<FormulaPtr> Atoms;
+  F->collectAtoms(Atoms);
+  EXPECT_EQ(Atoms.size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fragments (Definitions 6.1–6.3)
+//===----------------------------------------------------------------------===//
+
+TEST(FragmentTest, AtomClassification) {
+  EXPECT_EQ(classifyAtom(*ne(x(0), y(0))), AtomClass::LS);
+  EXPECT_EQ(classifyAtom(*eq(x(1), x(2))), AtomClass::LB);
+  EXPECT_EQ(classifyAtom(*eq(y(1), Term::constant(Value::nil()))),
+            AtomClass::LB);
+  // Cross-side equality and cross-side ordering are not in ECL.
+  EXPECT_EQ(classifyAtom(*eq(x(0), y(0))), AtomClass::Mixed);
+  EXPECT_EQ(classifyAtom(*Formula::atom(PredKind::Lt, x(0), y(0))),
+            AtomClass::Mixed);
+  // A disequality against a constant is LB, not LS.
+  EXPECT_EQ(classifyAtom(*ne(x(0), Term::constant(Value::nil()))),
+            AtomClass::LB);
+}
+
+TEST(FragmentTest, LSMembership) {
+  EXPECT_TRUE(isLS(*Formula::truth(true)));
+  EXPECT_TRUE(isLS(*Formula::truth(false)));
+  EXPECT_TRUE(isLS(*ne(x(0), y(0))));
+  EXPECT_TRUE(isLS(*Formula::andOf(ne(x(0), y(0)), ne(x(1), y(2)))));
+  EXPECT_FALSE(isLS(*Formula::orOf(ne(x(0), y(0)), ne(x(1), y(2)))));
+  EXPECT_FALSE(isLS(*eq(x(0), x(1))));
+}
+
+TEST(FragmentTest, LBMembership) {
+  // The paper's example: x < y and 0 < z are LB; x < z is not.
+  FormulaPtr XltY = Formula::atom(PredKind::Lt, x(0), x(1));
+  FormulaPtr ZgtZero =
+      Formula::atom(PredKind::Gt, y(0), Term::constant(Value::integer(0)));
+  EXPECT_TRUE(isLB(*XltY));
+  EXPECT_TRUE(isLB(*ZgtZero));
+  EXPECT_TRUE(isLB(*Formula::andOf(XltY, ZgtZero)));
+  EXPECT_TRUE(isLB(*Formula::orOf(XltY, ZgtZero)));
+  EXPECT_FALSE(isLB(*Formula::atom(PredKind::Lt, x(0), y(0))));
+  EXPECT_FALSE(isLB(*ne(x(0), y(0)))); // LS atom is not LB.
+}
+
+TEST(FragmentTest, ECLMembership) {
+  // The dictionary put/put formula: disjunction of LS atom and LB part.
+  FormulaPtr PutPut = Formula::orOf(
+      ne(x(0), y(0)), Formula::andOf(eq(x(1), x(2)), eq(y(1), y(2))));
+  EXPECT_TRUE(isECL(*PutPut));
+  // Not in SIMPLE: contains a disjunction and an equality.
+  EXPECT_FALSE(isLS(*PutPut));
+
+  // X ∨ X with both sides non-LB is NOT ECL.
+  FormulaPtr BadOr = Formula::orOf(ne(x(0), y(0)), ne(x(1), y(1)));
+  EXPECT_FALSE(isECL(*BadOr));
+  auto Reason = explainNotECL(BadOr);
+  ASSERT_TRUE(Reason);
+  EXPECT_NE(Reason->find("X ∨ B"), std::string::npos);
+
+  // Mixed atom is not ECL.
+  FormulaPtr Mixed = eq(x(0), y(0));
+  EXPECT_FALSE(isECL(*Mixed));
+  EXPECT_TRUE(explainNotECL(Mixed));
+
+  // X ∧ X is fine even when both operands are full ECL formulas.
+  EXPECT_TRUE(isECL(*Formula::andOf(PutPut, PutPut)));
+  // (X ∨ B) with the LB operand on the left also accepted.
+  EXPECT_TRUE(isECL(*Formula::orOf(eq(x(1), x(2)), ne(x(0), y(0)))));
+}
+
+TEST(FragmentTest, ExplainIsNulloptForECL) {
+  FormulaPtr PutGet = Formula::orOf(ne(x(0), y(0)), eq(x(1), x(2)));
+  EXPECT_FALSE(explainNotECL(PutGet));
+}
+
+TEST(FragmentTest, BooleanEquivalence) {
+  FormulaPtr A = Formula::orOf(ne(x(0), y(0)), eq(x(1), x(2)));
+  FormulaPtr B = Formula::orOf(eq(x(1), x(2)), ne(x(0), y(0)));
+  EXPECT_EQ(equivalentUnderBooleanAbstraction(*A, *B), std::optional(true));
+  EXPECT_EQ(equivalentUnderBooleanAbstraction(*A, *Formula::truth(true)),
+            std::optional(false));
+  // q and ¬¬q.
+  FormulaPtr Q = eq(x(0), x(1));
+  EXPECT_EQ(equivalentUnderBooleanAbstraction(
+                *Q, *Formula::notOf(Formula::notOf(Q))),
+            std::optional(true));
+  // x != y vs !(x == y): same canonical atom.
+  EXPECT_EQ(equivalentUnderBooleanAbstraction(*ne(x(0), x(1)),
+                                              *Formula::notOf(eq(x(0), x(1)))),
+            std::optional(true));
+  // Lt/Gt mirroring: a < b ≡ b > a.
+  EXPECT_EQ(equivalentUnderBooleanAbstraction(
+                *Formula::atom(PredKind::Lt, x(0), x(1)),
+                *Formula::atom(PredKind::Gt, x(1), x(0))),
+            std::optional(true));
+}
+
+//===----------------------------------------------------------------------===//
+// ObjectSpec
+//===----------------------------------------------------------------------===//
+
+TEST(ObjectSpecTest, MethodTable) {
+  const ObjectSpec &Dict = dictionarySpec();
+  EXPECT_EQ(Dict.numMethods(), 3u);
+  EXPECT_EQ(Dict.methodIndex(symbol("put")), std::optional<uint32_t>(0));
+  EXPECT_EQ(Dict.methodIndex(symbol("size")), std::optional<uint32_t>(2));
+  EXPECT_FALSE(Dict.methodIndex(symbol("remove")));
+  EXPECT_EQ(Dict.method(0).numValues(), 3u);
+}
+
+TEST(ObjectSpecTest, OrientationSwapsTransparently) {
+  const ObjectSpec &Dict = dictionarySpec();
+  uint32_t Put = *Dict.methodIndex(symbol("put"));
+  uint32_t Get = *Dict.methodIndex(symbol("get"));
+  FormulaPtr PG = Dict.commutesFormula(Put, Get);
+  FormulaPtr GP = Dict.commutesFormula(Get, Put);
+  ASSERT_TRUE(PG && GP);
+  // get-first orientation references put's values on the Second side.
+  EXPECT_EQ(GP->toString(), PG->swapSides()->toString());
+}
+
+TEST(ObjectSpecTest, CommuteMatchesFig6) {
+  const ObjectSpec &Dict = dictionarySpec();
+  // Same key, real writes: never commute.
+  EXPECT_FALSE(Dict.commute(put("a", Value::integer(1), Value::nil()),
+                            put("a", Value::integer(2), Value::integer(1))));
+  // Different keys always commute.
+  EXPECT_TRUE(Dict.commute(put("a", Value::integer(1), Value::nil()),
+                           put("b", Value::integer(2), Value::nil())));
+  // put/get same key: commutes only when the put is a no-op.
+  EXPECT_FALSE(Dict.commute(put("a", Value::integer(1), Value::nil()),
+                            get("a", Value::integer(1))));
+  EXPECT_TRUE(Dict.commute(put("a", Value::integer(1), Value::integer(1)),
+                           get("a", Value::integer(1))));
+  // put/size: commutes iff the size did not change.
+  EXPECT_FALSE(Dict.commute(put("a", Value::integer(1), Value::nil()),
+                            size(1)));
+  EXPECT_TRUE(Dict.commute(put("a", Value::integer(2), Value::integer(1)),
+                           size(1)));
+  // Removing (storing nil) a present key resizes.
+  EXPECT_FALSE(Dict.commute(put("a", Value::nil(), Value::integer(1)),
+                            size(1)));
+  // get/get, get/size, size/size always commute.
+  EXPECT_TRUE(Dict.commute(get("a", Value::nil()), get("a", Value::nil())));
+  EXPECT_TRUE(Dict.commute(get("a", Value::nil()), size(0)));
+  EXPECT_TRUE(Dict.commute(size(0), size(0)));
+  // Symmetric orientation.
+  EXPECT_FALSE(Dict.commute(size(1),
+                            put("a", Value::integer(1), Value::nil())));
+}
+
+TEST(ObjectSpecTest, UnspecifiedPairNeverCommutes) {
+  ObjectSpec Spec("partial");
+  uint32_t A = Spec.addMethod({symbol("a"), 0, 0});
+  Spec.addMethod({symbol("b"), 0, 0});
+  Spec.setCommutes(A, A, Formula::truth(true));
+  Action ActA(ObjectId(0), symbol("a"), {}, std::vector<Value>{});
+  Action ActB(ObjectId(0), symbol("b"), {}, std::vector<Value>{});
+  EXPECT_TRUE(Spec.commute(ActA, ActA));
+  EXPECT_FALSE(Spec.commute(ActA, ActB));
+}
+
+TEST(ObjectSpecTest, ValidateAcceptsBuiltins) {
+  for (const ObjectSpec *Spec :
+       {&dictionarySpec(), &setSpec(), &counterSpec(), &registerSpec()}) {
+    DiagnosticEngine Diags;
+    EXPECT_TRUE(Spec->validate(Diags)) << Spec->name() << ": "
+                                       << Diags.toString();
+  }
+}
+
+TEST(ObjectSpecTest, ValidateRejectsAsymmetricSelfPair) {
+  ObjectSpec Spec("bad");
+  uint32_t M = Spec.addMethod({symbol("m"), 1, 0});
+  // ϕ^m_m := x1 == 0 — not symmetric (says nothing about y1).
+  Spec.setCommutes(M, M,
+                   Formula::atom(PredKind::Eq, Term::var(Side::First, 0),
+                                 Term::constant(Value::integer(0))));
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Spec.validate(Diags));
+}
+
+TEST(ObjectSpecTest, ValidateRejectsOutOfRangePosition) {
+  ObjectSpec Spec("bad");
+  uint32_t M = Spec.addMethod({symbol("m"), 1, 0}); // Only position 0 exists.
+  Spec.setCommutes(M, M, Formula::andOf(eq(x(5), x(5)), eq(y(5), y(5))));
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Spec.validate(Diags));
+}
+
+TEST(ObjectSpecTest, ValidateWarnsOnMissingPair) {
+  ObjectSpec Spec("partial");
+  uint32_t A = Spec.addMethod({symbol("a"), 0, 0});
+  Spec.setCommutes(A, A, Formula::truth(true));
+  Spec.addMethod({symbol("b"), 0, 0});
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(Spec.validate(Diags)); // Warnings only.
+  EXPECT_FALSE(Diags.empty());
+}
+
+TEST(ObjectSpecTest, SetSpecSemantics) {
+  const ObjectSpec &S = setSpec();
+  auto Add = [](std::string_view K, bool Changed) {
+    return Action(ObjectId(0), symbol("add"), {Value::string(K)},
+                  Value::boolean(Changed));
+  };
+  auto SizeA = [](int64_t N) {
+    return Action(ObjectId(0), symbol("size"), {}, Value::integer(N));
+  };
+  EXPECT_FALSE(S.commute(Add("k", true), Add("k", false)));
+  EXPECT_TRUE(S.commute(Add("k", false), Add("k", false)));
+  EXPECT_TRUE(S.commute(Add("k", true), Add("j", true)));
+  EXPECT_FALSE(S.commute(Add("k", true), SizeA(3)));
+  EXPECT_TRUE(S.commute(Add("k", false), SizeA(3)));
+}
+
+TEST(ObjectSpecTest, RegisterSpecShowsECLLimits) {
+  const ObjectSpec &R = registerSpec();
+  auto Write = [](int64_t V, int64_t P) {
+    return Action(ObjectId(0), symbol("write"), {Value::integer(V)},
+                  Value::integer(P));
+  };
+  // Both writes no-ops: commute.
+  EXPECT_TRUE(R.commute(Write(5, 5), Write(5, 5)));
+  // Writing the same value but observing different previous values: the
+  // ECL spec conservatively reports non-commutative.
+  EXPECT_FALSE(R.commute(Write(5, 1), Write(5, 5)));
+}

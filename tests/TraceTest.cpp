@@ -1,0 +1,317 @@
+//===- tests/TraceTest.cpp - trace model and text format tests ----------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceBuilder.h"
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace crd;
+
+namespace {
+
+Action putAction(uint32_t Obj, std::string_view Key, int64_t Val,
+                 Value Prev = Value::nil()) {
+  return Action(ObjectId(Obj), symbol("put"),
+                {Value::string(Key), Value::integer(Val)}, Prev);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Action
+//===----------------------------------------------------------------------===//
+
+TEST(ActionTest, FlattenedValues) {
+  Action A = putAction(1, "a.com", 7);
+  EXPECT_EQ(A.numValues(), 3u);
+  EXPECT_EQ(A.value(0), Value::string("a.com"));
+  EXPECT_EQ(A.value(1), Value::integer(7));
+  EXPECT_EQ(A.value(2), Value::nil());
+  std::vector<Value> Flat = A.values();
+  ASSERT_EQ(Flat.size(), 3u);
+  EXPECT_EQ(Flat[2], Value::nil());
+}
+
+TEST(ActionTest, Printing) {
+  EXPECT_EQ(putAction(1, "a.com", 7).toString(), "o1.put(\"a.com\", 7)/nil");
+  Action Size(ObjectId(2), symbol("size"), {}, Value::integer(3));
+  EXPECT_EQ(Size.toString(), "o2.size()/3");
+  Action NoRet(ObjectId(0), symbol("inc"), {}, std::vector<Value>{});
+  EXPECT_EQ(NoRet.toString(), "o0.inc()");
+}
+
+TEST(ActionTest, Equality) {
+  EXPECT_EQ(putAction(1, "k", 1), putAction(1, "k", 1));
+  EXPECT_NE(putAction(1, "k", 1), putAction(1, "k", 2));
+  EXPECT_NE(putAction(1, "k", 1), putAction(2, "k", 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Event
+//===----------------------------------------------------------------------===//
+
+TEST(EventTest, KindsAndAccessors) {
+  Event F = Event::fork(ThreadId(0), ThreadId(1));
+  EXPECT_TRUE(F.isSync());
+  EXPECT_EQ(F.other(), ThreadId(1));
+
+  Event A = Event::acquire(ThreadId(2), LockId(5));
+  EXPECT_EQ(A.lock(), LockId(5));
+
+  Event R = Event::read(ThreadId(1), VarId(9));
+  EXPECT_TRUE(R.isMemoryAccess());
+  EXPECT_EQ(R.var(), VarId(9));
+
+  Event I = Event::invoke(ThreadId(3), putAction(1, "k", 2));
+  EXPECT_TRUE(I.isInvoke());
+  EXPECT_EQ(I.action().method(), symbol("put"));
+}
+
+TEST(EventTest, Printing) {
+  EXPECT_EQ(Event::fork(ThreadId(0), ThreadId(2)).toString(), "T0: fork T2");
+  EXPECT_EQ(Event::join(ThreadId(1), ThreadId(2)).toString(), "T1: join T2");
+  EXPECT_EQ(Event::acquire(ThreadId(1), LockId(0)).toString(), "T1: acq L0");
+  EXPECT_EQ(Event::release(ThreadId(1), LockId(0)).toString(), "T1: rel L0");
+  EXPECT_EQ(Event::read(ThreadId(0), VarId(3)).toString(), "T0: read V3");
+  EXPECT_EQ(Event::write(ThreadId(0), VarId(4)).toString(), "T0: write V4");
+  EXPECT_EQ(Event::invoke(ThreadId(2), putAction(1, "a.com", 7)).toString(),
+            "T2: o1.put(\"a.com\", 7)/nil");
+}
+
+//===----------------------------------------------------------------------===//
+// Trace validation
+//===----------------------------------------------------------------------===//
+
+TEST(TraceValidateTest, WellFormedFig1StyleTrace) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .invoke(1, 5, "put", {Value::string("a.com")}, Value::nil())
+                .invoke(2, 5, "put", {Value::string("a.com")}, Value::nil())
+                .join(0, 1)
+                .join(0, 2)
+                .invoke(0, 5, "size", {}, Value::integer(1))
+                .take();
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(T.validate(Diags));
+  EXPECT_EQ(T.numThreads(), 3u);
+}
+
+TEST(TraceValidateTest, ForkOfExistingThread) {
+  Trace T = TraceBuilder().fork(0, 1).fork(2, 1).take();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(T.validate(Diags));
+}
+
+TEST(TraceValidateTest, SelfForkAndSelfJoin) {
+  DiagnosticEngine D1, D2;
+  EXPECT_FALSE(TraceBuilder().fork(1, 1).take().validate(D1));
+  EXPECT_FALSE(TraceBuilder().fork(0, 1).join(1, 1).take().validate(D2));
+}
+
+TEST(TraceValidateTest, JoinOfUnknownThread) {
+  Trace T = TraceBuilder().join(0, 7).take();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(T.validate(Diags));
+}
+
+TEST(TraceValidateTest, EventAfterJoinRejected) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .join(0, 1)
+                .read(1, 0) // Thread 1 acts after being joined.
+                .take();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(T.validate(Diags));
+}
+
+TEST(TraceValidateTest, LockDiscipline) {
+  DiagnosticEngine D1;
+  EXPECT_TRUE(
+      TraceBuilder().acquire(0, 0).release(0, 0).take().validate(D1));
+
+  DiagnosticEngine D2;
+  EXPECT_FALSE(TraceBuilder().release(0, 0).take().validate(D2));
+
+  DiagnosticEngine D3;
+  EXPECT_FALSE(TraceBuilder()
+                   .fork(0, 1)
+                   .acquire(0, 0)
+                   .release(1, 0) // Wrong thread releases.
+                   .take()
+                   .validate(D3));
+
+  DiagnosticEngine D4;
+  EXPECT_FALSE(TraceBuilder()
+                   .fork(0, 1)
+                   .acquire(0, 0)
+                   .acquire(1, 0) // Acquire while held.
+                   .take()
+                   .validate(D4));
+}
+
+//===----------------------------------------------------------------------===//
+// Trace text format
+//===----------------------------------------------------------------------===//
+
+TEST(TraceIOTest, RoundTrip) {
+  Trace Original = TraceBuilder()
+                       .fork(0, 2)
+                       .invoke(2, 1, "put",
+                               {Value::string("a.com"), Value::integer(1)},
+                               Value::nil())
+                       .acquire(2, 0)
+                       .write(2, 4)
+                       .release(2, 0)
+                       .join(0, 2)
+                       .invoke(0, 1, "size", {}, Value::integer(1))
+                       .read(0, 3)
+                       .take();
+
+  std::string Text = traceToString(Original);
+  DiagnosticEngine Diags;
+  auto Parsed = parseTrace(Text, Diags);
+  ASSERT_TRUE(Parsed) << Diags.toString();
+  ASSERT_EQ(Parsed->size(), Original.size());
+  EXPECT_EQ(traceToString(*Parsed), Text);
+}
+
+TEST(TraceIOTest, ParsesCommentsAndBlankLines) {
+  DiagnosticEngine Diags;
+  auto T = parseTrace("# header comment\n"
+                      "\n"
+                      "T0: fork T1   # trailing comment\n"
+                      "T1: o1.get(\"k\")/nil\n",
+                      Diags);
+  ASSERT_TRUE(T) << Diags.toString();
+  EXPECT_EQ(T->size(), 2u);
+}
+
+TEST(TraceIOTest, ParsesAllValueKinds) {
+  DiagnosticEngine Diags;
+  auto T = parseTrace("T0: o1.put(\"k\", -3)/nil\n"
+                      "T0: o1.put(true, false)/nil\n"
+                      "T0: o1.m()\n",
+                      Diags);
+  ASSERT_TRUE(T) << Diags.toString();
+  const Action &A0 = (*T)[0].action();
+  EXPECT_EQ(A0.args()[1], Value::integer(-3));
+  const Action &A1 = (*T)[1].action();
+  EXPECT_EQ(A1.args()[0], Value::boolean(true));
+  const Action &A2 = (*T)[2].action();
+  EXPECT_TRUE(A2.rets().empty());
+}
+
+TEST(TraceIOTest, StringEscapes) {
+  DiagnosticEngine Diags;
+  auto T = parseTrace("T0: o1.put(\"a\\\"b\\\\c\\n\", 1)/nil\n", Diags);
+  ASSERT_TRUE(T) << Diags.toString();
+  EXPECT_EQ((*T)[0].action().args()[0], Value::string("a\"b\\c\n"));
+}
+
+TEST(TraceIOTest, ReportsErrorsWithLocations) {
+  DiagnosticEngine Diags;
+  auto T = parseTrace("T0: fork T1\n"
+                      "T1: bogus ???\n"
+                      "T0: join T1\n",
+                      Diags);
+  EXPECT_FALSE(T);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.all().front().Loc.Line, 2u);
+}
+
+TEST(TraceIOTest, RecoversPerLine) {
+  DiagnosticEngine Diags;
+  parseTrace("T0: fork\n"
+             "T0: join\n",
+             Diags);
+  // One diagnostic per bad line (recovery resumes at the newline).
+  EXPECT_GE(Diags.errorCount(), 2u);
+}
+
+TEST(TraceIOTest, RejectsUnterminatedString) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseTrace("T0: o1.put(\"oops, 1)/nil\n", Diags));
+}
+
+TEST(TraceIOTest, RejectsMissingColon) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseTrace("T0 fork T1\n", Diags));
+}
+
+TEST(TraceIOTest, MultiReturnAndTxRoundTrip) {
+  Trace Original =
+      TraceBuilder()
+          .txBegin(0)
+          .invoke(0, 1, "pop", {},
+                  std::vector<Value>{Value::integer(7), Value::boolean(true)})
+          .txEnd(0)
+          .take();
+  std::string Text = traceToString(Original);
+  EXPECT_NE(Text.find("o1.pop()/7/true"), std::string::npos);
+  DiagnosticEngine Diags;
+  auto Parsed = parseTrace(Text, Diags);
+  ASSERT_TRUE(Parsed) << Diags.toString();
+  EXPECT_EQ(traceToString(*Parsed), Text);
+  ASSERT_EQ((*Parsed)[1].action().rets().size(), 2u);
+}
+
+TEST(TraceIOTest, RandomTraceRoundTripProperty) {
+  std::mt19937_64 Rng(99);
+  for (int Iteration = 0; Iteration != 20; ++Iteration) {
+    TraceBuilder TB;
+    uint32_t Threads = 1;
+    for (int I = 0; I != 60; ++I) {
+      uint32_t Tid = static_cast<uint32_t>(Rng() % Threads);
+      switch (Rng() % 7) {
+      case 0:
+        TB.fork(Tid, Threads++);
+        break;
+      case 1:
+        TB.read(Tid, static_cast<uint32_t>(Rng() % 8));
+        break;
+      case 2:
+        TB.write(Tid, static_cast<uint32_t>(Rng() % 8));
+        break;
+      case 3:
+        TB.invoke(Tid, static_cast<uint32_t>(Rng() % 3), "put",
+                  {Value::integer(static_cast<int64_t>(Rng() % 5)),
+                   Value::string("v" + std::to_string(Rng() % 3))},
+                  Rng() % 2 ? Value::nil() : Value::boolean(true));
+        break;
+      case 4:
+        TB.invoke(Tid, static_cast<uint32_t>(Rng() % 3), "size", {},
+                  Value::integer(static_cast<int64_t>(Rng() % 9)));
+        break;
+      case 5:
+        TB.acquire(Tid, static_cast<uint32_t>(Rng() % 2 + 100 * Tid));
+        TB.release(Tid, static_cast<uint32_t>(Rng() % 2 + 100 * Tid));
+        break;
+      case 6:
+        TB.invoke(Tid, static_cast<uint32_t>(Rng() % 3), "m",
+                  {Value::integer(-5)}, std::vector<Value>{});
+        break;
+      }
+    }
+    Trace Original = TB.take();
+    std::string Text = traceToString(Original);
+    DiagnosticEngine Diags;
+    auto Parsed = parseTrace(Text, Diags);
+    ASSERT_TRUE(Parsed) << Diags.toString() << "\n" << Text;
+    EXPECT_EQ(traceToString(*Parsed), Text);
+    EXPECT_EQ(Parsed->size(), Original.size());
+  }
+}
+
+TEST(TraceIOTest, EmptyInputIsEmptyTrace) {
+  DiagnosticEngine Diags;
+  auto T = parseTrace("", Diags);
+  ASSERT_TRUE(T);
+  EXPECT_TRUE(T->empty());
+}

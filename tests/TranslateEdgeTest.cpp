@@ -1,0 +1,265 @@
+//===- tests/TranslateEdgeTest.cpp - translator edge cases --------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Edge cases of the §6.2 translation: ordered LB predicates, multiple
+/// return values, constant formulas, nullary methods, negations, deeper
+/// ECL nesting — each checked against Definition 4.5 with the logical
+/// specification as the oracle, across every optimizer configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "spec/SpecParser.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+/// Every combination of optimizer passes.
+std::vector<TranslationOptions> allOptionCombos() {
+  std::vector<TranslationOptions> Out;
+  for (int Bits = 0; Bits != 8; ++Bits) {
+    TranslationOptions O;
+    O.DropIrrelevantAtoms = Bits & 1;
+    O.MergeCongruentSlots = Bits & 2;
+    O.RemoveConflictFree = Bits & 4;
+    Out.push_back(O);
+  }
+  return Out;
+}
+
+/// Asserts Def 4.5 over an action zoo for every optimizer configuration.
+void expectRepresents(const ObjectSpec &Spec,
+                      const std::vector<Action> &Zoo) {
+  for (const TranslationOptions &Options : allOptionCombos()) {
+    DiagnosticEngine Diags;
+    auto Rep = translateSpec(Spec, Diags, Options);
+    ASSERT_TRUE(Rep) << Spec.name() << ": " << Diags.toString();
+    for (const Action &A : Zoo)
+      for (const Action &B : Zoo)
+        EXPECT_EQ(actionsConflict(*Rep, A, B), !Spec.commute(A, B))
+            << Spec.name() << ": " << A << " vs " << B << " (drop="
+            << Options.DropIrrelevantAtoms
+            << " merge=" << Options.MergeCongruentSlots
+            << " cleanup=" << Options.RemoveConflictFree << ")";
+  }
+}
+
+ObjectSpec parse(const char *Source) {
+  DiagnosticEngine Diags;
+  auto Spec = parseObjectSpec(Source, Diags);
+  EXPECT_TRUE(Spec) << Diags.toString();
+  return Spec ? std::move(*Spec) : ObjectSpec("parse-failed");
+}
+
+} // namespace
+
+TEST(TranslateEdgeTest, OrderedPredicatesInLB) {
+  // A bounded queue where small offers commute with polls; the LB atoms
+  // use ordered comparisons.
+  ObjectSpec Spec = parse(R"(
+    object quota {
+      method use(n) / granted;
+      method check() / free;
+      commute use(n1)/g1, use(n2)/g2 :
+          (n1 <= 0 && n2 <= 0) || (g1 == false && g2 == false);
+      commute use(n1)/g1, check()/f2 : n1 <= 0 || g1 == false;
+      commute check()/f1, check()/f2 : true;
+    }
+  )");
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(Spec.validate(Diags)) << Diags.toString();
+
+  std::vector<Action> Zoo;
+  for (int64_t N : {-1, 0, 3})
+    for (bool G : {true, false})
+      Zoo.push_back(Action(ObjectId(0), symbol("use"), {Value::integer(N)},
+                           Value::boolean(G)));
+  Zoo.push_back(Action(ObjectId(0), symbol("check"), {}, Value::integer(5)));
+  expectRepresents(Spec, Zoo);
+}
+
+TEST(TranslateEdgeTest, MultipleReturnValues) {
+  // A method with two returns: pop()/value/ok.
+  ObjectSpec Spec = parse(R"(
+    object stack {
+      method push(v);
+      method pop() / v / ok;
+      commute push(v1), push(v2) : false;
+      commute push(v1), pop()/v2/ok2 : false;
+      commute pop()/v1/ok1, pop()/v2/ok2 : ok1 == false && ok2 == false;
+    }
+  )");
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(Spec.validate(Diags)) << Diags.toString();
+
+  std::vector<Action> Zoo;
+  Zoo.push_back(Action(ObjectId(0), symbol("push"), {Value::integer(1)},
+                       std::vector<Value>{}));
+  for (bool Ok : {true, false})
+    Zoo.push_back(Action(ObjectId(0), symbol("pop"), {},
+                         std::vector<Value>{Value::integer(7),
+                                            Value::boolean(Ok)}));
+  expectRepresents(Spec, Zoo);
+}
+
+TEST(TranslateEdgeTest, NullaryMethodsAndConstantFormulas) {
+  ObjectSpec Spec = parse(R"(
+    object barrier {
+      method arrive();
+      method reset();
+      commute arrive(), arrive() : true;
+      commute arrive(), reset() : false;
+      commute reset(), reset() : false;
+    }
+  )");
+  std::vector<Action> Zoo = {
+      Action(ObjectId(0), symbol("arrive"), {}, std::vector<Value>{}),
+      Action(ObjectId(0), symbol("reset"), {}, std::vector<Value>{}),
+  };
+  expectRepresents(Spec, Zoo);
+
+  // reset self-conflicts through its ds point; arrive is conflict-free
+  // with itself.
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(Spec, Diags);
+  ASSERT_TRUE(Rep);
+  EXPECT_TRUE(actionsConflict(*Rep, Zoo[1], Zoo[1]));
+  EXPECT_FALSE(actionsConflict(*Rep, Zoo[0], Zoo[0]));
+}
+
+TEST(TranslateEdgeTest, NegationsInsideLB) {
+  ObjectSpec Spec = parse(R"(
+    object gauge {
+      method set(v) / old;
+      method watch() / v;
+      commute set(v1)/o1, set(v2)/o2 : !(v1 != o1) && !(v2 != o2);
+      commute set(v1)/o1, watch()/v2 : !(v1 != o1);
+      commute watch()/v1, watch()/v2 : true;
+    }
+  )");
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(Spec.validate(Diags)) << Diags.toString();
+
+  std::vector<Action> Zoo;
+  for (int64_t V : {1, 2})
+    for (int64_t O : {1, 2})
+      Zoo.push_back(Action(ObjectId(0), symbol("set"), {Value::integer(V)},
+                           Value::integer(O)));
+  Zoo.push_back(Action(ObjectId(0), symbol("watch"), {}, Value::integer(1)));
+  expectRepresents(Spec, Zoo);
+}
+
+TEST(TranslateEdgeTest, DeepECLNesting) {
+  // (S ∨ B) ∧ (S ∨ B) ∧ B — conjunction of ECL formulas.
+  ObjectSpec Spec = parse(R"(
+    object grid {
+      method mark(row, col, v) / prev;
+      commute mark(r1, c1, v1)/p1, mark(r2, c2, v2)/p2 :
+          (r1 != r2 || v1 == p1 && v2 == p2)
+          && (c1 != c2 || v1 == p1 && v2 == p2);
+    }
+  )");
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(Spec.validate(Diags)) << Diags.toString();
+
+  std::vector<Action> Zoo;
+  for (int64_t R : {0, 1})
+    for (int64_t C : {0, 1})
+      for (int64_t V : {5, 6})
+        for (Value P : {Value::integer(5), Value::nil()})
+          Zoo.push_back(Action(ObjectId(0), symbol("mark"),
+                               {Value::integer(R), Value::integer(C),
+                                Value::integer(V)},
+                               P));
+  expectRepresents(Spec, Zoo);
+}
+
+TEST(TranslateEdgeTest, MultipleDisequalitiesYieldMultipleConjuncts) {
+  // The residual can contain several x_i != y_j conjuncts at once.
+  ObjectSpec Spec = parse(R"(
+    object matrix {
+      method touch(row, col);
+      commute touch(r1, c1), touch(r2, c2) : r1 != r2 && c1 != c2;
+    }
+  )");
+  std::vector<Action> Zoo;
+  for (int64_t R : {0, 1})
+    for (int64_t C : {0, 1})
+      Zoo.push_back(Action(ObjectId(0), symbol("touch"),
+                           {Value::integer(R), Value::integer(C)},
+                           std::vector<Value>{}));
+  expectRepresents(Spec, Zoo);
+
+  // touch(0,0) vs touch(0,1): rows equal -> conflict; vs touch(1,1): both
+  // differ -> commute.
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(Spec, Diags);
+  ASSERT_TRUE(Rep);
+  EXPECT_TRUE(actionsConflict(*Rep, Zoo[0], Zoo[1]));
+  EXPECT_FALSE(actionsConflict(*Rep, Zoo[0], Zoo[3]));
+}
+
+TEST(TranslateEdgeTest, StringAndMixedValueAtoms) {
+  ObjectSpec Spec = parse(R"(
+    object router {
+      method route(host, target) / prev;
+      commute route(h1, t1)/p1, route(h2, t2)/p2 :
+          h1 != h2 || (t1 == p1 && t2 == p2) || (h1 == "localhost" && h2 == "localhost");
+    }
+  )");
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(Spec.validate(Diags)) << Diags.toString();
+
+  std::vector<Action> Zoo;
+  for (std::string_view H : {"localhost", "a.com"})
+    for (int64_t TgtV : {1, 2})
+      for (Value P : {Value::integer(1), Value::nil()})
+        Zoo.push_back(Action(ObjectId(0), symbol("route"),
+                             {Value::string(H), Value::integer(TgtV)}, P));
+  expectRepresents(Spec, Zoo);
+}
+
+TEST(TranslateEdgeTest, AtomCapProducesDiagnostic) {
+  // 11 distinct LB atoms on one method exceed the per-method cap.
+  ObjectSpec Spec("huge");
+  uint32_t M = Spec.addMethod({symbol("m"), 11, 0});
+  std::vector<FormulaPtr> Parts;
+  for (uint32_t I = 0; I != 11; ++I)
+    Parts.push_back(Formula::atom(PredKind::Eq, Term::var(Side::First, I),
+                                  Term::constant(Value::integer(I))));
+  // Keep it ECL: a conjunction of single-side atoms is LB; symmetric via
+  // both sides.
+  FormulaPtr B1 = Formula::andOf(Parts);
+  Spec.setCommutes(M, M, Formula::andOf(B1, B1->swapSides()));
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(translateSpec(Spec, Diags));
+  EXPECT_NE(Diags.toString().find("more than"), std::string::npos);
+}
+
+TEST(TranslateEdgeTest, SharedFormulaAcrossPairsNormalizesAtomsOnce) {
+  // v == p appears in two different pair formulas of put; B(Φ, put) must
+  // contain it once.
+  ObjectSpec Spec = parse(R"(
+    object d {
+      method put(k, v) / p;
+      method get(k) / v;
+      method has(k) / b;
+      commute put(k1, v1)/p1, put(k2, v2)/p2 : k1 != k2 || (v1 == p1 && v2 == p2);
+      commute put(k1, v1)/p1, get(k2)/v2 : k1 != k2 || v1 == p1;
+      commute put(k1, v1)/p1, has(k2)/b2 : k1 != k2 || v1 == p1;
+      commute get(k1)/v1, get(k2)/v2 : true;
+      commute get(k1)/v1, has(k2)/b2 : true;
+      commute has(k1)/b1, has(k2)/b2 : true;
+    }
+  )");
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(Spec, Diags);
+  ASSERT_TRUE(Rep) << Diags.toString();
+  EXPECT_EQ(Rep->methodAtoms(0).size(), 1u); // Just v == p.
+}

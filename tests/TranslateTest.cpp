@@ -1,0 +1,350 @@
+//===- tests/TranslateTest.cpp - §6.2 translator tests ------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "spec/Builtins.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+Action put(std::string_view K, Value V, Value P) {
+  return Action(ObjectId(1), symbol("put"), {Value::string(K), V}, P);
+}
+Action get(std::string_view K, Value V) {
+  return Action(ObjectId(1), symbol("get"), {Value::string(K)}, V);
+}
+Action size(int64_t R) {
+  return Action(ObjectId(1), symbol("size"), {}, Value::integer(R));
+}
+
+std::unique_ptr<TranslatedRep> translateDict(TranslationOptions Options = {},
+                                             TranslationStats *Stats = nullptr) {
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(dictionarySpec(), Diags, Options, Stats);
+  EXPECT_TRUE(Rep) << Diags.toString();
+  return Rep;
+}
+
+std::vector<AccessPoint> touch(const AccessPointProvider &P, const Action &A) {
+  std::vector<AccessPoint> Out;
+  P.touches(A, Out);
+  return Out;
+}
+
+} // namespace
+
+TEST(TranslatorTest, DictionaryAtomsMatchThePaper) {
+  auto Rep = translateDict();
+  // B(Φ, put) = {v = p, v = nil, p = nil} (paper §6.2 example).
+  EXPECT_EQ(Rep->methodAtoms(0).size(), 3u);
+  // get and size have no LB atoms.
+  EXPECT_EQ(Rep->methodAtoms(1).size(), 0u);
+  EXPECT_EQ(Rep->methodAtoms(2).size(), 0u);
+}
+
+TEST(TranslatorTest, BetaVectorWorkedExample) {
+  // Paper §6.2: for put(5,6)/nil the vector is
+  //   {(v = p) -> false, (v = nil) -> false, (p = nil) -> true}.
+  auto Rep = translateDict();
+  std::vector<Value> Values = {Value::integer(5), Value::integer(6),
+                               Value::nil()};
+  uint32_t Mask = Rep->betaMask(0, Values);
+  const std::vector<CanonAtom> &Atoms = Rep->methodAtoms(0);
+  ASSERT_EQ(Atoms.size(), 3u);
+  // Identify each atom by evaluating it on distinguishing inputs rather
+  // than relying on atom order.
+  int TrueCount = 0;
+  for (uint32_t T = 0; T != 3; ++T)
+    if ((Mask >> T) & 1)
+      ++TrueCount;
+  EXPECT_EQ(TrueCount, 1); // Only p = nil holds.
+
+  // put(5,6)/6 (no-op overwrite): v = p true, v = nil false, p = nil false.
+  std::vector<Value> Noop = {Value::integer(5), Value::integer(6),
+                             Value::integer(6)};
+  uint32_t NoopMask = Rep->betaMask(0, Noop);
+  int NoopTrue = 0;
+  for (uint32_t T = 0; T != 3; ++T)
+    if ((NoopMask >> T) & 1)
+      ++NoopTrue;
+  EXPECT_EQ(NoopTrue, 1);
+  EXPECT_NE(Mask, NoopMask);
+}
+
+TEST(TranslatorTest, OptimizedDictionaryHasFig7Shape) {
+  TranslationStats Stats;
+  auto Rep = translateDict({}, &Stats);
+  // The appendix-optimized dictionary representation has exactly the four
+  // Fig 7 classes: o:r:k, o:w:k, o:size, o:resize.
+  EXPECT_EQ(Rep->numClasses(), 4u);
+  EXPECT_GT(Stats.RawSlots, Stats.FinalActiveClasses);
+  EXPECT_LE(Stats.MaxConflictsPerClass, 2u);
+
+  // Two carrying classes (r/w families) and two plain ones (size/resize).
+  unsigned Carrying = 0;
+  for (uint32_t C = 0; C != 4; ++C)
+    if (Rep->classCarriesValue(C))
+      ++Carrying;
+  EXPECT_EQ(Carrying, 2u);
+}
+
+TEST(TranslatorTest, OptimizedDictionaryConflictStructure) {
+  auto Rep = translateDict();
+  // Find the write class: the carrying class that conflicts with itself.
+  std::optional<uint32_t> WriteClass, ReadClass, SizeClass, ResizeClass;
+  for (uint32_t C = 0; C != Rep->numClasses(); ++C) {
+    const std::vector<uint32_t> &Row = Rep->conflictsOf(C);
+    bool SelfConflict =
+        std::find(Row.begin(), Row.end(), C) != Row.end();
+    if (Rep->classCarriesValue(C)) {
+      if (SelfConflict)
+        WriteClass = C;
+      else
+        ReadClass = C;
+    } else {
+      EXPECT_FALSE(SelfConflict);
+      ASSERT_EQ(Row.size(), 1u);
+      // size and resize point at each other; disambiguate below.
+      if (!SizeClass)
+        SizeClass = C;
+      else
+        ResizeClass = C;
+    }
+  }
+  ASSERT_TRUE(WriteClass && ReadClass && SizeClass && ResizeClass);
+  // w conflicts with both r and w; r conflicts only with w.
+  EXPECT_EQ(Rep->conflictsOf(*WriteClass).size(), 2u);
+  EXPECT_EQ(Rep->conflictsOf(*ReadClass),
+            std::vector<uint32_t>{*WriteClass});
+  EXPECT_EQ(Rep->conflictsOf(*SizeClass),
+            std::vector<uint32_t>{*ResizeClass});
+  EXPECT_EQ(Rep->conflictsOf(*ResizeClass),
+            std::vector<uint32_t>{*SizeClass});
+}
+
+TEST(TranslatorTest, TouchesMirrorFig7b) {
+  auto Rep = translateDict();
+  // Fresh insert touches two points (w:k and resize).
+  EXPECT_EQ(touch(*Rep, put("a", Value::integer(1), Value::nil())).size(), 2u);
+  // Overwrite touches only w:k.
+  EXPECT_EQ(
+      touch(*Rep, put("a", Value::integer(2), Value::integer(1))).size(), 1u);
+  // No-op put touches only r:k.
+  EXPECT_EQ(
+      touch(*Rep, put("a", Value::integer(1), Value::integer(1))).size(), 1u);
+  // get touches r:k; size touches size.
+  EXPECT_EQ(touch(*Rep, get("a", Value::nil())).size(), 1u);
+  EXPECT_EQ(touch(*Rep, size(0)).size(), 1u);
+}
+
+TEST(TranslatorTest, GetAndNoopPutShareTheReadClass) {
+  // The appendix "replacement" transformation: o.get:∅:1:v is congruent to
+  // o:r:v and merges with it.
+  auto Rep = translateDict();
+  auto GetPoints = touch(*Rep, get("a", Value::integer(1)));
+  auto NoopPut = touch(*Rep, put("a", Value::integer(1), Value::integer(1)));
+  ASSERT_EQ(GetPoints.size(), 1u);
+  ASSERT_EQ(NoopPut.size(), 1u);
+  EXPECT_EQ(GetPoints[0].ClassId, NoopPut[0].ClassId);
+  EXPECT_EQ(GetPoints[0].Val, Value::string("a"));
+}
+
+TEST(TranslatorTest, EquivalentToHandWrittenFig7) {
+  // Definition 4.5 equivalence of the generated representation with the
+  // hand-written Fig 7 one: both must call exactly the same action pairs
+  // conflicting. Sweep a structured action zoo.
+  auto Translated = translateDict();
+  DictionaryRep Hand;
+
+  std::vector<Action> Zoo;
+  std::vector<Value> Vals = {Value::nil(), Value::integer(1),
+                             Value::integer(2)};
+  for (std::string_view K : {"a", "b"})
+    for (const Value &V : Vals)
+      for (const Value &P : Vals)
+        Zoo.push_back(put(K, V, P));
+  for (std::string_view K : {"a", "b"})
+    for (const Value &V : Vals)
+      Zoo.push_back(get(K, V));
+  Zoo.push_back(size(0));
+  Zoo.push_back(size(2));
+
+  for (const Action &A : Zoo)
+    for (const Action &B : Zoo)
+      EXPECT_EQ(actionsConflict(*Translated, A, B),
+                actionsConflict(Hand, A, B))
+          << A << " vs " << B;
+}
+
+TEST(TranslatorTest, RepresentsTheSpecification) {
+  // Definition 4.5 against the logical specification itself:
+  // conflict(a, b) iff ¬ϕ(a, b).
+  auto Rep = translateDict();
+  const ObjectSpec &Spec = dictionarySpec();
+
+  std::vector<Action> Zoo;
+  std::vector<Value> Vals = {Value::nil(), Value::integer(1),
+                             Value::integer(2)};
+  for (std::string_view K : {"a", "b", "c"})
+    for (const Value &V : Vals)
+      for (const Value &P : Vals)
+        Zoo.push_back(put(K, V, P));
+  for (std::string_view K : {"a", "b", "c"})
+    for (const Value &V : Vals)
+      Zoo.push_back(get(K, V));
+  Zoo.push_back(size(0));
+
+  for (const Action &A : Zoo)
+    for (const Action &B : Zoo)
+      EXPECT_EQ(actionsConflict(*Rep, A, B), !Spec.commute(A, B))
+          << A << " vs " << B;
+}
+
+TEST(TranslatorTest, UnoptimizedStillRepresentsTheSpecification) {
+  TranslationOptions Off;
+  Off.DropIrrelevantAtoms = false;
+  Off.MergeCongruentSlots = false;
+  Off.RemoveConflictFree = false;
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(dictionarySpec(), Diags, Off);
+  ASSERT_TRUE(Rep) << Diags.toString();
+  const ObjectSpec &Spec = dictionarySpec();
+
+  std::vector<Value> Vals = {Value::nil(), Value::integer(1)};
+  std::vector<Action> Zoo;
+  for (std::string_view K : {"a", "b"})
+    for (const Value &V : Vals)
+      for (const Value &P : Vals)
+        Zoo.push_back(put(K, V, P));
+  Zoo.push_back(get("a", Value::integer(1)));
+  Zoo.push_back(size(0));
+
+  for (const Action &A : Zoo)
+    for (const Action &B : Zoo)
+      EXPECT_EQ(actionsConflict(*Rep, A, B), !Spec.commute(A, B))
+          << A << " vs " << B;
+}
+
+TEST(TranslatorTest, PassesOnlyShrinkTheRepresentation) {
+  TranslationStats Raw, Dropped, Full;
+  TranslationOptions NoOpt;
+  NoOpt.DropIrrelevantAtoms = false;
+  NoOpt.MergeCongruentSlots = false;
+  NoOpt.RemoveConflictFree = false;
+  TranslationOptions DropOnly = NoOpt;
+  DropOnly.DropIrrelevantAtoms = true;
+
+  DiagnosticEngine D1, D2, D3;
+  auto R1 = translateSpec(dictionarySpec(), D1, NoOpt, &Raw);
+  auto R2 = translateSpec(dictionarySpec(), D2, DropOnly, &Dropped);
+  auto R3 = translateSpec(dictionarySpec(), D3, {}, &Full);
+  ASSERT_TRUE(R1 && R2 && R3);
+
+  EXPECT_EQ(Raw.RawSlots, Dropped.RawSlots);
+  EXPECT_LT(Dropped.SlotsAfterDropping, Raw.SlotsAfterDropping);
+  EXPECT_LT(Full.FinalActiveClasses, Dropped.SlotsAfterDropping);
+  EXPECT_EQ(Full.FinalActiveClasses, 4u);
+}
+
+TEST(TranslatorTest, BoundedConflictsTheorem66) {
+  // Theorem 6.6: each access point conflicts with a bounded number of
+  // others — in the class representation, every row is finite and small.
+  for (const ObjectSpec *Spec :
+       {&dictionarySpec(), &setSpec(), &counterSpec(), &registerSpec()}) {
+    DiagnosticEngine Diags;
+    TranslationStats Stats;
+    auto Rep = translateSpec(*Spec, Diags, {}, &Stats);
+    ASSERT_TRUE(Rep) << Spec->name() << ": " << Diags.toString();
+    EXPECT_LE(Stats.MaxConflictsPerClass, 8u) << Spec->name();
+  }
+}
+
+TEST(TranslatorTest, SetSpecRepresentation) {
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(setSpec(), Diags);
+  ASSERT_TRUE(Rep) << Diags.toString();
+  const ObjectSpec &Spec = setSpec();
+
+  auto Add = [](std::string_view K, bool C) {
+    return Action(ObjectId(0), symbol("add"), {Value::string(K)},
+                  Value::boolean(C));
+  };
+  auto Remove = [](std::string_view K, bool C) {
+    return Action(ObjectId(0), symbol("remove"), {Value::string(K)},
+                  Value::boolean(C));
+  };
+  auto Contains = [](std::string_view K, bool R) {
+    return Action(ObjectId(0), symbol("contains"), {Value::string(K)},
+                  Value::boolean(R));
+  };
+  auto SizeA = [](int64_t N) {
+    return Action(ObjectId(0), symbol("size"), {}, Value::integer(N));
+  };
+
+  std::vector<Action> Zoo;
+  for (std::string_view K : {"x", "y"})
+    for (bool C : {true, false}) {
+      Zoo.push_back(Add(K, C));
+      Zoo.push_back(Remove(K, C));
+      Zoo.push_back(Contains(K, C));
+    }
+  Zoo.push_back(SizeA(0));
+  Zoo.push_back(SizeA(5));
+
+  for (const Action &A : Zoo)
+    for (const Action &B : Zoo)
+      EXPECT_EQ(actionsConflict(*Rep, A, B), !Spec.commute(A, B))
+          << A << " vs " << B;
+}
+
+TEST(TranslatorTest, CounterAndRegisterRepresentations) {
+  for (const ObjectSpec *Spec : {&counterSpec(), &registerSpec()}) {
+    DiagnosticEngine Diags;
+    auto Rep = translateSpec(*Spec, Diags);
+    ASSERT_TRUE(Rep) << Diags.toString();
+  }
+  // Counter: inc/read conflict, inc/inc do not.
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(counterSpec(), Diags);
+  Action Inc(ObjectId(0), symbol("inc"), {}, std::vector<Value>{});
+  Action Read(ObjectId(0), symbol("read"), {}, Value::integer(3));
+  EXPECT_TRUE(actionsConflict(*Rep, Inc, Read));
+  EXPECT_TRUE(actionsConflict(*Rep, Read, Inc));
+  EXPECT_FALSE(actionsConflict(*Rep, Inc, Inc));
+  EXPECT_FALSE(actionsConflict(*Rep, Read, Read));
+}
+
+TEST(TranslatorTest, RejectsNonECL) {
+  ObjectSpec Spec("bad");
+  uint32_t W = Spec.addMethod({symbol("w"), 1, 0});
+  // v1 == v2 is a cross-side equality: not in ECL.
+  Spec.setCommutes(W, W,
+                   Formula::atom(PredKind::Eq, Term::var(Side::First, 0),
+                                 Term::var(Side::Second, 0)));
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(translateSpec(Spec, Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(TranslatorTest, UnspecifiedPairsConflictViaDs) {
+  ObjectSpec Spec("partial");
+  uint32_t A = Spec.addMethod({symbol("a"), 0, 0});
+  uint32_t B = Spec.addMethod({symbol("b"), 0, 0});
+  Spec.setCommutes(A, A, Formula::truth(true));
+  Spec.setCommutes(B, B, Formula::truth(true));
+  // (a, b) left unspecified.
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(Spec, Diags);
+  ASSERT_TRUE(Rep) << Diags.toString();
+  Action ActA(ObjectId(0), symbol("a"), {}, std::vector<Value>{});
+  Action ActB(ObjectId(0), symbol("b"), {}, std::vector<Value>{});
+  EXPECT_TRUE(actionsConflict(*Rep, ActA, ActB));
+  EXPECT_FALSE(actionsConflict(*Rep, ActA, ActA));
+}
