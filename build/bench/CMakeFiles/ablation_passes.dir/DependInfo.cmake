@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_passes.cpp" "bench/CMakeFiles/ablation_passes.dir/ablation_passes.cpp.o" "gcc" "bench/CMakeFiles/ablation_passes.dir/ablation_passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/crd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/crd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/crd_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/crd_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/crd_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/crd_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/crd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/crd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

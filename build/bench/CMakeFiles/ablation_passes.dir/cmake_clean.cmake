@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_passes.dir/ablation_passes.cpp.o"
+  "CMakeFiles/ablation_passes.dir/ablation_passes.cpp.o.d"
+  "ablation_passes"
+  "ablation_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

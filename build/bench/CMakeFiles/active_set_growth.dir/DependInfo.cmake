@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/active_set_growth.cpp" "bench/CMakeFiles/active_set_growth.dir/active_set_growth.cpp.o" "gcc" "bench/CMakeFiles/active_set_growth.dir/active_set_growth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/crd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/crd_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/crd_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/crd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crd_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/crd_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_set_growth.dir/active_set_growth.cpp.o"
+  "CMakeFiles/active_set_growth.dir/active_set_growth.cpp.o.d"
+  "active_set_growth"
+  "active_set_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_set_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

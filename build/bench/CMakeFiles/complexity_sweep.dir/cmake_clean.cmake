@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complexity_sweep.dir/complexity_sweep.cpp.o"
+  "CMakeFiles/complexity_sweep.dir/complexity_sweep.cpp.o.d"
+  "complexity_sweep"
+  "complexity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_atomicity_workloads.dir/ext_atomicity_workloads.cpp.o"
+  "CMakeFiles/ext_atomicity_workloads.dir/ext_atomicity_workloads.cpp.o.d"
+  "ext_atomicity_workloads"
+  "ext_atomicity_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_atomicity_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_queue_workload.dir/ext_queue_workload.cpp.o"
+  "CMakeFiles/ext_queue_workload.dir/ext_queue_workload.cpp.o.d"
+  "ext_queue_workload"
+  "ext_queue_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_queue_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_set_workload.dir/ext_set_workload.cpp.o"
+  "CMakeFiles/ext_set_workload.dir/ext_set_workload.cpp.o.d"
+  "ext_set_workload"
+  "ext_set_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_set_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

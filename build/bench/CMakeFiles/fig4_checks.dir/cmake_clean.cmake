@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_checks.dir/fig4_checks.cpp.o"
+  "CMakeFiles/fig4_checks.dir/fig4_checks.cpp.o.d"
+  "fig4_checks"
+  "fig4_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

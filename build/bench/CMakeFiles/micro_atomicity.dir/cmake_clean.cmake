@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_atomicity.dir/micro_atomicity.cpp.o"
+  "CMakeFiles/micro_atomicity.dir/micro_atomicity.cpp.o.d"
+  "micro_atomicity"
+  "micro_atomicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_translator.dir/micro_translator.cpp.o"
+  "CMakeFiles/micro_translator.dir/micro_translator.cpp.o.d"
+  "micro_translator"
+  "micro_translator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

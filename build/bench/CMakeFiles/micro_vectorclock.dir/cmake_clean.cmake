@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_vectorclock.dir/micro_vectorclock.cpp.o"
+  "CMakeFiles/micro_vectorclock.dir/micro_vectorclock.cpp.o.d"
+  "micro_vectorclock"
+  "micro_vectorclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_vectorclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cassandra.dir/table2_cassandra.cpp.o"
+  "CMakeFiles/table2_cassandra.dir/table2_cassandra.cpp.o.d"
+  "table2_cassandra"
+  "table2_cassandra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cassandra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

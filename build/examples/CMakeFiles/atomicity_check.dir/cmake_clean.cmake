@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomicity_check.dir/atomicity_check.cpp.o"
+  "CMakeFiles/atomicity_check.dir/atomicity_check.cpp.o.d"
+  "atomicity_check"
+  "atomicity_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomicity_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cassandra_snitch.dir/cassandra_snitch.cpp.o"
+  "CMakeFiles/cassandra_snitch.dir/cassandra_snitch.cpp.o.d"
+  "cassandra_snitch"
+  "cassandra_snitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cassandra_snitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cassandra_snitch.
+# This may be replaced when dependencies are built.

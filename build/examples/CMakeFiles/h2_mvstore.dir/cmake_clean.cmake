@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_mvstore.dir/h2_mvstore.cpp.o"
+  "CMakeFiles/h2_mvstore.dir/h2_mvstore.cpp.o.d"
+  "h2_mvstore"
+  "h2_mvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_mvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_compiler.dir/spec_compiler.cpp.o"
+  "CMakeFiles/spec_compiler.dir/spec_compiler.cpp.o.d"
+  "spec_compiler"
+  "spec_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("trace")
+subdirs("hb")
+subdirs("spec")
+subdirs("access")
+subdirs("translate")
+subdirs("detect")
+subdirs("replay")
+subdirs("locks")
+subdirs("runtime")
+subdirs("workloads")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crd_access.dir/DictionaryRep.cpp.o"
+  "CMakeFiles/crd_access.dir/DictionaryRep.cpp.o.d"
+  "CMakeFiles/crd_access.dir/Provider.cpp.o"
+  "CMakeFiles/crd_access.dir/Provider.cpp.o.d"
+  "libcrd_access.a"
+  "libcrd_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crd_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

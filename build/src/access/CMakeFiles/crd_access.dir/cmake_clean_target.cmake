@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrd_access.a"
+)

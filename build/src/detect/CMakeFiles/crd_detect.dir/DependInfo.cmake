@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/AtomicityChecker.cpp" "src/detect/CMakeFiles/crd_detect.dir/AtomicityChecker.cpp.o" "gcc" "src/detect/CMakeFiles/crd_detect.dir/AtomicityChecker.cpp.o.d"
+  "/root/repo/src/detect/CommutativityDetector.cpp" "src/detect/CMakeFiles/crd_detect.dir/CommutativityDetector.cpp.o" "gcc" "src/detect/CMakeFiles/crd_detect.dir/CommutativityDetector.cpp.o.d"
+  "/root/repo/src/detect/DirectDetector.cpp" "src/detect/CMakeFiles/crd_detect.dir/DirectDetector.cpp.o" "gcc" "src/detect/CMakeFiles/crd_detect.dir/DirectDetector.cpp.o.d"
+  "/root/repo/src/detect/FastTrack.cpp" "src/detect/CMakeFiles/crd_detect.dir/FastTrack.cpp.o" "gcc" "src/detect/CMakeFiles/crd_detect.dir/FastTrack.cpp.o.d"
+  "/root/repo/src/detect/OnlineAtomicity.cpp" "src/detect/CMakeFiles/crd_detect.dir/OnlineAtomicity.cpp.o" "gcc" "src/detect/CMakeFiles/crd_detect.dir/OnlineAtomicity.cpp.o.d"
+  "/root/repo/src/detect/Race.cpp" "src/detect/CMakeFiles/crd_detect.dir/Race.cpp.o" "gcc" "src/detect/CMakeFiles/crd_detect.dir/Race.cpp.o.d"
+  "/root/repo/src/detect/Summary.cpp" "src/detect/CMakeFiles/crd_detect.dir/Summary.cpp.o" "gcc" "src/detect/CMakeFiles/crd_detect.dir/Summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/access/CMakeFiles/crd_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/crd_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/crd_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/crd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

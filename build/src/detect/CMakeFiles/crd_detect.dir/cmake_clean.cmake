@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crd_detect.dir/AtomicityChecker.cpp.o"
+  "CMakeFiles/crd_detect.dir/AtomicityChecker.cpp.o.d"
+  "CMakeFiles/crd_detect.dir/CommutativityDetector.cpp.o"
+  "CMakeFiles/crd_detect.dir/CommutativityDetector.cpp.o.d"
+  "CMakeFiles/crd_detect.dir/DirectDetector.cpp.o"
+  "CMakeFiles/crd_detect.dir/DirectDetector.cpp.o.d"
+  "CMakeFiles/crd_detect.dir/FastTrack.cpp.o"
+  "CMakeFiles/crd_detect.dir/FastTrack.cpp.o.d"
+  "CMakeFiles/crd_detect.dir/OnlineAtomicity.cpp.o"
+  "CMakeFiles/crd_detect.dir/OnlineAtomicity.cpp.o.d"
+  "CMakeFiles/crd_detect.dir/Race.cpp.o"
+  "CMakeFiles/crd_detect.dir/Race.cpp.o.d"
+  "CMakeFiles/crd_detect.dir/Summary.cpp.o"
+  "CMakeFiles/crd_detect.dir/Summary.cpp.o.d"
+  "libcrd_detect.a"
+  "libcrd_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crd_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

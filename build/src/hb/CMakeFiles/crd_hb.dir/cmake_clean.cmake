@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crd_hb.dir/HappensBefore.cpp.o"
+  "CMakeFiles/crd_hb.dir/HappensBefore.cpp.o.d"
+  "CMakeFiles/crd_hb.dir/VectorClockState.cpp.o"
+  "CMakeFiles/crd_hb.dir/VectorClockState.cpp.o.d"
+  "libcrd_hb.a"
+  "libcrd_hb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crd_hb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crd_locks.dir/AbstractLockManager.cpp.o"
+  "CMakeFiles/crd_locks.dir/AbstractLockManager.cpp.o.d"
+  "libcrd_locks.a"
+  "libcrd_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crd_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replay/AbstractState.cpp" "src/replay/CMakeFiles/crd_replay.dir/AbstractState.cpp.o" "gcc" "src/replay/CMakeFiles/crd_replay.dir/AbstractState.cpp.o.d"
+  "/root/repo/src/replay/Determinism.cpp" "src/replay/CMakeFiles/crd_replay.dir/Determinism.cpp.o" "gcc" "src/replay/CMakeFiles/crd_replay.dir/Determinism.cpp.o.d"
+  "/root/repo/src/replay/Linearize.cpp" "src/replay/CMakeFiles/crd_replay.dir/Linearize.cpp.o" "gcc" "src/replay/CMakeFiles/crd_replay.dir/Linearize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/crd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crd_replay.dir/AbstractState.cpp.o"
+  "CMakeFiles/crd_replay.dir/AbstractState.cpp.o.d"
+  "CMakeFiles/crd_replay.dir/Determinism.cpp.o"
+  "CMakeFiles/crd_replay.dir/Determinism.cpp.o.d"
+  "CMakeFiles/crd_replay.dir/Linearize.cpp.o"
+  "CMakeFiles/crd_replay.dir/Linearize.cpp.o.d"
+  "libcrd_replay.a"
+  "libcrd_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crd_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/InstrumentedMap.cpp" "src/runtime/CMakeFiles/crd_runtime.dir/InstrumentedMap.cpp.o" "gcc" "src/runtime/CMakeFiles/crd_runtime.dir/InstrumentedMap.cpp.o.d"
+  "/root/repo/src/runtime/InstrumentedSet.cpp" "src/runtime/CMakeFiles/crd_runtime.dir/InstrumentedSet.cpp.o" "gcc" "src/runtime/CMakeFiles/crd_runtime.dir/InstrumentedSet.cpp.o.d"
+  "/root/repo/src/runtime/SimRuntime.cpp" "src/runtime/CMakeFiles/crd_runtime.dir/SimRuntime.cpp.o" "gcc" "src/runtime/CMakeFiles/crd_runtime.dir/SimRuntime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/crd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crd_runtime.dir/InstrumentedMap.cpp.o"
+  "CMakeFiles/crd_runtime.dir/InstrumentedMap.cpp.o.d"
+  "CMakeFiles/crd_runtime.dir/InstrumentedSet.cpp.o"
+  "CMakeFiles/crd_runtime.dir/InstrumentedSet.cpp.o.d"
+  "CMakeFiles/crd_runtime.dir/SimRuntime.cpp.o"
+  "CMakeFiles/crd_runtime.dir/SimRuntime.cpp.o.d"
+  "libcrd_runtime.a"
+  "libcrd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/Builtins.cpp" "src/spec/CMakeFiles/crd_spec.dir/Builtins.cpp.o" "gcc" "src/spec/CMakeFiles/crd_spec.dir/Builtins.cpp.o.d"
+  "/root/repo/src/spec/Formula.cpp" "src/spec/CMakeFiles/crd_spec.dir/Formula.cpp.o" "gcc" "src/spec/CMakeFiles/crd_spec.dir/Formula.cpp.o.d"
+  "/root/repo/src/spec/Fragment.cpp" "src/spec/CMakeFiles/crd_spec.dir/Fragment.cpp.o" "gcc" "src/spec/CMakeFiles/crd_spec.dir/Fragment.cpp.o.d"
+  "/root/repo/src/spec/Spec.cpp" "src/spec/CMakeFiles/crd_spec.dir/Spec.cpp.o" "gcc" "src/spec/CMakeFiles/crd_spec.dir/Spec.cpp.o.d"
+  "/root/repo/src/spec/SpecParser.cpp" "src/spec/CMakeFiles/crd_spec.dir/SpecParser.cpp.o" "gcc" "src/spec/CMakeFiles/crd_spec.dir/SpecParser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/crd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crd_spec.dir/Builtins.cpp.o"
+  "CMakeFiles/crd_spec.dir/Builtins.cpp.o.d"
+  "CMakeFiles/crd_spec.dir/Formula.cpp.o"
+  "CMakeFiles/crd_spec.dir/Formula.cpp.o.d"
+  "CMakeFiles/crd_spec.dir/Fragment.cpp.o"
+  "CMakeFiles/crd_spec.dir/Fragment.cpp.o.d"
+  "CMakeFiles/crd_spec.dir/Spec.cpp.o"
+  "CMakeFiles/crd_spec.dir/Spec.cpp.o.d"
+  "CMakeFiles/crd_spec.dir/SpecParser.cpp.o"
+  "CMakeFiles/crd_spec.dir/SpecParser.cpp.o.d"
+  "libcrd_spec.a"
+  "libcrd_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crd_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

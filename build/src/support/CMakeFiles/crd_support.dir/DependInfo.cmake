@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Diagnostics.cpp" "src/support/CMakeFiles/crd_support.dir/Diagnostics.cpp.o" "gcc" "src/support/CMakeFiles/crd_support.dir/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/DynamicTopoGraph.cpp" "src/support/CMakeFiles/crd_support.dir/DynamicTopoGraph.cpp.o" "gcc" "src/support/CMakeFiles/crd_support.dir/DynamicTopoGraph.cpp.o.d"
+  "/root/repo/src/support/Symbol.cpp" "src/support/CMakeFiles/crd_support.dir/Symbol.cpp.o" "gcc" "src/support/CMakeFiles/crd_support.dir/Symbol.cpp.o.d"
+  "/root/repo/src/support/Value.cpp" "src/support/CMakeFiles/crd_support.dir/Value.cpp.o" "gcc" "src/support/CMakeFiles/crd_support.dir/Value.cpp.o.d"
+  "/root/repo/src/support/VectorClock.cpp" "src/support/CMakeFiles/crd_support.dir/VectorClock.cpp.o" "gcc" "src/support/CMakeFiles/crd_support.dir/VectorClock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crd_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/crd_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/crd_support.dir/DynamicTopoGraph.cpp.o"
+  "CMakeFiles/crd_support.dir/DynamicTopoGraph.cpp.o.d"
+  "CMakeFiles/crd_support.dir/Symbol.cpp.o"
+  "CMakeFiles/crd_support.dir/Symbol.cpp.o.d"
+  "CMakeFiles/crd_support.dir/Value.cpp.o"
+  "CMakeFiles/crd_support.dir/Value.cpp.o.d"
+  "CMakeFiles/crd_support.dir/VectorClock.cpp.o"
+  "CMakeFiles/crd_support.dir/VectorClock.cpp.o.d"
+  "libcrd_support.a"
+  "libcrd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

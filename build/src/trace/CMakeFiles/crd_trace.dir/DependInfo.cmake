@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/Action.cpp" "src/trace/CMakeFiles/crd_trace.dir/Action.cpp.o" "gcc" "src/trace/CMakeFiles/crd_trace.dir/Action.cpp.o.d"
+  "/root/repo/src/trace/Event.cpp" "src/trace/CMakeFiles/crd_trace.dir/Event.cpp.o" "gcc" "src/trace/CMakeFiles/crd_trace.dir/Event.cpp.o.d"
+  "/root/repo/src/trace/Trace.cpp" "src/trace/CMakeFiles/crd_trace.dir/Trace.cpp.o" "gcc" "src/trace/CMakeFiles/crd_trace.dir/Trace.cpp.o.d"
+  "/root/repo/src/trace/TraceIO.cpp" "src/trace/CMakeFiles/crd_trace.dir/TraceIO.cpp.o" "gcc" "src/trace/CMakeFiles/crd_trace.dir/TraceIO.cpp.o.d"
+  "/root/repo/src/trace/TraceStats.cpp" "src/trace/CMakeFiles/crd_trace.dir/TraceStats.cpp.o" "gcc" "src/trace/CMakeFiles/crd_trace.dir/TraceStats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/crd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

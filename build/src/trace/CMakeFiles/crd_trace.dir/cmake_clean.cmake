@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crd_trace.dir/Action.cpp.o"
+  "CMakeFiles/crd_trace.dir/Action.cpp.o.d"
+  "CMakeFiles/crd_trace.dir/Event.cpp.o"
+  "CMakeFiles/crd_trace.dir/Event.cpp.o.d"
+  "CMakeFiles/crd_trace.dir/Trace.cpp.o"
+  "CMakeFiles/crd_trace.dir/Trace.cpp.o.d"
+  "CMakeFiles/crd_trace.dir/TraceIO.cpp.o"
+  "CMakeFiles/crd_trace.dir/TraceIO.cpp.o.d"
+  "CMakeFiles/crd_trace.dir/TraceStats.cpp.o"
+  "CMakeFiles/crd_trace.dir/TraceStats.cpp.o.d"
+  "libcrd_trace.a"
+  "libcrd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

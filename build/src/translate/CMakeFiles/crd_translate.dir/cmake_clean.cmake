@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crd_translate.dir/DotExport.cpp.o"
+  "CMakeFiles/crd_translate.dir/DotExport.cpp.o.d"
+  "CMakeFiles/crd_translate.dir/Translator.cpp.o"
+  "CMakeFiles/crd_translate.dir/Translator.cpp.o.d"
+  "libcrd_translate.a"
+  "libcrd_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crd_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crd_workloads.dir/Harness.cpp.o"
+  "CMakeFiles/crd_workloads.dir/Harness.cpp.o.d"
+  "CMakeFiles/crd_workloads.dir/MVStore.cpp.o"
+  "CMakeFiles/crd_workloads.dir/MVStore.cpp.o.d"
+  "CMakeFiles/crd_workloads.dir/PolePosition.cpp.o"
+  "CMakeFiles/crd_workloads.dir/PolePosition.cpp.o.d"
+  "CMakeFiles/crd_workloads.dir/QueueWorkload.cpp.o"
+  "CMakeFiles/crd_workloads.dir/QueueWorkload.cpp.o.d"
+  "CMakeFiles/crd_workloads.dir/SetWorkload.cpp.o"
+  "CMakeFiles/crd_workloads.dir/SetWorkload.cpp.o.d"
+  "CMakeFiles/crd_workloads.dir/Snitch.cpp.o"
+  "CMakeFiles/crd_workloads.dir/Snitch.cpp.o.d"
+  "libcrd_workloads.a"
+  "libcrd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

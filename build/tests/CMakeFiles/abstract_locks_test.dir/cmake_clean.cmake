@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstract_locks_test.dir/AbstractLocksTest.cpp.o"
+  "CMakeFiles/abstract_locks_test.dir/AbstractLocksTest.cpp.o.d"
+  "abstract_locks_test"
+  "abstract_locks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstract_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

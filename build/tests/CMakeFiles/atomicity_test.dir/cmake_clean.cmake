@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomicity_test.dir/AtomicityTest.cpp.o"
+  "CMakeFiles/atomicity_test.dir/AtomicityTest.cpp.o.d"
+  "atomicity_test"
+  "atomicity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

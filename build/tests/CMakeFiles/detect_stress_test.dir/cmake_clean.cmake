@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_stress_test.dir/DetectStressTest.cpp.o"
+  "CMakeFiles/detect_stress_test.dir/DetectStressTest.cpp.o.d"
+  "detect_stress_test"
+  "detect_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

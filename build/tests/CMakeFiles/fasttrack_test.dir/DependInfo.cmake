@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/FastTrackTest.cpp" "tests/CMakeFiles/fasttrack_test.dir/FastTrackTest.cpp.o" "gcc" "tests/CMakeFiles/fasttrack_test.dir/FastTrackTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/crd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/crd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/crd_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/locks/CMakeFiles/crd_locks.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/crd_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/crd_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/crd_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/crd_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/crd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/crd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasttrack_test.dir/FastTrackTest.cpp.o"
+  "CMakeFiles/fasttrack_test.dir/FastTrackTest.cpp.o.d"
+  "fasttrack_test"
+  "fasttrack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasttrack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

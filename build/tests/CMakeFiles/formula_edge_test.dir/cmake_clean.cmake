@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formula_edge_test.dir/FormulaEdgeTest.cpp.o"
+  "CMakeFiles/formula_edge_test.dir/FormulaEdgeTest.cpp.o.d"
+  "formula_edge_test"
+  "formula_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formula_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_test.dir/HappensBeforeTest.cpp.o"
+  "CMakeFiles/hb_test.dir/HappensBeforeTest.cpp.o.d"
+  "hb_test"
+  "hb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

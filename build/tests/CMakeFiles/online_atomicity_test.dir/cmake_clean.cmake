@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_atomicity_test.dir/OnlineAtomicityTest.cpp.o"
+  "CMakeFiles/online_atomicity_test.dir/OnlineAtomicityTest.cpp.o.d"
+  "online_atomicity_test"
+  "online_atomicity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_atomicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

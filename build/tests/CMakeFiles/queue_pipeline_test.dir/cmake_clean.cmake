@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_pipeline_test.dir/QueuePipelineTest.cpp.o"
+  "CMakeFiles/queue_pipeline_test.dir/QueuePipelineTest.cpp.o.d"
+  "queue_pipeline_test"
+  "queue_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

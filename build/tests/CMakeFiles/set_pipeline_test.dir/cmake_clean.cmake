@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_pipeline_test.dir/SetPipelineTest.cpp.o"
+  "CMakeFiles/set_pipeline_test.dir/SetPipelineTest.cpp.o.d"
+  "set_pipeline_test"
+  "set_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

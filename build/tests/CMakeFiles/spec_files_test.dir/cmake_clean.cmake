@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_files_test.dir/SpecFilesTest.cpp.o"
+  "CMakeFiles/spec_files_test.dir/SpecFilesTest.cpp.o.d"
+  "spec_files_test"
+  "spec_files_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_edge_test.dir/TranslateEdgeTest.cpp.o"
+  "CMakeFiles/translate_edge_test.dir/TranslateEdgeTest.cpp.o.d"
+  "translate_edge_test"
+  "translate_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

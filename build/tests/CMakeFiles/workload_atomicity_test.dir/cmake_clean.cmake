@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_atomicity_test.dir/WorkloadAtomicityTest.cpp.o"
+  "CMakeFiles/workload_atomicity_test.dir/WorkloadAtomicityTest.cpp.o.d"
+  "workload_atomicity_test"
+  "workload_atomicity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_atomicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
