@@ -1,0 +1,170 @@
+//===- bench/parallel_scaling.cpp - shard-scaling on the H2 workload ----------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures detector throughput (trace events/sec) on an H2-style workload
+/// trace (the recorded ComplexConcurrency PolePosition circuit) across:
+///
+///   * seq/fullclock — sequential Algorithm 1 with the seed's always-full
+///     VectorClock accumulated clocks (ablation baseline);
+///   * seq/epoch     — sequential Algorithm 1 with epoch-compressed clocks
+///     (the production CommutativityRaceDetector);
+///   * parallel/shards=N — the object-sharded pipeline at 1/2/4/8 shards.
+///
+/// Emits a machine-readable BENCH_detector.json (see bench/report.h) so the
+/// perf trajectory can be tracked across PRs.
+///
+/// Usage: ./parallel_scaling [workers] [queries-per-worker] [reps] [json-path]
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/CommutativityDetector.h"
+#include "detect/ParallelDetector.h"
+#include "report.h"
+#include "spec/Builtins.h"
+#include "translate/Translator.h"
+#include "workloads/PolePosition.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+using namespace crd;
+
+namespace {
+
+/// Sequential Algorithm 1 over an arbitrary accumulated-clock
+/// representation; mirrors CommutativityRaceDetector for the ablation.
+template <typename ClockRep> struct SequentialDetector {
+  VectorClockState VCState;
+  BasicAlgorithm1Engine<ClockRep> Engine;
+  size_t EventIndex = 0;
+
+  void processTrace(const Trace &T) {
+    for (const Event &E : T) {
+      ++EventIndex;
+      if (E.isInvoke())
+        Engine.onAction(E.action(), E.thread(), VCState.clockOf(E.thread()),
+                        EventIndex - 1);
+      VCState.process(E);
+    }
+  }
+};
+
+/// Records the ComplexConcurrency circuit as a replayable trace.
+Trace recordH2Trace(unsigned Workers, unsigned Queries) {
+  SimRuntime RT(/*Seed=*/2014);
+  MVStore Store(RT);
+  CircuitConfig Config;
+  Config.WorkerThreads = Workers;
+  Config.QueriesPerWorker = Queries;
+  Config.Seed = 2014;
+  buildCircuit(Circuit::ComplexConcurrency, RT, Store, Config);
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+  return Recorder.take();
+}
+
+/// Times \p Run (which returns the race count) \p Reps times; keeps the
+/// best wall time.
+template <typename Fn>
+bench::BenchEntry measure(const std::string &Name, unsigned Shards,
+                          size_t Events, unsigned Reps, Fn Run) {
+  bench::BenchEntry Entry;
+  Entry.Name = Name;
+  Entry.Shards = Shards;
+  Entry.Events = Events;
+  Entry.Seconds = 1e100;
+  for (unsigned R = 0; R != Reps; ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    size_t Races = Run();
+    double Secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+            .count();
+    Entry.Races = Races;
+    if (Secs < Entry.Seconds)
+      Entry.Seconds = Secs;
+  }
+  Entry.EventsPerSec = Entry.Seconds > 0 ? Events / Entry.Seconds : 0.0;
+  return Entry;
+}
+
+} // namespace
+
+static unsigned parsePositive(const char *Arg, const char *Name) {
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Arg, &End, 10);
+  if (End == Arg || *End != '\0' || V == 0) {
+    std::cerr << "invalid " << Name << " '" << Arg
+              << "' (expected a positive integer)\n"
+              << "usage: parallel_scaling [workers] [queries-per-worker] "
+                 "[reps] [json-path]\n";
+    std::exit(2);
+  }
+  return static_cast<unsigned>(V);
+}
+
+int main(int Argc, char **Argv) {
+  unsigned Workers = Argc > 1 ? parsePositive(Argv[1], "workers") : 4;
+  unsigned Queries = Argc > 2 ? parsePositive(Argv[2], "queries-per-worker") : 4000;
+  unsigned Reps = Argc > 3 ? parsePositive(Argv[3], "reps") : 3;
+  std::string JsonPath = Argc > 4 ? Argv[4] : "BENCH_detector.json";
+
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(dictionarySpec(), Diags);
+  if (!Rep) {
+    std::cerr << "spec translation failed:\n" << Diags.toString();
+    return 1;
+  }
+
+  Trace T = recordH2Trace(Workers, Queries);
+  std::cout << "H2 ComplexConcurrency trace: " << T.size() << " events ("
+            << Workers << " workers x " << Queries << " queries), best of "
+            << Reps << " reps\n\n";
+
+  bench::BenchReport Report("parallel_scaling", "h2-complex-concurrency");
+
+  Report.add(measure("seq/fullclock", 0, T.size(), Reps, [&] {
+    SequentialDetector<FullClockRep> D;
+    D.Engine.setDefaultProvider(Rep.get());
+    D.processTrace(T);
+    return D.Engine.races().size();
+  }));
+  Report.add(measure("seq/epoch", 0, T.size(), Reps, [&] {
+    CommutativityRaceDetector D;
+    D.setDefaultProvider(Rep.get());
+    D.processTrace(T);
+    return D.races().size();
+  }));
+  for (unsigned Shards : {1u, 2u, 4u, 8u})
+    Report.add(measure("parallel/shards=" + std::to_string(Shards), Shards,
+                       T.size(), Reps, [&, Shards] {
+                         ParallelDetector D(Shards);
+                         D.setDefaultProvider(Rep.get());
+                         D.processTrace(T);
+                         return D.races().size();
+                       }));
+
+  const auto &Entries = Report.entries();
+  double Baseline = Entries.front().EventsPerSec;
+  std::cout << std::left << std::setw(22) << "config" << std::right
+            << std::setw(14) << "events/sec" << std::setw(10) << "speedup"
+            << std::setw(10) << "races" << '\n';
+  for (const bench::BenchEntry &E : Entries)
+    std::cout << std::left << std::setw(22) << E.Name << std::right
+              << std::setw(14) << static_cast<uint64_t>(E.EventsPerSec)
+              << std::setw(9) << std::fixed << std::setprecision(2)
+              << (Baseline > 0 ? E.EventsPerSec / Baseline : 0.0) << "x"
+              << std::setw(10) << E.Races << '\n';
+
+  if (!Report.write(JsonPath)) {
+    std::cerr << "failed to write " << JsonPath << '\n';
+    return 1;
+  }
+  std::cout << "\nwrote " << JsonPath << '\n';
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- bench/report.h - Machine-readable bench reports ----------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny JSON emitter for benchmark results, so successive PRs can track
+/// the performance trajectory from committed BENCH_*.json artifacts without
+/// parsing human-oriented tables. One report = one tool run = one list of
+/// named measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_BENCH_REPORT_H
+#define CRD_BENCH_REPORT_H
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace crd {
+namespace bench {
+
+/// One measured configuration.
+struct BenchEntry {
+  std::string Name;      ///< e.g. "parallel/shards=4".
+  unsigned Shards = 0;   ///< 0 for sequential configurations.
+  size_t Events = 0;     ///< Trace events processed per run.
+  double Seconds = 0.0;  ///< Best wall time over the repetitions.
+  double EventsPerSec = 0.0;
+  size_t Races = 0;      ///< Races reported (sanity anchor for diffs).
+};
+
+/// Accumulates entries and renders them as a JSON document.
+class BenchReport {
+public:
+  explicit BenchReport(std::string Tool, std::string Workload)
+      : Tool(std::move(Tool)), Workload(std::move(Workload)) {}
+
+  void add(BenchEntry Entry) { Entries.push_back(std::move(Entry)); }
+
+  /// Renders e.g.:
+  /// {"tool":"parallel_scaling","workload":"h2-complex","benchmarks":[...]}
+  std::string toJson() const {
+    std::ostringstream OS;
+    OS << "{\n  \"tool\": \"" << Tool << "\",\n  \"workload\": \"" << Workload
+       << "\",\n  \"benchmarks\": [\n";
+    for (size_t I = 0; I != Entries.size(); ++I) {
+      const BenchEntry &E = Entries[I];
+      OS << "    {\"name\": \"" << E.Name << "\", \"shards\": " << E.Shards
+         << ", \"events\": " << E.Events << ", \"seconds\": " << E.Seconds
+         << ", \"events_per_sec\": " << static_cast<uint64_t>(E.EventsPerSec)
+         << ", \"races\": " << E.Races << "}"
+         << (I + 1 == Entries.size() ? "\n" : ",\n");
+    }
+    OS << "  ]\n}\n";
+    return OS.str();
+  }
+
+  /// Writes the JSON document to \p Path. Returns false on I/O failure.
+  bool write(const std::string &Path) const {
+    std::ofstream Out(Path);
+    if (!Out)
+      return false;
+    Out << toJson();
+    return static_cast<bool>(Out);
+  }
+
+  const std::vector<BenchEntry> &entries() const { return Entries; }
+
+private:
+  std::string Tool;
+  std::string Workload;
+  std::vector<BenchEntry> Entries;
+};
+
+} // namespace bench
+} // namespace crd
+
+#endif // CRD_BENCH_REPORT_H

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the Release preset, runs the detector benchmarks and writes the
+# machine-readable BENCH_detector.json trajectory artifact at the repo root.
+#
+# Usage: scripts/bench.sh [workers] [queries-per-worker] [reps]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKERS="${1:-4}"
+QUERIES="${2:-4000}"
+REPS="${3:-3}"
+
+cmake --preset release
+cmake --build --preset release -j"$(nproc)"
+
+./build-release/bench/parallel_scaling "$WORKERS" "$QUERIES" "$REPS" \
+  BENCH_detector.json
+
+# Informational microbenchmarks (epoch ablation + shard sweep); failures
+# here must not mask the trajectory artifact above.
+./build-release/bench/micro_detector --benchmark_min_time=0.05 || true
+
+echo "bench artifacts: $(pwd)/BENCH_detector.json"

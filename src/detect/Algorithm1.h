@@ -1,0 +1,184 @@
+//===- detect/Algorithm1.h - Shared Algorithm 1 engine ----------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The clock-independent core of Algorithm 1: given an action event together
+/// with its vector clock vc(e), run
+///
+///   phase 1: for every touched point pt, probe active(o) ∩ Co(pt) and
+///            report a race when a conflicting point's accumulated clock is
+///            not ⊑ vc(e);
+///   phase 2: accumulate vc(e) into the clocks of all touched points,
+///            activating them on first touch.
+///
+/// All of this state is partitioned by object — phase 1 and phase 2 for an
+/// event on object o read and write only active(o) — which is exactly what
+/// lets ParallelDetector run one engine per object shard with no locking.
+///
+/// The engine is parameterized over the accumulated-clock representation:
+/// EpochClock (the default; O(1) probes and joins while a point's history
+/// is HB-totally-ordered) or FullClockRep (the seed's always-full
+/// VectorClock, kept for ablation benchmarks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_DETECT_ALGORITHM1_H
+#define CRD_DETECT_ALGORITHM1_H
+
+#include "access/Provider.h"
+#include "detect/Race.h"
+#include "support/EpochClock.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace crd {
+
+/// Always-full accumulated clock: the representation the seed detector
+/// used for every active point. Ablation baseline for EpochClock.
+struct FullClockRep {
+  VectorClock Clock;
+
+  bool leq(const VectorClock &C) const { return Clock.leq(C); }
+  void accumulate(const VectorClock &C, ThreadId) { Clock.joinWith(C); }
+  VectorClock toClock() const { return Clock; }
+};
+
+/// Phases 1–2 of Algorithm 1 over per-object active-point tables.
+template <typename ClockRep> class BasicAlgorithm1Engine {
+public:
+  BasicAlgorithm1Engine() = default;
+
+  /// Binds the representation used for actions on \p Obj. Bindings live in
+  /// their own map so they survive objectDied() reclamation.
+  void bind(ObjectId Obj, const AccessPointProvider *Provider) {
+    assert(Provider && "null provider");
+    Bindings[Obj] = Provider;
+  }
+
+  /// Representation used for objects without an explicit bind().
+  void setDefaultProvider(const AccessPointProvider *Provider) {
+    DefaultProvider = Provider;
+  }
+
+  /// Copies another engine's bindings (used to replicate the configuration
+  /// into per-shard engines).
+  void adoptBindings(const BasicAlgorithm1Engine &Other) {
+    Bindings = Other.Bindings;
+    DefaultProvider = Other.DefaultProvider;
+  }
+
+  /// Runs both phases for one action event \p A executed by \p Thread with
+  /// clock \p Clock at trace position \p EventIndex.
+  void onAction(const Action &A, ThreadId Thread, const VectorClock &Clock,
+                size_t EventIndex) {
+    auto BindingIt = Bindings.find(A.object());
+    const AccessPointProvider *Provider =
+        BindingIt != Bindings.end() ? BindingIt->second : DefaultProvider;
+    assert(Provider && "object has no bound access point provider");
+    auto &Active = Objects[A.object()];
+
+    Scratch.clear();
+    Provider->touches(A, Scratch);
+
+    // Phase 1: probe for conflicting active points.
+    for (const AccessPoint &Pt : Scratch) {
+      for (uint32_t Partner : Provider->conflictsOf(Pt.ClassId)) {
+        ++ConflictChecks;
+        // Value-carrying classes only conflict on equal values, so the
+        // probe key reuses Pt's value; plain classes probe the bare class.
+        AccessPoint Key = Provider->classCarriesValue(Partner)
+                              ? AccessPoint::withValue(Partner, Pt.Val)
+                              : AccessPoint::plain(Partner);
+        assert((Provider->classCarriesValue(Partner) == Pt.HasValue) &&
+               "conflicts must not cross value-carrying and plain classes");
+        auto It = Active.find(Key);
+        if (It == Active.end())
+          continue;
+        if (!It->second.leq(Clock)) {
+          CommutativityRace Race;
+          Race.EventIndex = EventIndex;
+          Race.Thread = Thread;
+          Race.Current = A;
+          Race.PointName = Provider->className(Partner);
+          Race.PriorClock = It->second.toClock();
+          Race.CurrentClock = Clock;
+          Races.push_back(std::move(Race));
+          RacyObjects.insert(A.object());
+        }
+      }
+    }
+
+    // Phase 2: accumulate this event's clock into every touched point.
+    for (const AccessPoint &Pt : Scratch) {
+      auto [It, Inserted] = Active.try_emplace(Pt);
+      It->second.accumulate(Clock, Thread);
+      if (Inserted)
+        ++ActivePoints;
+    }
+  }
+
+  /// Reclaims all auxiliary state of a dead object (paper §5.3): its
+  /// active-point table is erased outright, so long-running workloads do
+  /// not accrete empty per-object slots. The provider binding survives.
+  void objectDied(ObjectId Obj) {
+    auto It = Objects.find(Obj);
+    if (It == Objects.end())
+      return;
+    ActivePoints -= It->second.size();
+    Objects.erase(It);
+  }
+
+  const std::vector<CommutativityRace> &races() const { return Races; }
+  std::vector<CommutativityRace> takeRaces() {
+    return std::exchange(Races, {});
+  }
+
+  const std::unordered_set<ObjectId> &racyObjects() const {
+    return RacyObjects;
+  }
+  size_t distinctRacyObjects() const { return RacyObjects.size(); }
+  size_t conflictChecks() const { return ConflictChecks; }
+
+  /// Total number of currently active access points across live objects.
+  /// Maintained incrementally; O(1).
+  size_t activePointCount() const { return ActivePoints; }
+
+  /// Snapshot of an object's active points with materialized clocks
+  /// (diagnostic/testing API; order unspecified).
+  std::vector<std::pair<AccessPoint, VectorClock>>
+  activePoints(ObjectId Obj) const {
+    std::vector<std::pair<AccessPoint, VectorClock>> Out;
+    auto It = Objects.find(Obj);
+    if (It == Objects.end())
+      return Out;
+    Out.reserve(It->second.size());
+    for (const auto &[Pt, Clock] : It->second)
+      Out.emplace_back(Pt, Clock.toClock());
+    return Out;
+  }
+
+private:
+  std::unordered_map<ObjectId, const AccessPointProvider *> Bindings;
+  std::unordered_map<ObjectId, std::unordered_map<AccessPoint, ClockRep>>
+      Objects;
+  const AccessPointProvider *DefaultProvider = nullptr;
+  std::vector<CommutativityRace> Races;
+  std::unordered_set<ObjectId> RacyObjects;
+  std::vector<AccessPoint> Scratch;
+  size_t ConflictChecks = 0;
+  size_t ActivePoints = 0;
+};
+
+/// The production engine: epoch-compressed accumulated clocks.
+using Algorithm1Engine = BasicAlgorithm1Engine<EpochClock>;
+
+} // namespace crd
+
+#endif // CRD_DETECT_ALGORITHM1_H

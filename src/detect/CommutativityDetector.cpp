@@ -6,106 +6,17 @@
 
 #include "detect/CommutativityDetector.h"
 
-#include <cassert>
-
 using namespace crd;
-
-void CommutativityRaceDetector::bind(ObjectId Obj,
-                                     const AccessPointProvider *Provider) {
-  assert(Provider && "null provider");
-  Objects[Obj].Provider = Provider;
-}
-
-CommutativityRaceDetector::ObjectState &
-CommutativityRaceDetector::stateFor(ObjectId Obj) {
-  ObjectState &State = Objects[Obj];
-  if (!State.Provider) {
-    assert(DefaultProvider && "object has no bound access point provider");
-    State.Provider = DefaultProvider;
-  }
-  return State;
-}
 
 void CommutativityRaceDetector::process(const Event &E) {
   ++EventIndex;
   if (E.isInvoke())
-    handleInvoke(E);
+    Engine.onAction(E.action(), E.thread(), VCState.clockOf(E.thread()),
+                    EventIndex - 1);
   VCState.process(E);
 }
 
 void CommutativityRaceDetector::processTrace(const Trace &T) {
   for (const Event &E : T)
     process(E);
-}
-
-void CommutativityRaceDetector::handleInvoke(const Event &E) {
-  const Action &A = E.action();
-  ObjectState &State = stateFor(A.object());
-  const AccessPointProvider &Provider = *State.Provider;
-  const VectorClock &Clock = VCState.clockOf(E.thread());
-
-  Scratch.clear();
-  Provider.touches(A, Scratch);
-
-  // Phase 1: probe for conflicting active points.
-  for (const AccessPoint &Pt : Scratch) {
-    for (uint32_t Partner : Provider.conflictsOf(Pt.ClassId)) {
-      ++ConflictChecks;
-      // Value-carrying classes only conflict on equal values, so the probe
-      // key reuses Pt's value; plain classes probe the bare class.
-      AccessPoint Key = Provider.classCarriesValue(Partner)
-                            ? AccessPoint::withValue(Partner, Pt.Val)
-                            : AccessPoint::plain(Partner);
-      assert((Provider.classCarriesValue(Partner) == Pt.HasValue) &&
-             "conflicts must not cross value-carrying and plain classes");
-      auto It = State.Active.find(Key);
-      if (It == State.Active.end())
-        continue;
-      if (!It->second.leq(Clock)) {
-        CommutativityRace Race;
-        Race.EventIndex = EventIndex - 1;
-        Race.Thread = E.thread();
-        Race.Current = A;
-        Race.PointName = Provider.className(Partner);
-        Race.PriorClock = It->second;
-        Race.CurrentClock = Clock;
-        Races.push_back(std::move(Race));
-        RacyObjects.insert(A.object());
-      }
-    }
-  }
-
-  // Phase 2: accumulate this event's clock into every touched point.
-  for (const AccessPoint &Pt : Scratch) {
-    auto [It, Inserted] = State.Active.try_emplace(Pt, Clock);
-    if (!Inserted)
-      It->second.joinWith(Clock);
-  }
-}
-
-void CommutativityRaceDetector::objectDied(ObjectId Obj) {
-  auto It = Objects.find(Obj);
-  if (It == Objects.end())
-    return;
-  // Keep the provider binding but drop all per-point state.
-  It->second.Active.clear();
-}
-
-std::vector<std::pair<AccessPoint, VectorClock>>
-CommutativityRaceDetector::activePoints(ObjectId Obj) const {
-  std::vector<std::pair<AccessPoint, VectorClock>> Out;
-  auto It = Objects.find(Obj);
-  if (It == Objects.end())
-    return Out;
-  Out.reserve(It->second.Active.size());
-  for (const auto &[Pt, Clock] : It->second.Active)
-    Out.emplace_back(Pt, Clock);
-  return Out;
-}
-
-size_t CommutativityRaceDetector::activePointCount() const {
-  size_t Count = 0;
-  for (const auto &[Obj, State] : Objects)
-    Count += State.Active.size();
-  return Count;
 }

@@ -8,30 +8,24 @@
 /// The paper's commutativity race detector (Algorithm 1 + Table 1). The
 /// detector consumes a trace online; synchronization events update the
 /// vector-clock state, and each action event runs the two phases of
-/// Algorithm 1 against the access point representation of its object:
-///
-///   phase 1: for every touched point pt, probe active(o) ∩ Co(pt) and
-///            report a race when a conflicting point's accumulated clock is
-///            not ⊑ vc(e);
-///   phase 2: join vc(e) into the clocks of all touched points, activating
-///            them on first touch.
+/// Algorithm 1 (see Algorithm1.h) against the access point representation
+/// of its object.
 ///
 /// With representations produced from ECL specifications, |Co(pt)| is
-/// bounded, so phase 1 performs Θ(1) hash probes per touched point (§5.4).
+/// bounded, so phase 1 performs Θ(1) hash probes per touched point (§5.4);
+/// with epoch-compressed accumulated clocks (EpochClock), each probe and
+/// each phase-2 accumulation is itself O(1) while a point's history stays
+/// HB-totally-ordered, removing the O(#threads) clock copies that
+/// otherwise dominate the hot path.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CRD_DETECT_COMMUTATIVITYDETECTOR_H
 #define CRD_DETECT_COMMUTATIVITYDETECTOR_H
 
-#include "access/Provider.h"
-#include "detect/Race.h"
+#include "detect/Algorithm1.h"
 #include "hb/VectorClockState.h"
 #include "trace/Trace.h"
-
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
 namespace crd {
 
@@ -42,11 +36,13 @@ public:
 
   /// Binds the representation used for actions on \p Obj. Representations
   /// for distinct objects may be shared (they describe the object *type*).
-  void bind(ObjectId Obj, const AccessPointProvider *Provider);
+  void bind(ObjectId Obj, const AccessPointProvider *Provider) {
+    Engine.bind(Obj, Provider);
+  }
 
   /// Representation used for objects without an explicit bind().
   void setDefaultProvider(const AccessPointProvider *Provider) {
-    DefaultProvider = Provider;
+    Engine.setDefaultProvider(Provider);
   }
 
   /// Feeds one event (any kind; non-action events update clocks only).
@@ -58,48 +54,40 @@ public:
   /// Reclaims all auxiliary state of a dead object (the paper's
   /// object-reclamation optimization, §5.3): its active points and their
   /// clocks are dropped; no further races can be reported on it.
-  void objectDied(ObjectId Obj);
+  void objectDied(ObjectId Obj) { Engine.objectDied(Obj); }
 
-  const std::vector<CommutativityRace> &races() const { return Races; }
+  const std::vector<CommutativityRace> &races() const {
+    return Engine.races();
+  }
 
   /// Number of distinct objects participating in at least one reported race
   /// (the "(distinct)" column of Table 2).
-  size_t distinctRacyObjects() const { return RacyObjects.size(); }
+  size_t distinctRacyObjects() const { return Engine.distinctRacyObjects(); }
 
   /// Number of conflict-partner probes performed in phase 1 so far.
   /// Exposed for the §5.4 complexity experiments.
-  size_t conflictChecks() const { return ConflictChecks; }
+  size_t conflictChecks() const { return Engine.conflictChecks(); }
 
   /// Number of events processed.
   size_t eventsProcessed() const { return EventIndex; }
 
   /// Total number of currently active access points across live objects.
-  size_t activePointCount() const;
+  /// Maintained incrementally by phase 2 and objectDied(); O(1).
+  size_t activePointCount() const { return Engine.activePointCount(); }
 
   /// Snapshot of an object's active points and their accumulated clocks
-  /// (diagnostic/testing API; order unspecified). The invariant maintained
-  /// by phase 2 of Algorithm 1 — each point's clock is the join of the
-  /// clocks of all events that touched it — is checked against this.
+  /// (diagnostic/testing API; order unspecified). Epoch-compressed points
+  /// materialize as their single-component clock, which is probe-equivalent
+  /// to the full join of the touching events' clocks (see EpochClock.h).
   std::vector<std::pair<AccessPoint, VectorClock>>
-  activePoints(ObjectId Obj) const;
+  activePoints(ObjectId Obj) const {
+    return Engine.activePoints(Obj);
+  }
 
 private:
-  struct ObjectState {
-    const AccessPointProvider *Provider = nullptr;
-    std::unordered_map<AccessPoint, VectorClock> Active;
-  };
-
-  ObjectState &stateFor(ObjectId Obj);
-  void handleInvoke(const Event &E);
-
   VectorClockState VCState;
-  std::unordered_map<ObjectId, ObjectState> Objects;
-  const AccessPointProvider *DefaultProvider = nullptr;
-  std::vector<CommutativityRace> Races;
-  std::unordered_set<ObjectId> RacyObjects;
-  std::vector<AccessPoint> Scratch;
+  Algorithm1Engine Engine;
   size_t EventIndex = 0;
-  size_t ConflictChecks = 0;
 };
 
 } // namespace crd

@@ -37,34 +37,32 @@ void FastTrackDetector::report(MemoryRace::Kind Kind, VarId Var,
 void FastTrackDetector::handleRead(const Event &E) {
   const VectorClock &C = VCState.clockOf(E.thread());
   VarState &X = Vars[E.var()];
-  Epoch Current = epochOf(C, E.thread());
+  uint32_t Now = C.get(E.thread());
 
-  // [Read Same Epoch]
-  if (!X.ReadShared && X.Read == Current)
+  // [Read Same Epoch] / [Read Shared Same Epoch]
+  if (X.Read.sameEpoch(E.thread(), Now))
     return;
-  // [Read Shared Same Epoch]
-  if (X.ReadShared && X.ReadClock.get(E.thread()) == Current.Clock)
+  if (X.Read.isShared() && X.Read.localOf(E.thread()) == Now)
     return;
 
   // Write-read race check.
   if (!X.Write.leq(C))
     report(MemoryRace::Kind::WriteRead, E.var(), X.Write.Tid, E.thread());
 
-  if (!X.ReadShared) {
+  if (!X.Read.isShared()) {
     // [Read Exclusive] — the previous read is ordered before this one.
     if (X.Read.isBottom() || X.Read.leq(C)) {
-      X.Read = Current;
+      X.Read.setEpoch(E.thread(), Now);
       return;
     }
-    // [Read Share] — inflate to a full vector clock.
-    X.ReadShared = true;
-    X.ReadClock = VectorClock();
-    X.ReadClock.set(X.Read.Tid, X.Read.Clock);
-    X.ReadClock.set(E.thread(), Current.Clock);
+    // [Read Share] — inflate: the escalated clock starts from the previous
+    // read's epoch and gains this read's component.
+    X.Read.escalate();
+    X.Read.setLocal(E.thread(), Now);
     return;
   }
   // [Read Shared]
-  X.ReadClock.set(E.thread(), Current.Clock);
+  X.Read.setLocal(E.thread(), Now);
 }
 
 void FastTrackDetector::handleWrite(const Event &E) {
@@ -80,28 +78,28 @@ void FastTrackDetector::handleWrite(const Event &E) {
   if (!X.Write.leq(C))
     report(MemoryRace::Kind::WriteWrite, E.var(), X.Write.Tid, E.thread());
 
-  if (!X.ReadShared) {
+  if (!X.Read.isShared()) {
     // [Write Exclusive] — check the last read.
     if (!X.Read.isBottom() && !X.Read.leq(C))
-      report(MemoryRace::Kind::ReadWrite, E.var(), X.Read.Tid, E.thread());
+      report(MemoryRace::Kind::ReadWrite, E.var(), X.Read.epochThread(),
+             E.thread());
   } else {
     // [Write Shared] — check the full read clock, then deflate.
-    if (!X.ReadClock.leq(C)) {
+    const VectorClock &ReadClock = X.Read.sharedClock();
+    if (!ReadClock.leq(C)) {
       // Find one offending reader for the report.
       ThreadId Offender = E.thread();
-      for (uint32_t I = 0, N = static_cast<uint32_t>(X.ReadClock.size());
+      for (uint32_t I = 0, N = static_cast<uint32_t>(ReadClock.size());
            I != N; ++I) {
         ThreadId Tid(I);
-        if (X.ReadClock.get(Tid) > C.get(Tid)) {
+        if (ReadClock.get(Tid) > C.get(Tid)) {
           Offender = Tid;
           break;
         }
       }
       report(MemoryRace::Kind::ReadWrite, E.var(), Offender, E.thread());
     }
-    X.ReadShared = false;
-    X.Read = Epoch();
-    X.ReadClock = VectorClock();
+    X.Read.clear();
   }
   X.Write = Current;
 }

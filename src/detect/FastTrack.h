@@ -19,6 +19,7 @@
 
 #include "detect/Race.h"
 #include "hb/VectorClockState.h"
+#include "support/EpochClock.h"
 #include "trace/Trace.h"
 
 #include <unordered_map>
@@ -54,13 +55,12 @@ private:
     }
   };
 
-  /// Per-location shadow state. ReadShared switches the read side from a
-  /// single epoch to a full vector clock when reads become concurrent.
+  /// Per-location shadow state. The read side is an adaptive EpochClock:
+  /// a single epoch while reads stay thread-exclusive, escalated to a full
+  /// vector clock when reads become concurrent ([Read Share]).
   struct VarState {
     Epoch Write;
-    Epoch Read;
-    bool ReadShared = false;
-    VectorClock ReadClock;
+    EpochClock Read;
   };
 
   void handleRead(const Event &E);

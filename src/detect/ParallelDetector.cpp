@@ -1,0 +1,130 @@
+//===- detect/ParallelDetector.cpp - Object-sharded Algorithm 1 --------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/ParallelDetector.h"
+
+#include "hb/VectorClockState.h"
+
+#include <algorithm>
+#include <thread>
+
+using namespace crd;
+
+ParallelDetector::ParallelDetector(unsigned NumShards) {
+  if (NumShards == 0)
+    NumShards = std::max(1u, std::thread::hardware_concurrency());
+  Engines.resize(NumShards);
+}
+
+size_t ParallelDetector::conflictChecks() const {
+  size_t Sum = 0;
+  for (const Algorithm1Engine &E : Engines)
+    Sum += E.conflictChecks();
+  return Sum;
+}
+
+size_t ParallelDetector::activePointCount() const {
+  size_t Sum = 0;
+  for (const Algorithm1Engine &E : Engines)
+    Sum += E.activePointCount();
+  return Sum;
+}
+
+void ParallelDetector::objectDied(ObjectId Obj) {
+  Engines[shardOf(Obj)].objectDied(Obj);
+}
+
+void ParallelDetector::processTrace(const Trace &T) {
+  for (Algorithm1Engine &E : Engines)
+    E.adoptBindings(Config);
+
+  // Step 1 — sequential clock pre-pass. Thread clocks only change at
+  // synchronization events, so consecutive actions of a thread share one
+  // snapshot: CachedId maps a thread to its current ClockTable entry and is
+  // invalidated whenever the Table 1 machine mutates that thread's clock.
+  // The snapshot table is per-call; the clock machine itself persists.
+  std::vector<VectorClock> ClockTable;
+  constexpr uint32_t Invalid = ~0u;
+  std::vector<uint32_t> CachedId;
+  auto invalidate = [&](ThreadId Tid) {
+    if (Tid.index() >= CachedId.size())
+      CachedId.resize(Tid.index() + 1, Invalid);
+    CachedId[Tid.index()] = Invalid;
+  };
+  auto clockIdFor = [&](ThreadId Tid) -> uint32_t {
+    if (Tid.index() >= CachedId.size())
+      CachedId.resize(Tid.index() + 1, Invalid);
+    uint32_t &Id = CachedId[Tid.index()];
+    if (Id == Invalid) {
+      Id = static_cast<uint32_t>(ClockTable.size());
+      ClockTable.push_back(VCState.clockOf(Tid));
+    }
+    return Id;
+  };
+
+  std::vector<std::vector<ActionRef>> Buckets(Engines.size());
+  for (size_t I = 0, N = T.size(); I != N; ++I) {
+    const Event &E = T[I];
+    switch (E.kind()) {
+    case EventKind::Invoke: {
+      const Action &A = E.action();
+      Buckets[shardOf(A.object())].push_back(
+          {EventsProcessed + I, clockIdFor(E.thread()), E.thread(), &A});
+      break;
+    }
+    case EventKind::Fork:
+      VCState.process(E);
+      invalidate(E.thread());
+      invalidate(E.other());
+      break;
+    case EventKind::Join:
+    case EventKind::Acquire:
+    case EventKind::Release:
+      VCState.process(E);
+      invalidate(E.thread());
+      break;
+    default:
+      // Read/Write/Tx* never mutate Table 1 clocks (they only force lazy
+      // thread initialization, which clockIdFor performs on demand), so
+      // the offline pre-pass skips them outright.
+      break;
+    }
+  }
+  EventsProcessed += T.size();
+
+  // Step 2 — run each shard's engine over its bucket. Engines touch only
+  // their own objects (the shard invariant), and ClockTable is read-only
+  // here, so the workers share no mutable state.
+  auto runShard = [&](size_t S) {
+    Algorithm1Engine &Engine = Engines[S];
+    for (const ActionRef &R : Buckets[S])
+      Engine.onAction(*R.A, R.Thread, ClockTable[R.ClockId], R.EventIndex);
+  };
+  if (Engines.size() == 1) {
+    runShard(0);
+  } else {
+    std::vector<std::jthread> Workers;
+    Workers.reserve(Engines.size() - 1);
+    for (size_t S = 1; S != Engines.size(); ++S)
+      Workers.emplace_back([&runShard, S] { runShard(S); });
+    runShard(0);
+  } // jthreads join here.
+
+  // Step 3 — deterministic merge: drain per-shard races and order by event
+  // index. Races sharing an event index come from a single shard (an event
+  // touches one object) and keep their emission order.
+  size_t FirstNew = Races.size();
+  for (Algorithm1Engine &E : Engines) {
+    std::vector<CommutativityRace> ShardRaces = E.takeRaces();
+    Races.insert(Races.end(), std::make_move_iterator(ShardRaces.begin()),
+                 std::make_move_iterator(ShardRaces.end()));
+    RacyObjects.insert(E.racyObjects().begin(), E.racyObjects().end());
+  }
+  std::stable_sort(Races.begin() + FirstNew, Races.end(),
+                   [](const CommutativityRace &A, const CommutativityRace &B) {
+                     return A.EventIndex < B.EventIndex;
+                   });
+}

@@ -1,0 +1,112 @@
+//===- detect/ParallelDetector.h - Object-sharded Algorithm 1 ---*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An offline, object-sharded parallelization of Algorithm 1. The key
+/// observation (and the shard invariant documented in DESIGN.md) is that
+/// all of Algorithm 1's mutable state is partitioned per object: phases 1–2
+/// for an event on object o touch only active(o). Only the Table 1 clock
+/// machine is inherently sequential. The pipeline therefore runs in three
+/// steps:
+///
+///   1. Clock pre-pass (sequential): run VectorClockState over the trace
+///      once and record, for every action event, a reference to vc(e).
+///      Consecutive actions of a thread between synchronization events
+///      share one physical clock snapshot, so the table stores O(#sync)
+///      clocks, not O(#actions).
+///   2. Shard phase (parallel): partition the action events by ObjectId
+///      into N shards and run an independent Algorithm1Engine per shard on
+///      a std::jthread pool — no locks, no shared mutable state.
+///   3. Merge (sequential, deterministic): k-way merge the per-shard race
+///      vectors by event index and sum the counters, yielding bit-identical
+///      output to the sequential CommutativityRaceDetector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_DETECT_PARALLELDETECTOR_H
+#define CRD_DETECT_PARALLELDETECTOR_H
+
+#include "detect/Algorithm1.h"
+#include "hb/VectorClockState.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace crd {
+
+/// Object-sharded parallel commutativity race detector. Mirrors the
+/// sequential CommutativityRaceDetector API for whole-trace processing and
+/// produces bit-identical race reports.
+class ParallelDetector {
+public:
+  /// \p NumShards worker shards (clamped to ≥ 1). Defaults to the hardware
+  /// concurrency.
+  explicit ParallelDetector(unsigned NumShards = 0);
+
+  /// Binds the representation used for actions on \p Obj.
+  void bind(ObjectId Obj, const AccessPointProvider *Provider) {
+    Config.bind(Obj, Provider);
+  }
+
+  /// Representation used for objects without an explicit bind().
+  void setDefaultProvider(const AccessPointProvider *Provider) {
+    Config.setDefaultProvider(Provider);
+  }
+
+  /// Processes a whole trace through the three pipeline steps. May be
+  /// called repeatedly; results accumulate, and per-object detector state
+  /// carries over between calls exactly as for the sequential detector.
+  void processTrace(const Trace &T);
+
+  /// Races merged deterministically by event index.
+  const std::vector<CommutativityRace> &races() const { return Races; }
+
+  /// Number of distinct objects participating in at least one race.
+  size_t distinctRacyObjects() const { return RacyObjects.size(); }
+
+  /// Phase-1 conflict probes summed over all shards.
+  size_t conflictChecks() const;
+
+  /// Number of events processed (all kinds, as for the sequential API).
+  size_t eventsProcessed() const { return EventsProcessed; }
+
+  /// Active access points summed over all shards; O(#shards).
+  size_t activePointCount() const;
+
+  /// Reclaims a dead object's state in whichever shard owns it.
+  void objectDied(ObjectId Obj);
+
+  unsigned shards() const { return static_cast<unsigned>(Engines.size()); }
+
+private:
+  /// One action event, ready for shard dispatch.
+  struct ActionRef {
+    size_t EventIndex;
+    uint32_t ClockId;
+    ThreadId Thread;
+    const Action *A;
+  };
+
+  unsigned shardOf(ObjectId Obj) const {
+    return Obj.index() % static_cast<unsigned>(Engines.size());
+  }
+
+  /// Table 1 clock machine; persists across processTrace calls so split
+  /// traces see the same happens-before as one concatenated trace.
+  VectorClockState VCState;
+  /// Shard-local detector state (persists across processTrace calls).
+  std::vector<Algorithm1Engine> Engines;
+  /// Holds bindings/default provider; replicated into Engines lazily so
+  /// bind() calls need not precede construction-time decisions.
+  Algorithm1Engine Config;
+  std::vector<CommutativityRace> Races;
+  std::unordered_set<ObjectId> RacyObjects;
+  size_t EventsProcessed = 0;
+};
+
+} // namespace crd
+
+#endif // CRD_DETECT_PARALLELDETECTOR_H

@@ -32,6 +32,19 @@ struct CommutativityRace {
   VectorClock PriorClock;  ///< Accumulated clock of the conflicting point.
   VectorClock CurrentClock;
 
+  /// Field-for-field equality; used by the sequential/parallel detector
+  /// equivalence suite (races must be bit-identical, not just same-count).
+  friend bool operator==(const CommutativityRace &A,
+                         const CommutativityRace &B) {
+    return A.EventIndex == B.EventIndex && A.Thread == B.Thread &&
+           A.Current == B.Current && A.PointName == B.PointName &&
+           A.PriorClock == B.PriorClock && A.CurrentClock == B.CurrentClock;
+  }
+  friend bool operator!=(const CommutativityRace &A,
+                         const CommutativityRace &B) {
+    return !(A == B);
+  }
+
   std::string toString() const;
 };
 

@@ -1,0 +1,18 @@
+//===- support/EpochClock.cpp - Adaptive epoch clocks ------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EpochClock.h"
+
+using namespace crd;
+
+VectorClock EpochClock::toClock() const {
+  if (Full)
+    return *Full;
+  VectorClock C;
+  if (Time != 0)
+    C.set(Tid, Time);
+  return C;
+}

@@ -1,0 +1,174 @@
+//===- support/EpochClock.h - Adaptive epoch clocks -------------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adaptive clocks in the FASTTRACK style (Flanagan & Freund, PLDI 2009):
+/// while all events accumulated into the clock are totally ordered by
+/// happens-before, the whole history is summarized by a single scalar epoch
+/// c@t — the local time of the latest event's thread — and both the ⊑ probe
+/// and the accumulate step are O(1). On the first accumulation of a clock
+/// that is *not* ordered after the stored epoch, the representation
+/// escalates lazily to a full VectorClock and stays there.
+///
+/// Soundness of the compression rests on the standard epoch property: for
+/// any clock C obtainable by the Table 1 vector-clock machine (a thread
+/// clock, or a join of thread clocks) and any event e,
+///
+///     vc(e) ⊑ C  ⟺  vc(e)(tid(e)) ≤ C(tid(e)),
+///
+/// because tid(e)'s component of C can only reach vc(e)(tid(e)) by
+/// transitively joining a clock that already absorbed all of vc(e). Hence
+/// probing an epoch (or a per-thread summary of local times) against such a
+/// C answers exactly as probing the full join of the accumulated clocks
+/// would (paper Appendix A.1 invariant, modulo this equivalence).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_SUPPORT_EPOCHCLOCK_H
+#define CRD_SUPPORT_EPOCHCLOCK_H
+
+#include "support/VectorClock.h"
+
+#include <cassert>
+#include <memory>
+
+namespace crd {
+
+/// An adaptively-represented accumulated clock: either ⊥, a scalar epoch
+/// c@t, or (after escalation) a full VectorClock.
+class EpochClock {
+public:
+  /// Constructs ⊥ (no event accumulated yet).
+  EpochClock() = default;
+
+  EpochClock(EpochClock &&) = default;
+  EpochClock &operator=(EpochClock &&) = default;
+  EpochClock(const EpochClock &Other)
+      : Time(Other.Time), Tid(Other.Tid),
+        Full(Other.Full ? std::make_unique<VectorClock>(*Other.Full)
+                        : nullptr) {}
+  EpochClock &operator=(const EpochClock &Other) {
+    if (this != &Other) {
+      Time = Other.Time;
+      Tid = Other.Tid;
+      Full = Other.Full ? std::make_unique<VectorClock>(*Other.Full) : nullptr;
+    }
+    return *this;
+  }
+
+  /// True when no event has been accumulated (and the clock is not shared).
+  bool isBottom() const { return !Full && Time == 0; }
+  /// True while the history is compressed to a single scalar epoch.
+  bool isEpoch() const { return !Full && Time != 0; }
+  /// True once escalated to a full vector clock.
+  bool isShared() const { return Full != nullptr; }
+
+  /// The epoch's thread / local time; valid only while isEpoch().
+  ThreadId epochThread() const {
+    assert(isEpoch() && "not an epoch");
+    return Tid;
+  }
+  uint32_t epochTime() const {
+    assert(isEpoch() && "not an epoch");
+    return Time;
+  }
+
+  /// True when the epoch is exactly \p Time @ \p Thread (FASTTRACK's
+  /// [Same Epoch] fast path). Shared clocks never answer true.
+  bool sameEpoch(ThreadId Thread, uint32_t T) const {
+    return isEpoch() && Tid == Thread && Time == T;
+  }
+
+  /// The component visible for \p Thread: the epoch time when it matches,
+  /// the stored component once shared, zero otherwise.
+  uint32_t localOf(ThreadId Thread) const {
+    if (Full)
+      return Full->get(Thread);
+    return (Time != 0 && Tid == Thread) ? Time : 0;
+  }
+
+  /// Accumulated-clock ⊑ \p C, for C obtainable from the clock machine
+  /// (see the file comment). O(1) while compressed.
+  bool leq(const VectorClock &C) const {
+    if (Full)
+      return Full->leq(C);
+    return Time <= C.get(Tid);
+  }
+
+  /// Algorithm 1 phase 2: accumulates \p C, the clock of an event executed
+  /// by \p Thread. While the new event is ordered after everything
+  /// accumulated so far the epoch merely advances; otherwise the clock
+  /// escalates and joins from then on.
+  void accumulate(const VectorClock &C, ThreadId Thread) {
+    if (Full) {
+      Full->joinWith(C);
+      return;
+    }
+    assert(C.get(Thread) > 0 && "event clock lacks its own component");
+    if (Time <= C.get(Tid)) { // Covers ⊥ and the HB-ordered epoch case.
+      Tid = Thread;
+      Time = C.get(Thread);
+      return;
+    }
+    escalate();
+    Full->joinWith(C);
+  }
+
+  /// Replaces the representation with the single epoch \p T @ \p Thread
+  /// (FASTTRACK's [Read Exclusive] update).
+  void setEpoch(ThreadId Thread, uint32_t T) {
+    Full.reset();
+    Tid = Thread;
+    Time = T;
+  }
+
+  /// Forces escalation to the vector representation, seeding it with the
+  /// current epoch (if any).
+  void escalate() {
+    if (Full)
+      return;
+    Full = std::make_unique<VectorClock>();
+    if (Time != 0)
+      Full->set(Tid, Time);
+    Time = 0;
+  }
+
+  /// Sets one component of the shared representation (FASTTRACK's
+  /// [Read Shared] update). Valid only once escalated.
+  void setLocal(ThreadId Thread, uint32_t T) {
+    assert(Full && "setLocal on a non-shared clock");
+    Full->set(Thread, T);
+  }
+
+  /// The shared vector clock; valid only once escalated.
+  const VectorClock &sharedClock() const {
+    assert(Full && "not shared");
+    return *Full;
+  }
+
+  /// Resets to ⊥.
+  void clear() {
+    Full.reset();
+    Time = 0;
+    Tid = ThreadId();
+  }
+
+  /// Materializes the current representation as a plain VectorClock (for
+  /// race reports and diagnostics). Note: while compressed this is the
+  /// epoch's single component, not the full join of accumulated clocks —
+  /// probe-equivalent to it against machine-obtainable clocks.
+  VectorClock toClock() const;
+
+private:
+  uint32_t Time = 0; ///< Epoch local time; 0 encodes ⊥ (thread clocks
+                     ///< start at 1, so 0 is never a valid epoch).
+  ThreadId Tid;      ///< Epoch thread.
+  std::unique_ptr<VectorClock> Full; ///< Escalated representation.
+};
+
+} // namespace crd
+
+#endif // CRD_SUPPORT_EPOCHCLOCK_H

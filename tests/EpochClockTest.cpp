@@ -1,0 +1,174 @@
+//===- tests/EpochClockTest.cpp - EpochClock unit tests -----------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the adaptive epoch clock: representation transitions
+/// (⊥ → epoch → shared), O(1) leq probes, accumulation ordering cases, and
+/// the FASTTRACK-style setEpoch/escalate/setLocal operations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/EpochClock.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+VectorClock vc(std::vector<uint32_t> Components) {
+  return VectorClock(std::move(Components));
+}
+
+TEST(EpochClockTest, DefaultIsBottom) {
+  EpochClock C;
+  EXPECT_TRUE(C.isBottom());
+  EXPECT_FALSE(C.isEpoch());
+  EXPECT_FALSE(C.isShared());
+  // ⊥ ⊑ everything, including ⊥.
+  EXPECT_TRUE(C.leq(VectorClock()));
+  EXPECT_TRUE(C.leq(vc({1, 2})));
+  EXPECT_EQ(C.toClock(), VectorClock());
+}
+
+TEST(EpochClockTest, FirstAccumulateFormsEpoch) {
+  EpochClock C;
+  C.accumulate(vc({0, 3, 1}), ThreadId(1));
+  ASSERT_TRUE(C.isEpoch());
+  EXPECT_EQ(C.epochThread(), ThreadId(1));
+  EXPECT_EQ(C.epochTime(), 3u);
+  // The materialization is the epoch's single component.
+  EXPECT_EQ(C.toClock(), vc({0, 3}));
+}
+
+TEST(EpochClockTest, EpochLeqProbesOnlyOwnComponent) {
+  EpochClock C;
+  C.accumulate(vc({0, 3, 1}), ThreadId(1));
+  EXPECT_TRUE(C.leq(vc({0, 3})));
+  EXPECT_TRUE(C.leq(vc({9, 4, 9})));
+  EXPECT_FALSE(C.leq(vc({9, 2, 9})));
+  EXPECT_FALSE(C.leq(VectorClock()));
+}
+
+TEST(EpochClockTest, OrderedAccumulationStaysCompressed) {
+  // T1's event, then a T2 event whose clock absorbed T1's: total HB order,
+  // so the epoch merely advances — no escalation.
+  EpochClock C;
+  C.accumulate(vc({0, 3}), ThreadId(1));
+  C.accumulate(vc({0, 3, 5}), ThreadId(2));
+  ASSERT_TRUE(C.isEpoch());
+  EXPECT_EQ(C.epochThread(), ThreadId(2));
+  EXPECT_EQ(C.epochTime(), 5u);
+}
+
+TEST(EpochClockTest, SameThreadAccumulationAdvancesEpoch) {
+  EpochClock C;
+  C.accumulate(vc({0, 3}), ThreadId(1));
+  C.accumulate(vc({2, 7}), ThreadId(1));
+  ASSERT_TRUE(C.isEpoch());
+  EXPECT_EQ(C.epochTime(), 7u);
+}
+
+TEST(EpochClockTest, ConcurrentAccumulationEscalates) {
+  // T1@3, then a concurrent T2 event that never saw T1's time 3.
+  EpochClock C;
+  C.accumulate(vc({0, 3}), ThreadId(1));
+  C.accumulate(vc({0, 1, 5}), ThreadId(2));
+  ASSERT_TRUE(C.isShared());
+  // Escalation keeps the old epoch component and joins the new clock.
+  EXPECT_EQ(C.toClock(), vc({0, 3, 5}));
+  // Probes now require both components.
+  EXPECT_TRUE(C.leq(vc({7, 3, 5})));
+  EXPECT_FALSE(C.leq(vc({7, 2, 5})));
+  EXPECT_FALSE(C.leq(vc({7, 3, 4})));
+}
+
+TEST(EpochClockTest, SharedAccumulationJoins) {
+  EpochClock C;
+  C.accumulate(vc({0, 3}), ThreadId(1));
+  C.accumulate(vc({0, 1, 5}), ThreadId(2));
+  ASSERT_TRUE(C.isShared());
+  C.accumulate(vc({4, 1, 1}), ThreadId(0));
+  EXPECT_EQ(C.toClock(), vc({4, 3, 5}));
+  // Once shared, always shared — even for an ordered-after clock.
+  C.accumulate(vc({9, 9, 9}), ThreadId(0));
+  EXPECT_TRUE(C.isShared());
+  EXPECT_EQ(C.toClock(), vc({9, 9, 9}));
+}
+
+TEST(EpochClockTest, EscalateSeedsFromEpoch) {
+  EpochClock C;
+  C.setEpoch(ThreadId(2), 4);
+  C.escalate();
+  ASSERT_TRUE(C.isShared());
+  EXPECT_EQ(C.sharedClock(), vc({0, 0, 4}));
+  // Escalating again is a no-op.
+  C.escalate();
+  EXPECT_EQ(C.sharedClock(), vc({0, 0, 4}));
+}
+
+TEST(EpochClockTest, EscalateFromBottomIsEmptyShared) {
+  EpochClock C;
+  C.escalate();
+  ASSERT_TRUE(C.isShared());
+  EXPECT_EQ(C.sharedClock(), VectorClock());
+  EXPECT_FALSE(C.isBottom()); // Shared, even though the clock is ⊥.
+}
+
+TEST(EpochClockTest, SetLocalAndLocalOf) {
+  EpochClock C;
+  C.setEpoch(ThreadId(1), 3);
+  EXPECT_EQ(C.localOf(ThreadId(1)), 3u);
+  EXPECT_EQ(C.localOf(ThreadId(2)), 0u);
+  C.escalate();
+  C.setLocal(ThreadId(2), 5);
+  EXPECT_EQ(C.localOf(ThreadId(1)), 3u);
+  EXPECT_EQ(C.localOf(ThreadId(2)), 5u);
+}
+
+TEST(EpochClockTest, SameEpochMatchesOnlyExactEpoch) {
+  EpochClock C;
+  EXPECT_FALSE(C.sameEpoch(ThreadId(0), 0)); // ⊥ is not an epoch.
+  C.setEpoch(ThreadId(1), 3);
+  EXPECT_TRUE(C.sameEpoch(ThreadId(1), 3));
+  EXPECT_FALSE(C.sameEpoch(ThreadId(1), 4));
+  EXPECT_FALSE(C.sameEpoch(ThreadId(2), 3));
+  C.escalate();
+  EXPECT_FALSE(C.sameEpoch(ThreadId(1), 3)); // Shared never matches.
+}
+
+TEST(EpochClockTest, SetEpochDeflatesShared) {
+  EpochClock C;
+  C.setEpoch(ThreadId(0), 1);
+  C.escalate();
+  C.setLocal(ThreadId(3), 9);
+  C.setEpoch(ThreadId(2), 2); // FASTTRACK write-after-shared-read deflation.
+  ASSERT_TRUE(C.isEpoch());
+  EXPECT_EQ(C.epochThread(), ThreadId(2));
+  EXPECT_EQ(C.epochTime(), 2u);
+}
+
+TEST(EpochClockTest, ClearResetsToBottom) {
+  EpochClock C;
+  C.accumulate(vc({0, 3}), ThreadId(1));
+  C.accumulate(vc({0, 1, 5}), ThreadId(2));
+  C.clear();
+  EXPECT_TRUE(C.isBottom());
+  EXPECT_TRUE(C.leq(VectorClock()));
+}
+
+TEST(EpochClockTest, CopySemanticsAreDeep) {
+  EpochClock A;
+  A.accumulate(vc({0, 3}), ThreadId(1));
+  A.accumulate(vc({0, 1, 5}), ThreadId(2));
+  EpochClock B = A;
+  B.accumulate(vc({8, 1, 1}), ThreadId(0));
+  EXPECT_EQ(A.toClock(), vc({0, 3, 5})); // A unaffected by B's join.
+  EXPECT_EQ(B.toClock(), vc({8, 3, 5}));
+  A = B;
+  EXPECT_EQ(A.toClock(), vc({8, 3, 5}));
+}
+
+} // namespace

@@ -1,0 +1,216 @@
+//===- tests/ParallelDetectorTest.cpp - sequential/parallel equivalence -------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Equivalence suite for the object-sharded parallel pipeline: on random
+/// traces (the PropertyTest generator) and hand-built scenarios, the
+/// ParallelDetector must report bit-identical races to the sequential
+/// CommutativityRaceDetector at every shard count — same race records in
+/// the same order, same conflict-check totals, same distinct-object and
+/// active-point counts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "detect/CommutativityDetector.h"
+#include "detect/ParallelDetector.h"
+#include "spec/Builtins.h"
+#include "trace/TraceBuilder.h"
+#include "translate/Translator.h"
+#include "TraceGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace crd;
+
+namespace {
+
+using testgen::randomTrace;
+
+const DictionaryRep &dictRep() {
+  static DictionaryRep Rep;
+  return Rep;
+}
+
+const TranslatedRep &translatedDict() {
+  static std::unique_ptr<TranslatedRep> Rep = [] {
+    DiagnosticEngine Diags;
+    auto R = translateSpec(dictionarySpec(), Diags);
+    EXPECT_TRUE(R) << Diags.toString();
+    return R;
+  }();
+  return *Rep;
+}
+
+/// Asserts full observable equivalence of the two detectors on \p T.
+void expectEquivalent(const Trace &T, const AccessPointProvider &Provider,
+                      unsigned Shards) {
+  CommutativityRaceDetector Sequential;
+  Sequential.setDefaultProvider(&Provider);
+  Sequential.processTrace(T);
+
+  ParallelDetector Parallel(Shards);
+  Parallel.setDefaultProvider(&Provider);
+  Parallel.processTrace(T);
+
+  ASSERT_EQ(Parallel.shards(), Shards);
+  ASSERT_EQ(Parallel.races().size(), Sequential.races().size())
+      << "shards=" << Shards;
+  for (size_t I = 0; I != Sequential.races().size(); ++I)
+    EXPECT_EQ(Parallel.races()[I], Sequential.races()[I])
+        << "race " << I << " diverges at shards=" << Shards << ":\n  seq "
+        << Sequential.races()[I] << "\n  par " << Parallel.races()[I];
+  EXPECT_EQ(Parallel.distinctRacyObjects(), Sequential.distinctRacyObjects());
+  EXPECT_EQ(Parallel.conflictChecks(), Sequential.conflictChecks());
+  EXPECT_EQ(Parallel.activePointCount(), Sequential.activePointCount());
+  EXPECT_EQ(Parallel.eventsProcessed(), Sequential.eventsProcessed());
+}
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelEquivalenceTest, RandomTracesAllShardCounts) {
+  // Maps=4 spreads the actions over four objects so every shard count up
+  // to 4 actually distributes work.
+  Trace T = randomTrace(GetParam(), /*Workers=*/4, /*OpsPerWorker=*/40,
+                        /*Keys=*/4, /*Maps=*/4);
+  for (unsigned Shards : {1u, 2u, 4u, 8u}) {
+    expectEquivalent(T, dictRep(), Shards);
+    expectEquivalent(T, translatedDict(), Shards);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEquivalenceTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+TEST(ParallelDetectorTest, Fig3ScenarioMatchesSequential) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .invoke(2, 1, "put", {Value::string("a.com"), Value::integer(10)},
+                        Value::nil())
+                .invoke(1, 1, "put", {Value::string("a.com"), Value::integer(20)},
+                        Value::integer(10))
+                .join(0, 1)
+                .join(0, 2)
+                .invoke(0, 1, "size", {}, Value::integer(1))
+                .take();
+  for (unsigned Shards : {1u, 2u, 4u})
+    expectEquivalent(T, dictRep(), Shards);
+}
+
+TEST(ParallelDetectorTest, ManyObjectsSpreadAcrossShards) {
+  // 64 objects, one concurrent put pair each: every object races once, and
+  // the races must come back ordered by event index regardless of which
+  // shard found them.
+  TraceBuilder TB;
+  TB.fork(0, 1);
+  const unsigned Objects = 64;
+  for (unsigned O = 0; O != Objects; ++O) {
+    TB.invoke(0, O, "put", {Value::integer(1), Value::integer(1)},
+              Value::nil());
+    TB.invoke(1, O, "put", {Value::integer(1), Value::integer(2)},
+              Value::integer(1));
+  }
+  Trace T = TB.take();
+  for (unsigned Shards : {1u, 2u, 4u, 8u})
+    expectEquivalent(T, dictRep(), Shards);
+
+  ParallelDetector Parallel(4);
+  Parallel.setDefaultProvider(&dictRep());
+  Parallel.processTrace(T);
+  EXPECT_EQ(Parallel.races().size(), Objects);
+  EXPECT_EQ(Parallel.distinctRacyObjects(), Objects);
+  for (size_t I = 1; I != Parallel.races().size(); ++I)
+    EXPECT_LT(Parallel.races()[I - 1].EventIndex,
+              Parallel.races()[I].EventIndex);
+}
+
+TEST(ParallelDetectorTest, PerObjectBindingsAreHonored) {
+  ParallelDetector Parallel(4);
+  Parallel.bind(ObjectId(0), &dictRep());
+  Parallel.bind(ObjectId(1), &translatedDict());
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .invoke(0, 0, "put", {Value::integer(1), Value::integer(1)},
+                        Value::nil())
+                .invoke(1, 0, "put", {Value::integer(1), Value::integer(2)},
+                        Value::integer(1))
+                .invoke(0, 1, "put", {Value::integer(1), Value::integer(1)},
+                        Value::nil())
+                .invoke(1, 1, "put", {Value::integer(1), Value::integer(2)},
+                        Value::integer(1))
+                .take();
+  Parallel.processTrace(T);
+  EXPECT_EQ(Parallel.races().size(), 2u);
+  EXPECT_EQ(Parallel.distinctRacyObjects(), 2u);
+}
+
+TEST(ParallelDetectorTest, IncrementalTraceFeedingAccumulates) {
+  // Splitting a trace into two processTrace calls must behave like one
+  // call: carried-over per-object state still races against later events.
+  TraceBuilder TB1, TB2;
+  TB1.fork(0, 1);
+  TB1.invoke(0, 0, "put", {Value::integer(1), Value::integer(1)},
+             Value::nil());
+  TB2.invoke(1, 0, "put", {Value::integer(1), Value::integer(2)},
+             Value::integer(1));
+
+  ParallelDetector Parallel(2);
+  Parallel.setDefaultProvider(&dictRep());
+  Parallel.processTrace(TB1.take());
+  EXPECT_TRUE(Parallel.races().empty());
+  Parallel.processTrace(TB2.take());
+  ASSERT_EQ(Parallel.races().size(), 1u);
+  EXPECT_EQ(Parallel.races()[0].EventIndex, 2u); // Global event numbering.
+  EXPECT_EQ(Parallel.eventsProcessed(), 3u);
+}
+
+TEST(ParallelDetectorTest, ObjectDiedReclaimsShardState) {
+  ParallelDetector Parallel(4);
+  Parallel.setDefaultProvider(&dictRep());
+  TraceBuilder TB;
+  TB.fork(0, 1);
+  for (unsigned O = 0; O != 8; ++O)
+    TB.invoke(0, O, "put", {Value::integer(1), Value::integer(1)},
+              Value::nil());
+  Parallel.processTrace(TB.take());
+  size_t Before = Parallel.activePointCount();
+  EXPECT_GE(Before, 8u);
+  for (unsigned O = 0; O != 8; O += 2)
+    Parallel.objectDied(ObjectId(O));
+  EXPECT_LE(Parallel.activePointCount(), Before / 2);
+  // A concurrent access to a dead object afterwards reports nothing.
+  Parallel.processTrace(
+      TraceBuilder()
+          .invoke(1, 0, "put", {Value::integer(1), Value::integer(2)},
+                  Value::integer(1))
+          .take());
+  EXPECT_TRUE(Parallel.races().empty());
+}
+
+TEST(ParallelDetectorTest, MoreShardsThanObjectsIsFine) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .invoke(0, 0, "put", {Value::integer(1), Value::integer(1)},
+                        Value::nil())
+                .invoke(1, 0, "put", {Value::integer(1), Value::integer(2)},
+                        Value::integer(1))
+                .take();
+  expectEquivalent(T, dictRep(), 16);
+}
+
+TEST(ParallelDetectorTest, EmptyAndActionFreeTraces) {
+  ParallelDetector Parallel(4);
+  Parallel.setDefaultProvider(&dictRep());
+  Parallel.processTrace(Trace());
+  EXPECT_TRUE(Parallel.races().empty());
+  Parallel.processTrace(TraceBuilder().fork(0, 1).join(0, 1).take());
+  EXPECT_TRUE(Parallel.races().empty());
+  EXPECT_EQ(Parallel.eventsProcessed(), 2u);
+  EXPECT_EQ(Parallel.activePointCount(), 0u);
+}
+
+} // namespace

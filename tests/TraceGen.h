@@ -1,0 +1,96 @@
+//===- tests/TraceGen.h - Shared randomized trace generator -----*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The randomized trace generator shared by the property and equivalence
+/// suites: it builds a random — but well-formed and value-consistent —
+/// execution by actually running a random program on the simulated runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_TESTS_TRACEGEN_H
+#define CRD_TESTS_TRACEGEN_H
+
+#include "runtime/InstrumentedMap.h"
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace crd {
+namespace testgen {
+
+/// Generates a random well-formed execution trace over \p Maps instrumented
+/// maps: \p Workers forked threads issue \p OpsPerWorker mixed put/get/size
+/// operations on a \p Keys-sized key space, with occasional lock-protected
+/// regions varying the happens-before, while the main thread polls size and
+/// finally joins everyone.
+inline Trace randomTrace(uint64_t Seed, unsigned Workers,
+                         unsigned OpsPerWorker, unsigned Keys,
+                         unsigned Maps = 2) {
+  SimRuntime RT(Seed);
+  std::vector<std::unique_ptr<InstrumentedMap>> MapList;
+  for (unsigned I = 0; I != Maps; ++I)
+    MapList.push_back(std::make_unique<InstrumentedMap>(RT));
+  LockId Lock = RT.newLock();
+
+  ThreadId Main = RT.addInitialThread();
+  auto WorkerIds = std::make_shared<std::vector<ThreadId>>();
+  RT.schedule(Main, [&, WorkerIds](SimThread &T) {
+    for (unsigned W = 0; W != Workers; ++W) {
+      ThreadId Tid = T.fork([](SimThread &) {});
+      WorkerIds->push_back(Tid);
+      for (unsigned Q = 0; Q != OpsPerWorker; ++Q)
+        RT.schedule(Tid, [&MapList, Keys, Lock](SimThread &T2) {
+          InstrumentedMap &M = *MapList[T2.random(MapList.size())];
+          Value Key = Value::integer(
+              static_cast<int64_t>(T2.random(Keys)));
+          switch (T2.random(6)) {
+          case 0:
+          case 1:
+            M.put(T2, Key, Value::integer(static_cast<int64_t>(
+                              T2.random(3)))); // Note: value 0..2.
+            break;
+          case 2:
+            M.put(T2, Key, Value::nil()); // Removal.
+            break;
+          case 3:
+            M.get(T2, Key);
+            break;
+          case 4:
+            M.size(T2);
+            break;
+          case 5:
+            // A lock-protected no-op region, to vary the happens-before.
+            T2.acquire(Lock);
+            M.get(T2, Key);
+            T2.release(Lock);
+            break;
+          }
+        });
+    }
+  });
+  // Poll size concurrently, then join everyone and read once more.
+  for (unsigned P = 0; P != 3; ++P)
+    RT.schedule(Main, [&MapList](SimThread &T) { MapList[0]->size(T); });
+  for (unsigned W = 0; W != Workers; ++W)
+    RT.schedule(Main,
+                [WorkerIds, W](SimThread &T) { T.join((*WorkerIds)[W]); });
+  RT.schedule(Main, [&MapList](SimThread &T) { MapList[0]->size(T); });
+
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(Recorder.trace().validate(Diags)) << Diags.toString();
+  return Recorder.take();
+}
+
+} // namespace testgen
+} // namespace crd
+
+#endif // CRD_TESTS_TRACEGEN_H
