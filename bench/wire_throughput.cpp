@@ -1,0 +1,208 @@
+//===- bench/wire_throughput.cpp - text vs binary ingestion throughput --------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures trace ingestion throughput (events/sec) and density
+/// (bytes/event) on an H2-style workload trace (the recorded
+/// ComplexConcurrency PolePosition circuit) across:
+///
+///   * text/parse          — parseTrace over the rendered text form;
+///   * binary/decode       — WireReader draining the chunked wire encoding;
+///   * binary/decode+detect — BinaryStreamSource feeding the sequential
+///     detector through StreamPipeline (the `crd check` hot path);
+///   * text/parse+detect   — the materialized baseline for the same work.
+///
+/// The acceptance bar for the wire format is binary/decode ≥ 2× text/parse.
+/// Emits a machine-readable BENCH_wire.json (see bench/report.h) so the
+/// ingestion trajectory can be tracked across PRs.
+///
+/// Usage: ./wire_throughput [workers] [queries-per-worker] [reps] [json-path]
+///
+//===----------------------------------------------------------------------===//
+
+#include "report.h"
+#include "spec/Builtins.h"
+#include "trace/TraceIO.h"
+#include "translate/Translator.h"
+#include "wire/StreamPipeline.h"
+#include "wire/WireReader.h"
+#include "wire/WireWriter.h"
+#include "workloads/PolePosition.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+using namespace crd;
+using namespace crd::wire;
+
+namespace {
+
+/// Records the ComplexConcurrency circuit as a replayable trace.
+Trace recordH2Trace(unsigned Workers, unsigned Queries) {
+  SimRuntime RT(/*Seed=*/2014);
+  MVStore Store(RT);
+  CircuitConfig Config;
+  Config.WorkerThreads = Workers;
+  Config.QueriesPerWorker = Queries;
+  Config.Seed = 2014;
+  buildCircuit(Circuit::ComplexConcurrency, RT, Store, Config);
+  TraceRecorder Recorder;
+  RT.run(Recorder);
+  return Recorder.take();
+}
+
+/// Times \p Run (which returns a race count, 0 for pure ingestion) \p Reps
+/// times; keeps the best wall time.
+template <typename Fn>
+bench::BenchEntry measure(const std::string &Name, size_t Events,
+                          unsigned Reps, Fn Run) {
+  bench::BenchEntry Entry;
+  Entry.Name = Name;
+  Entry.Events = Events;
+  Entry.Seconds = 1e100;
+  for (unsigned R = 0; R != Reps; ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    size_t Races = Run();
+    double Secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+            .count();
+    Entry.Races = Races;
+    if (Secs < Entry.Seconds)
+      Entry.Seconds = Secs;
+  }
+  Entry.EventsPerSec = Entry.Seconds > 0 ? Events / Entry.Seconds : 0.0;
+  return Entry;
+}
+
+void printRow(const bench::BenchEntry &E, size_t Bytes) {
+  std::cout << "  " << std::left << std::setw(22) << E.Name << std::right
+            << std::setw(12) << static_cast<uint64_t>(E.EventsPerSec)
+            << " events/s" << std::setw(9) << std::fixed
+            << std::setprecision(1)
+            << (E.Events ? double(Bytes) / double(E.Events) : 0.0)
+            << " B/event  races=" << E.Races << "\n";
+}
+
+} // namespace
+
+static unsigned parsePositive(const char *Arg, const char *Name) {
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Arg, &End, 10);
+  if (End == Arg || *End != '\0' || V == 0) {
+    std::cerr << "invalid " << Name << " '" << Arg
+              << "' (expected a positive integer)\n"
+              << "usage: wire_throughput [workers] [queries-per-worker] "
+                 "[reps] [json-path]\n";
+    std::exit(2);
+  }
+  return static_cast<unsigned>(V);
+}
+
+int main(int Argc, char **Argv) {
+  unsigned Workers = Argc > 1 ? parsePositive(Argv[1], "workers") : 4;
+  unsigned Queries =
+      Argc > 2 ? parsePositive(Argv[2], "queries-per-worker") : 4000;
+  unsigned Reps = Argc > 3 ? parsePositive(Argv[3], "reps") : 3;
+  std::string JsonPath = Argc > 4 ? Argv[4] : "BENCH_wire.json";
+
+  DiagnosticEngine Diags;
+  auto Rep = translateSpec(dictionarySpec(), Diags);
+  if (!Rep) {
+    std::cerr << "spec translation failed:\n" << Diags.toString();
+    return 1;
+  }
+
+  Trace T = recordH2Trace(Workers, Queries);
+  std::string Text = traceToString(T);
+  std::ostringstream WireOS;
+  {
+    WireWriter Writer(WireOS);
+    Writer.writeTrace(T);
+    Writer.finish();
+  }
+  std::string Wire = WireOS.str();
+
+  std::cout << "H2 ComplexConcurrency trace: " << T.size() << " events, "
+            << Text.size() << " text bytes, " << Wire.size()
+            << " wire bytes (" << std::fixed << std::setprecision(2)
+            << double(Text.size()) / double(Wire.size())
+            << "x compression), best of " << Reps << " reps\n\n";
+
+  bench::BenchReport Report("wire_throughput", "h2-complex-concurrency");
+
+  bench::BenchEntry TextParse = measure("text/parse", T.size(), Reps, [&] {
+    DiagnosticEngine D;
+    auto Parsed = parseTrace(Text, D);
+    if (!Parsed || Parsed->size() != T.size())
+      std::abort();
+    return size_t(0);
+  });
+  Report.add(TextParse);
+  printRow(TextParse, Text.size());
+
+  bench::BenchEntry BinDecode = measure("binary/decode", T.size(), Reps, [&] {
+    std::istringstream In(Wire);
+    DiagnosticEngine D;
+    WireReader Reader(In, D);
+    Event E = Event::txBegin(ThreadId(0));
+    while (Reader.next(E))
+      ;
+    if (Reader.failed() || Reader.eventsRead() != T.size())
+      std::abort();
+    return size_t(0);
+  });
+  Report.add(BinDecode);
+  printRow(BinDecode, Wire.size());
+
+  bench::BenchEntry BinDetect =
+      measure("binary/decode+detect", T.size(), Reps, [&] {
+        std::istringstream In(Wire);
+        DiagnosticEngine D;
+        BinaryStreamSource Source(In, D);
+        StreamPipeline P({Backend::Sequential});
+        P.setDefaultProvider(Rep.get());
+        StreamSummary S = P.run(Source);
+        if (Source.failed() || S.Events != T.size())
+          std::abort();
+        return S.Races;
+      });
+  Report.add(BinDetect);
+  printRow(BinDetect, Wire.size());
+
+  bench::BenchEntry TextDetect =
+      measure("text/parse+detect", T.size(), Reps, [&] {
+        DiagnosticEngine D;
+        auto Parsed = parseTrace(Text, D);
+        if (!Parsed)
+          std::abort();
+        CommutativityRaceDetector Det;
+        Det.setDefaultProvider(Rep.get());
+        Det.processTrace(*Parsed);
+        return Det.races().size();
+      });
+  Report.add(TextDetect);
+  printRow(TextDetect, Text.size());
+
+  double Speedup = TextParse.Seconds / BinDecode.Seconds;
+  std::cout << "\n  binary decode speedup over text parse: " << std::fixed
+            << std::setprecision(2) << Speedup << "x"
+            << (Speedup >= 2.0 ? "" : "  (below the 2x acceptance bar!)")
+            << "\n";
+  if (BinDetect.Races != TextDetect.Races) {
+    std::cerr << "race count mismatch between ingestion paths\n";
+    return 1;
+  }
+
+  if (!Report.write(JsonPath)) {
+    std::cerr << "failed to write " << JsonPath << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << JsonPath << "\n";
+  return Speedup >= 2.0 ? 0 : 1;
+}

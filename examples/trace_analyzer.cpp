@@ -5,125 +5,26 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small command-line tool: reads a trace file (see trace/TraceIO.h for
-/// the format) and an optional ECL specification file, and reports every
+/// A thin wrapper over the `crd analyze` subcommand (tools/crd/Cli.h), kept
+/// so existing invocations keep working: reads a trace file (text or binary
+/// wire format) and an optional ECL specification file, and reports every
 /// commutativity race and every FastTrack read-write race in the trace.
 ///
 /// Usage:  ./trace_analyzer <trace-file> [spec-file]
 ///
 /// Without a spec file, all objects are assumed to be dictionaries
-/// (put/get/size, paper Fig 6).
+/// (put/get/size, paper Fig 6). The unified driver (`crd`) additionally
+/// offers convert/check/stats/bench subcommands.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "detect/AtomicityChecker.h"
-#include "detect/CommutativityDetector.h"
-#include "detect/FastTrack.h"
-#include "detect/Summary.h"
-#include "spec/Builtins.h"
-#include "spec/SpecParser.h"
-#include "trace/TraceIO.h"
-#include "trace/TraceStats.h"
-#include "translate/Translator.h"
+#include "Cli.h"
 
-#include <fstream>
 #include <iostream>
-#include <sstream>
-
-using namespace crd;
-
-static std::optional<std::string> readFile(const char *Path) {
-  std::ifstream In(Path);
-  if (!In)
-    return std::nullopt;
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  return SS.str();
-}
+#include <string>
+#include <vector>
 
 int main(int Argc, char **Argv) {
-  if (Argc < 2) {
-    std::cerr << "usage: " << Argv[0] << " <trace-file> [spec-file]\n";
-    return 2;
-  }
-
-  auto TraceText = readFile(Argv[1]);
-  if (!TraceText) {
-    std::cerr << "error: cannot read trace file '" << Argv[1] << "'\n";
-    return 2;
-  }
-
-  DiagnosticEngine Diags;
-  auto T = parseTrace(*TraceText, Diags);
-  if (!T) {
-    std::cerr << Argv[1] << ": " << "\n" << Diags.toString();
-    return 1;
-  }
-  if (!T->validate(Diags)) {
-    std::cerr << "trace is malformed:\n" << Diags.toString();
-    return 1;
-  }
-
-  const ObjectSpec *Spec = &dictionarySpec();
-  std::optional<ObjectSpec> ParsedSpec;
-  if (Argc > 2) {
-    auto SpecText = readFile(Argv[2]);
-    if (!SpecText) {
-      std::cerr << "error: cannot read spec file '" << Argv[2] << "'\n";
-      return 2;
-    }
-    ParsedSpec = parseObjectSpec(*SpecText, Diags);
-    if (!ParsedSpec) {
-      std::cerr << Argv[2] << ":\n" << Diags.toString();
-      return 1;
-    }
-    Spec = &*ParsedSpec;
-  }
-
-  auto Rep = translateSpec(*Spec, Diags);
-  if (!Rep) {
-    std::cerr << "specification is not translatable:\n" << Diags.toString();
-    return 1;
-  }
-
-  CommutativityRaceDetector RD2;
-  RD2.setDefaultProvider(Rep.get());
-  RD2.processTrace(*T);
-
-  FastTrackDetector FT;
-  FT.processTrace(*T);
-
-  TraceStats::compute(*T).print(std::cout);
-  std::cout << '\n';
-  std::cout << "commutativity races (" << RD2.races().size() << " total, "
-            << RD2.distinctRacyObjects() << " distinct objects):\n";
-  for (const CommutativityRace &R : RD2.races())
-    std::cout << "  " << R << '\n';
-  if (!RD2.races().empty()) {
-    std::cout << "\ntriage summary:\n";
-    RaceSummary::build(RD2.races()).print(std::cout);
-  }
-
-  std::cout << "\nread-write races (" << FT.races().size() << " total, "
-            << FT.distinctRacyVars() << " distinct locations):\n";
-  for (const MemoryRace &R : FT.races())
-    std::cout << "  " << R << '\n';
-
-  // Atomicity: only meaningful when the trace marks atomic blocks.
-  bool HasTx = false;
-  for (const Event &E : *T)
-    HasTx |= E.kind() == EventKind::TxBegin;
-  size_t Violations = 0;
-  if (HasTx) {
-    AtomicityChecker Checker;
-    Checker.setDefaultProvider(Rep.get());
-    auto Found = Checker.check(*T);
-    Violations = Found.size();
-    std::cout << "\natomicity violations (" << Violations << "):\n";
-    for (const AtomicityViolation &V : Found)
-      std::cout << "  " << V << '\n';
-  }
-
-  return (RD2.races().empty() && FT.races().empty() && Violations == 0) ? 0
-                                                                        : 1;
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  return crd::cli::runAnalyze(Args, std::cout, std::cerr);
 }

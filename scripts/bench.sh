@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Builds the Release preset, runs the detector benchmarks and writes the
-# machine-readable BENCH_detector.json trajectory artifact at the repo root.
+# machine-readable BENCH_detector.json and BENCH_wire.json trajectory
+# artifacts at the repo root.
 #
 # Usage: scripts/bench.sh [workers] [queries-per-worker] [reps]
 set -euo pipefail
@@ -16,8 +17,13 @@ cmake --build --preset release -j"$(nproc)"
 ./build-release/bench/parallel_scaling "$WORKERS" "$QUERIES" "$REPS" \
   BENCH_detector.json
 
+# Ingestion throughput: text parse vs binary wire decode vs decode+detect.
+# Exits non-zero if binary decode drops below 2x text parse.
+./build-release/bench/wire_throughput "$WORKERS" "$QUERIES" "$REPS" \
+  BENCH_wire.json
+
 # Informational microbenchmarks (epoch ablation + shard sweep); failures
 # here must not mask the trajectory artifact above.
 ./build-release/bench/micro_detector --benchmark_min_time=0.05 || true
 
-echo "bench artifacts: $(pwd)/BENCH_detector.json"
+echo "bench artifacts: $(pwd)/BENCH_detector.json $(pwd)/BENCH_wire.json"

@@ -25,8 +25,30 @@ std::ostream &crd::operator<<(std::ostream &OS, const Value &V) {
     return OS << (V.asBool() ? "true" : "false");
   case Value::Kind::Int:
     return OS << V.asInt();
-  case Value::Kind::Str:
-    return OS << '"' << V.asSymbol().str() << '"';
+  case Value::Kind::Str: {
+    // Escape exactly what the trace lexer unescapes, so printed values
+    // re-parse to the same symbol.
+    OS << '"';
+    for (char C : V.asSymbol().str()) {
+      switch (C) {
+      case '\n':
+        OS << "\\n";
+        break;
+      case '\t':
+        OS << "\\t";
+        break;
+      case '"':
+        OS << "\\\"";
+        break;
+      case '\\':
+        OS << "\\\\";
+        break;
+      default:
+        OS << C;
+      }
+    }
+    return OS << '"';
+  }
   }
   return OS;
 }

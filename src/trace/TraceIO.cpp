@@ -401,3 +401,31 @@ std::optional<Trace> crd::parseTrace(std::string_view Text,
     return std::nullopt;
   return Result;
 }
+
+std::optional<Event> crd::parseTraceLine(std::string_view Line, uint32_t LineNo,
+                                         DiagnosticEngine &Diags) {
+  // Parse against a local engine, then re-emit with the caller's line
+  // number: the parser believes every buffer starts at line 1.
+  DiagnosticEngine Local;
+  TraceParser Parser(Line, Local);
+  Trace Result = Parser.run();
+  for (const Diagnostic &D : Local.all()) {
+    SourceLocation Loc = D.Loc;
+    if (Loc.isValid())
+      Loc.Line += LineNo - 1;
+    switch (D.Level) {
+    case Diagnostic::Severity::Error:
+      Diags.error(Loc, D.Message);
+      break;
+    case Diagnostic::Severity::Warning:
+      Diags.warning(Loc, D.Message);
+      break;
+    case Diagnostic::Severity::Note:
+      Diags.note(Loc, D.Message);
+      break;
+    }
+  }
+  if (Local.hasErrors() || Result.empty())
+    return std::nullopt;
+  return Result[0];
+}

@@ -48,6 +48,15 @@ std::string traceToString(const Trace &T);
 /// yields one diagnostic rather than aborting the whole parse.
 std::optional<Trace> parseTrace(std::string_view Text, DiagnosticEngine &Diags);
 
+/// Parses one line of the textual format (the streaming-ingestion entry
+/// point: no whole-file buffer, no Trace).
+///
+/// \returns the event, or std::nullopt for blank/comment lines and for
+/// malformed lines (malformed iff \p Diags received an error). Diagnostic
+/// locations are reported against \p LineNo.
+std::optional<Event> parseTraceLine(std::string_view Line, uint32_t LineNo,
+                                    DiagnosticEngine &Diags);
+
 } // namespace crd
 
 #endif // CRD_TRACE_TRACEIO_H

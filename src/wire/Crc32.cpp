@@ -1,0 +1,36 @@
+//===- wire/Crc32.cpp - CRC-32 checksums -------------------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/Crc32.h"
+
+#include <array>
+
+using namespace crd;
+
+namespace {
+
+constexpr std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K != 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+constexpr std::array<uint32_t, 256> Crc32Table = makeTable();
+
+} // namespace
+
+uint32_t wire::crc32(const void *Data, size_t Size) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint32_t C = 0xFFFFFFFFu;
+  for (size_t I = 0; I != Size; ++I)
+    C = Crc32Table[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}

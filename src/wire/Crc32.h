@@ -1,0 +1,29 @@
+//===- wire/Crc32.h - CRC-32 checksums --------------------------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used to checksum every
+/// chunk payload of the binary wire format, so a reader detects truncation
+/// and corruption before decoding a single event.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_WIRE_CRC32_H
+#define CRD_WIRE_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crd {
+namespace wire {
+
+/// CRC-32 of \p Size bytes at \p Data.
+uint32_t crc32(const void *Data, size_t Size);
+
+} // namespace wire
+} // namespace crd
+
+#endif // CRD_WIRE_CRC32_H

@@ -1,0 +1,108 @@
+//===- wire/EventSource.h - Pull-based event streams ------------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ingestion half of the streaming pipeline: an EventSource yields one
+/// decoded Event at a time, regardless of where the execution comes from —
+/// a binary wire file (WireReader), a textual trace file (line-by-line
+/// parse), or an already-materialized Trace. openEventSource() sniffs the
+/// file magic so every tool accepts both on-disk formats transparently.
+///
+/// The push-based complement for live executions is an EventSink
+/// (runtime/Sink.h): StreamPipeline implements both, so a SimRuntime can
+/// feed it directly while offline tools pull from a source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_WIRE_EVENTSOURCE_H
+#define CRD_WIRE_EVENTSOURCE_H
+
+#include "support/Diagnostics.h"
+#include "trace/Trace.h"
+#include "wire/WireReader.h"
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+namespace crd {
+namespace wire {
+
+/// Yields the events of one execution in trace order.
+class EventSource {
+public:
+  virtual ~EventSource();
+
+  /// Produces the next event. Returns false at end of stream or on a
+  /// diagnosed input error (check failed()).
+  virtual bool next(Event &E) = 0;
+
+  /// True once the underlying input was diagnosed as malformed.
+  virtual bool failed() const { return false; }
+};
+
+/// Streams an in-memory Trace (e.g. a TraceRecorder capture).
+class TraceSource : public EventSource {
+public:
+  explicit TraceSource(const Trace &T) : T(T) {}
+
+  bool next(Event &E) override {
+    if (Pos == T.size())
+      return false;
+    E = T[Pos++];
+    return true;
+  }
+
+private:
+  const Trace &T;
+  size_t Pos = 0;
+};
+
+/// Streams a textual trace line-by-line; no whole-file buffer, no Trace.
+class TextStreamSource : public EventSource {
+public:
+  TextStreamSource(std::istream &In, DiagnosticEngine &Diags)
+      : In(In), Diags(Diags) {}
+
+  bool next(Event &E) override;
+  bool failed() const override { return Failed; }
+
+private:
+  std::istream &In;
+  DiagnosticEngine &Diags;
+  std::string Line;
+  uint32_t LineNo = 0;
+  bool Failed = false;
+};
+
+/// Streams a binary wire trace chunk-at-a-time.
+class BinaryStreamSource : public EventSource {
+public:
+  BinaryStreamSource(std::istream &In, DiagnosticEngine &Diags)
+      : Reader(In, Diags) {}
+
+  bool next(Event &E) override { return Reader.next(E); }
+  bool failed() const override { return Reader.failed(); }
+
+  const WireReader &reader() const { return Reader; }
+
+private:
+  WireReader Reader;
+};
+
+/// Opens \p Path and returns the matching source: binary when the file
+/// starts with the wire magic, textual otherwise. Returns nullptr (with a
+/// diagnostic) when the file cannot be opened.
+std::unique_ptr<EventSource> openEventSource(const std::string &Path,
+                                             DiagnosticEngine &Diags);
+
+/// True when \p Path starts with the binary wire magic.
+bool isWireFile(const std::string &Path);
+
+} // namespace wire
+} // namespace crd
+
+#endif // CRD_WIRE_EVENTSOURCE_H

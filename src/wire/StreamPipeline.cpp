@@ -1,0 +1,135 @@
+//===- wire/StreamPipeline.cpp - Streaming detection pipeline ----------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/StreamPipeline.h"
+
+#include <algorithm>
+
+using namespace crd;
+using namespace crd::wire;
+
+StreamPipeline::StreamPipeline(PipelineOptions Opts) : Opts(Opts) {
+  this->Opts.BatchSize = std::max<size_t>(1, Opts.BatchSize);
+  switch (Opts.TheBackend) {
+  case Backend::Sequential:
+    Seq = std::make_unique<CommutativityRaceDetector>();
+    break;
+  case Backend::Parallel:
+    Par = std::make_unique<ParallelDetector>(Opts.Shards);
+    break;
+  case Backend::FastTrack:
+    FT = std::make_unique<FastTrackDetector>();
+    break;
+  case Backend::Atomicity:
+    Atom = std::make_unique<OnlineAtomicityChecker>();
+    break;
+  }
+}
+
+void StreamPipeline::setDefaultProvider(const AccessPointProvider *Provider) {
+  if (Seq)
+    Seq->setDefaultProvider(Provider);
+  if (Par)
+    Par->setDefaultProvider(Provider);
+  if (Atom)
+    Atom->setDefaultProvider(Provider);
+}
+
+void StreamPipeline::bind(ObjectId Obj, const AccessPointProvider *Provider) {
+  if (Seq)
+    Seq->bind(Obj, Provider);
+  if (Par)
+    Par->bind(Obj, Provider);
+  if (Atom)
+    Atom->bind(Obj, Provider);
+}
+
+void StreamPipeline::drainNewRaces() {
+  if (RaceCallback) {
+    const std::vector<CommutativityRace> &All = races();
+    for (; RacesSeen < All.size(); ++RacesSeen)
+      RaceCallback(All[RacesSeen]);
+  }
+  if (MemoryRaceCallback) {
+    const std::vector<MemoryRace> &All = memoryRaces();
+    for (; MemoryRacesSeen < All.size(); ++MemoryRacesSeen)
+      MemoryRaceCallback(All[MemoryRacesSeen]);
+  }
+}
+
+void StreamPipeline::onEvent(const Event &E) {
+  ++Events;
+  if (Seq) {
+    Seq->process(E);
+    drainNewRaces();
+    return;
+  }
+  if (Par) {
+    Batch.append(E);
+    if (Batch.size() >= Opts.BatchSize) {
+      Par->processTrace(Batch);
+      Batch = Trace();
+      drainNewRaces();
+    }
+    return;
+  }
+  if (FT) {
+    FT->process(E);
+    drainNewRaces();
+    return;
+  }
+  Atom->process(E);
+}
+
+void StreamPipeline::finish() {
+  if (Par && !Batch.empty()) {
+    Par->processTrace(Batch);
+    Batch = Trace();
+  }
+  drainNewRaces();
+}
+
+StreamSummary StreamPipeline::run(EventSource &Source) {
+  Event E = Event::txBegin(ThreadId(0)); // Overwritten by next().
+  while (Source.next(E))
+    onEvent(E);
+  finish();
+  return summary();
+}
+
+const std::vector<CommutativityRace> &StreamPipeline::races() const {
+  static const std::vector<CommutativityRace> Empty;
+  if (Seq)
+    return Seq->races();
+  if (Par)
+    return Par->races();
+  return Empty;
+}
+
+const std::vector<MemoryRace> &StreamPipeline::memoryRaces() const {
+  static const std::vector<MemoryRace> Empty;
+  return FT ? FT->races() : Empty;
+}
+
+const std::vector<AtomicityViolation> &StreamPipeline::violations() const {
+  static const std::vector<AtomicityViolation> Empty;
+  return Atom ? Atom->violations() : Empty;
+}
+
+StreamSummary StreamPipeline::summary() const {
+  StreamSummary S;
+  S.Events = Events;
+  S.Races = races().size();
+  if (Seq)
+    S.DistinctRacyObjects = Seq->distinctRacyObjects();
+  if (Par)
+    S.DistinctRacyObjects = Par->distinctRacyObjects();
+  S.MemoryRaces = memoryRaces().size();
+  if (FT)
+    S.DistinctRacyVars = FT->distinctRacyVars();
+  S.Violations = violations().size();
+  return S;
+}

@@ -1,0 +1,123 @@
+//===- wire/StreamPipeline.h - Streaming detection pipeline -----*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The streaming ingestion pipeline: pulls decoded events from any
+/// EventSource (or receives them pushed as an EventSink from a live
+/// SimRuntime) and feeds them incrementally into a detector backend —
+/// the sequential Algorithm 1 detector, the object-sharded
+/// ParallelDetector (batched; state carries across batches, so reports
+/// stay bit-identical to the sequential detector), the FastTrack
+/// baseline, or the online atomicity checker. Races are surfaced through
+/// an optional callback the moment the backend reports them, plus an
+/// end-of-stream summary. No Trace is ever materialized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_WIRE_STREAMPIPELINE_H
+#define CRD_WIRE_STREAMPIPELINE_H
+
+#include "detect/CommutativityDetector.h"
+#include "detect/FastTrack.h"
+#include "detect/OnlineAtomicity.h"
+#include "detect/ParallelDetector.h"
+#include "runtime/Sink.h"
+#include "wire/EventSource.h"
+
+#include <functional>
+#include <memory>
+
+namespace crd {
+namespace wire {
+
+/// Which detector consumes the stream.
+enum class Backend {
+  Sequential, ///< CommutativityRaceDetector, event-at-a-time.
+  Parallel,   ///< ParallelDetector over BatchSize-event batches.
+  FastTrack,  ///< Low-level read/write races.
+  Atomicity,  ///< OnlineAtomicityChecker (conflict-serializability).
+};
+
+/// End-of-stream report.
+struct StreamSummary {
+  size_t Events = 0;
+  size_t Races = 0;            ///< Commutativity races (Sequential/Parallel).
+  size_t DistinctRacyObjects = 0;
+  size_t MemoryRaces = 0;      ///< FastTrack backend.
+  size_t DistinctRacyVars = 0;
+  size_t Violations = 0;       ///< Atomicity backend.
+
+  /// True when the selected backend reported nothing.
+  bool clean() const { return Races + MemoryRaces + Violations == 0; }
+};
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  Backend TheBackend = Backend::Sequential;
+  unsigned Shards = 0;     ///< Parallel backend: 0 = hardware concurrency.
+  size_t BatchSize = 4096; ///< Parallel backend batch granularity (≥ 1).
+};
+
+/// Streaming detector pipeline; EventSink so live runtimes can push.
+class StreamPipeline : public EventSink {
+public:
+  explicit StreamPipeline(PipelineOptions Opts = {});
+
+  /// Representation for objects without an explicit bind(). Ignored by the
+  /// FastTrack backend.
+  void setDefaultProvider(const AccessPointProvider *Provider);
+  void bind(ObjectId Obj, const AccessPointProvider *Provider);
+
+  /// Invoked for every commutativity race as soon as the backend reports
+  /// it (after the offending event for Sequential, after the containing
+  /// batch for Parallel).
+  void setRaceCallback(std::function<void(const CommutativityRace &)> Cb) {
+    RaceCallback = std::move(Cb);
+  }
+  /// FastTrack counterpart of setRaceCallback.
+  void setMemoryRaceCallback(std::function<void(const MemoryRace &)> Cb) {
+    MemoryRaceCallback = std::move(Cb);
+  }
+
+  /// EventSink: feeds one event.
+  void onEvent(const Event &E) override;
+
+  /// Pulls \p Source dry, then finish()es. Returns the summary.
+  StreamSummary run(EventSource &Source);
+
+  /// Flushes the pending parallel batch; must be called once the stream
+  /// ends when events were pushed via onEvent(). Idempotent.
+  void finish();
+
+  size_t eventsProcessed() const { return Events; }
+  StreamSummary summary() const;
+
+  /// Results of the selected backend (empty vectors otherwise). finish()
+  /// first when pushing events directly.
+  const std::vector<CommutativityRace> &races() const;
+  const std::vector<MemoryRace> &memoryRaces() const;
+  const std::vector<AtomicityViolation> &violations() const;
+
+private:
+  void drainNewRaces();
+
+  PipelineOptions Opts;
+  std::unique_ptr<CommutativityRaceDetector> Seq;
+  std::unique_ptr<ParallelDetector> Par;
+  std::unique_ptr<FastTrackDetector> FT;
+  std::unique_ptr<OnlineAtomicityChecker> Atom;
+  Trace Batch; ///< Pending events of the parallel backend's current batch.
+  std::function<void(const CommutativityRace &)> RaceCallback;
+  std::function<void(const MemoryRace &)> MemoryRaceCallback;
+  size_t Events = 0;
+  size_t RacesSeen = 0; ///< Races already handed to the callback.
+  size_t MemoryRacesSeen = 0;
+};
+
+} // namespace wire
+} // namespace crd
+
+#endif // CRD_WIRE_STREAMPIPELINE_H

@@ -1,0 +1,109 @@
+//===- wire/Varint.h - LEB128 varint / zigzag codec -------------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The integer codec underlying the binary wire format: unsigned LEB128
+/// varints (7 payload bits per byte, high bit = continuation) and zigzag
+/// mapping for signed deltas, so small magnitudes of either sign encode in
+/// one byte. Decoding is bounds- and overflow-checked: the reader must be
+/// able to consume adversarial bytes (the wire-fuzz target) without UB.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_WIRE_VARINT_H
+#define CRD_WIRE_VARINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace crd {
+namespace wire {
+
+/// Appends the LEB128 encoding of \p V to \p Out (1–10 bytes).
+inline void putVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>((V & 0x7F) | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+/// Maps a signed delta onto unsigned so small magnitudes stay small:
+/// 0, -1, 1, -2, 2, ... → 0, 1, 2, 3, 4, ...
+inline uint64_t zigzag(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^
+         static_cast<uint64_t>(V >> 63);
+}
+
+inline int64_t unzigzag(uint64_t V) {
+  return static_cast<int64_t>(V >> 1) ^ -static_cast<int64_t>(V & 1);
+}
+
+inline void putSVarint(std::string &Out, int64_t V) {
+  putVarint(Out, zigzag(V));
+}
+
+/// Bounds-checked forward reader over a byte buffer (one chunk payload).
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  size_t offset() const { return Pos; }
+  size_t remaining() const { return Size - Pos; }
+  bool atEnd() const { return Pos == Size; }
+
+  std::optional<uint8_t> byte() {
+    if (Pos == Size)
+      return std::nullopt;
+    return Data[Pos++];
+  }
+
+  /// Decodes one LEB128 varint. Fails on buffer exhaustion and on
+  /// encodings wider than 64 bits.
+  std::optional<uint64_t> varint() {
+    uint64_t Result = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      if (Pos == Size)
+        return std::nullopt;
+      uint8_t B = Data[Pos++];
+      uint64_t Payload = B & 0x7F;
+      if (Shift == 63 && Payload > 1)
+        return std::nullopt; // Would overflow 64 bits.
+      Result |= Payload << Shift;
+      if (!(B & 0x80))
+        return Result;
+    }
+    return std::nullopt; // Continuation bit never cleared.
+  }
+
+  std::optional<int64_t> svarint() {
+    auto V = varint();
+    if (!V)
+      return std::nullopt;
+    return unzigzag(*V);
+  }
+
+  /// Returns a view of the next \p N raw bytes, or nullopt if fewer remain.
+  std::optional<std::pair<const uint8_t *, size_t>> bytes(size_t N) {
+    if (N > remaining())
+      return std::nullopt;
+    const uint8_t *P = Data + Pos;
+    Pos += N;
+    return std::make_pair(P, N);
+  }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+};
+
+} // namespace wire
+} // namespace crd
+
+#endif // CRD_WIRE_VARINT_H

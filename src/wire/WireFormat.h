@@ -1,0 +1,81 @@
+//===- wire/WireFormat.h - Binary trace format constants --------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constants of the chunked binary trace encoding (the full specification
+/// lives in docs/trace-format.md):
+///
+///   file   := "CRDW" version flags chunk*
+///   chunk  := u32le payload_size | u32le crc32(payload) | payload
+///   payload:= varint event_count
+///             varint sym_count  (sym_count × (varint len, len bytes))
+///             event_count × event
+///
+/// Every chunk is self-contained: its symbol table interns exactly the
+/// strings its events reference (local ids in order of first use), and the
+/// thread/object delta predictors reset at chunk boundaries, so a reader
+/// can resynchronize — and a future networked producer can drop or reorder
+/// whole chunks — without cross-chunk decoder state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_WIRE_WIREFORMAT_H
+#define CRD_WIRE_WIREFORMAT_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crd {
+namespace wire {
+
+/// File magic: the first four bytes of every binary trace.
+inline constexpr char Magic[4] = {'C', 'R', 'D', 'W'};
+
+/// Format version byte following the magic. Readers reject other versions.
+inline constexpr uint8_t Version = 1;
+
+/// Bytes before the first chunk: magic + version + flags.
+inline constexpr size_t FileHeaderSize = 6;
+
+/// Bytes of a chunk header: u32le payload size + u32le payload CRC-32.
+inline constexpr size_t ChunkHeaderSize = 8;
+
+/// Upper bound a reader accepts for one chunk payload. Writers stay far
+/// below this; the cap keeps a corrupted/adversarial size field from
+/// forcing a multi-gigabyte allocation before the CRC can catch it.
+inline constexpr uint32_t MaxChunkPayload = 64u << 20;
+
+/// Default number of events buffered per chunk by WireWriter.
+inline constexpr size_t DefaultEventsPerChunk = 4096;
+
+/// Event opcodes. Deliberately decoupled from EventKind's numeric values:
+/// the in-memory enum may be reordered freely without a wire version bump.
+enum class Opcode : uint8_t {
+  Fork = 0,
+  Join = 1,
+  Acquire = 2,
+  Release = 3,
+  Invoke = 4,
+  Read = 5,
+  Write = 6,
+  TxBegin = 7,
+  TxEnd = 8,
+};
+
+/// Value tags. Nil/False/True carry no payload; Int is a zigzag varint;
+/// Str is a varint local symbol id into the chunk's table.
+enum class ValueTag : uint8_t {
+  Nil = 0,
+  False = 1,
+  True = 2,
+  Int = 3,
+  Str = 4,
+};
+
+} // namespace wire
+} // namespace crd
+
+#endif // CRD_WIRE_WIREFORMAT_H

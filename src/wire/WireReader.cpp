@@ -1,0 +1,397 @@
+//===- wire/WireReader.cpp - Streaming binary trace reader -------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/WireReader.h"
+
+#include "wire/Crc32.h"
+#include "wire/Varint.h"
+
+#include <istream>
+#include <limits>
+#include <sstream>
+
+using namespace crd;
+using namespace crd::wire;
+
+namespace {
+
+/// Structural errors carry the byte offset instead of a line/column; the
+/// offset is packed into the diagnostic text (SourceLocation is line
+/// oriented and deliberately left invalid).
+std::string atOffset(size_t Offset, const std::string &Message) {
+  std::ostringstream OS;
+  OS << Message << " (at byte " << Offset << ")";
+  return OS.str();
+}
+
+/// Reads a u32le chunk-header field. Returns nullopt at clean EOF before
+/// the first byte, -1-style failure via the bool otherwise.
+enum class HeaderRead { Ok, Eof, Truncated };
+
+HeaderRead readU32le(std::istream &In, uint32_t &V) {
+  char B[4];
+  In.read(B, 4);
+  std::streamsize Got = In.gcount();
+  if (Got == 0)
+    return HeaderRead::Eof;
+  if (Got != 4)
+    return HeaderRead::Truncated;
+  V = static_cast<uint8_t>(B[0]) | (static_cast<uint8_t>(B[1]) << 8) |
+      (static_cast<uint8_t>(B[2]) << 16) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(B[3])) << 24);
+  return HeaderRead::Ok;
+}
+
+/// Reads one chunk (header + CRC-validated payload) into \p Payload.
+/// Returns false at clean EOF; on error, reports and sets \p Failed.
+bool readChunk(std::istream &In, DiagnosticEngine &Diags, size_t &FileOffset,
+               std::string &Payload, bool &Failed) {
+  uint32_t PayloadSize = 0, Crc = 0;
+  HeaderRead First = readU32le(In, PayloadSize);
+  if (First == HeaderRead::Eof)
+    return false;
+  if (First == HeaderRead::Truncated ||
+      readU32le(In, Crc) != HeaderRead::Ok) {
+    Diags.error({}, atOffset(FileOffset, "truncated chunk header"));
+    Failed = true;
+    return false;
+  }
+  if (PayloadSize > MaxChunkPayload) {
+    Diags.error({}, atOffset(FileOffset, "chunk payload size " +
+                                             std::to_string(PayloadSize) +
+                                             " exceeds limit"));
+    Failed = true;
+    return false;
+  }
+  FileOffset += ChunkHeaderSize;
+
+  Payload.resize(PayloadSize);
+  In.read(Payload.data(), static_cast<std::streamsize>(PayloadSize));
+  if (In.gcount() != static_cast<std::streamsize>(PayloadSize)) {
+    Diags.error({}, atOffset(FileOffset, "truncated chunk payload: header "
+                                         "promises " +
+                                             std::to_string(PayloadSize) +
+                                             " bytes"));
+    Failed = true;
+    return false;
+  }
+  uint32_t Actual = crc32(Payload.data(), Payload.size());
+  if (Actual != Crc) {
+    std::ostringstream OS;
+    OS << "chunk CRC mismatch: header 0x" << std::hex << Crc << ", payload 0x"
+       << Actual;
+    Diags.error({}, atOffset(FileOffset - ChunkHeaderSize, OS.str()));
+    Failed = true;
+    return false;
+  }
+  return true;
+}
+
+bool checkFileHeader(std::istream &In, DiagnosticEngine &Diags) {
+  char Header[FileHeaderSize];
+  In.read(Header, FileHeaderSize);
+  if (In.gcount() != static_cast<std::streamsize>(FileHeaderSize) ||
+      Header[0] != Magic[0] || Header[1] != Magic[1] || Header[2] != Magic[2] ||
+      Header[3] != Magic[3]) {
+    Diags.error({}, "not a CRD binary trace (bad magic)");
+    return false;
+  }
+  uint8_t Ver = static_cast<uint8_t>(Header[4]);
+  if (Ver != Version) {
+    Diags.error({}, "unsupported wire format version " + std::to_string(Ver) +
+                        " (expected " + std::to_string(Version) + ")");
+    return false;
+  }
+  return true;
+}
+
+/// Decodes the symbol-table section. Returns false on malformed input.
+bool decodeSymbolTable(ByteReader &R, std::vector<Symbol> &Syms,
+                       size_t *SymbolBytes = nullptr) {
+  size_t Begin = R.offset();
+  auto Count = R.varint();
+  if (!Count || *Count > R.remaining()) // Each symbol needs ≥ 1 byte.
+    return false;
+  Syms.clear();
+  Syms.reserve(static_cast<size_t>(*Count));
+  for (uint64_t I = 0; I != *Count; ++I) {
+    auto Len = R.varint();
+    if (!Len)
+      return false;
+    auto Bytes = R.bytes(static_cast<size_t>(*Len));
+    if (!Bytes)
+      return false;
+    Syms.push_back(symbol(std::string_view(
+        reinterpret_cast<const char *>(Bytes->first), Bytes->second)));
+  }
+  if (SymbolBytes)
+    *SymbolBytes = R.offset() - Begin;
+  return true;
+}
+
+} // namespace
+
+WireReader::WireReader(std::istream &In, DiagnosticEngine &Diags)
+    : In(In), Diags(Diags) {
+  if (!checkFileHeader(In, Diags))
+    Failed = true;
+  FileOffset = FileHeaderSize;
+}
+
+void WireReader::fail(std::string Message) {
+  Diags.error({}, atOffset(ChunkBase + Pos, std::move(Message)));
+  Failed = true;
+}
+
+bool WireReader::loadChunk() {
+  ChunkBase = FileOffset + ChunkHeaderSize;
+  if (!readChunk(In, Diags, FileOffset, Payload, Failed))
+    return false;
+  FileOffset += Payload.size();
+  Pos = 0;
+  PrevThread = 0;
+  PrevObject = 0;
+
+  ByteReader R(reinterpret_cast<const uint8_t *>(Payload.data()),
+               Payload.size());
+  auto Count = R.varint();
+  if (!Count) {
+    fail("malformed chunk: bad event count");
+    return false;
+  }
+  if (!decodeSymbolTable(R, Syms)) {
+    fail("malformed chunk: bad symbol table");
+    return false;
+  }
+  EventsLeft = *Count;
+  Pos = R.offset();
+  ++NumChunks;
+  return true;
+}
+
+bool WireReader::next(Event &E) {
+  if (Failed)
+    return false;
+  while (EventsLeft == 0) {
+    if (!loadChunk())
+      return false;
+  }
+  if (!decodeEvent(E))
+    return false;
+  --EventsLeft;
+  ++NumEvents;
+  // A chunk's events must consume its payload exactly.
+  if (EventsLeft == 0 && Pos != Payload.size()) {
+    fail("malformed chunk: " + std::to_string(Payload.size() - Pos) +
+         " trailing payload bytes after last event");
+    return false;
+  }
+  return true;
+}
+
+bool WireReader::decodeEvent(Event &E) {
+  ByteReader R(reinterpret_cast<const uint8_t *>(Payload.data()) + Pos,
+               Payload.size() - Pos);
+  auto finishAt = [&] { Pos += R.offset(); };
+
+  auto Op = R.byte();
+  if (!Op) {
+    fail("truncated chunk: event count overruns payload");
+    return false;
+  }
+  if (*Op > static_cast<uint8_t>(Opcode::TxEnd)) {
+    fail("unknown event opcode " + std::to_string(*Op));
+    return false;
+  }
+
+  // Decodes an id field as a zigzag delta against \p Prev, updating it.
+  auto deltaId = [&](uint32_t &Prev, uint32_t &Out) {
+    auto Delta = R.svarint();
+    if (!Delta)
+      return false;
+    int64_t Id = static_cast<int64_t>(Prev) + *Delta;
+    if (Id < 0 || Id > std::numeric_limits<uint32_t>::max())
+      return false;
+    Prev = static_cast<uint32_t>(Id);
+    Out = Prev;
+    return true;
+  };
+  // Decodes a raw varint id field.
+  auto rawId = [&](uint32_t &Out) {
+    auto V = R.varint();
+    if (!V || *V > std::numeric_limits<uint32_t>::max())
+      return false;
+    Out = static_cast<uint32_t>(*V);
+    return true;
+  };
+
+  uint32_t Thread = 0;
+  if (!deltaId(PrevThread, Thread)) {
+    fail("malformed event: bad thread id");
+    return false;
+  }
+  ThreadId Self(Thread);
+
+  auto decodeValue = [&](Value &Out) {
+    auto Tag = R.byte();
+    if (!Tag)
+      return false;
+    switch (static_cast<ValueTag>(*Tag)) {
+    case ValueTag::Nil:
+      Out = Value::nil();
+      return true;
+    case ValueTag::False:
+      Out = Value::boolean(false);
+      return true;
+    case ValueTag::True:
+      Out = Value::boolean(true);
+      return true;
+    case ValueTag::Int: {
+      auto V = R.svarint();
+      if (!V)
+        return false;
+      Out = Value::integer(*V);
+      return true;
+    }
+    case ValueTag::Str: {
+      auto Id = R.varint();
+      if (!Id || *Id >= Syms.size())
+        return false;
+      Out = Value::string(Syms[static_cast<size_t>(*Id)]);
+      return true;
+    }
+    }
+    return false;
+  };
+
+  switch (static_cast<Opcode>(*Op)) {
+  case Opcode::Fork:
+  case Opcode::Join: {
+    uint32_t Other = 0;
+    if (!rawId(Other)) {
+      fail("malformed fork/join event: bad target thread");
+      return false;
+    }
+    E = static_cast<Opcode>(*Op) == Opcode::Fork
+            ? Event::fork(Self, ThreadId(Other))
+            : Event::join(Self, ThreadId(Other));
+    finishAt();
+    return true;
+  }
+  case Opcode::Acquire:
+  case Opcode::Release: {
+    uint32_t Lock = 0;
+    if (!rawId(Lock)) {
+      fail("malformed acquire/release event: bad lock id");
+      return false;
+    }
+    E = static_cast<Opcode>(*Op) == Opcode::Acquire
+            ? Event::acquire(Self, LockId(Lock))
+            : Event::release(Self, LockId(Lock));
+    finishAt();
+    return true;
+  }
+  case Opcode::Read:
+  case Opcode::Write: {
+    uint32_t Var = 0;
+    if (!rawId(Var)) {
+      fail("malformed read/write event: bad location id");
+      return false;
+    }
+    E = static_cast<Opcode>(*Op) == Opcode::Read ? Event::read(Self, VarId(Var))
+                                                 : Event::write(Self, VarId(Var));
+    finishAt();
+    return true;
+  }
+  case Opcode::TxBegin:
+    E = Event::txBegin(Self);
+    finishAt();
+    return true;
+  case Opcode::TxEnd:
+    E = Event::txEnd(Self);
+    finishAt();
+    return true;
+  case Opcode::Invoke: {
+    uint32_t Obj = 0;
+    if (!deltaId(PrevObject, Obj)) {
+      fail("malformed action event: bad object id");
+      return false;
+    }
+    auto MethodId = R.varint();
+    if (!MethodId || *MethodId >= Syms.size()) {
+      fail("malformed action event: bad method symbol");
+      return false;
+    }
+    auto NArgs = R.varint();
+    if (!NArgs || *NArgs > R.remaining()) { // Each value needs ≥ 1 byte.
+      fail("malformed action event: bad argument count");
+      return false;
+    }
+    std::vector<Value> Args(static_cast<size_t>(*NArgs));
+    for (Value &V : Args)
+      if (!decodeValue(V)) {
+        fail("malformed action event: bad argument value");
+        return false;
+      }
+    auto NRets = R.varint();
+    if (!NRets || *NRets > R.remaining()) {
+      fail("malformed action event: bad return count");
+      return false;
+    }
+    std::vector<Value> Rets(static_cast<size_t>(*NRets));
+    for (Value &V : Rets)
+      if (!decodeValue(V)) {
+        fail("malformed action event: bad return value");
+        return false;
+      }
+    E = Event::invoke(Self,
+                      Action(ObjectId(Obj), Syms[static_cast<size_t>(*MethodId)],
+                             std::move(Args), std::move(Rets)));
+    finishAt();
+    return true;
+  }
+  }
+  return false; // Unreachable.
+}
+
+std::optional<WireFileInfo> wire::scanWire(std::istream &In,
+                                           DiagnosticEngine &Diags) {
+  if (!checkFileHeader(In, Diags))
+    return std::nullopt;
+
+  WireFileInfo Info;
+  Info.TotalBytes = FileHeaderSize;
+  size_t FileOffset = FileHeaderSize;
+  std::string Payload;
+  bool Failed = false;
+  while (true) {
+    size_t ChunkOffset = FileOffset;
+    if (!readChunk(In, Diags, FileOffset, Payload, Failed)) {
+      if (Failed)
+        return std::nullopt;
+      break; // Clean EOF.
+    }
+    FileOffset += Payload.size();
+
+    ByteReader R(reinterpret_cast<const uint8_t *>(Payload.data()),
+                 Payload.size());
+    WireChunkInfo Chunk;
+    Chunk.Offset = ChunkOffset;
+    Chunk.PayloadBytes = Payload.size();
+    auto Count = R.varint();
+    std::vector<Symbol> Syms;
+    if (!Count || !decodeSymbolTable(R, Syms, &Chunk.SymbolBytes)) {
+      Diags.error({}, atOffset(ChunkOffset, "malformed chunk prologue"));
+      return std::nullopt;
+    }
+    Chunk.Events = static_cast<size_t>(*Count);
+    Chunk.Symbols = Syms.size();
+    Info.TotalEvents += Chunk.Events;
+    Info.TotalBytes += ChunkHeaderSize + Payload.size();
+    Info.Chunks.push_back(Chunk);
+  }
+  return Info;
+}

@@ -1,0 +1,103 @@
+//===- wire/WireReader.h - Streaming binary trace reader --------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming decoder for the chunked binary trace format (WireFormat.h).
+/// The reader holds exactly one chunk payload in memory at a time and
+/// decodes events on demand — a whole-file Trace is never materialized.
+/// Every structural problem (bad magic/version, truncated chunk, CRC
+/// mismatch, malformed varint, dangling symbol reference, ...) is reported
+/// as a diagnostic with the file offset, never as a crash: the reader is
+/// the wire-fuzz target and must survive arbitrary bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_WIRE_WIREREADER_H
+#define CRD_WIRE_WIREREADER_H
+
+#include "support/Diagnostics.h"
+#include "trace/Event.h"
+#include "wire/WireFormat.h"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crd {
+namespace wire {
+
+/// Pull-based decoder over a binary trace stream.
+class WireReader {
+public:
+  /// Reads and validates the file header immediately; on failure the
+  /// reader starts out failed and next() returns false.
+  WireReader(std::istream &In, DiagnosticEngine &Diags);
+
+  /// Decodes the next event into \p E. Returns false at end of stream or
+  /// on the first structural error (check failed() to distinguish).
+  bool next(Event &E);
+
+  /// True once a structural error has been diagnosed; the stream position
+  /// is then unspecified and next() keeps returning false.
+  bool failed() const { return Failed; }
+
+  size_t eventsRead() const { return NumEvents; }
+  size_t chunksRead() const { return NumChunks; }
+
+private:
+  bool loadChunk();
+  bool decodeEvent(Event &E);
+  void fail(std::string Message);
+
+  std::istream &In;
+  DiagnosticEngine &Diags;
+  std::string Payload;       ///< Current chunk payload.
+  size_t Pos = 0;            ///< Decode offset within Payload.
+  size_t ChunkBase = 0;      ///< File offset of the current payload.
+  size_t FileOffset = 0;     ///< File offset past everything consumed.
+  uint64_t EventsLeft = 0;   ///< Undecoded events in the current chunk.
+  std::vector<Symbol> Syms;  ///< Current chunk's symbol table.
+  uint32_t PrevThread = 0;   ///< Thread delta predictor (resets per chunk).
+  uint32_t PrevObject = 0;   ///< Object delta predictor (resets per chunk).
+  size_t NumEvents = 0;
+  size_t NumChunks = 0;
+  bool Failed = false;
+};
+
+/// Shape report of one chunk, as produced by scanWire (the `crd stats`
+/// backend): sizes and entry counts, no event decoding.
+struct WireChunkInfo {
+  size_t Offset = 0;       ///< File offset of the chunk header.
+  size_t PayloadBytes = 0; ///< Payload size (excluding the 8-byte header).
+  size_t Events = 0;
+  size_t Symbols = 0;
+  size_t SymbolBytes = 0;  ///< Bytes of the symbol table section.
+};
+
+/// Whole-file shape summary.
+struct WireFileInfo {
+  std::vector<WireChunkInfo> Chunks;
+  size_t TotalBytes = 0; ///< File header + all chunk headers + payloads.
+  size_t TotalEvents = 0;
+
+  double bytesPerEvent() const {
+    return TotalEvents ? static_cast<double>(TotalBytes) /
+                             static_cast<double>(TotalEvents)
+                       : 0.0;
+  }
+};
+
+/// Scans \p In chunk-by-chunk, validating headers and CRCs but decoding
+/// only the per-chunk prologues. Returns nullopt after diagnosing a
+/// structural error.
+std::optional<WireFileInfo> scanWire(std::istream &In,
+                                     DiagnosticEngine &Diags);
+
+} // namespace wire
+} // namespace crd
+
+#endif // CRD_WIRE_WIREREADER_H

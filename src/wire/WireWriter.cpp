@@ -1,0 +1,187 @@
+//===- wire/WireWriter.cpp - Streaming binary trace writer -------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/WireWriter.h"
+
+#include "trace/Trace.h"
+#include "wire/Crc32.h"
+#include "wire/Varint.h"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+
+using namespace crd;
+using namespace crd::wire;
+
+WireWriter::WireWriter(std::ostream &OS, size_t EventsPerChunk)
+    : OS(OS), EventsPerChunk(std::max<size_t>(1, EventsPerChunk)) {
+  char Header[FileHeaderSize] = {Magic[0], Magic[1], Magic[2], Magic[3],
+                                 static_cast<char>(Version), 0 /* flags */};
+  OS.write(Header, FileHeaderSize);
+  NumBytes += FileHeaderSize;
+  Pending.reserve(this->EventsPerChunk);
+}
+
+WireWriter::~WireWriter() { finish(); }
+
+void WireWriter::append(const Event &E) {
+  Pending.push_back(E);
+  ++NumEvents;
+  if (Pending.size() >= EventsPerChunk)
+    flushChunk();
+}
+
+void WireWriter::writeTrace(const Trace &T) {
+  for (const Event &E : T)
+    append(E);
+}
+
+void WireWriter::finish() {
+  if (Finished)
+    return;
+  if (!Pending.empty())
+    flushChunk();
+  OS.flush();
+  Finished = true;
+}
+
+namespace {
+
+Opcode opcodeOf(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::Fork:
+    return Opcode::Fork;
+  case EventKind::Join:
+    return Opcode::Join;
+  case EventKind::Acquire:
+    return Opcode::Acquire;
+  case EventKind::Release:
+    return Opcode::Release;
+  case EventKind::Invoke:
+    return Opcode::Invoke;
+  case EventKind::Read:
+    return Opcode::Read;
+  case EventKind::Write:
+    return Opcode::Write;
+  case EventKind::TxBegin:
+    return Opcode::TxBegin;
+  case EventKind::TxEnd:
+    return Opcode::TxEnd;
+  }
+  return Opcode::TxEnd; // Unreachable.
+}
+
+void putU32le(std::ostream &OS, uint32_t V) {
+  char B[4] = {static_cast<char>(V & 0xFF), static_cast<char>((V >> 8) & 0xFF),
+               static_cast<char>((V >> 16) & 0xFF),
+               static_cast<char>((V >> 24) & 0xFF)};
+  OS.write(B, 4);
+}
+
+/// Per-chunk symbol interner: local ids in order of first use.
+class ChunkSymbols {
+public:
+  uint64_t localId(Symbol Sym) {
+    auto [It, Inserted] = Ids.try_emplace(Sym, Order.size());
+    if (Inserted)
+      Order.push_back(Sym);
+    return It->second;
+  }
+
+  void encodeTable(std::string &Out) const {
+    putVarint(Out, Order.size());
+    for (Symbol Sym : Order) {
+      std::string_view Text = Sym.str();
+      putVarint(Out, Text.size());
+      Out.append(Text);
+    }
+  }
+
+private:
+  std::unordered_map<Symbol, uint64_t> Ids;
+  std::vector<Symbol> Order;
+};
+
+void encodeValue(std::string &Out, const Value &V, ChunkSymbols &Syms) {
+  switch (V.kind()) {
+  case Value::Kind::Nil:
+    Out.push_back(static_cast<char>(ValueTag::Nil));
+    return;
+  case Value::Kind::Bool:
+    Out.push_back(
+        static_cast<char>(V.asBool() ? ValueTag::True : ValueTag::False));
+    return;
+  case Value::Kind::Int:
+    Out.push_back(static_cast<char>(ValueTag::Int));
+    putSVarint(Out, V.asInt());
+    return;
+  case Value::Kind::Str:
+    Out.push_back(static_cast<char>(ValueTag::Str));
+    putVarint(Out, Syms.localId(V.asSymbol()));
+    return;
+  }
+}
+
+} // namespace
+
+void WireWriter::flushChunk() {
+  // The events section references local symbol ids, so it is encoded first
+  // (populating the interner) and the payload assembled table-before-events.
+  ChunkSymbols Syms;
+  std::string Events;
+  uint32_t PrevThread = 0;
+  uint32_t PrevObject = 0;
+  for (const Event &E : Pending) {
+    Events.push_back(static_cast<char>(opcodeOf(E.kind())));
+    putSVarint(Events, static_cast<int64_t>(E.thread().index()) -
+                           static_cast<int64_t>(PrevThread));
+    PrevThread = E.thread().index();
+    switch (E.kind()) {
+    case EventKind::Fork:
+    case EventKind::Join:
+      putVarint(Events, E.other().index());
+      break;
+    case EventKind::Acquire:
+    case EventKind::Release:
+      putVarint(Events, E.lock().index());
+      break;
+    case EventKind::Read:
+    case EventKind::Write:
+      putVarint(Events, E.var().index());
+      break;
+    case EventKind::TxBegin:
+    case EventKind::TxEnd:
+      break;
+    case EventKind::Invoke: {
+      const Action &A = E.action();
+      putSVarint(Events, static_cast<int64_t>(A.object().index()) -
+                             static_cast<int64_t>(PrevObject));
+      PrevObject = A.object().index();
+      putVarint(Events, Syms.localId(A.method()));
+      putVarint(Events, A.args().size());
+      for (const Value &V : A.args())
+        encodeValue(Events, V, Syms);
+      putVarint(Events, A.rets().size());
+      for (const Value &V : A.rets())
+        encodeValue(Events, V, Syms);
+      break;
+    }
+    }
+  }
+
+  std::string Payload;
+  putVarint(Payload, Pending.size());
+  Syms.encodeTable(Payload);
+  Payload.append(Events);
+
+  putU32le(OS, static_cast<uint32_t>(Payload.size()));
+  putU32le(OS, crc32(Payload.data(), Payload.size()));
+  OS.write(Payload.data(), static_cast<std::streamsize>(Payload.size()));
+  NumBytes += ChunkHeaderSize + Payload.size();
+  ++NumChunks;
+  Pending.clear();
+}

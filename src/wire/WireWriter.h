@@ -1,0 +1,85 @@
+//===- wire/WireWriter.h - Streaming binary trace writer --------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming encoder for the chunked binary trace format (WireFormat.h).
+/// Events are appended one at a time; every EventsPerChunk of them are
+/// flushed as one self-contained chunk with its own CRC-32 and symbol
+/// table. The writer never materializes a Trace, so it can sit directly
+/// behind a live SimRuntime sink (WireSink) or behind a text parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_WIRE_WIREWRITER_H
+#define CRD_WIRE_WIREWRITER_H
+
+#include "runtime/Sink.h"
+#include "trace/Event.h"
+#include "wire/WireFormat.h"
+
+#include <iosfwd>
+#include <vector>
+
+namespace crd {
+namespace wire {
+
+/// Encodes an event stream into the binary wire format.
+class WireWriter {
+public:
+  /// Writes the file header to \p OS immediately. \p EventsPerChunk is
+  /// clamped to ≥ 1.
+  explicit WireWriter(std::ostream &OS,
+                      size_t EventsPerChunk = DefaultEventsPerChunk);
+
+  /// finish() is idempotent; the destructor flushes a forgotten tail chunk.
+  ~WireWriter();
+  WireWriter(const WireWriter &) = delete;
+  WireWriter &operator=(const WireWriter &) = delete;
+
+  /// Buffers one event, flushing a chunk when the buffer fills.
+  void append(const Event &E);
+
+  /// Encodes a whole trace (convenience; still chunk-at-a-time).
+  void writeTrace(const Trace &T);
+
+  /// Flushes the pending partial chunk, if any. Must be called (or the
+  /// writer destroyed) before the output is complete.
+  void finish();
+
+  size_t eventsWritten() const { return NumEvents; }
+  size_t chunksWritten() const { return NumChunks; }
+  /// Bytes emitted so far, including the file header (finished chunks
+  /// only; pending buffered events are not counted).
+  size_t bytesWritten() const { return NumBytes; }
+
+private:
+  void flushChunk();
+
+  std::ostream &OS;
+  size_t EventsPerChunk;
+  std::vector<Event> Pending;
+  size_t NumEvents = 0;
+  size_t NumChunks = 0;
+  size_t NumBytes = 0;
+  bool Finished = false;
+};
+
+/// EventSink adapter: records a simulated execution directly as a binary
+/// trace, the online shape the paper's RD2 had behind RoadRunner.
+class WireSink : public EventSink {
+public:
+  explicit WireSink(WireWriter &Writer) : Writer(Writer) {}
+
+  void onEvent(const Event &E) override { Writer.append(E); }
+
+private:
+  WireWriter &Writer;
+};
+
+} // namespace wire
+} // namespace crd
+
+#endif // CRD_WIRE_WIREWRITER_H

@@ -1,0 +1,313 @@
+//===- tests/StreamPipelineTest.cpp - streaming/batch equivalence -------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The streaming pipeline must be a pure refactoring of the materialized
+/// path: for every backend, running StreamPipeline over a binary-encoded
+/// trace (decoded chunk-at-a-time, never materializing a Trace) reports
+/// bit-identical results to running the corresponding detector over the
+/// parsed text Trace — including the ParallelDetector backend at odd
+/// batch sizes and every shard count, where batches split mid-trace.
+///
+//===----------------------------------------------------------------------===//
+
+#include "access/DictionaryRep.h"
+#include "detect/CommutativityDetector.h"
+#include "detect/FastTrack.h"
+#include "detect/OnlineAtomicity.h"
+#include "runtime/InstrumentedMap.h"
+#include "runtime/SimRuntime.h"
+#include "trace/TraceIO.h"
+#include "wire/StreamPipeline.h"
+#include "wire/WireWriter.h"
+#include "TraceGen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace crd;
+using namespace crd::wire;
+
+namespace {
+
+const DictionaryRep &dictRep() {
+  static DictionaryRep Rep;
+  return Rep;
+}
+
+std::string encodeWire(const Trace &T, size_t EventsPerChunk = 64) {
+  std::ostringstream OS;
+  WireWriter Writer(OS, EventsPerChunk);
+  Writer.writeTrace(T);
+  Writer.finish();
+  return OS.str();
+}
+
+/// Runs \p Opts over the binary encoding of \p T and returns the summary;
+/// the pipeline itself is returned through \p Out for result inspection.
+StreamSummary runBinary(const Trace &T, PipelineOptions Opts,
+                        std::unique_ptr<StreamPipeline> &Out,
+                        size_t EventsPerChunk = 64) {
+  std::string Bytes = encodeWire(T, EventsPerChunk);
+  std::istringstream In(Bytes);
+  DiagnosticEngine Diags;
+  BinaryStreamSource Source(In, Diags);
+  Out = std::make_unique<StreamPipeline>(Opts);
+  Out->setDefaultProvider(&dictRep());
+  StreamSummary S = Out->run(Source);
+  EXPECT_FALSE(Source.failed()) << Diags.toString();
+  return S;
+}
+
+void expectRacesIdentical(const std::vector<CommutativityRace> &A,
+                          const std::vector<CommutativityRace> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    EXPECT_TRUE(A[I] == B[I]) << "race " << I << ":\n  " << A[I].toString()
+                              << "\n  " << B[I].toString();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Sequential backend
+//===----------------------------------------------------------------------===//
+
+TEST(StreamPipelineTest, SequentialBinaryMatchesMaterialized) {
+  for (uint64_t Seed : {2u, 13u, 77u}) {
+    Trace T = testgen::randomTrace(Seed, 4, 40, 6);
+
+    CommutativityRaceDetector Reference;
+    Reference.setDefaultProvider(&dictRep());
+    Reference.processTrace(T);
+
+    std::unique_ptr<StreamPipeline> P;
+    StreamSummary S = runBinary(T, {Backend::Sequential}, P);
+
+    EXPECT_EQ(S.Events, T.size());
+    EXPECT_EQ(S.Races, Reference.races().size());
+    expectRacesIdentical(P->races(), Reference.races());
+  }
+}
+
+TEST(StreamPipelineTest, TextSourceMatchesBinarySource) {
+  Trace T = testgen::randomTrace(5, 3, 30, 5);
+
+  std::string Text = traceToString(T);
+  std::istringstream TextIn(Text);
+  DiagnosticEngine Diags;
+  TextStreamSource TextSource(TextIn, Diags);
+  StreamPipeline TextP({Backend::Sequential});
+  TextP.setDefaultProvider(&dictRep());
+  StreamSummary TextS = TextP.run(TextSource);
+  EXPECT_FALSE(TextSource.failed()) << Diags.toString();
+
+  std::unique_ptr<StreamPipeline> BinP;
+  StreamSummary BinS = runBinary(T, {Backend::Sequential}, BinP);
+
+  EXPECT_EQ(TextS.Events, BinS.Events);
+  EXPECT_EQ(TextS.Races, BinS.Races);
+  expectRacesIdentical(TextP.races(), BinP->races());
+}
+
+TEST(StreamPipelineTest, RaceCallbackFiresForEveryRace) {
+  Trace T = testgen::randomTrace(21, 4, 40, 4);
+  std::string Bytes = encodeWire(T);
+  std::istringstream In(Bytes);
+  DiagnosticEngine Diags;
+  BinaryStreamSource Source(In, Diags);
+
+  StreamPipeline P({Backend::Sequential});
+  P.setDefaultProvider(&dictRep());
+  std::vector<CommutativityRace> Seen;
+  P.setRaceCallback([&Seen](const CommutativityRace &R) { Seen.push_back(R); });
+  StreamSummary S = P.run(Source);
+
+  EXPECT_EQ(Seen.size(), S.Races);
+  expectRacesIdentical(Seen, P.races());
+  EXPECT_GT(S.Races, 0u) << "seed produced no races; pick another seed";
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel backend
+//===----------------------------------------------------------------------===//
+
+TEST(StreamPipelineTest, ParallelBackendBitIdenticalAcrossBatchesAndShards) {
+  Trace T = testgen::randomTrace(9, 4, 50, 6);
+
+  CommutativityRaceDetector Reference;
+  Reference.setDefaultProvider(&dictRep());
+  Reference.processTrace(T);
+
+  // Odd batch sizes force splits at arbitrary trace positions; the
+  // sharded detector's state must carry across them.
+  for (size_t Batch : {size_t(1), size_t(17), size_t(100), size_t(4096)}) {
+    for (unsigned Shards = 1; Shards <= 4; ++Shards) {
+      std::unique_ptr<StreamPipeline> P;
+      PipelineOptions Opts;
+      Opts.TheBackend = Backend::Parallel;
+      Opts.Shards = Shards;
+      Opts.BatchSize = Batch;
+      StreamSummary S = runBinary(T, Opts, P, /*EventsPerChunk=*/33);
+
+      EXPECT_EQ(S.Events, T.size())
+          << "batch=" << Batch << " shards=" << Shards;
+      expectRacesIdentical(P->races(), Reference.races());
+    }
+  }
+}
+
+TEST(StreamPipelineTest, ParallelPushModeNeedsFinish) {
+  Trace T = testgen::randomTrace(31, 3, 30, 4);
+
+  CommutativityRaceDetector Reference;
+  Reference.setDefaultProvider(&dictRep());
+  Reference.processTrace(T);
+
+  PipelineOptions Opts;
+  Opts.TheBackend = Backend::Parallel;
+  Opts.Shards = 2;
+  Opts.BatchSize = 64;
+  StreamPipeline P(Opts);
+  P.setDefaultProvider(&dictRep());
+  for (size_t I = 0; I != T.size(); ++I)
+    P.onEvent(T[I]);
+  P.finish();
+  P.finish(); // Idempotent.
+
+  EXPECT_EQ(P.eventsProcessed(), T.size());
+  expectRacesIdentical(P.races(), Reference.races());
+}
+
+//===----------------------------------------------------------------------===//
+// FastTrack backend
+//===----------------------------------------------------------------------===//
+
+TEST(StreamPipelineTest, FastTrackBinaryMatchesMaterialized) {
+  Trace T = testgen::randomTrace(17, 4, 40, 4);
+
+  FastTrackDetector Reference;
+  Reference.processTrace(T);
+
+  std::unique_ptr<StreamPipeline> P;
+  size_t Callbacks = 0;
+  std::string Bytes = encodeWire(T);
+  std::istringstream In(Bytes);
+  DiagnosticEngine Diags;
+  BinaryStreamSource Source(In, Diags);
+  P = std::make_unique<StreamPipeline>(PipelineOptions{Backend::FastTrack});
+  P->setMemoryRaceCallback([&Callbacks](const MemoryRace &) { ++Callbacks; });
+  StreamSummary S = P->run(Source);
+
+  EXPECT_EQ(S.MemoryRaces, Reference.races().size());
+  EXPECT_EQ(Callbacks, Reference.races().size());
+  ASSERT_EQ(P->memoryRaces().size(), Reference.races().size());
+  for (size_t I = 0; I != Reference.races().size(); ++I) {
+    const MemoryRace &A = P->memoryRaces()[I];
+    const MemoryRace &B = Reference.races()[I];
+    EXPECT_EQ(A.EventIndex, B.EventIndex) << "race " << I;
+    EXPECT_EQ(A.Var, B.Var) << "race " << I;
+    EXPECT_EQ(A.Access, B.Access) << "race " << I;
+    EXPECT_EQ(A.PriorThread, B.PriorThread) << "race " << I;
+    EXPECT_EQ(A.CurrentThread, B.CurrentThread) << "race " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Atomicity backend
+//===----------------------------------------------------------------------===//
+
+TEST(StreamPipelineTest, AtomicityBinaryMatchesMaterialized) {
+  // Wrap each worker op stream in transactions by hand: reuse the random
+  // trace and inject TxBegin/TxEnd around every thread's whole run.
+  Trace Base = testgen::randomTrace(8, 3, 25, 3);
+  Trace T;
+  std::set<uint32_t> Started;
+  for (size_t I = 0; I != Base.size(); ++I) {
+    const Event &E = Base[I];
+    if (E.kind() == EventKind::Invoke &&
+        Started.insert(E.thread().index()).second)
+      T.append(Event::txBegin(E.thread()));
+    T.append(E);
+  }
+  for (uint32_t Tid : Started)
+    T.append(Event::txEnd(ThreadId(Tid)));
+
+  OnlineAtomicityChecker Reference;
+  Reference.setDefaultProvider(&dictRep());
+  Reference.processTrace(T);
+
+  std::unique_ptr<StreamPipeline> P;
+  StreamSummary S = runBinary(T, {Backend::Atomicity}, P);
+
+  EXPECT_EQ(S.Violations, Reference.violations().size());
+  ASSERT_EQ(P->violations().size(), Reference.violations().size());
+  for (size_t I = 0; I != Reference.violations().size(); ++I) {
+    EXPECT_EQ(P->violations()[I].Thread, Reference.violations()[I].Thread);
+    EXPECT_EQ(P->violations()[I].BeginEvent,
+              Reference.violations()[I].BeginEvent);
+    EXPECT_EQ(P->violations()[I].EndEvent, Reference.violations()[I].EndEvent);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Live push from a SimRuntime
+//===----------------------------------------------------------------------===//
+
+TEST(StreamPipelineTest, LiveRuntimePushMatchesRecordedTrace) {
+  // Drive the same deterministic execution twice: once recording a Trace
+  // for the reference detector, once pushing straight into the pipeline.
+  auto runInto = [](EventSink &Sink) {
+    SimRuntime RT(4242);
+    InstrumentedMap Map(RT);
+    ThreadId Main = RT.addInitialThread();
+    RT.schedule(Main, [&](SimThread &T) {
+      ThreadId A = T.fork([&Map](SimThread &T2) {
+        Map.put(T2, Value::integer(1), Value::integer(10));
+        Map.size(T2);
+      });
+      ThreadId B = T.fork([&Map](SimThread &T2) {
+        Map.put(T2, Value::integer(1), Value::integer(20));
+      });
+      T.defer([A](SimThread &T3) { T3.join(A); });
+      T.defer([B](SimThread &T3) { T3.join(B); });
+      T.defer([&Map](SimThread &T3) { Map.get(T3, Value::integer(1)); });
+    });
+    RT.run(Sink);
+  };
+
+  TraceRecorder Recorder;
+  runInto(Recorder);
+  CommutativityRaceDetector Reference;
+  Reference.setDefaultProvider(&dictRep());
+  Reference.processTrace(Recorder.trace());
+
+  StreamPipeline P({Backend::Sequential});
+  P.setDefaultProvider(&dictRep());
+  runInto(P);
+  P.finish();
+
+  EXPECT_EQ(P.eventsProcessed(), Recorder.trace().size());
+  expectRacesIdentical(P.races(), Reference.races());
+  EXPECT_GT(P.races().size(), 0u) << "expected a put/put race";
+}
+
+//===----------------------------------------------------------------------===//
+// Summary bookkeeping
+//===----------------------------------------------------------------------===//
+
+TEST(StreamPipelineTest, SummaryCountsDistinctObjects) {
+  Trace T = testgen::randomTrace(2, 4, 40, 6);
+  std::unique_ptr<StreamPipeline> P;
+  StreamSummary S = runBinary(T, {Backend::Sequential}, P);
+
+  std::set<uint32_t> Objects;
+  for (const CommutativityRace &R : P->races())
+    Objects.insert(R.Current.object().index());
+  EXPECT_EQ(S.DistinctRacyObjects, Objects.size());
+  EXPECT_EQ(S.clean(), P->races().empty());
+}

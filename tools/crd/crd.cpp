@@ -1,0 +1,13 @@
+//===- tools/crd/crd.cpp - crd driver entry point ----------------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Cli.h"
+
+#include <iostream>
+
+int main(int Argc, char **Argv) {
+  return crd::cli::crdMain(Argc, Argv, std::cout, std::cerr);
+}
