@@ -12,10 +12,13 @@
 ///     VectorClock accumulated clocks (ablation baseline);
 ///   * seq/epoch     — sequential Algorithm 1 with epoch-compressed clocks
 ///     (the production CommutativityRaceDetector);
-///   * parallel/shards=N — the object-sharded pipeline at 1/2/4/8 shards.
+///   * parallel/shards=N[/batch=B] — the streaming shard pipeline at
+///     1/2/4/8 shards, swept over the dispatch batch size (the canonical
+///     per-shard entry uses the default batch).
 ///
-/// Emits a machine-readable BENCH_detector.json (see bench/report.h) so the
-/// perf trajectory can be tracked across PRs.
+/// Every configuration is timed with one warmup run and the median of the
+/// requested repetitions (bench/report.h), so committed numbers are stable
+/// enough to diff across PRs. Emits a machine-readable BENCH_detector.json.
 ///
 /// Usage: ./parallel_scaling [workers] [queries-per-worker] [reps] [json-path]
 ///
@@ -28,7 +31,6 @@
 #include "translate/Translator.h"
 #include "workloads/PolePosition.h"
 
-#include <chrono>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
@@ -69,30 +71,6 @@ Trace recordH2Trace(unsigned Workers, unsigned Queries) {
   return Recorder.take();
 }
 
-/// Times \p Run (which returns the race count) \p Reps times; keeps the
-/// best wall time.
-template <typename Fn>
-bench::BenchEntry measure(const std::string &Name, unsigned Shards,
-                          size_t Events, unsigned Reps, Fn Run) {
-  bench::BenchEntry Entry;
-  Entry.Name = Name;
-  Entry.Shards = Shards;
-  Entry.Events = Events;
-  Entry.Seconds = 1e100;
-  for (unsigned R = 0; R != Reps; ++R) {
-    auto Start = std::chrono::steady_clock::now();
-    size_t Races = Run();
-    double Secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-            .count();
-    Entry.Races = Races;
-    if (Secs < Entry.Seconds)
-      Entry.Seconds = Secs;
-  }
-  Entry.EventsPerSec = Entry.Seconds > 0 ? Events / Entry.Seconds : 0.0;
-  return Entry;
-}
-
 } // namespace
 
 static unsigned parsePositive(const char *Arg, const char *Name) {
@@ -111,8 +89,9 @@ static unsigned parsePositive(const char *Arg, const char *Name) {
 int main(int Argc, char **Argv) {
   unsigned Workers = Argc > 1 ? parsePositive(Argv[1], "workers") : 4;
   unsigned Queries = Argc > 2 ? parsePositive(Argv[2], "queries-per-worker") : 4000;
-  unsigned Reps = Argc > 3 ? parsePositive(Argv[3], "reps") : 3;
+  unsigned Reps = Argc > 3 ? parsePositive(Argv[3], "reps") : 5;
   std::string JsonPath = Argc > 4 ? Argv[4] : "BENCH_detector.json";
+  constexpr unsigned Warmup = 1;
 
   DiagnosticEngine Diags;
   auto Rep = translateSpec(dictionarySpec(), Diags);
@@ -123,39 +102,51 @@ int main(int Argc, char **Argv) {
 
   Trace T = recordH2Trace(Workers, Queries);
   std::cout << "H2 ComplexConcurrency trace: " << T.size() << " events ("
-            << Workers << " workers x " << Queries << " queries), best of "
-            << Reps << " reps\n\n";
+            << Workers << " workers x " << Queries
+            << " queries), median of " << Reps << " reps after " << Warmup
+            << " warmup\n\n";
 
   bench::BenchReport Report("parallel_scaling", "h2-complex-concurrency");
 
-  Report.add(measure("seq/fullclock", 0, T.size(), Reps, [&] {
-    SequentialDetector<FullClockRep> D;
-    D.Engine.setDefaultProvider(Rep.get());
-    D.processTrace(T);
-    return D.Engine.races().size();
-  }));
-  Report.add(measure("seq/epoch", 0, T.size(), Reps, [&] {
-    CommutativityRaceDetector D;
-    D.setDefaultProvider(Rep.get());
-    D.processTrace(T);
-    return D.races().size();
-  }));
+  Report.add(bench::measureMedian("seq/fullclock", 0, T.size(), Warmup, Reps,
+                                  [&] {
+                                    SequentialDetector<FullClockRep> D;
+                                    D.Engine.setDefaultProvider(Rep.get());
+                                    D.processTrace(T);
+                                    return D.Engine.races().size();
+                                  }));
+  Report.add(bench::measureMedian("seq/epoch", 0, T.size(), Warmup, Reps,
+                                  [&] {
+                                    CommutativityRaceDetector D;
+                                    D.setDefaultProvider(Rep.get());
+                                    D.processTrace(T);
+                                    return D.races().size();
+                                  }));
+  // Shard sweep × dispatch batch size. The canonical "parallel/shards=N"
+  // names keep the default batch so bench_compare.py can diff trajectories
+  // across PRs; other batch sizes get an explicit suffix.
   for (unsigned Shards : {1u, 2u, 4u, 8u})
-    Report.add(measure("parallel/shards=" + std::to_string(Shards), Shards,
-                       T.size(), Reps, [&, Shards] {
-                         ParallelDetector D(Shards);
-                         D.setDefaultProvider(Rep.get());
-                         D.processTrace(T);
-                         return D.races().size();
-                       }));
+    for (size_t Batch : {size_t(1024), ParallelDetector::DefaultBatchSize,
+                         size_t(16384)}) {
+      std::string Name = "parallel/shards=" + std::to_string(Shards);
+      if (Batch != ParallelDetector::DefaultBatchSize)
+        Name += "/batch=" + std::to_string(Batch);
+      Report.add(bench::measureMedian(Name, Shards, T.size(), Warmup, Reps,
+                                      [&, Shards, Batch] {
+                                        ParallelDetector D(Shards, Batch);
+                                        D.setDefaultProvider(Rep.get());
+                                        D.processTrace(T);
+                                        return D.races().size();
+                                      }));
+    }
 
   const auto &Entries = Report.entries();
   double Baseline = Entries.front().EventsPerSec;
-  std::cout << std::left << std::setw(22) << "config" << std::right
+  std::cout << std::left << std::setw(30) << "config" << std::right
             << std::setw(14) << "events/sec" << std::setw(10) << "speedup"
             << std::setw(10) << "races" << '\n';
   for (const bench::BenchEntry &E : Entries)
-    std::cout << std::left << std::setw(22) << E.Name << std::right
+    std::cout << std::left << std::setw(30) << E.Name << std::right
               << std::setw(14) << static_cast<uint64_t>(E.EventsPerSec)
               << std::setw(9) << std::fixed << std::setprecision(2)
               << (Baseline > 0 ? E.EventsPerSec / Baseline : 0.0) << "x"

@@ -15,6 +15,8 @@
 #ifndef CRD_BENCH_REPORT_H
 #define CRD_BENCH_REPORT_H
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -29,10 +31,45 @@ struct BenchEntry {
   std::string Name;      ///< e.g. "parallel/shards=4".
   unsigned Shards = 0;   ///< 0 for sequential configurations.
   size_t Events = 0;     ///< Trace events processed per run.
-  double Seconds = 0.0;  ///< Best wall time over the repetitions.
+  double Seconds = 0.0;  ///< Median wall time over the repetitions.
   double EventsPerSec = 0.0;
   size_t Races = 0;      ///< Races reported (sanity anchor for diffs).
+  unsigned Reps = 0;     ///< Timed repetitions behind the median.
 };
+
+/// Times \p Run (which returns the race count) with \p Warmup discarded
+/// warmup runs followed by \p Reps timed repetitions, and keeps the median
+/// wall time. The warmup pulls code and the workload's data into cache;
+/// the median (unlike best-of or mean) is robust against both one-off
+/// stalls and turbo/cold-start flatter, so successive PRs can compare
+/// committed BENCH_*.json numbers without rerunning each other.
+template <typename Fn>
+BenchEntry measureMedian(const std::string &Name, unsigned Shards,
+                         size_t Events, unsigned Warmup, unsigned Reps,
+                         Fn Run) {
+  BenchEntry Entry;
+  Entry.Name = Name;
+  Entry.Shards = Shards;
+  Entry.Events = Events;
+  Entry.Reps = Reps;
+  for (unsigned W = 0; W != Warmup; ++W)
+    Entry.Races = Run();
+  std::vector<double> Times;
+  Times.reserve(Reps);
+  for (unsigned R = 0; R != Reps; ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    Entry.Races = Run();
+    Times.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+            .count());
+  }
+  std::sort(Times.begin(), Times.end());
+  Entry.Seconds = Times.empty()
+                      ? 0.0
+                      : (Times[(Times.size() - 1) / 2] + Times[Times.size() / 2]) / 2;
+  Entry.EventsPerSec = Entry.Seconds > 0 ? Events / Entry.Seconds : 0.0;
+  return Entry;
+}
 
 /// Accumulates entries and renders them as a JSON document.
 class BenchReport {
@@ -53,7 +90,7 @@ public:
       OS << "    {\"name\": \"" << E.Name << "\", \"shards\": " << E.Shards
          << ", \"events\": " << E.Events << ", \"seconds\": " << E.Seconds
          << ", \"events_per_sec\": " << static_cast<uint64_t>(E.EventsPerSec)
-         << ", \"races\": " << E.Races << "}"
+         << ", \"races\": " << E.Races << ", \"reps\": " << E.Reps << "}"
          << (I + 1 == Entries.size() ? "\n" : ",\n");
     }
     OS << "  ]\n}\n";

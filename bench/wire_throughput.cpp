@@ -57,27 +57,13 @@ Trace recordH2Trace(unsigned Workers, unsigned Queries) {
   return Recorder.take();
 }
 
-/// Times \p Run (which returns a race count, 0 for pure ingestion) \p Reps
-/// times; keeps the best wall time.
+/// Shared warmup + median-of-N timing (bench/report.h) with this tool's
+/// signature: ingestion configs have no shard dimension.
 template <typename Fn>
 bench::BenchEntry measure(const std::string &Name, size_t Events,
                           unsigned Reps, Fn Run) {
-  bench::BenchEntry Entry;
-  Entry.Name = Name;
-  Entry.Events = Events;
-  Entry.Seconds = 1e100;
-  for (unsigned R = 0; R != Reps; ++R) {
-    auto Start = std::chrono::steady_clock::now();
-    size_t Races = Run();
-    double Secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-            .count();
-    Entry.Races = Races;
-    if (Secs < Entry.Seconds)
-      Entry.Seconds = Secs;
-  }
-  Entry.EventsPerSec = Entry.Seconds > 0 ? Events / Entry.Seconds : 0.0;
-  return Entry;
+  return bench::measureMedian(Name, /*Shards=*/0, Events, /*Warmup=*/1, Reps,
+                              std::move(Run));
 }
 
 void printRow(const bench::BenchEntry &E, size_t Bytes) {
@@ -132,7 +118,7 @@ int main(int Argc, char **Argv) {
             << Text.size() << " text bytes, " << Wire.size()
             << " wire bytes (" << std::fixed << std::setprecision(2)
             << double(Text.size()) / double(Wire.size())
-            << "x compression), best of " << Reps << " reps\n\n";
+            << "x compression), median of " << Reps << " reps\n\n";
 
   bench::BenchReport Report("wire_throughput", "h2-complex-concurrency");
 

@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 
 WORKERS="${1:-4}"
 QUERIES="${2:-4000}"
-REPS="${3:-3}"
+REPS="${3:-5}"
 
 cmake --preset release
 cmake --build --preset release -j"$(nproc)"

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json trajectory artifacts and fail on regressions.
+
+Compares the events_per_sec of every benchmark present in both files
+(matched by name) and exits 1 when any configuration regressed by more
+than the threshold (default 15%), or when a configuration disappeared,
+or when the race counts (the correctness anchor) diverge. Intended for
+CI and for PR authors:
+
+    scripts/bench_compare.py old/BENCH_detector.json BENCH_detector.json
+
+Benchmarks only present in the new file are reported as additions and
+never fail the comparison.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    marks = doc.get("benchmarks")
+    if not isinstance(marks, list):
+        sys.exit(f"error: {path}: no 'benchmarks' array")
+    out = {}
+    for b in marks:
+        name = b.get("name")
+        if not name:
+            sys.exit(f"error: {path}: benchmark entry without a name")
+        out[name] = b
+    return doc, out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Fail when the new bench artifact regresses vs the old one."
+    )
+    ap.add_argument("old", help="baseline BENCH_*.json")
+    ap.add_argument("new", help="candidate BENCH_*.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed fractional throughput drop per config (default 0.15)",
+    )
+    args = ap.parse_args()
+
+    old_doc, old = load(args.old)
+    new_doc, new = load(args.new)
+    if old_doc.get("tool") != new_doc.get("tool"):
+        print(
+            f"warning: comparing different tools "
+            f"({old_doc.get('tool')} vs {new_doc.get('tool')})",
+            file=sys.stderr,
+        )
+
+    failures = []
+    width = max((len(n) for n in old), default=10)
+    for name, ob in sorted(old.items()):
+        nb = new.get(name)
+        if nb is None:
+            failures.append(f"{name}: missing from {args.new}")
+            continue
+        old_eps = float(ob.get("events_per_sec", 0))
+        new_eps = float(nb.get("events_per_sec", 0))
+        ratio = new_eps / old_eps if old_eps > 0 else float("inf")
+        line = f"{name:<{width}}  {old_eps:>12,.0f} -> {new_eps:>12,.0f}  {ratio:6.2f}x"
+        if "races" in ob and "races" in nb and ob["races"] != nb["races"]:
+            failures.append(
+                f"{name}: race count changed {ob['races']} -> {nb['races']}"
+            )
+            line += "  RACE COUNT MISMATCH"
+        elif old_eps > 0 and ratio < 1.0 - args.threshold:
+            failures.append(
+                f"{name}: throughput regressed {1.0 - ratio:.1%} "
+                f"(> {args.threshold:.0%} allowed)"
+            )
+            line += "  REGRESSED"
+        print(line)
+
+    for name in sorted(set(new) - set(old)):
+        print(f"{name:<{width}}  (new configuration)")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,13 @@
 /// event on object o read and write only active(o) — which is exactly what
 /// lets ParallelDetector run one engine per object shard with no locking.
 ///
+/// Hot-path layout: every table on the per-event path is a FlatMap (open
+/// addressing, contiguous storage) instead of node-based unordered_map, and
+/// each object's state bundles its active-point table with the resolved
+/// provider, so the common case — a run of actions on the same object —
+/// costs zero table probes for object + binding resolution (a one-entry
+/// cache) and one flat probe per conflict class.
+///
 /// The engine is parameterized over the accumulated-clock representation:
 /// EpochClock (the default; O(1) probes and joins while a point's history
 /// is HB-totally-ordered) or FullClockRep (the seed's always-full
@@ -31,9 +38,10 @@
 #include "access/Provider.h"
 #include "detect/Race.h"
 #include "support/EpochClock.h"
+#include "support/FlatMap.h"
 
 #include <cassert>
-#include <unordered_map>
+#include <memory>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -60,11 +68,14 @@ public:
   void bind(ObjectId Obj, const AccessPointProvider *Provider) {
     assert(Provider && "null provider");
     Bindings[Obj] = Provider;
+    if (auto *State = Objects.find(Obj))
+      (*State)->Provider = Provider;
   }
 
   /// Representation used for objects without an explicit bind().
   void setDefaultProvider(const AccessPointProvider *Provider) {
     DefaultProvider = Provider;
+    refreshProviders();
   }
 
   /// Copies another engine's bindings (used to replicate the configuration
@@ -72,17 +83,16 @@ public:
   void adoptBindings(const BasicAlgorithm1Engine &Other) {
     Bindings = Other.Bindings;
     DefaultProvider = Other.DefaultProvider;
+    refreshProviders();
   }
 
   /// Runs both phases for one action event \p A executed by \p Thread with
   /// clock \p Clock at trace position \p EventIndex.
   void onAction(const Action &A, ThreadId Thread, const VectorClock &Clock,
                 size_t EventIndex) {
-    auto BindingIt = Bindings.find(A.object());
-    const AccessPointProvider *Provider =
-        BindingIt != Bindings.end() ? BindingIt->second : DefaultProvider;
+    ObjectState &State = stateFor(A.object());
+    const AccessPointProvider *Provider = State.Provider;
     assert(Provider && "object has no bound access point provider");
-    auto &Active = Objects[A.object()];
 
     Scratch.clear();
     Provider->touches(A, Scratch);
@@ -98,16 +108,16 @@ public:
                               : AccessPoint::plain(Partner);
         assert((Provider->classCarriesValue(Partner) == Pt.HasValue) &&
                "conflicts must not cross value-carrying and plain classes");
-        auto It = Active.find(Key);
-        if (It == Active.end())
+        const ClockRep *Prior = State.Active.find(Key);
+        if (!Prior)
           continue;
-        if (!It->second.leq(Clock)) {
+        if (!Prior->leq(Clock)) {
           CommutativityRace Race;
           Race.EventIndex = EventIndex;
           Race.Thread = Thread;
           Race.Current = A;
           Race.PointName = Provider->className(Partner);
-          Race.PriorClock = It->second.toClock();
+          Race.PriorClock = Prior->toClock();
           Race.CurrentClock = Clock;
           Races.push_back(std::move(Race));
           RacyObjects.insert(A.object());
@@ -117,8 +127,8 @@ public:
 
     // Phase 2: accumulate this event's clock into every touched point.
     for (const AccessPoint &Pt : Scratch) {
-      auto [It, Inserted] = Active.try_emplace(Pt);
-      It->second.accumulate(Clock, Thread);
+      auto [Rep, Inserted] = State.Active.tryEmplace(Pt);
+      Rep->accumulate(Clock, Thread);
       if (Inserted)
         ++ActivePoints;
     }
@@ -128,11 +138,13 @@ public:
   /// active-point table is erased outright, so long-running workloads do
   /// not accrete empty per-object slots. The provider binding survives.
   void objectDied(ObjectId Obj) {
-    auto It = Objects.find(Obj);
-    if (It == Objects.end())
+    auto *State = Objects.find(Obj);
+    if (!State)
       return;
-    ActivePoints -= It->second.size();
-    Objects.erase(It);
+    ActivePoints -= (*State)->Active.size();
+    if (LastState == State->get())
+      LastState = nullptr;
+    Objects.erase(Obj);
   }
 
   const std::vector<CommutativityRace> &races() const { return Races; }
@@ -155,20 +167,52 @@ public:
   std::vector<std::pair<AccessPoint, VectorClock>>
   activePoints(ObjectId Obj) const {
     std::vector<std::pair<AccessPoint, VectorClock>> Out;
-    auto It = Objects.find(Obj);
-    if (It == Objects.end())
+    const auto *State = Objects.find(Obj);
+    if (!State)
       return Out;
-    Out.reserve(It->second.size());
-    for (const auto &[Pt, Clock] : It->second)
+    Out.reserve((*State)->Active.size());
+    for (const auto &[Pt, Clock] : (*State)->Active)
       Out.emplace_back(Pt, Clock.toClock());
     return Out;
   }
 
 private:
-  std::unordered_map<ObjectId, const AccessPointProvider *> Bindings;
-  std::unordered_map<ObjectId, std::unordered_map<AccessPoint, ClockRep>>
-      Objects;
+  /// Per-object detector state: the active-point table plus the provider
+  /// resolved once at creation (re-resolved on bind()/adoptBindings()), so
+  /// onAction never consults the bindings table. Heap-allocated so the
+  /// one-entry LastState cache survives Objects rehashes.
+  struct ObjectState {
+    FlatMap<AccessPoint, ClockRep> Active;
+    const AccessPointProvider *Provider = nullptr;
+  };
+
+  ObjectState &stateFor(ObjectId Obj) {
+    if (LastState && LastObj == Obj)
+      return *LastState;
+    auto [Slot, Inserted] = Objects.tryEmplace(Obj);
+    if (Inserted) {
+      *Slot = std::make_unique<ObjectState>();
+      const AccessPointProvider *const *Bound = Bindings.find(Obj);
+      (*Slot)->Provider = Bound ? *Bound : DefaultProvider;
+    }
+    LastState = Slot->get();
+    LastObj = Obj;
+    return **Slot;
+  }
+
+  void refreshProviders() {
+    for (auto &[Obj, State] : Objects) {
+      const AccessPointProvider *const *Bound = Bindings.find(Obj);
+      State->Provider = Bound ? *Bound : DefaultProvider;
+    }
+  }
+
+  FlatMap<ObjectId, const AccessPointProvider *> Bindings;
+  FlatMap<ObjectId, std::unique_ptr<ObjectState>> Objects;
   const AccessPointProvider *DefaultProvider = nullptr;
+  /// One-entry cache for the common run of actions on the same object.
+  ObjectState *LastState = nullptr;
+  ObjectId LastObj;
   std::vector<CommutativityRace> Races;
   std::unordered_set<ObjectId> RacyObjects;
   std::vector<AccessPoint> Scratch;

@@ -20,9 +20,9 @@
 #include "detect/Race.h"
 #include "hb/VectorClockState.h"
 #include "support/EpochClock.h"
+#include "support/FlatMap.h"
 #include "trace/Trace.h"
 
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -73,7 +73,9 @@ private:
   }
 
   VectorClockState VCState;
-  std::unordered_map<VarId, VarState> Vars;
+  /// Flat per-location shadow table: the read/write hot path is one open
+  /// addressing probe instead of a node pointer chase.
+  FlatMap<VarId, VarState> Vars;
   std::vector<MemoryRace> Races;
   std::unordered_set<VarId> RacyVars;
   size_t EventIndex = 0;

@@ -6,125 +6,268 @@
 
 #include "detect/ParallelDetector.h"
 
-#include "hb/VectorClockState.h"
+#include "support/Hashing.h"
+#include "support/SpscRing.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 using namespace crd;
 
-ParallelDetector::ParallelDetector(unsigned NumShards) {
+namespace {
+
+/// One action event, ready for shard dispatch. Clock and action pointers
+/// stay valid until the pipeline quiesces: clocks live in the deque-backed
+/// ClockTable, actions either in the caller's Trace (whole-trace feeding,
+/// which syncs before returning) or in the batch's own Owned storage
+/// (streaming feeding).
+struct ActionRef {
+  size_t EventIndex;
+  ThreadId Thread;
+  const VectorClock *Clock;
+  const Action *A;
+};
+
+/// A unit of shard work: a run of action refs plus the copied payloads the
+/// streaming path pinned for them.
+struct ShardBatch {
+  std::vector<ActionRef> Refs;
+  std::vector<Action> Owned;
+};
+
+/// Ring depth per shard: bounds in-flight batches (and thus pinned clock
+/// snapshots / copied actions) while leaving slack for pre-pass bursts.
+constexpr size_t RingDepth = 8;
+
+} // namespace
+
+/// Per-shard pipeline state. The worker thread is declared last so it is
+/// destroyed (joined) before the state it references; the detector closes
+/// the ring first, which ends the worker loop after draining.
+struct ParallelDetector::Shard {
+  explicit Shard(size_t BatchSize) : Ring(RingDepth) {
+    Pending.reserve(BatchSize);
+    PendingOwned.reserve(BatchSize);
+  }
+
+  SpscRing<ShardBatch> Ring;
+  std::atomic<uint64_t> Completed{0};
+  uint64_t Enqueued = 0; ///< Producer-side only.
+  Algorithm1Engine Engine;
+  /// The batch being filled by the pre-pass thread.
+  std::vector<ActionRef> Pending;
+  /// Copied action payloads backing Pending's streaming entries. Reserved
+  /// to the batch size up front so pointers into it stay stable.
+  std::vector<Action> PendingOwned;
+  size_t RoutedEvents = 0;
+  std::jthread Worker;
+};
+
+ParallelDetector::ParallelDetector(unsigned NumShards, size_t BatchSize)
+    : BatchSizeVal(std::max<size_t>(1, BatchSize)) {
   if (NumShards == 0)
     NumShards = std::max(1u, std::thread::hardware_concurrency());
-  Engines.resize(NumShards);
+  ShardList.reserve(NumShards);
+  for (unsigned I = 0; I != NumShards; ++I)
+    ShardList.push_back(std::make_unique<Shard>(BatchSizeVal));
+  // One shard runs inline on the caller thread; otherwise each shard gets a
+  // persistent worker consuming its ring so shard work overlaps the
+  // sequential clock pre-pass.
+  if (NumShards > 1)
+    for (std::unique_ptr<Shard> &SP : ShardList) {
+      Shard &S = *SP;
+      S.Worker = std::jthread([&S] {
+        ShardBatch B;
+        while (S.Ring.pop(B)) {
+          for (const ActionRef &R : B.Refs)
+            S.Engine.onAction(*R.A, R.Thread, *R.Clock, R.EventIndex);
+          B = ShardBatch(); // Release payloads before signaling.
+          S.Completed.fetch_add(1, std::memory_order_release);
+          S.Completed.notify_one();
+        }
+      });
+    }
+}
+
+ParallelDetector::~ParallelDetector() {
+  for (std::unique_ptr<Shard> &S : ShardList)
+    S->Ring.close();
+  // Shard destructors join the workers (Worker is the last member).
+}
+
+unsigned ParallelDetector::shardOf(ObjectId Obj) const {
+  // Mixed hash + fastrange: raw `index % shards` collapses strided object
+  // ids onto few shards; splitmix64 spreads every input bit first, and the
+  // multiply-shift maps the mixed value uniformly onto [0, #shards).
+  uint32_t H = static_cast<uint32_t>(hashMix64(Obj.index()));
+  return static_cast<unsigned>((uint64_t(H) * ShardList.size()) >> 32);
 }
 
 size_t ParallelDetector::conflictChecks() const {
   size_t Sum = 0;
-  for (const Algorithm1Engine &E : Engines)
-    Sum += E.conflictChecks();
+  for (const std::unique_ptr<Shard> &S : ShardList)
+    Sum += S->Engine.conflictChecks();
   return Sum;
 }
 
 size_t ParallelDetector::activePointCount() const {
   size_t Sum = 0;
-  for (const Algorithm1Engine &E : Engines)
-    Sum += E.activePointCount();
+  for (const std::unique_ptr<Shard> &S : ShardList)
+    Sum += S->Engine.activePointCount();
   return Sum;
 }
 
-void ParallelDetector::objectDied(ObjectId Obj) {
-  Engines[shardOf(Obj)].objectDied(Obj);
+std::vector<size_t> ParallelDetector::shardLoads() const {
+  std::vector<size_t> Loads;
+  Loads.reserve(ShardList.size());
+  for (const std::unique_ptr<Shard> &S : ShardList)
+    Loads.push_back(S->RoutedEvents);
+  return Loads;
 }
 
-void ParallelDetector::processTrace(const Trace &T) {
-  for (Algorithm1Engine &E : Engines)
-    E.adoptBindings(Config);
+void ParallelDetector::bind(ObjectId Obj, const AccessPointProvider *Provider) {
+  flush(); // Quiesce so no in-flight batch resolves against the old binding.
+  for (std::unique_ptr<Shard> &S : ShardList)
+    S->Engine.bind(Obj, Provider);
+}
 
-  // Step 1 — sequential clock pre-pass. Thread clocks only change at
-  // synchronization events, so consecutive actions of a thread share one
-  // snapshot: CachedId maps a thread to its current ClockTable entry and is
-  // invalidated whenever the Table 1 machine mutates that thread's clock.
-  // The snapshot table is per-call; the clock machine itself persists.
-  std::vector<VectorClock> ClockTable;
-  constexpr uint32_t Invalid = ~0u;
-  std::vector<uint32_t> CachedId;
-  auto invalidate = [&](ThreadId Tid) {
-    if (Tid.index() >= CachedId.size())
-      CachedId.resize(Tid.index() + 1, Invalid);
-    CachedId[Tid.index()] = Invalid;
-  };
-  auto clockIdFor = [&](ThreadId Tid) -> uint32_t {
-    if (Tid.index() >= CachedId.size())
-      CachedId.resize(Tid.index() + 1, Invalid);
-    uint32_t &Id = CachedId[Tid.index()];
-    if (Id == Invalid) {
-      Id = static_cast<uint32_t>(ClockTable.size());
-      ClockTable.push_back(VCState.clockOf(Tid));
-    }
-    return Id;
-  };
+void ParallelDetector::setDefaultProvider(const AccessPointProvider *Provider) {
+  flush();
+  for (std::unique_ptr<Shard> &S : ShardList)
+    S->Engine.setDefaultProvider(Provider);
+}
 
-  std::vector<std::vector<ActionRef>> Buckets(Engines.size());
-  for (size_t I = 0, N = T.size(); I != N; ++I) {
-    const Event &E = T[I];
-    switch (E.kind()) {
-    case EventKind::Invoke: {
-      const Action &A = E.action();
-      Buckets[shardOf(A.object())].push_back(
-          {EventsProcessed + I, clockIdFor(E.thread()), E.thread(), &A});
-      break;
-    }
-    case EventKind::Fork:
-      VCState.process(E);
-      invalidate(E.thread());
-      invalidate(E.other());
-      break;
-    case EventKind::Join:
-    case EventKind::Acquire:
-    case EventKind::Release:
-      VCState.process(E);
-      invalidate(E.thread());
-      break;
-    default:
-      // Read/Write/Tx* never mutate Table 1 clocks (they only force lazy
-      // thread initialization, which clockIdFor performs on demand), so
-      // the offline pre-pass skips them outright.
-      break;
-    }
+void ParallelDetector::objectDied(ObjectId Obj) {
+  // Drain the owning shard so every earlier event on the object lands
+  // before its state is reclaimed.
+  Shard &S = *ShardList[shardOf(Obj)];
+  dispatch(S);
+  syncShard(S);
+  S.Engine.objectDied(Obj);
+}
+
+const VectorClock *ParallelDetector::clockFor(ThreadId Tid) {
+  if (Tid.index() >= ClockCache.size())
+    ClockCache.resize(Tid.index() + 1, nullptr);
+  const VectorClock *&Snapshot = ClockCache[Tid.index()];
+  if (!Snapshot) {
+    ClockTable.push_back(VCState.clockOf(Tid));
+    Snapshot = &ClockTable.back();
   }
-  EventsProcessed += T.size();
+  return Snapshot;
+}
 
-  // Step 2 — run each shard's engine over its bucket. Engines touch only
-  // their own objects (the shard invariant), and ClockTable is read-only
-  // here, so the workers share no mutable state.
-  auto runShard = [&](size_t S) {
-    Algorithm1Engine &Engine = Engines[S];
-    for (const ActionRef &R : Buckets[S])
-      Engine.onAction(*R.A, R.Thread, ClockTable[R.ClockId], R.EventIndex);
-  };
-  if (Engines.size() == 1) {
-    runShard(0);
-  } else {
-    std::vector<std::jthread> Workers;
-    Workers.reserve(Engines.size() - 1);
-    for (size_t S = 1; S != Engines.size(); ++S)
-      Workers.emplace_back([&runShard, S] { runShard(S); });
-    runShard(0);
-  } // jthreads join here.
+void ParallelDetector::invalidateClock(ThreadId Tid) {
+  if (Tid.index() < ClockCache.size())
+    ClockCache[Tid.index()] = nullptr;
+}
 
-  // Step 3 — deterministic merge: drain per-shard races and order by event
-  // index. Races sharing an event index come from a single shard (an event
+void ParallelDetector::routeEvent(const Event &E, bool OwnAction) {
+  size_t Index = EventsProcessed++;
+  switch (E.kind()) {
+  case EventKind::Invoke: {
+    const Action *A = &E.action();
+    Shard &S = *ShardList[shardOf(A->object())];
+    if (OwnAction) {
+      // Streaming feed: pin a copy; PendingOwned never reallocates below
+      // the batch size, so the pointer stays stable until dispatch moves
+      // the whole buffer into the batch.
+      S.PendingOwned.push_back(*A);
+      A = &S.PendingOwned.back();
+    }
+    S.Pending.push_back({Index, E.thread(), clockFor(E.thread()), A});
+    ++S.RoutedEvents;
+    if (S.Pending.size() >= BatchSizeVal)
+      dispatch(S);
+    break;
+  }
+  case EventKind::Fork:
+    VCState.process(E);
+    invalidateClock(E.thread());
+    invalidateClock(E.other());
+    break;
+  case EventKind::Join:
+  case EventKind::Acquire:
+  case EventKind::Release:
+    VCState.process(E);
+    invalidateClock(E.thread());
+    break;
+  default:
+    // Read/Write/Tx* never mutate Table 1 clocks (they only force lazy
+    // thread initialization, which clockFor performs on demand), so the
+    // pre-pass skips them outright.
+    break;
+  }
+}
+
+void ParallelDetector::dispatch(Shard &S) {
+  if (S.Pending.empty())
+    return;
+  ShardBatch B;
+  B.Refs = std::move(S.Pending);
+  B.Owned = std::move(S.PendingOwned);
+  S.Pending.clear();
+  S.Pending.reserve(BatchSizeVal);
+  S.PendingOwned.clear();
+  S.PendingOwned.reserve(BatchSizeVal);
+  if (!S.Worker.joinable()) {
+    // Single-shard inline mode: run on the caller thread.
+    for (const ActionRef &R : B.Refs)
+      S.Engine.onAction(*R.A, R.Thread, *R.Clock, R.EventIndex);
+    return;
+  }
+  ++S.Enqueued;
+  S.Ring.push(std::move(B)); // Blocks when the shard is RingDepth behind.
+}
+
+void ParallelDetector::syncShard(Shard &S) {
+  if (!S.Worker.joinable())
+    return;
+  uint64_t Done = S.Completed.load(std::memory_order_acquire);
+  while (Done != S.Enqueued) {
+    S.Completed.wait(Done, std::memory_order_acquire);
+    Done = S.Completed.load(std::memory_order_acquire);
+  }
+}
+
+void ParallelDetector::mergeResults() {
+  // Deterministic merge: drain per-shard races and order by event index.
+  // Races sharing an event index come from a single shard (an event
   // touches one object) and keep their emission order.
   size_t FirstNew = Races.size();
-  for (Algorithm1Engine &E : Engines) {
-    std::vector<CommutativityRace> ShardRaces = E.takeRaces();
+  for (std::unique_ptr<Shard> &S : ShardList) {
+    std::vector<CommutativityRace> ShardRaces = S->Engine.takeRaces();
     Races.insert(Races.end(), std::make_move_iterator(ShardRaces.begin()),
                  std::make_move_iterator(ShardRaces.end()));
-    RacyObjects.insert(E.racyObjects().begin(), E.racyObjects().end());
+    RacyObjects.insert(S->Engine.racyObjects().begin(),
+                       S->Engine.racyObjects().end());
   }
   std::stable_sort(Races.begin() + FirstNew, Races.end(),
                    [](const CommutativityRace &A, const CommutativityRace &B) {
                      return A.EventIndex < B.EventIndex;
                    });
+}
+
+void ParallelDetector::flush() {
+  for (std::unique_ptr<Shard> &S : ShardList)
+    dispatch(*S);
+  for (std::unique_ptr<Shard> &S : ShardList)
+    syncShard(*S);
+  mergeResults();
+  // Nothing is in flight anymore: recycle the snapshot table.
+  ClockTable.clear();
+  std::fill(ClockCache.begin(), ClockCache.end(), nullptr);
+}
+
+void ParallelDetector::processEvent(const Event &E) {
+  routeEvent(E, /*OwnAction=*/true);
+}
+
+void ParallelDetector::processTrace(const Trace &T) {
+  // Whole-trace feeding pins no copies: the refs point into T, which
+  // outlives the flush below.
+  for (const Event &E : T)
+    routeEvent(E, /*OwnAction=*/false);
+  flush();
 }

@@ -5,24 +5,28 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// An offline, object-sharded parallelization of Algorithm 1. The key
-/// observation (and the shard invariant documented in DESIGN.md) is that
-/// all of Algorithm 1's mutable state is partitioned per object: phases 1–2
-/// for an event on object o touch only active(o). Only the Table 1 clock
-/// machine is inherently sequential. The pipeline therefore runs in three
-/// steps:
+/// An object-sharded, pipelined parallelization of Algorithm 1. The key
+/// observation (the shard invariant documented in DESIGN.md) is that all of
+/// Algorithm 1's mutable state is partitioned per object: phases 1–2 for an
+/// event on object o touch only active(o). Only the Table 1 clock machine
+/// is inherently sequential. Rather than materializing the whole clock
+/// pre-pass and then fanning out behind a barrier, the detector streams:
 ///
-///   1. Clock pre-pass (sequential): run VectorClockState over the trace
-///      once and record, for every action event, a reference to vc(e).
-///      Consecutive actions of a thread between synchronization events
-///      share one physical clock snapshot, so the table stores O(#sync)
-///      clocks, not O(#actions).
-///   2. Shard phase (parallel): partition the action events by ObjectId
-///      into N shards and run an independent Algorithm1Engine per shard on
-///      a std::jthread pool — no locks, no shared mutable state.
-///   3. Merge (sequential, deterministic): k-way merge the per-shard race
-///      vectors by event index and sum the counters, yielding bit-identical
-///      output to the sequential CommutativityRaceDetector.
+///   1. Clock pre-pass (sequential, caller thread): run VectorClockState
+///      event-at-a-time and stamp each action with a shared clock snapshot
+///      (consecutive actions of a thread between synchronization events
+///      share one physical clock, so the table stores O(#sync) clocks).
+///   2. Shard dispatch (pipelined): actions are routed by a mixed hash of
+///      their ObjectId into per-shard batches; each full batch is handed to
+///      the owning shard's persistent worker through a bounded SPSC ring,
+///      so shard work overlaps the pre-pass instead of waiting for it.
+///   3. Merge (sequential, deterministic): flush() waits for shard
+///      quiescence, then orders the drained per-shard race vectors by event
+///      index — bit-identical to the sequential CommutativityRaceDetector.
+///
+/// Both whole-trace (processTrace) and streaming (processEvent + flush)
+/// feeding are supported; the streaming path copies action payloads into
+/// shard-owned storage, so callers may discard events immediately.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +37,8 @@
 #include "hb/VectorClockState.h"
 #include "trace/Trace.h"
 
+#include <deque>
+#include <memory>
 #include <vector>
 
 namespace crd {
@@ -42,66 +48,93 @@ namespace crd {
 /// produces bit-identical race reports.
 class ParallelDetector {
 public:
-  /// \p NumShards worker shards (clamped to ≥ 1). Defaults to the hardware
-  /// concurrency.
-  explicit ParallelDetector(unsigned NumShards = 0);
+  /// Events per dispatched shard batch: large enough to amortize the ring
+  /// handoff, small enough to keep all shards busy while the pre-pass runs.
+  static constexpr size_t DefaultBatchSize = 4096;
 
-  /// Binds the representation used for actions on \p Obj.
-  void bind(ObjectId Obj, const AccessPointProvider *Provider) {
-    Config.bind(Obj, Provider);
-  }
+  /// \p NumShards worker shards (clamped to ≥ 1; 0 = hardware concurrency).
+  /// With one shard the pipeline degenerates to inline execution on the
+  /// caller thread — no worker, no ring.
+  explicit ParallelDetector(unsigned NumShards = 0,
+                            size_t BatchSize = DefaultBatchSize);
+  ~ParallelDetector();
+
+  ParallelDetector(const ParallelDetector &) = delete;
+  ParallelDetector &operator=(const ParallelDetector &) = delete;
+
+  /// Binds the representation used for actions on \p Obj. Quiesces the
+  /// pipeline, then applies to every shard.
+  void bind(ObjectId Obj, const AccessPointProvider *Provider);
 
   /// Representation used for objects without an explicit bind().
-  void setDefaultProvider(const AccessPointProvider *Provider) {
-    Config.setDefaultProvider(Provider);
-  }
+  void setDefaultProvider(const AccessPointProvider *Provider);
 
-  /// Processes a whole trace through the three pipeline steps. May be
+  /// Processes a whole trace through the pipeline and flush()es. May be
   /// called repeatedly; results accumulate, and per-object detector state
   /// carries over between calls exactly as for the sequential detector.
   void processTrace(const Trace &T);
 
-  /// Races merged deterministically by event index.
+  /// Streaming feed: routes one event into the pipeline. The action payload
+  /// is copied into shard-owned storage, so \p E need not outlive the call.
+  /// Results become visible after the next flush().
+  void processEvent(const Event &E);
+
+  /// Dispatches all partial batches, waits for every shard to quiesce, and
+  /// merges results deterministically. Idempotent; cheap when idle.
+  void flush();
+
+  /// Races merged deterministically by event index (complete after
+  /// processTrace; for streaming feeds, after flush()).
   const std::vector<CommutativityRace> &races() const { return Races; }
 
   /// Number of distinct objects participating in at least one race.
   size_t distinctRacyObjects() const { return RacyObjects.size(); }
 
-  /// Phase-1 conflict probes summed over all shards.
+  /// Phase-1 conflict probes summed over all shards. Requires a quiesced
+  /// pipeline (after processTrace or flush).
   size_t conflictChecks() const;
 
   /// Number of events processed (all kinds, as for the sequential API).
   size_t eventsProcessed() const { return EventsProcessed; }
 
-  /// Active access points summed over all shards; O(#shards).
+  /// Active access points summed over all shards; O(#shards). Requires a
+  /// quiesced pipeline.
   size_t activePointCount() const;
 
-  /// Reclaims a dead object's state in whichever shard owns it.
+  /// Reclaims a dead object's state in whichever shard owns it (after
+  /// draining that shard's in-flight events).
   void objectDied(ObjectId Obj);
 
-  unsigned shards() const { return static_cast<unsigned>(Engines.size()); }
+  unsigned shards() const { return static_cast<unsigned>(ShardList.size()); }
+  size_t batchSize() const { return BatchSizeVal; }
+
+  /// Action events routed to each shard so far — the shard-balance
+  /// statistic (a sound hash keeps the max close to the mean).
+  std::vector<size_t> shardLoads() const;
 
 private:
-  /// One action event, ready for shard dispatch.
-  struct ActionRef {
-    size_t EventIndex;
-    uint32_t ClockId;
-    ThreadId Thread;
-    const Action *A;
-  };
+  struct Shard;
 
-  unsigned shardOf(ObjectId Obj) const {
-    return Obj.index() % static_cast<unsigned>(Engines.size());
-  }
+  unsigned shardOf(ObjectId Obj) const;
+  void routeEvent(const Event &E, bool OwnAction);
+  const VectorClock *clockFor(ThreadId Tid);
+  void invalidateClock(ThreadId Tid);
+  void dispatch(Shard &S);
+  void syncShard(Shard &S);
+  void mergeResults();
 
   /// Table 1 clock machine; persists across processTrace calls so split
   /// traces see the same happens-before as one concatenated trace.
   VectorClockState VCState;
-  /// Shard-local detector state (persists across processTrace calls).
-  std::vector<Algorithm1Engine> Engines;
-  /// Holds bindings/default provider; replicated into Engines lazily so
-  /// bind() calls need not precede construction-time decisions.
-  Algorithm1Engine Config;
+  /// Clock snapshots referenced by in-flight batches. A deque so grows
+  /// never move existing snapshots; cleared once the pipeline quiesces.
+  std::deque<VectorClock> ClockTable;
+  /// Per-thread pointer to the thread's current ClockTable snapshot;
+  /// nullptr after a synchronization event mutates the thread's clock.
+  std::vector<const VectorClock *> ClockCache;
+  /// Shard-local pipeline state (persists across processTrace calls).
+  std::vector<std::unique_ptr<Shard>> ShardList;
+  size_t BatchSizeVal;
   std::vector<CommutativityRace> Races;
   std::unordered_set<ObjectId> RacyObjects;
   size_t EventsProcessed = 0;

@@ -1,0 +1,247 @@
+//===- support/FlatMap.h - Open-addressing hash map -------------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A robin-hood open-addressing hash map for the detector hot path. The
+/// per-event cost of Algorithm 1 is dominated by table probes — the object
+/// table, the bindings table, and each object's active-point table — and
+/// node-based std::unordered_map turns every probe into a pointer chase.
+/// FlatMap stores entries inline in one contiguous slot array with a
+/// parallel byte array of probe distances, so the common hit touches two
+/// adjacent cache lines and misses terminate after a single comparison
+/// against the resident distance.
+///
+/// Design points:
+///   * power-of-two capacity; the index is hashMix64(Hash(K)) & Mask, so
+///     id-like keys (raw indices) still spread over all slots;
+///   * robin-hood insertion: a displaced entry resumes probing with its own
+///     distance, keeping probe-length variance minimal;
+///   * tombstone-free erase via backward shift: subsequent entries slide one
+///     slot back, so deletions never degrade future probes and a long-lived
+///     table needs no periodic rehash;
+///   * distances are stored +1 in a uint8_t (0 = empty); an insertion whose
+///     probe distance would overflow the byte forces a grow, which the
+///     0.75 max load factor makes effectively unreachable.
+///
+/// References and value pointers are invalidated by any insertion (rehash
+/// moves the whole table; robin-hood displacement can move individual
+/// entries even without one — unlike std::unordered_map); callers that
+/// cache pointers across insertions must hold values behind unique_ptr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_SUPPORT_FLATMAP_H
+#define CRD_SUPPORT_FLATMAP_H
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace crd {
+
+template <typename KeyT, typename ValueT, typename HashT = std::hash<KeyT>>
+class FlatMap {
+public:
+  using value_type = std::pair<KeyT, ValueT>;
+
+  FlatMap() = default;
+
+  /// Grows so \p N entries fit without rehashing.
+  void reserve(size_t N) {
+    size_t Needed = capacityFor(N);
+    if (Needed > Slots.size())
+      rehash(Needed);
+  }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  size_t capacity() const { return Slots.size(); }
+
+  void clear() {
+    std::fill(Dist.begin(), Dist.end(), uint8_t{0});
+    for (value_type &Slot : Slots)
+      Slot = value_type();
+    Count = 0;
+  }
+
+  /// Returns the value mapped to \p K, or nullptr when absent.
+  ValueT *find(const KeyT &K) {
+    return const_cast<ValueT *>(std::as_const(*this).find(K));
+  }
+  const ValueT *find(const KeyT &K) const {
+    if (Count == 0)
+      return nullptr;
+    size_t Mask = Slots.size() - 1;
+    size_t I = indexOf(K);
+    for (uint8_t D = 1;; ++D, I = (I + 1) & Mask) {
+      uint8_t Resident = Dist[I];
+      if (Resident < D)
+        return nullptr; // An entry with our hash would have displaced it.
+      if (Resident == D && Slots[I].first == K)
+        return &Slots[I].second;
+    }
+  }
+
+  bool contains(const KeyT &K) const { return find(K) != nullptr; }
+
+  /// Inserts a default-constructed value for \p K unless present. Returns
+  /// the value slot and whether an insertion happened.
+  std::pair<ValueT *, bool> tryEmplace(const KeyT &K) {
+    if (ValueT *Existing = find(K))
+      return {Existing, false};
+    if ((Count + 1) * 4 > Slots.size() * 3)
+      rehash(Slots.empty() ? MinCapacity : Slots.size() * 2);
+    return {&insertFresh(value_type(K, ValueT())), true};
+  }
+
+  ValueT &operator[](const KeyT &K) { return *tryEmplace(K).first; }
+
+  /// Erases \p K; returns whether it was present. Backward-shifts the
+  /// following probe chain so no tombstone is left behind.
+  bool erase(const KeyT &K) {
+    if (Count == 0)
+      return false;
+    size_t Mask = Slots.size() - 1;
+    size_t I = indexOf(K);
+    uint8_t D = 1;
+    for (;; ++D, I = (I + 1) & Mask) {
+      uint8_t Resident = Dist[I];
+      if (Resident < D)
+        return false;
+      if (Resident == D && Slots[I].first == K)
+        break;
+    }
+    for (;;) {
+      size_t J = (I + 1) & Mask;
+      if (Dist[J] <= 1) // Empty or already home: chain ends here.
+        break;
+      Slots[I] = std::move(Slots[J]);
+      Dist[I] = Dist[J] - 1;
+      I = J;
+    }
+    Slots[I] = value_type();
+    Dist[I] = 0;
+    --Count;
+    return true;
+  }
+
+  /// Forward iteration over occupied slots; order unspecified. Stable under
+  /// erase of already-visited keys, invalidated by insertion (rehash).
+  template <bool Const> class IteratorImpl {
+    using MapT = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using Ref = std::conditional_t<Const, const value_type &, value_type &>;
+
+  public:
+    IteratorImpl(MapT *M, size_t I) : M(M), I(I) { skipEmpty(); }
+
+    Ref operator*() const { return M->Slots[I]; }
+    auto *operator->() const { return &M->Slots[I]; }
+    IteratorImpl &operator++() {
+      ++I;
+      skipEmpty();
+      return *this;
+    }
+    friend bool operator==(const IteratorImpl &A, const IteratorImpl &B) {
+      return A.I == B.I;
+    }
+
+  private:
+    void skipEmpty() {
+      while (I != M->Slots.size() && M->Dist[I] == 0)
+        ++I;
+    }
+    MapT *M;
+    size_t I;
+  };
+  using iterator = IteratorImpl<false>;
+  using const_iterator = IteratorImpl<true>;
+
+  iterator begin() { return {this, 0}; }
+  iterator end() { return {this, Slots.size()}; }
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, Slots.size()}; }
+
+private:
+  static constexpr size_t MinCapacity = 16;
+
+  static size_t capacityFor(size_t N) {
+    size_t Cap = MinCapacity;
+    while (N * 4 > Cap * 3)
+      Cap *= 2;
+    return Cap;
+  }
+
+  size_t indexOf(const KeyT &K) const {
+    return hashMix64(static_cast<uint64_t>(HashT{}(K))) & (Slots.size() - 1);
+  }
+
+  /// Robin-hood insert of a key known to be absent, with capacity already
+  /// ensured. Returns the value slot where the *new* key landed (which is
+  /// fixed once it is first written, even if later residents get displaced
+  /// further down the chain).
+  ValueT &insertFresh(value_type &&Pending) {
+    size_t Mask = Slots.size() - 1;
+    size_t I = indexOf(Pending.first);
+    uint8_t PendingDist = 1;
+    value_type *Placed = nullptr;
+    for (;; I = (I + 1) & Mask) {
+      if (Dist[I] == 0) {
+        Slots[I] = std::move(Pending);
+        Dist[I] = PendingDist;
+        ++Count;
+        return Placed ? Placed->second : Slots[I].second;
+      }
+      if (Dist[I] < PendingDist) {
+        std::swap(Slots[I], Pending);
+        std::swap(Dist[I], PendingDist);
+        if (!Placed)
+          Placed = &Slots[I];
+      }
+      if (PendingDist == UINT8_MAX) {
+        // Probe chain hit the distance-byte ceiling — not reachable at 0.75
+        // max load (robin-hood chains are O(log n) whp), but kept
+        // well-defined: grow, fold the in-flight entry back in, relocate.
+        KeyT NewKey = Placed ? Placed->first : Pending.first;
+        std::vector<value_type> OldSlots = std::move(Slots);
+        std::vector<uint8_t> OldDist = std::move(Dist);
+        Slots = std::vector<value_type>(OldSlots.size() * 2);
+        Dist.assign(OldSlots.size() * 2, 0);
+        Count = 0;
+        for (size_t J = 0; J != OldSlots.size(); ++J)
+          if (OldDist[J])
+            insertFresh(std::move(OldSlots[J]));
+        insertFresh(std::move(Pending));
+        return *find(NewKey);
+      }
+      ++PendingDist;
+    }
+  }
+
+  void rehash(size_t NewCap) {
+    std::vector<value_type> OldSlots = std::move(Slots);
+    std::vector<uint8_t> OldDist = std::move(Dist);
+    Slots = std::vector<value_type>(NewCap);
+    Dist.assign(NewCap, 0);
+    Count = 0;
+    for (size_t I = 0; I != OldSlots.size(); ++I)
+      if (OldDist[I])
+        insertFresh(std::move(OldSlots[I]));
+  }
+
+  std::vector<value_type> Slots;
+  std::vector<uint8_t> Dist; ///< probe distance + 1; 0 = empty slot.
+  size_t Count = 0;
+};
+
+} // namespace crd
+
+#endif // CRD_SUPPORT_FLATMAP_H

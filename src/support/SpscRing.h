@@ -1,0 +1,110 @@
+//===- support/SpscRing.h - Bounded SPSC ring buffer ------------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded single-producer/single-consumer ring buffer carrying batches
+/// from the sequential clock pre-pass to the shard workers. Blocking on
+/// both ends (C++20 atomic wait/notify — futex-backed, no spinning), with
+/// a close() that wakes a waiting consumer exactly once the queue drains.
+///
+/// The closed flag is folded into the tail word (ClosedBit) rather than
+/// kept as a separate atomic: a consumer that re-checks "closed?" and then
+/// waits on an unchanged tail would otherwise race with a close() landing
+/// between the two loads and sleep forever. Folding the flag in means
+/// close() always changes the very word the consumer waits on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_SUPPORT_SPSCRING_H
+#define CRD_SUPPORT_SPSCRING_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace crd {
+
+template <typename T> class SpscRing {
+public:
+  /// \p CapacityPow2 slots (must be a power of two, ≥ 1).
+  explicit SpscRing(size_t CapacityPow2) : Slots(CapacityPow2) {
+    assert(CapacityPow2 != 0 && (CapacityPow2 & (CapacityPow2 - 1)) == 0 &&
+           "capacity must be a power of two");
+  }
+
+  size_t capacity() const { return Slots.size(); }
+
+  /// Producer: blocks while the ring is full, then enqueues. Must not be
+  /// called after close().
+  void push(T &&Item) {
+    uint64_t Ticket = Tail.load(std::memory_order_relaxed) & ~ClosedBit;
+    for (;;) {
+      uint64_t H = Head.load(std::memory_order_acquire);
+      if (Ticket - H < Slots.size())
+        break;
+      Head.wait(H, std::memory_order_acquire);
+    }
+    Slots[Ticket & (Slots.size() - 1)] = std::move(Item);
+    Tail.store(Ticket + 1, std::memory_order_release);
+    Tail.notify_one();
+  }
+
+  /// Consumer: blocks until an item arrives (returning true) or the ring is
+  /// closed and drained (returning false).
+  bool pop(T &Out) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    for (;;) {
+      uint64_t T0 = Tail.load(std::memory_order_acquire);
+      if ((T0 & ~ClosedBit) != H)
+        break;
+      if (T0 & ClosedBit)
+        return false;
+      Tail.wait(T0, std::memory_order_acquire);
+    }
+    Out = std::move(Slots[H & (Slots.size() - 1)]);
+    Head.store(H + 1, std::memory_order_release);
+    Head.notify_one();
+    return true;
+  }
+
+  /// Consumer: non-blocking pop; false when currently empty (closed or not).
+  bool tryPop(T &Out) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    uint64_t T0 = Tail.load(std::memory_order_acquire);
+    if ((T0 & ~ClosedBit) == H)
+      return false;
+    Out = std::move(Slots[H & (Slots.size() - 1)]);
+    Head.store(H + 1, std::memory_order_release);
+    Head.notify_one();
+    return true;
+  }
+
+  /// Producer: marks the stream as ended. Idempotent. The consumer drains
+  /// remaining items, then pop() returns false.
+  void close() {
+    Tail.fetch_or(ClosedBit, std::memory_order_release);
+    Tail.notify_all();
+  }
+
+  bool closed() const {
+    return (Tail.load(std::memory_order_acquire) & ClosedBit) != 0;
+  }
+
+private:
+  static constexpr uint64_t ClosedBit = uint64_t(1) << 63;
+
+  std::vector<T> Slots;
+  /// Producer-written cursor; bit 63 carries the closed flag so close()
+  /// always mutates the word a sleeping consumer waits on.
+  alignas(64) std::atomic<uint64_t> Tail{0};
+  /// Consumer-written cursor, on its own cache line to avoid false sharing.
+  alignas(64) std::atomic<uint64_t> Head{0};
+};
+
+} // namespace crd
+
+#endif // CRD_SUPPORT_SPSCRING_H

@@ -18,7 +18,8 @@ StreamPipeline::StreamPipeline(PipelineOptions Opts) : Opts(Opts) {
     Seq = std::make_unique<CommutativityRaceDetector>();
     break;
   case Backend::Parallel:
-    Par = std::make_unique<ParallelDetector>(Opts.Shards);
+    Par = std::make_unique<ParallelDetector>(Opts.Shards,
+                                             this->Opts.BatchSize);
     break;
   case Backend::FastTrack:
     FT = std::make_unique<FastTrackDetector>();
@@ -68,12 +69,10 @@ void StreamPipeline::onEvent(const Event &E) {
     return;
   }
   if (Par) {
-    Batch.append(E);
-    if (Batch.size() >= Opts.BatchSize) {
-      Par->processTrace(Batch);
-      Batch = Trace();
-      drainNewRaces();
-    }
+    // Streamed straight into the pipeline — the detector batches
+    // internally and copies the action payload, so no Trace is ever
+    // materialized here. Results surface at finish().
+    Par->processEvent(E);
     return;
   }
   if (FT) {
@@ -85,10 +84,8 @@ void StreamPipeline::onEvent(const Event &E) {
 }
 
 void StreamPipeline::finish() {
-  if (Par && !Batch.empty()) {
-    Par->processTrace(Batch);
-    Batch = Trace();
-  }
+  if (Par)
+    Par->flush();
   drainNewRaces();
 }
 

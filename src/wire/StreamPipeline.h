@@ -9,11 +9,12 @@
 /// EventSource (or receives them pushed as an EventSink from a live
 /// SimRuntime) and feeds them incrementally into a detector backend —
 /// the sequential Algorithm 1 detector, the object-sharded
-/// ParallelDetector (batched; state carries across batches, so reports
-/// stay bit-identical to the sequential detector), the FastTrack
-/// baseline, or the online atomicity checker. Races are surfaced through
-/// an optional callback the moment the backend reports them, plus an
-/// end-of-stream summary. No Trace is ever materialized.
+/// ParallelDetector (events stream straight into its shard pipeline —
+/// the detector batches internally, and reports stay bit-identical to
+/// the sequential detector), the FastTrack baseline, or the online
+/// atomicity checker. Races are surfaced through an optional callback
+/// the moment the backend reports them, plus an end-of-stream summary.
+/// No Trace is ever materialized.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,7 +37,7 @@ namespace wire {
 /// Which detector consumes the stream.
 enum class Backend {
   Sequential, ///< CommutativityRaceDetector, event-at-a-time.
-  Parallel,   ///< ParallelDetector over BatchSize-event batches.
+  Parallel,   ///< ParallelDetector's streaming shard pipeline.
   FastTrack,  ///< Low-level read/write races.
   Atomicity,  ///< OnlineAtomicityChecker (conflict-serializability).
 };
@@ -72,8 +73,8 @@ public:
   void bind(ObjectId Obj, const AccessPointProvider *Provider);
 
   /// Invoked for every commutativity race as soon as the backend reports
-  /// it (after the offending event for Sequential, after the containing
-  /// batch for Parallel).
+  /// it (after the offending event for Sequential; at finish() for
+  /// Parallel, whose races surface when the pipeline flushes).
   void setRaceCallback(std::function<void(const CommutativityRace &)> Cb) {
     RaceCallback = std::move(Cb);
   }
@@ -88,8 +89,8 @@ public:
   /// Pulls \p Source dry, then finish()es. Returns the summary.
   StreamSummary run(EventSource &Source);
 
-  /// Flushes the pending parallel batch; must be called once the stream
-  /// ends when events were pushed via onEvent(). Idempotent.
+  /// Flushes the parallel pipeline; must be called once the stream ends
+  /// when events were pushed via onEvent(). Idempotent.
   void finish();
 
   size_t eventsProcessed() const { return Events; }
@@ -109,7 +110,6 @@ private:
   std::unique_ptr<ParallelDetector> Par;
   std::unique_ptr<FastTrackDetector> FT;
   std::unique_ptr<OnlineAtomicityChecker> Atom;
-  Trace Batch; ///< Pending events of the parallel backend's current batch.
   std::function<void(const CommutativityRace &)> RaceCallback;
   std::function<void(const MemoryRace &)> MemoryRaceCallback;
   size_t Events = 0;

@@ -1,0 +1,265 @@
+//===- tests/FlatMapTest.cpp - FlatMap and SpscRing properties ----------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property suite for the hot-path support structures: the robin-hood
+/// FlatMap (model-checked against std::unordered_map through randomized
+/// insert/find/erase interleavings, collision chains, backward-shift
+/// erase, rehash behavior) and the bounded SPSC ring that carries shard
+/// batches (FIFO order, blocking backpressure, close semantics).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FlatMap.h"
+#include "support/SpscRing.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+using namespace crd;
+
+namespace {
+
+TEST(FlatMapTest, BasicInsertFindErase) {
+  FlatMap<int, std::string> M;
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.find(1), nullptr);
+
+  M[1] = "one";
+  M[2] = "two";
+  EXPECT_EQ(M.size(), 2u);
+  ASSERT_NE(M.find(1), nullptr);
+  EXPECT_EQ(*M.find(1), "one");
+  EXPECT_TRUE(M.contains(2));
+  EXPECT_FALSE(M.contains(3));
+
+  auto [Slot, Inserted] = M.tryEmplace(1);
+  EXPECT_FALSE(Inserted);
+  EXPECT_EQ(*Slot, "one");
+
+  EXPECT_TRUE(M.erase(1));
+  EXPECT_FALSE(M.erase(1));
+  EXPECT_EQ(M.find(1), nullptr);
+  EXPECT_EQ(M.size(), 1u);
+}
+
+TEST(FlatMapTest, MatchesUnorderedMapUnderRandomInterleavings) {
+  std::mt19937_64 Rng(2014);
+  FlatMap<uint32_t, uint64_t> M;
+  std::unordered_map<uint32_t, uint64_t> Model;
+  for (unsigned Step = 0; Step != 200000; ++Step) {
+    uint32_t Key = static_cast<uint32_t>(Rng() % 512);
+    switch (Rng() % 4) {
+    case 0:
+    case 1: { // Insert-or-assign.
+      uint64_t V = Rng();
+      M[Key] = V;
+      Model[Key] = V;
+      break;
+    }
+    case 2: { // Lookup.
+      uint64_t *Found = M.find(Key);
+      auto It = Model.find(Key);
+      ASSERT_EQ(Found != nullptr, It != Model.end()) << "key " << Key;
+      if (Found) {
+        ASSERT_EQ(*Found, It->second) << "key " << Key;
+      }
+      break;
+    }
+    case 3: // Erase.
+      ASSERT_EQ(M.erase(Key), Model.erase(Key) != 0) << "key " << Key;
+      break;
+    }
+    ASSERT_EQ(M.size(), Model.size());
+  }
+  // Full-content check via iteration.
+  size_t Visited = 0;
+  for (const auto &[K, V] : M) {
+    auto It = Model.find(K);
+    ASSERT_NE(It, Model.end());
+    EXPECT_EQ(V, It->second);
+    ++Visited;
+  }
+  EXPECT_EQ(Visited, Model.size());
+}
+
+/// Forces every key into the same home slot, turning the table into one
+/// long probe chain — the worst case for displacement and backward shift.
+struct CollidingHash {
+  size_t operator()(uint32_t) const { return 42; }
+};
+
+TEST(FlatMapTest, CollidingKeysStillBehave) {
+  FlatMap<uint32_t, uint32_t, CollidingHash> M;
+  for (uint32_t K = 0; K != 64; ++K)
+    M[K] = K * 10;
+  EXPECT_EQ(M.size(), 64u);
+  for (uint32_t K = 0; K != 64; ++K) {
+    ASSERT_NE(M.find(K), nullptr) << "key " << K;
+    EXPECT_EQ(*M.find(K), K * 10);
+  }
+  // Erase from the middle of the chain: backward shift must keep every
+  // remaining key reachable.
+  for (uint32_t K = 0; K != 64; K += 2)
+    EXPECT_TRUE(M.erase(K));
+  for (uint32_t K = 0; K != 64; ++K)
+    EXPECT_EQ(M.find(K) != nullptr, K % 2 == 1) << "key " << K;
+}
+
+TEST(FlatMapTest, EraseIsTombstoneFree) {
+  // Insert/erase cycling at a fixed live size must not grow the table:
+  // backward-shift erase leaves no tombstones behind, so the load factor
+  // the growth policy sees stays at the live count.
+  FlatMap<uint64_t, uint64_t> M;
+  for (uint64_t K = 0; K != 8; ++K)
+    M[K] = K;
+  size_t CapAfterWarmup = M.capacity();
+  for (uint64_t Round = 0; Round != 10000; ++Round) {
+    uint64_t Key = 8 + Round;
+    M[Key] = Round;
+    EXPECT_TRUE(M.erase(Key));
+  }
+  EXPECT_EQ(M.size(), 8u);
+  EXPECT_EQ(M.capacity(), CapAfterWarmup)
+      << "erase left tombstones that forced growth";
+}
+
+TEST(FlatMapTest, RehashPreservesContents) {
+  FlatMap<uint32_t, uint32_t> M;
+  size_t Rehashes = 0;
+  size_t LastCap = M.capacity();
+  for (uint32_t K = 0; K != 10000; ++K) {
+    M[K] = ~K;
+    if (M.capacity() != LastCap) {
+      ++Rehashes;
+      LastCap = M.capacity();
+    }
+  }
+  EXPECT_GE(Rehashes, 8u); // 16 → ≥4096 takes ≥8 doublings.
+  for (uint32_t K = 0; K != 10000; ++K) {
+    ASSERT_NE(M.find(K), nullptr) << "key " << K << " lost in rehash";
+    EXPECT_EQ(*M.find(K), ~K);
+  }
+}
+
+TEST(FlatMapTest, ReserveAvoidsRehash) {
+  // reserve() pre-sizes so the insertion run never rehashes. (Values may
+  // still move slots individually — robin-hood displacement — which is why
+  // the engine holds pointer-stable state behind unique_ptr.)
+  FlatMap<uint32_t, uint32_t> M;
+  M.reserve(1000);
+  size_t Cap = M.capacity();
+  for (uint32_t K = 0; K != 1000; ++K)
+    M[K] = K;
+  EXPECT_EQ(M.capacity(), Cap) << "reserve(1000) did not pre-size";
+  for (uint32_t K = 0; K != 1000; ++K) {
+    ASSERT_NE(M.find(K), nullptr);
+    EXPECT_EQ(*M.find(K), K);
+  }
+}
+
+TEST(FlatMapTest, IteratorSurvivesEraseOfVisitedKeys) {
+  // The engine pattern: iterate, then erase what was visited. Collect
+  // first (iteration order is unspecified), erase after.
+  FlatMap<uint32_t, uint32_t> M;
+  for (uint32_t K = 0; K != 100; ++K)
+    M[K] = K;
+  std::vector<uint32_t> Keys;
+  for (const auto &[K, V] : M)
+    Keys.push_back(K);
+  EXPECT_EQ(Keys.size(), 100u);
+  for (uint32_t K : Keys)
+    EXPECT_TRUE(M.erase(K));
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.begin(), M.end());
+}
+
+TEST(FlatMapTest, MoveOnlyValues) {
+  FlatMap<uint32_t, std::unique_ptr<uint32_t>> M;
+  for (uint32_t K = 0; K != 100; ++K)
+    M[K] = std::make_unique<uint32_t>(K);
+  EXPECT_EQ(M.size(), 100u);
+  for (uint32_t K = 0; K != 100; ++K) {
+    ASSERT_NE(M.find(K), nullptr);
+    EXPECT_EQ(**M.find(K), K);
+  }
+  EXPECT_TRUE(M.erase(50));
+  EXPECT_EQ(M.find(50), nullptr);
+  M.clear();
+  EXPECT_TRUE(M.empty());
+}
+
+TEST(FlatMapTest, ClearRetainsCapacity) {
+  FlatMap<uint32_t, uint32_t> M;
+  for (uint32_t K = 0; K != 1000; ++K)
+    M[K] = K;
+  size_t Cap = M.capacity();
+  M.clear();
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.capacity(), Cap);
+  M[7] = 7;
+  EXPECT_EQ(M.size(), 1u);
+}
+
+TEST(SpscRingTest, InlinePushPopFifo) {
+  SpscRing<int> Ring(4);
+  Ring.push(1);
+  Ring.push(2);
+  Ring.push(3);
+  int V = 0;
+  EXPECT_TRUE(Ring.pop(V));
+  EXPECT_EQ(V, 1);
+  EXPECT_TRUE(Ring.tryPop(V));
+  EXPECT_EQ(V, 2);
+  EXPECT_TRUE(Ring.pop(V));
+  EXPECT_EQ(V, 3);
+  EXPECT_FALSE(Ring.tryPop(V));
+}
+
+TEST(SpscRingTest, CloseWakesAndDrains) {
+  SpscRing<int> Ring(4);
+  Ring.push(7);
+  Ring.close();
+  int V = 0;
+  EXPECT_TRUE(Ring.pop(V)); // Closed but not drained yet.
+  EXPECT_EQ(V, 7);
+  EXPECT_FALSE(Ring.pop(V)); // Drained: pop reports end-of-stream.
+  EXPECT_TRUE(Ring.closed());
+}
+
+TEST(SpscRingTest, CrossThreadTransferWithBackpressure) {
+  // Capacity 2 with 10000 items forces the producer to block on a full
+  // ring and the consumer on an empty one, exercising both wait paths.
+  SpscRing<uint64_t> Ring(2);
+  constexpr uint64_t N = 10000;
+  std::jthread Producer([&Ring] {
+    for (uint64_t I = 0; I != N; ++I)
+      Ring.push(uint64_t(I));
+    Ring.close();
+  });
+  uint64_t Expected = 0, V = 0;
+  while (Ring.pop(V)) {
+    ASSERT_EQ(V, Expected);
+    ++Expected;
+  }
+  EXPECT_EQ(Expected, N);
+}
+
+TEST(SpscRingTest, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> Ring(2);
+  Ring.push(std::make_unique<int>(5));
+  std::unique_ptr<int> P;
+  EXPECT_TRUE(Ring.pop(P));
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(*P, 5);
+}
+
+} // namespace

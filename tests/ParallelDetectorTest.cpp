@@ -23,6 +23,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace crd;
 
 namespace {
@@ -44,28 +46,44 @@ const TranslatedRep &translatedDict() {
   return *Rep;
 }
 
-/// Asserts full observable equivalence of the two detectors on \p T.
-void expectEquivalent(const Trace &T, const AccessPointProvider &Provider,
-                      unsigned Shards) {
-  CommutativityRaceDetector Sequential;
-  Sequential.setDefaultProvider(&Provider);
-  Sequential.processTrace(T);
-
-  ParallelDetector Parallel(Shards);
-  Parallel.setDefaultProvider(&Provider);
-  Parallel.processTrace(T);
-
+/// Asserts the parallel detector's observable state matches \p Sequential.
+void expectMatchesSequential(const CommutativityRaceDetector &Sequential,
+                             ParallelDetector &Parallel, unsigned Shards) {
   ASSERT_EQ(Parallel.shards(), Shards);
   ASSERT_EQ(Parallel.races().size(), Sequential.races().size())
-      << "shards=" << Shards;
+      << "shards=" << Shards << " batch=" << Parallel.batchSize();
   for (size_t I = 0; I != Sequential.races().size(); ++I)
     EXPECT_EQ(Parallel.races()[I], Sequential.races()[I])
-        << "race " << I << " diverges at shards=" << Shards << ":\n  seq "
+        << "race " << I << " diverges at shards=" << Shards
+        << " batch=" << Parallel.batchSize() << ":\n  seq "
         << Sequential.races()[I] << "\n  par " << Parallel.races()[I];
   EXPECT_EQ(Parallel.distinctRacyObjects(), Sequential.distinctRacyObjects());
   EXPECT_EQ(Parallel.conflictChecks(), Sequential.conflictChecks());
   EXPECT_EQ(Parallel.activePointCount(), Sequential.activePointCount());
   EXPECT_EQ(Parallel.eventsProcessed(), Sequential.eventsProcessed());
+}
+
+/// Asserts full observable equivalence of the two detectors on \p T.
+void expectEquivalent(const Trace &T, const AccessPointProvider &Provider,
+                      unsigned Shards,
+                      size_t Batch = ParallelDetector::DefaultBatchSize) {
+  CommutativityRaceDetector Sequential;
+  Sequential.setDefaultProvider(&Provider);
+  Sequential.processTrace(T);
+
+  ParallelDetector Parallel(Shards, Batch);
+  Parallel.setDefaultProvider(&Provider);
+  Parallel.processTrace(T);
+  expectMatchesSequential(Sequential, Parallel, Shards);
+
+  // The streaming feed (event-at-a-time, payloads copied into the
+  // pipeline) must be indistinguishable from whole-trace processing.
+  ParallelDetector Streaming(Shards, Batch);
+  Streaming.setDefaultProvider(&Provider);
+  for (const Event &E : T)
+    Streaming.processEvent(E);
+  Streaming.flush();
+  expectMatchesSequential(Sequential, Streaming, Shards);
 }
 
 class ParallelEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
@@ -189,6 +207,98 @@ TEST(ParallelDetectorTest, ObjectDiedReclaimsShardState) {
                   Value::integer(1))
           .take());
   EXPECT_TRUE(Parallel.races().empty());
+}
+
+TEST(ParallelDetectorTest, TinyBatchesMatchSequentialAllShardCounts) {
+  // Batch size 1 dispatches every action immediately; odd sizes leave
+  // partial batches for flush() to sweep. All must stay bit-identical.
+  Trace T = randomTrace(/*Seed=*/7, /*Workers=*/4, /*OpsPerWorker=*/40,
+                        /*Keys=*/4, /*Maps=*/4);
+  for (unsigned Shards : {1u, 2u, 4u})
+    for (size_t Batch : {size_t(1), size_t(3), size_t(17), size_t(4096)})
+      expectEquivalent(T, dictRep(), Shards, Batch);
+}
+
+TEST(ParallelDetectorTest, StridedObjectIdsSpreadAcrossShards) {
+  // Object ids 0, 4, 8, ... — with raw modulo sharding all of them land on
+  // shard 0 of 4; the mixed shard hash must keep the load spread out.
+  constexpr unsigned Objects = 64;
+  TraceBuilder TB;
+  TB.fork(0, 1);
+  for (unsigned O = 0; O != Objects; ++O)
+    TB.invoke(0, O * 4, "put", {Value::integer(1), Value::integer(1)},
+              Value::nil());
+  Trace T = TB.take();
+  expectEquivalent(T, dictRep(), 4);
+
+  ParallelDetector Parallel(4);
+  Parallel.setDefaultProvider(&dictRep());
+  Parallel.processTrace(T);
+  std::vector<size_t> Loads = Parallel.shardLoads();
+  ASSERT_EQ(Loads.size(), 4u);
+  size_t Total = 0, Max = 0, NonEmpty = 0;
+  for (size_t L : Loads) {
+    Total += L;
+    Max = std::max(Max, L);
+    NonEmpty += L != 0;
+  }
+  EXPECT_EQ(Total, size_t(Objects));
+  EXPECT_LT(Max, Total) << "all strided objects landed on one shard";
+  EXPECT_GE(NonEmpty, 3u) << "strided ids use too few shards";
+}
+
+TEST(ParallelDetectorTest, ObjectDiedMidStreamDrainsInFlightEvents) {
+  // objectDied between streamed events must land *after* every earlier
+  // event on the object (they may still be queued in the shard pipeline)
+  // and reclaim the state before later events arrive.
+  ParallelDetector Parallel(4, /*BatchSize=*/2);
+  Parallel.setDefaultProvider(&dictRep());
+  Trace Prefix = TraceBuilder()
+                     .fork(0, 1)
+                     .invoke(0, 0, "put",
+                             {Value::integer(1), Value::integer(1)},
+                             Value::nil())
+                     .take();
+  for (const Event &E : Prefix)
+    Parallel.processEvent(E);
+  Parallel.objectDied(ObjectId(0));
+  // The concurrent partner arrives after the death: no prior state, no race.
+  Trace Suffix = TraceBuilder()
+                     .invoke(1, 0, "put",
+                             {Value::integer(1), Value::integer(2)},
+                             Value::integer(1))
+                     .take();
+  for (const Event &E : Suffix)
+    Parallel.processEvent(E);
+  Parallel.flush();
+  EXPECT_TRUE(Parallel.races().empty());
+  EXPECT_EQ(Parallel.eventsProcessed(), 3u);
+}
+
+TEST(ParallelDetectorTest, CrossCallCarryOverAllBatchAndShardCombos) {
+  // Splitting one trace into per-call chunks must be invisible: carried
+  // per-object state races against later chunks, with global numbering,
+  // at every shard × batch combination.
+  Trace Whole = randomTrace(/*Seed=*/21, /*Workers=*/4, /*OpsPerWorker=*/30,
+                            /*Keys=*/4, /*Maps=*/4);
+  CommutativityRaceDetector Sequential;
+  Sequential.setDefaultProvider(&dictRep());
+  Sequential.processTrace(Whole);
+
+  for (unsigned Shards : {1u, 2u, 4u})
+    for (size_t Batch : {size_t(1), size_t(5), size_t(64), size_t(4096)}) {
+      ParallelDetector Parallel(Shards, Batch);
+      Parallel.setDefaultProvider(&dictRep());
+      constexpr size_t Chunk = 37;
+      for (size_t Begin = 0; Begin < Whole.size(); Begin += Chunk) {
+        Trace Part;
+        for (size_t I = Begin; I != std::min(Begin + Chunk, Whole.size());
+             ++I)
+          Part.append(Whole[I]);
+        Parallel.processTrace(Part);
+      }
+      expectMatchesSequential(Sequential, Parallel, Shards);
+    }
 }
 
 TEST(ParallelDetectorTest, MoreShardsThanObjectsIsFine) {
