@@ -17,14 +17,36 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#if defined(CRD_BENCH_ALLOC_COUNT)
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#endif
+
 namespace crd {
 namespace bench {
+
+#if defined(CRD_BENCH_ALLOC_COUNT)
+/// Global heap-allocation counter backing the allocs_per_event metric.
+/// Monotonic; callers sample before/after a run and difference the reads.
+inline std::atomic<uint64_t> &allocCounter() {
+  static std::atomic<uint64_t> Counter{0};
+  return Counter;
+}
+
+inline uint64_t allocCount() {
+  return allocCounter().load(std::memory_order_relaxed);
+}
+#else
+inline uint64_t allocCount() { return 0; }
+#endif
 
 /// One measured configuration.
 struct BenchEntry {
@@ -35,6 +57,11 @@ struct BenchEntry {
   double EventsPerSec = 0.0;
   size_t Races = 0;      ///< Races reported (sanity anchor for diffs).
   unsigned Reps = 0;     ///< Timed repetitions behind the median.
+  /// Median heap allocations per event across the timed repetitions.
+  /// Only meaningful when the tool is built with CRD_BENCH_ALLOC_COUNT
+  /// (the define routes global operator new through a counter); -1 when
+  /// the counter is compiled out, and the JSON field is omitted.
+  double AllocsPerEvent = -1.0;
 };
 
 /// Times \p Run (which returns the race count) with \p Warmup discarded
@@ -56,18 +83,37 @@ BenchEntry measureMedian(const std::string &Name, unsigned Shards,
     Entry.Races = Run();
   std::vector<double> Times;
   Times.reserve(Reps);
+#if defined(CRD_BENCH_ALLOC_COUNT)
+  std::vector<uint64_t> Allocs;
+  Allocs.reserve(Reps);
+#endif
   for (unsigned R = 0; R != Reps; ++R) {
+    uint64_t AllocsBefore = allocCount();
     auto Start = std::chrono::steady_clock::now();
     Entry.Races = Run();
     Times.push_back(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
             .count());
+#if defined(CRD_BENCH_ALLOC_COUNT)
+    Allocs.push_back(allocCount() - AllocsBefore);
+#else
+    (void)AllocsBefore;
+#endif
   }
   std::sort(Times.begin(), Times.end());
   Entry.Seconds = Times.empty()
                       ? 0.0
                       : (Times[(Times.size() - 1) / 2] + Times[Times.size() / 2]) / 2;
   Entry.EventsPerSec = Entry.Seconds > 0 ? Events / Entry.Seconds : 0.0;
+#if defined(CRD_BENCH_ALLOC_COUNT)
+  if (!Allocs.empty() && Events != 0) {
+    // Median, like the wall time: the warmup reps already absorbed the
+    // one-time pool/table growth, so steady state should read 0.
+    std::sort(Allocs.begin(), Allocs.end());
+    Entry.AllocsPerEvent =
+        static_cast<double>(Allocs[Allocs.size() / 2]) / Events;
+  }
+#endif
   return Entry;
 }
 
@@ -90,8 +136,10 @@ public:
       OS << "    {\"name\": \"" << E.Name << "\", \"shards\": " << E.Shards
          << ", \"events\": " << E.Events << ", \"seconds\": " << E.Seconds
          << ", \"events_per_sec\": " << static_cast<uint64_t>(E.EventsPerSec)
-         << ", \"races\": " << E.Races << ", \"reps\": " << E.Reps << "}"
-         << (I + 1 == Entries.size() ? "\n" : ",\n");
+         << ", \"races\": " << E.Races << ", \"reps\": " << E.Reps;
+      if (E.AllocsPerEvent >= 0)
+        OS << ", \"allocs_per_event\": " << E.AllocsPerEvent;
+      OS << "}" << (I + 1 == Entries.size() ? "\n" : ",\n");
     }
     OS << "  ]\n}\n";
     return OS.str();
@@ -116,5 +164,64 @@ private:
 
 } // namespace bench
 } // namespace crd
+
+#if defined(CRD_BENCH_ALLOC_COUNT)
+//===----------------------------------------------------------------------===//
+// Replacement global allocation functions (bench binaries only).
+//
+// Every heap allocation bumps allocCounter(), which is how the benches
+// verify the hot path's zero-allocs-per-event steady state. Defined in this
+// header because each bench tool is a single translation unit; the define
+// is applied per target, never to the libraries, so production binaries
+// keep the stock allocator.
+//===----------------------------------------------------------------------===//
+
+namespace crd::bench::detail {
+
+inline void *countedAlloc(std::size_t Size) {
+  crd::bench::allocCounter().fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+inline void *countedAlignedAlloc(std::size_t Size, std::size_t Align) {
+  crd::bench::allocCounter().fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  std::size_t Rounded = (Size + Align - 1) / Align * Align;
+  if (void *P = std::aligned_alloc(Align, Rounded ? Rounded : Align))
+    return P;
+  throw std::bad_alloc();
+}
+
+} // namespace crd::bench::detail
+
+void *operator new(std::size_t Size) {
+  return crd::bench::detail::countedAlloc(Size);
+}
+void *operator new[](std::size_t Size) {
+  return crd::bench::detail::countedAlloc(Size);
+}
+void *operator new(std::size_t Size, std::align_val_t Align) {
+  return crd::bench::detail::countedAlignedAlloc(
+      Size, static_cast<std::size_t>(Align));
+}
+void *operator new[](std::size_t Size, std::align_val_t Align) {
+  return crd::bench::detail::countedAlignedAlloc(
+      Size, static_cast<std::size_t>(Align));
+}
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+#endif // CRD_BENCH_ALLOC_COUNT
 
 #endif // CRD_BENCH_REPORT_H

@@ -48,6 +48,13 @@ def main():
         default=0.15,
         help="allowed fractional throughput drop per config (default 0.15)",
     )
+    ap.add_argument(
+        "--alloc-slack",
+        type=float,
+        default=0.05,
+        help="allowed absolute allocs_per_event growth when both artifacts "
+        "carry the allocation counter (default 0.05)",
+    )
     args = ap.parse_args()
 
     old_doc, old = load(args.old)
@@ -81,6 +88,19 @@ def main():
                 f"(> {args.threshold:.0%} allowed)"
             )
             line += "  REGRESSED"
+        # The allocation counter is optional (bench-only define); compare it
+        # when both sides carry it so new per-event heap traffic in the hot
+        # path fails the diff even if throughput noise hides it.
+        if "allocs_per_event" in ob and "allocs_per_event" in nb:
+            old_alloc = float(ob["allocs_per_event"])
+            new_alloc = float(nb["allocs_per_event"])
+            if new_alloc > old_alloc + args.alloc_slack:
+                failures.append(
+                    f"{name}: allocs_per_event grew "
+                    f"{old_alloc:.4f} -> {new_alloc:.4f} "
+                    f"(> {args.alloc_slack} slack)"
+                )
+                line += "  ALLOC GROWTH"
         print(line)
 
     for name in sorted(set(new) - set(old)):

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Reduced-rep benchmark smoke pass for CI (the `bench-smoke` ctest label).
+#
+# Runs the two trajectory benchmarks at a small fixed workload, then diffs
+# the emitted JSON against the committed bench/baseline/BENCH_*.json with
+# scripts/bench_compare.py: any >15% throughput drop below the (already
+# noise-derated) baseline, any race-count drift, or any allocs-per-event
+# growth fails the test. Exit 77 (ctest SKIP_RETURN_CODE) when python3 is
+# unavailable.
+#
+# Usage: bench_smoke.sh <build-dir> [repo-root]
+set -u
+
+BUILD_DIR="${1:?usage: bench_smoke.sh <build-dir> [repo-root]}"
+REPO_ROOT="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "bench_smoke: python3 not found; skipping" >&2
+  exit 77
+fi
+
+# The workload behind the committed baselines. Changing it requires
+# regenerating bench/baseline/ (see that directory's README).
+WORKERS=4
+QUERIES=1000
+REPS=5
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+status=0
+run_and_compare() {
+  local tool="$1" json="$2"
+  echo "== $tool ($WORKERS workers, $QUERIES queries/worker, $REPS reps) =="
+  if ! "$BUILD_DIR/bench/$tool" "$WORKERS" "$QUERIES" "$REPS" \
+      "$OUT_DIR/$json" >/dev/null; then
+    echo "bench_smoke: $tool failed" >&2
+    status=1
+    return
+  fi
+  if ! python3 "$REPO_ROOT/scripts/bench_compare.py" \
+      "$REPO_ROOT/bench/baseline/$json" "$OUT_DIR/$json"; then
+    status=1
+  fi
+}
+
+run_and_compare wire_throughput BENCH_wire.json
+run_and_compare parallel_scaling BENCH_detector.json
+
+exit "$status"

@@ -10,6 +10,7 @@
 #include "support/SpscRing.h"
 
 #include <algorithm>
+#include <cassert>
 #include <atomic>
 #include <thread>
 
@@ -30,10 +31,21 @@ struct ActionRef {
 };
 
 /// A unit of shard work: a run of action refs plus the copied payloads the
-/// streaming path pinned for them.
+/// streaming path pinned for them. Actions wider than the inline value
+/// capacity keep their values in the batch's spill arena, so pinning never
+/// allocates per action; the arena's chunks (like the vectors' capacity)
+/// survive recycling.
 struct ShardBatch {
   std::vector<ActionRef> Refs;
   std::vector<Action> Owned;
+  Arena Spill;
+
+  /// Drops the payloads but keeps every buffer for the next round.
+  void recycle() {
+    Refs.clear();
+    Owned.clear();
+    Spill.reset();
+  }
 };
 
 /// Ring depth per shard: bounds in-flight batches (and thus pinned clock
@@ -46,20 +58,25 @@ constexpr size_t RingDepth = 8;
 /// destroyed (joined) before the state it references; the detector closes
 /// the ring first, which ends the worker loop after draining.
 struct ParallelDetector::Shard {
-  explicit Shard(size_t BatchSize) : Ring(RingDepth) {
-    Pending.reserve(BatchSize);
-    PendingOwned.reserve(BatchSize);
+  explicit Shard(size_t BatchSize) : Ring(RingDepth), Recycle(RingDepth) {
+    Pending.Refs.reserve(BatchSize);
+    Pending.Owned.reserve(BatchSize);
   }
 
   SpscRing<ShardBatch> Ring;
+  /// Drained batches flowing back from the worker so dispatch() can reuse
+  /// their buffers (vector capacity + arena chunks) instead of allocating
+  /// fresh ones per batch. SPSC with the roles reversed: the worker
+  /// produces, the pre-pass thread consumes. Both ends are non-blocking —
+  /// a full ring just drops the buffers, an empty one falls back to fresh
+  /// allocation — so recycling can never deadlock the pipeline.
+  SpscRing<ShardBatch> Recycle;
   std::atomic<uint64_t> Completed{0};
   uint64_t Enqueued = 0; ///< Producer-side only.
   Algorithm1Engine Engine;
-  /// The batch being filled by the pre-pass thread.
-  std::vector<ActionRef> Pending;
-  /// Copied action payloads backing Pending's streaming entries. Reserved
-  /// to the batch size up front so pointers into it stay stable.
-  std::vector<Action> PendingOwned;
+  /// The batch being filled by the pre-pass thread. Owned is reserved to
+  /// the batch size up front so pointers into it stay stable.
+  ShardBatch Pending;
   size_t RoutedEvents = 0;
   std::jthread Worker;
 };
@@ -82,9 +99,13 @@ ParallelDetector::ParallelDetector(unsigned NumShards, size_t BatchSize)
         while (S.Ring.pop(B)) {
           for (const ActionRef &R : B.Refs)
             S.Engine.onAction(*R.A, R.Thread, *R.Clock, R.EventIndex);
-          B = ShardBatch(); // Release payloads before signaling.
+          B.recycle(); // Release payloads before signaling.
           S.Completed.fetch_add(1, std::memory_order_release);
           S.Completed.notify_one();
+          // Hand the emptied buffers back for reuse; if the producer is
+          // RingDepth batches of buffers ahead, just let these free.
+          S.Recycle.tryPush(std::move(B));
+          B = ShardBatch();
         }
       });
     }
@@ -152,8 +173,16 @@ const VectorClock *ParallelDetector::clockFor(ThreadId Tid) {
     ClockCache.resize(Tid.index() + 1, nullptr);
   const VectorClock *&Snapshot = ClockCache[Tid.index()];
   if (!Snapshot) {
-    ClockTable.push_back(VCState.clockOf(Tid));
-    Snapshot = &ClockTable.back();
+    // Pooled snapshots: flush() rewinds ClockTableUsed instead of clearing
+    // the deque, so steady-state snapshotting assigns into clocks that
+    // already hold capacity (copyClockInto) — no allocation, no deep
+    // buffer churn. Deque growth never moves existing entries, so pointers
+    // held by in-flight batches stay valid.
+    if (ClockTableUsed == ClockTable.size())
+      ClockTable.emplace_back();
+    VectorClock &Slot = ClockTable[ClockTableUsed++];
+    VCState.copyClockInto(Tid, Slot);
+    Snapshot = &Slot;
   }
   return Snapshot;
 }
@@ -170,15 +199,17 @@ void ParallelDetector::routeEvent(const Event &E, bool OwnAction) {
     const Action *A = &E.action();
     Shard &S = *ShardList[shardOf(A->object())];
     if (OwnAction) {
-      // Streaming feed: pin a copy; PendingOwned never reallocates below
-      // the batch size, so the pointer stays stable until dispatch moves
-      // the whole buffer into the batch.
-      S.PendingOwned.push_back(*A);
-      A = &S.PendingOwned.back();
+      // Streaming feed: pin a copy — inline for small actions, spilled
+      // into the batch arena for wide ones, so the source (typically a
+      // wire decoder's per-chunk arena) can reset underneath us. Owned
+      // never reallocates below the batch size, so the pointer stays
+      // stable until dispatch moves the whole batch.
+      S.Pending.Owned.push_back(A->copyInto(S.Pending.Spill));
+      A = &S.Pending.Owned.back();
     }
-    S.Pending.push_back({Index, E.thread(), clockFor(E.thread()), A});
+    S.Pending.Refs.push_back({Index, E.thread(), clockFor(E.thread()), A});
     ++S.RoutedEvents;
-    if (S.Pending.size() >= BatchSizeVal)
+    if (S.Pending.Refs.size() >= BatchSizeVal)
       dispatch(S);
     break;
   }
@@ -202,20 +233,25 @@ void ParallelDetector::routeEvent(const Event &E, bool OwnAction) {
 }
 
 void ParallelDetector::dispatch(Shard &S) {
-  if (S.Pending.empty())
+  if (S.Pending.Refs.empty())
     return;
-  ShardBatch B;
-  B.Refs = std::move(S.Pending);
-  B.Owned = std::move(S.PendingOwned);
-  S.Pending.clear();
-  S.Pending.reserve(BatchSizeVal);
-  S.PendingOwned.clear();
-  S.PendingOwned.reserve(BatchSizeVal);
   if (!S.Worker.joinable()) {
-    // Single-shard inline mode: run on the caller thread.
-    for (const ActionRef &R : B.Refs)
+    // Single-shard inline mode: run on the caller thread, then reuse the
+    // pending batch's buffers directly.
+    for (const ActionRef &R : S.Pending.Refs)
       S.Engine.onAction(*R.A, R.Thread, *R.Clock, R.EventIndex);
+    S.Pending.recycle();
     return;
+  }
+  ShardBatch B = std::move(S.Pending);
+  // Refill Pending from the recycle ring when the worker has handed
+  // buffers back; otherwise start fresh (warmup, or the worker is behind).
+  if (S.Recycle.tryPop(S.Pending)) {
+    assert(S.Pending.Refs.empty() && "recycled batch not empty");
+  } else {
+    S.Pending = ShardBatch();
+    S.Pending.Refs.reserve(BatchSizeVal);
+    S.Pending.Owned.reserve(BatchSizeVal);
   }
   ++S.Enqueued;
   S.Ring.push(std::move(B)); // Blocks when the shard is RingDepth behind.
@@ -255,8 +291,10 @@ void ParallelDetector::flush() {
   for (std::unique_ptr<Shard> &S : ShardList)
     syncShard(*S);
   mergeResults();
-  // Nothing is in flight anymore: recycle the snapshot table.
-  ClockTable.clear();
+  // Nothing is in flight anymore: rewind the snapshot pool. The clocks
+  // keep their component capacity, so the next round's snapshots are
+  // assignments into warm storage.
+  ClockTableUsed = 0;
   std::fill(ClockCache.begin(), ClockCache.end(), nullptr);
 }
 

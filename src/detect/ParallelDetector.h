@@ -126,9 +126,12 @@ private:
   /// Table 1 clock machine; persists across processTrace calls so split
   /// traces see the same happens-before as one concatenated trace.
   VectorClockState VCState;
-  /// Clock snapshots referenced by in-flight batches. A deque so grows
-  /// never move existing snapshots; cleared once the pipeline quiesces.
+  /// Clock snapshot pool referenced by in-flight batches. A deque so
+  /// growth never moves existing snapshots. Flush rewinds ClockTableUsed
+  /// instead of clearing, keeping every clock's storage warm for reuse —
+  /// steady-state snapshotting is allocation-free.
   std::deque<VectorClock> ClockTable;
+  size_t ClockTableUsed = 0;
   /// Per-thread pointer to the thread's current ClockTable snapshot;
   /// nullptr after a synchronization event mutates the thread's clock.
   std::vector<const VectorClock *> ClockCache;

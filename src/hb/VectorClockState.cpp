@@ -28,9 +28,30 @@ const VectorClock &VectorClockState::clockOf(ThreadId Thread) {
   return threadClock(Thread);
 }
 
+const VectorClock *VectorClockState::findLockClock(LockId Lock) const {
+  for (size_t I = 0; I != NumInlineLocks; ++I)
+    if (InlineLocks[I].Lock == Lock)
+      return &InlineLocks[I].Clock;
+  return OverflowLocks.find(Lock);
+}
+
+VectorClock &VectorClockState::lockClockFor(LockId Lock) {
+  for (size_t I = 0; I != NumInlineLocks; ++I)
+    if (InlineLocks[I].Lock == Lock)
+      return InlineLocks[I].Clock;
+  if (NumInlineLocks < InlineLockSlots) {
+    // First sighting of this lock with an inline slot free. Overflow can't
+    // hold it: locks only spill once all inline slots are taken, and the
+    // inline count never shrinks.
+    InlineLocks[NumInlineLocks].Lock = Lock;
+    return InlineLocks[NumInlineLocks++].Clock;
+  }
+  return OverflowLocks[Lock];
+}
+
 const VectorClock &VectorClockState::lockClock(LockId Lock) const {
-  auto It = Locks.find(Lock);
-  return It == Locks.end() ? Bottom : It->second;
+  const VectorClock *Found = findLockClock(Lock);
+  return Found ? *Found : Bottom;
 }
 
 void VectorClockState::process(const Event &E) {
@@ -61,9 +82,8 @@ void VectorClockState::process(const Event &E) {
   }
   case EventKind::Acquire: {
     // T(τ) ← T(τ) ⊔ L(l).
-    auto It = Locks.find(E.lock());
-    if (It != Locks.end())
-      threadClock(E.thread()).joinWith(It->second);
+    if (const VectorClock *L = findLockClock(E.lock()))
+      threadClock(E.thread()).joinWith(*L);
     else
       threadClock(E.thread()); // Still forces lazy initialization.
     return;
@@ -71,7 +91,7 @@ void VectorClockState::process(const Event &E) {
   case EventKind::Release: {
     // L(l) ← T(τ); T(τ) ← inc_τ(T(τ)).
     VectorClock &Self = threadClock(E.thread());
-    Locks[E.lock()] = Self;
+    lockClockFor(E.lock()) = Self;
     Self.increment(E.thread());
     return;
   }

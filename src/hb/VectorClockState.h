@@ -25,15 +25,22 @@
 #ifndef CRD_HB_VECTORCLOCKSTATE_H
 #define CRD_HB_VECTORCLOCKSTATE_H
 
+#include "support/FlatMap.h"
 #include "support/VectorClock.h"
 #include "trace/Event.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace crd {
 
 /// Online happens-before tracker (the "previous work" rows of Table 1).
+///
+/// The lock map L is split into a small inline array for the first few
+/// locks and a FlatMap overflow: most traces guard their objects with a
+/// handful of locks, so the acquire/release hot path of the sequential
+/// pre-pass is a short linear scan over inline entries instead of a hash
+/// probe, and the swiss-table overflow only engages past InlineLockSlots
+/// distinct locks.
 class VectorClockState {
 public:
   VectorClockState() = default;
@@ -47,6 +54,15 @@ public:
   /// Initializes the thread lazily to inc_τ(⊥) on first use.
   const VectorClock &clockOf(ThreadId Thread);
 
+  /// Copies T(τ) into \p Out, reusing Out's existing storage. The
+  /// allocation-free way to snapshot a clock into pooled storage (the
+  /// shard batch forwarding path): unlike `Out = clockOf(T)` through a
+  /// freshly constructed clock, a pooled Out already holds capacity from
+  /// earlier batches and the copy touches no allocator.
+  void copyClockInto(ThreadId Thread, VectorClock &Out) {
+    Out = clockOf(Thread);
+  }
+
   /// Returns L(l); ⊥ if the lock was never released.
   const VectorClock &lockClock(LockId Lock) const;
 
@@ -54,12 +70,31 @@ public:
   size_t numThreads() const { return Threads.size(); }
 
 private:
+  /// Locks held inline before spilling to the overflow table. Covers the
+  /// 1–4-lock common case; see the class comment.
+  static constexpr size_t InlineLockSlots = 4;
+
   VectorClock &threadClock(ThreadId Thread);
+
+  /// Returns L(l) for update, creating the entry (inline first, then
+  /// overflow) on first release of \p Lock.
+  VectorClock &lockClockFor(LockId Lock);
+
+  /// Returns the existing L(l) or nullptr if \p Lock was never released.
+  const VectorClock *findLockClock(LockId Lock) const;
 
   // Dense per-thread clocks; Initialized[i] records lazy initialization.
   std::vector<VectorClock> Threads;
   std::vector<bool> Initialized;
-  std::unordered_map<LockId, VectorClock> Locks;
+
+  struct LockSlot {
+    LockId Lock;
+    VectorClock Clock;
+  };
+  LockSlot InlineLocks[InlineLockSlots];
+  size_t NumInlineLocks = 0;
+  FlatMap<LockId, VectorClock> OverflowLocks;
+
   VectorClock Bottom;
 };
 

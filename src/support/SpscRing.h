@@ -71,6 +71,21 @@ public:
     return true;
   }
 
+  /// Producer: non-blocking push; false when the ring is currently full.
+  /// \p Item is only consumed on success. Used by the batch-recycle path,
+  /// where dropping the item (letting buffers free) is an acceptable
+  /// fallback when the peer is behind.
+  bool tryPush(T &&Item) {
+    uint64_t Ticket = Tail.load(std::memory_order_relaxed) & ~ClosedBit;
+    uint64_t H = Head.load(std::memory_order_acquire);
+    if (Ticket - H >= Slots.size())
+      return false;
+    Slots[Ticket & (Slots.size() - 1)] = std::move(Item);
+    Tail.store(Ticket + 1, std::memory_order_release);
+    Tail.notify_one();
+    return true;
+  }
+
   /// Consumer: non-blocking pop; false when currently empty (closed or not).
   bool tryPop(T &Out) {
     uint64_t H = Head.load(std::memory_order_relaxed);

@@ -21,7 +21,7 @@ void VectorClock::set(ThreadId Thread, uint32_t Time) {
   if (Thread.index() >= Components.size()) {
     if (Time == 0)
       return;
-    Components.resize(Thread.index() + 1, 0);
+    Components.resize(Thread.index() + 1);
   }
   Components[Thread.index()] = Time;
   normalize();
@@ -29,13 +29,13 @@ void VectorClock::set(ThreadId Thread, uint32_t Time) {
 
 void VectorClock::increment(ThreadId Thread) {
   if (Thread.index() >= Components.size())
-    Components.resize(Thread.index() + 1, 0);
+    Components.resize(Thread.index() + 1);
   ++Components[Thread.index()];
 }
 
 void VectorClock::joinWith(const VectorClock &Other) {
   if (Other.Components.size() > Components.size())
-    Components.resize(Other.Components.size(), 0);
+    Components.resize(Other.Components.size());
   for (size_t I = 0, E = Other.Components.size(); I != E; ++I)
     Components[I] = std::max(Components[I], Other.Components[I]);
   // Join never introduces trailing zeros if neither operand had them, so no

@@ -16,6 +16,7 @@
 #define CRD_SUPPORT_VECTORCLOCK_H
 
 #include "support/Ids.h"
+#include "support/SmallVec.h"
 
 #include <cstdint>
 #include <iosfwd>
@@ -36,8 +37,8 @@ public:
   VectorClock() = default;
 
   /// Constructs a clock from explicit components (index i = thread i).
-  explicit VectorClock(std::vector<uint32_t> Components)
-      : Components(std::move(Components)) {
+  explicit VectorClock(const std::vector<uint32_t> &Init) {
+    Components.assign(Init.data(), Init.size());
     normalize();
   }
 
@@ -86,7 +87,10 @@ public:
 private:
   void normalize();
 
-  std::vector<uint32_t> Components;
+  /// Most traces sync across a handful of threads, so 8 inline components
+  /// keep clock copies (race snapshots, Table 1 lock clocks, shard batch
+  /// forwarding) off the allocator entirely.
+  SmallVec<uint32_t, 8> Components;
 };
 
 std::ostream &operator<<(std::ostream &OS, const VectorClock &VC);

@@ -12,11 +12,7 @@
 using namespace crd;
 
 std::vector<Value> Action::values() const {
-  std::vector<Value> All;
-  All.reserve(numValues());
-  All.insert(All.end(), Args.begin(), Args.end());
-  All.insert(All.end(), Rets.begin(), Rets.end());
-  return All;
+  return std::vector<Value>(Vals, Vals + numValues());
 }
 
 std::string Action::toString() const {

@@ -15,6 +15,11 @@
 /// (runtime/Sink.h): StreamPipeline implements both, so a SimRuntime can
 /// feed it directly while offline tools pull from a source.
 ///
+/// Lifetime: sources may hand out invoke events whose value payloads view
+/// decoder-owned storage (WireReader's per-chunk arena). An event is valid
+/// until the next next() call; consumers that retain one longer copy it
+/// (Action's copy constructor detaches from the arena).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CRD_WIRE_EVENTSOURCE_H

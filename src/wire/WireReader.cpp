@@ -9,6 +9,7 @@
 #include "wire/Crc32.h"
 #include "wire/Varint.h"
 
+#include <cstring>
 #include <istream>
 #include <limits>
 #include <sstream>
@@ -154,6 +155,10 @@ bool WireReader::loadChunk() {
   Pos = 0;
   PrevThread = 0;
   PrevObject = 0;
+  // The previous chunk's batch is fully handed out by now (next() only
+  // loads a chunk once the prior one is drained), so its decoded values
+  // can be reclaimed wholesale.
+  ValueArena.reset();
 
   ByteReader R(reinterpret_cast<const uint8_t *>(Payload.data()),
                Payload.size());
@@ -330,8 +335,12 @@ bool WireReader::decodeEvent(Event &E) {
       fail("malformed action event: bad argument count");
       return false;
     }
-    std::vector<Value> Args(static_cast<size_t>(*NArgs));
-    for (Value &V : Args)
+    // Stage the values in the reusable scratch buffer (the return count is
+    // not known until the arguments are decoded), then move them into one
+    // contiguous arena block the Action views. Steady state: no heap
+    // traffic — the scratch capacity and arena chunks persist.
+    ScratchValues.resize(static_cast<size_t>(*NArgs));
+    for (Value &V : ScratchValues)
       if (!decodeValue(V)) {
         fail("malformed action event: bad argument value");
         return false;
@@ -341,15 +350,23 @@ bool WireReader::decodeEvent(Event &E) {
       fail("malformed action event: bad return count");
       return false;
     }
-    std::vector<Value> Rets(static_cast<size_t>(*NRets));
-    for (Value &V : Rets)
-      if (!decodeValue(V)) {
+    size_t Total = static_cast<size_t>(*NArgs) + static_cast<size_t>(*NRets);
+    ScratchValues.resize(Total);
+    for (size_t I = static_cast<size_t>(*NArgs); I != Total; ++I)
+      if (!decodeValue(ScratchValues[I])) {
         fail("malformed action event: bad return value");
         return false;
       }
+    const Value *Vals = nullptr;
+    if (Total != 0) {
+      Value *Block = ValueArena.allocate<Value>(Total);
+      std::memcpy(Block, ScratchValues.data(), Total * sizeof(Value));
+      Vals = Block;
+    }
     E = Event::invoke(Self,
                       Action(ObjectId(Obj), Syms[static_cast<size_t>(*MethodId)],
-                             std::move(Args), std::move(Rets)));
+                             Vals, static_cast<uint32_t>(*NArgs),
+                             static_cast<uint32_t>(*NRets)));
     finishAt();
     return true;
   }
