@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (the `docs` ctest label).
+
+Two classes of rot this catches:
+
+1. Dead relative links: every `[text](path)` markdown link in the checked
+   pages whose target is a repo file (not http(s)/mailto/#anchor) must
+   resolve relative to the page that contains it.
+
+2. Stale CLI documentation: every `crd <verb>` invocation shown in a code
+   span or fenced code block must name a verb that `crd --help` lists, and
+   every `--flag` on such an invocation line must appear in that verb's
+   `crd <verb> --help` text. Docs promising options the tool dropped (or
+   never had) fail the build instead of misleading readers.
+
+Usage: check_docs.py <repo-root> <crd-binary>
+
+Exit codes: 0 = consistent, 1 = findings (each printed to stderr),
+2 = bad invocation / cannot run the crd binary.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# Pages checked for links and CLI references. docs/*.md is globbed on top.
+TOP_LEVEL_PAGES = [
+    "README.md",
+    "DESIGN.md",
+    "ROADMAP.md",
+    "EXPERIMENTS.md",
+    "CHANGES.md",
+]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+INLINE_CODE_RE = re.compile(r"`([^`]+)`")
+CRD_INVOCATION_RE = re.compile(r"\bcrd\s+([a-z][a-z0-9-]*)")
+FLAG_RE = re.compile(r"(--[a-zA-Z][\w-]*)")
+ALWAYS_OK_FLAGS = {"--help", "-h"}
+
+
+def run_help(crd, *args):
+    """Returns combined stdout+stderr of `crd *args` (help text)."""
+    proc = subprocess.run(
+        [crd, *args], capture_output=True, text=True, timeout=60
+    )
+    return proc.stdout + proc.stderr
+
+
+def documented_verbs(crd):
+    """Verbs `crd --help` lists (two-space-indented 'verb  description')."""
+    verbs = set()
+    for line in run_help(crd, "--help").splitlines():
+        m = re.match(r"^  ([a-z][a-z0-9-]*)\s{2,}\S", line)
+        if m:
+            verbs.add(m.group(1))
+    return verbs
+
+
+def check_links(page, text, repo_root, problems):
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for target in LINK_RE.findall(line):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme.
+                continue
+            if target.startswith("#"):  # In-page anchor.
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (page.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{page.relative_to(repo_root)}:{lineno}: dead link "
+                    f"'{target}' (resolves to {resolved})"
+                )
+
+
+def code_lines(text):
+    """Yields (lineno, code) for fenced-block lines and inline code spans."""
+    fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            fence = not fence
+            continue
+        if fence:
+            yield lineno, line
+        else:
+            for span in INLINE_CODE_RE.findall(line):
+                yield lineno, span
+
+
+def check_cli_references(page, text, repo_root, verbs, verb_help, crd,
+                         problems):
+    for lineno, code in code_lines(text):
+        for m in CRD_INVOCATION_RE.finditer(code):
+            verb = m.group(1)
+            if verb == "help":
+                continue
+            if verb not in verbs:
+                problems.append(
+                    f"{page.relative_to(repo_root)}:{lineno}: documented "
+                    f"verb 'crd {verb}' is not listed by 'crd --help'"
+                )
+                continue
+            if verb not in verb_help:
+                verb_help[verb] = run_help(crd, verb, "--help")
+            rest = code[m.end():]
+            # Stop at the next crd invocation in the same span, if any.
+            nxt = CRD_INVOCATION_RE.search(rest)
+            if nxt:
+                rest = rest[: nxt.start()]
+            for flag in FLAG_RE.findall(rest):
+                if flag in ALWAYS_OK_FLAGS:
+                    continue
+                if flag not in verb_help[verb]:
+                    problems.append(
+                        f"{page.relative_to(repo_root)}:{lineno}: "
+                        f"documented option '{flag}' is not in "
+                        f"'crd {verb} --help'"
+                    )
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    repo_root = Path(sys.argv[1]).resolve()
+    crd = sys.argv[2]
+
+    try:
+        verbs = documented_verbs(crd)
+    except OSError as err:
+        print(f"error: cannot run '{crd}': {err}", file=sys.stderr)
+        return 2
+    if not verbs:
+        print(f"error: 'crd --help' listed no commands", file=sys.stderr)
+        return 2
+
+    pages = [repo_root / p for p in TOP_LEVEL_PAGES]
+    pages += sorted((repo_root / "docs").glob("*.md"))
+    pages = [p for p in pages if p.exists()]
+
+    problems = []
+    verb_help = {}
+    for page in pages:
+        text = page.read_text(encoding="utf-8")
+        check_links(page, text, repo_root, problems)
+        check_cli_references(page, text, repo_root, verbs, verb_help, crd,
+                             problems)
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"check_docs: {len(pages)} pages, {len(verbs)} crd verbs, "
+        f"{len(problems)} problems"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,7 @@
 #include "detect/Race.h"
 #include "support/EpochClock.h"
 #include "support/FlatMap.h"
+#include "support/Metrics.h"
 
 #include <cassert>
 #include <memory>
@@ -56,6 +57,19 @@ struct FullClockRep {
   bool leq(const VectorClock &C) const { return Clock.leq(C); }
   void accumulate(const VectorClock &C, ThreadId) { Clock.joinWith(C); }
   VectorClock toClock() const { return Clock; }
+};
+
+/// Counters an Algorithm 1 engine accumulates while processing (zeros in a
+/// CRD_METRICS=OFF build, except ConflictChecks which the §5.4 experiments
+/// consume unconditionally). One instance per engine — per shard for the
+/// parallel detector. Schema: docs/observability.md.
+struct Algorithm1Stats {
+  uint64_t Actions = 0;          ///< onAction invocations.
+  uint64_t ConflictChecks = 0;   ///< Phase-1 conflict-partner probes.
+  uint64_t ObjectCacheHits = 0;  ///< stateFor resolved by the one-entry cache.
+  uint64_t ObjectCacheMisses = 0;///< stateFor fell through to the table.
+  uint64_t Activations = 0;      ///< Access points activated (first touch).
+  uint64_t ActivePoints = 0;     ///< Currently active points (live objects).
 };
 
 /// Phases 1–2 of Algorithm 1 over per-object active-point tables.
@@ -90,6 +104,7 @@ public:
   /// clock \p Clock at trace position \p EventIndex.
   void onAction(const Action &A, ThreadId Thread, const VectorClock &Clock,
                 size_t EventIndex) {
+    ActionsSeen.inc();
     ObjectState &State = stateFor(A.object());
     const AccessPointProvider *Provider = State.Provider;
     assert(Provider && "object has no bound access point provider");
@@ -129,8 +144,10 @@ public:
     for (const AccessPoint &Pt : Scratch) {
       auto [Rep, Inserted] = State.Active.tryEmplace(Pt);
       Rep->accumulate(Clock, Thread);
-      if (Inserted)
+      if (Inserted) {
         ++ActivePoints;
+        Activations.inc();
+      }
     }
   }
 
@@ -162,6 +179,19 @@ public:
   /// Maintained incrementally; O(1).
   size_t activePointCount() const { return ActivePoints; }
 
+  /// Metrics snapshot (docs/observability.md). ConflictChecks is always
+  /// live; the other counters read zero in a CRD_METRICS=OFF build.
+  Algorithm1Stats stats() const {
+    Algorithm1Stats S;
+    S.Actions = ActionsSeen.get();
+    S.ConflictChecks = ConflictChecks;
+    S.ObjectCacheHits = CacheHits.get();
+    S.ObjectCacheMisses = CacheMisses.get();
+    S.Activations = Activations.get();
+    S.ActivePoints = ActivePoints;
+    return S;
+  }
+
   /// Snapshot of an object's active points with materialized clocks
   /// (diagnostic/testing API; order unspecified).
   std::vector<std::pair<AccessPoint, VectorClock>>
@@ -187,8 +217,11 @@ private:
   };
 
   ObjectState &stateFor(ObjectId Obj) {
-    if (LastState && LastObj == Obj)
+    if (LastState && LastObj == Obj) {
+      CacheHits.inc();
       return *LastState;
+    }
+    CacheMisses.inc();
     auto [Slot, Inserted] = Objects.tryEmplace(Obj);
     if (Inserted) {
       *Slot = std::make_unique<ObjectState>();
@@ -218,6 +251,12 @@ private:
   std::vector<AccessPoint> Scratch;
   size_t ConflictChecks = 0;
   size_t ActivePoints = 0;
+  /// Observability counters (single writer — the thread driving the
+  /// engine; no-ops when CRD_METRICS=0).
+  metrics::Counter ActionsSeen;
+  metrics::Counter CacheHits;
+  metrics::Counter CacheMisses;
+  metrics::Counter Activations;
 };
 
 /// The production engine: epoch-compressed accumulated clocks.

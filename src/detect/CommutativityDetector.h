@@ -75,6 +75,9 @@ public:
   /// Maintained incrementally by phase 2 and objectDied(); O(1).
   size_t activePointCount() const { return Engine.activePointCount(); }
 
+  /// The engine's metrics snapshot (docs/observability.md).
+  Algorithm1Stats engineStats() const { return Engine.stats(); }
+
   /// Snapshot of an object's active points and their accumulated clocks
   /// (diagnostic/testing API; order unspecified). Epoch-compressed points
   /// materialize as their single-component clock, which is probe-equivalent

@@ -35,15 +35,20 @@ void FastTrackDetector::report(MemoryRace::Kind Kind, VarId Var,
 }
 
 void FastTrackDetector::handleRead(const Event &E) {
+  Reads.inc();
   const VectorClock &C = VCState.clockOf(E.thread());
   VarState &X = Vars[E.var()];
   uint32_t Now = C.get(E.thread());
 
   // [Read Same Epoch] / [Read Shared Same Epoch]
-  if (X.Read.sameEpoch(E.thread(), Now))
+  if (X.Read.sameEpoch(E.thread(), Now)) {
+    SameEpochHits.inc();
     return;
-  if (X.Read.isShared() && X.Read.localOf(E.thread()) == Now)
+  }
+  if (X.Read.isShared() && X.Read.localOf(E.thread()) == Now) {
+    SameEpochHits.inc();
     return;
+  }
 
   // Write-read race check.
   if (!X.Write.leq(C))
@@ -66,13 +71,16 @@ void FastTrackDetector::handleRead(const Event &E) {
 }
 
 void FastTrackDetector::handleWrite(const Event &E) {
+  Writes.inc();
   const VectorClock &C = VCState.clockOf(E.thread());
   VarState &X = Vars[E.var()];
   Epoch Current = epochOf(C, E.thread());
 
   // [Write Same Epoch]
-  if (X.Write == Current)
+  if (X.Write == Current) {
+    SameEpochHits.inc();
     return;
+  }
 
   // Write-write race check.
   if (!X.Write.leq(C))

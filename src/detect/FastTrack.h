@@ -21,12 +21,24 @@
 #include "hb/VectorClockState.h"
 #include "support/EpochClock.h"
 #include "support/FlatMap.h"
+#include "support/Metrics.h"
 #include "trace/Trace.h"
 
 #include <unordered_set>
 #include <vector>
 
 namespace crd {
+
+/// Counters the FastTrack detector accumulates (zeros when CRD_METRICS=0).
+/// Each read/write performs exactly one shadow-table probe, so TableProbes
+/// = Reads + Writes; SameEpochHits counts the O(1) fast-path exits ([Read
+/// Same Epoch]/[Write Same Epoch]) that never consult the write/read state.
+struct FastTrackStats {
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t TableProbes = 0;
+  uint64_t SameEpochHits = 0;
+};
 
 /// FastTrack detector over Read/Write (and synchronization) events.
 class FastTrackDetector {
@@ -41,6 +53,16 @@ public:
   /// Number of distinct memory locations with at least one race (the
   /// "(distinct)" column of Table 2 for FASTTRACK).
   size_t distinctRacyVars() const { return RacyVars.size(); }
+
+  /// Metrics snapshot (docs/observability.md).
+  FastTrackStats stats() const {
+    FastTrackStats S;
+    S.Reads = Reads.get();
+    S.Writes = Writes.get();
+    S.TableProbes = S.Reads + S.Writes;
+    S.SameEpochHits = SameEpochHits.get();
+    return S;
+  }
 
 private:
   /// A scalar timestamp c@t.
@@ -79,6 +101,10 @@ private:
   std::vector<MemoryRace> Races;
   std::unordered_set<VarId> RacyVars;
   size_t EventIndex = 0;
+  /// Observability counters (single writer; no-ops when CRD_METRICS=0).
+  metrics::Counter Reads;
+  metrics::Counter Writes;
+  metrics::Counter SameEpochHits;
 };
 
 } // namespace crd

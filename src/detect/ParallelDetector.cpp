@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <cassert>
 #include <atomic>
+#include <ostream>
+#include <string>
 #include <thread>
 
 using namespace crd;
@@ -39,6 +41,8 @@ struct ShardBatch {
   std::vector<ActionRef> Refs;
   std::vector<Action> Owned;
   Arena Spill;
+  uint64_t Seq = 0;       ///< Dispatch sequence number (observability).
+  uint64_t EnqueueNs = 0; ///< Producer's push timestamp (observability).
 
   /// Drops the payloads but keeps every buffer for the next round.
   void recycle() {
@@ -47,10 +51,6 @@ struct ShardBatch {
     Spill.reset();
   }
 };
-
-/// Ring depth per shard: bounds in-flight batches (and thus pinned clock
-/// snapshots / copied actions) while leaving slack for pre-pass bursts.
-constexpr size_t RingDepth = 8;
 
 } // namespace
 
@@ -78,11 +78,32 @@ struct ParallelDetector::Shard {
   /// the batch size up front so pointers into it stay stable.
   ShardBatch Pending;
   size_t RoutedEvents = 0;
+  uint64_t NextSeq = 0; ///< Producer-side batch sequence numbers.
+  /// Races this shard contributed at the last merge. Structural like
+  /// RoutedEvents (one add per flush, not per event), so it stays live —
+  /// and the accounting invariant checkable — with CRD_METRICS=0.
+  uint64_t MergedRaces = 0;
+
+  /// Producer-written observability (the feeding thread; merge too — same
+  /// thread). Inert when CRD_METRICS=0.
+  metrics::Counter RingFullStalls;
+  metrics::Counter StallNs;
+  metrics::LinearHistogram<RingDepth + 2> Occupancy;
+  metrics::LinearHistogram<11> FillDeciles;
+  /// Worker-written observability. Counter's cache-line alignment keeps
+  /// these off the producer-written lines above; Spans is appended only by
+  /// the worker and read only after quiescence.
+  metrics::Counter WorkerNs;
+  metrics::Counter Batches;
+  std::vector<BatchSpan> Spans;
+
   std::jthread Worker;
 };
 
-ParallelDetector::ParallelDetector(unsigned NumShards, size_t BatchSize)
-    : BatchSizeVal(std::max<size_t>(1, BatchSize)) {
+ParallelDetector::ParallelDetector(unsigned NumShards, size_t BatchSize,
+                                   bool TraceBatches)
+    : BatchSizeVal(std::max<size_t>(1, BatchSize)),
+      TraceBatches(metrics::Enabled && TraceBatches) {
   if (NumShards == 0)
     NumShards = std::max(1u, std::thread::hardware_concurrency());
   ShardList.reserve(NumShards);
@@ -90,15 +111,27 @@ ParallelDetector::ParallelDetector(unsigned NumShards, size_t BatchSize)
     ShardList.push_back(std::make_unique<Shard>(BatchSizeVal));
   // One shard runs inline on the caller thread; otherwise each shard gets a
   // persistent worker consuming its ring so shard work overlaps the
-  // sequential clock pre-pass.
+  // sequential clock pre-pass. The tracing flag and shard index are
+  // captured by value: the lambda must not read detector members that may
+  // be torn down while the worker drains.
   if (NumShards > 1)
-    for (std::unique_ptr<Shard> &SP : ShardList) {
-      Shard &S = *SP;
-      S.Worker = std::jthread([&S] {
+    for (unsigned I = 0; I != NumShards; ++I) {
+      Shard &S = *ShardList[I];
+      S.Worker = std::jthread([&S, Tracing = this->TraceBatches,
+                               ShardIdx = I] {
         ShardBatch B;
         while (S.Ring.pop(B)) {
+          uint64_t Begin = metrics::nowNs();
           for (const ActionRef &R : B.Refs)
             S.Engine.onAction(*R.A, R.Thread, *R.Clock, R.EventIndex);
+          uint64_t End = metrics::nowNs();
+          S.WorkerNs.add(End - Begin);
+          S.Batches.inc();
+          // Span recorded before the Completed signal so a quiesced
+          // pipeline always observes every span.
+          if (Tracing)
+            S.Spans.push_back({ShardIdx, B.Seq, B.Refs.size(), B.EnqueueNs,
+                               Begin, End});
           B.recycle(); // Release payloads before signaling.
           S.Completed.fetch_add(1, std::memory_order_release);
           S.Completed.notify_one();
@@ -173,6 +206,7 @@ const VectorClock *ParallelDetector::clockFor(ThreadId Tid) {
     ClockCache.resize(Tid.index() + 1, nullptr);
   const VectorClock *&Snapshot = ClockCache[Tid.index()];
   if (!Snapshot) {
+    ClockSnapshotsCtr.inc();
     // Pooled snapshots: flush() rewinds ClockTableUsed instead of clearing
     // the deque, so steady-state snapshotting assigns into clocks that
     // already hold capacity (copyClockInto) — no allocation, no deep
@@ -193,6 +227,8 @@ void ParallelDetector::invalidateClock(ThreadId Tid) {
 }
 
 void ParallelDetector::routeEvent(const Event &E, bool OwnAction) {
+  if (metrics::Enabled && FeedStartNs == 0)
+    FeedStartNs = metrics::nowNs(); // Pre-pass clock starts at first feed.
   size_t Index = EventsProcessed++;
   switch (E.kind()) {
   case EventKind::Invoke: {
@@ -214,6 +250,7 @@ void ParallelDetector::routeEvent(const Event &E, bool OwnAction) {
     break;
   }
   case EventKind::Fork:
+    SyncEventsCtr.inc();
     VCState.process(E);
     invalidateClock(E.thread());
     invalidateClock(E.other());
@@ -221,6 +258,7 @@ void ParallelDetector::routeEvent(const Event &E, bool OwnAction) {
   case EventKind::Join:
   case EventKind::Acquire:
   case EventKind::Release:
+    SyncEventsCtr.inc();
     VCState.process(E);
     invalidateClock(E.thread());
     break;
@@ -235,11 +273,21 @@ void ParallelDetector::routeEvent(const Event &E, bool OwnAction) {
 void ParallelDetector::dispatch(Shard &S) {
   if (S.Pending.Refs.empty())
     return;
+  S.FillDeciles.record(S.Pending.Refs.size() * 10 / BatchSizeVal);
   if (!S.Worker.joinable()) {
     // Single-shard inline mode: run on the caller thread, then reuse the
-    // pending batch's buffers directly.
+    // pending batch's buffers directly. The batch never queues, so its
+    // span (when tracing) has EnqueueNs == BeginNs.
+    uint64_t Begin = metrics::nowNs();
     for (const ActionRef &R : S.Pending.Refs)
       S.Engine.onAction(*R.A, R.Thread, *R.Clock, R.EventIndex);
+    uint64_t End = metrics::nowNs();
+    S.WorkerNs.add(End - Begin);
+    S.Batches.inc();
+    if (TraceBatches)
+      S.Spans.push_back(
+          {0, S.NextSeq, S.Pending.Refs.size(), Begin, Begin, End});
+    ++S.NextSeq;
     S.Pending.recycle();
     return;
   }
@@ -253,8 +301,20 @@ void ParallelDetector::dispatch(Shard &S) {
     S.Pending.Refs.reserve(BatchSizeVal);
     S.Pending.Owned.reserve(BatchSizeVal);
   }
+  // In-flight depth the producer observes at this dispatch; with the
+  // blocking push below it can reach but never exceed RingDepth.
+  S.Occupancy.record(S.Enqueued - S.Completed.load(std::memory_order_relaxed));
+  B.Seq = S.NextSeq++;
+  B.EnqueueNs = metrics::nowNs();
   ++S.Enqueued;
-  S.Ring.push(std::move(B)); // Blocks when the shard is RingDepth behind.
+  // Fast path first; a full ring is a pipeline stall worth counting (the
+  // pre-pass is outrunning this shard by RingDepth batches).
+  if (!S.Ring.tryPush(std::move(B))) {
+    S.RingFullStalls.inc();
+    uint64_t T0 = metrics::nowNs();
+    S.Ring.push(std::move(B)); // Blocks until the worker frees a slot.
+    S.StallNs.add(metrics::nowNs() - T0);
+  }
 }
 
 void ParallelDetector::syncShard(Shard &S) {
@@ -274,6 +334,7 @@ void ParallelDetector::mergeResults() {
   size_t FirstNew = Races.size();
   for (std::unique_ptr<Shard> &S : ShardList) {
     std::vector<CommutativityRace> ShardRaces = S->Engine.takeRaces();
+    S->MergedRaces += ShardRaces.size();
     Races.insert(Races.end(), std::make_move_iterator(ShardRaces.begin()),
                  std::make_move_iterator(ShardRaces.end()));
     RacyObjects.insert(S->Engine.racyObjects().begin(),
@@ -286,11 +347,19 @@ void ParallelDetector::mergeResults() {
 }
 
 void ParallelDetector::flush() {
+  if (metrics::Enabled && FeedStartNs != 0) {
+    PrePassNsCtr.add(metrics::nowNs() - FeedStartNs);
+    FeedStartNs = 0;
+  }
   for (std::unique_ptr<Shard> &S : ShardList)
     dispatch(*S);
+  uint64_t SyncStart = metrics::nowNs();
   for (std::unique_ptr<Shard> &S : ShardList)
     syncShard(*S);
+  uint64_t MergeStart = metrics::nowNs();
+  FlushWaitNsCtr.add(MergeStart - SyncStart);
   mergeResults();
+  MergeNsCtr.add(metrics::nowNs() - MergeStart);
   // Nothing is in flight anymore: rewind the snapshot pool. The clocks
   // keep their component capacity, so the next round's snapshots are
   // assignments into warm storage.
@@ -308,4 +377,98 @@ void ParallelDetector::processTrace(const Trace &T) {
   for (const Event &E : T)
     routeEvent(E, /*OwnAction=*/false);
   flush();
+}
+
+ParallelMetrics ParallelDetector::metricsSnapshot() const {
+  ParallelMetrics M;
+  M.Events = EventsProcessed;
+  M.SyncEvents = SyncEventsCtr.get();
+  M.ClockSnapshots = ClockSnapshotsCtr.get();
+  M.PrePassNs = PrePassNsCtr.get();
+  M.FlushWaitNs = FlushWaitNsCtr.get();
+  M.MergeNs = MergeNsCtr.get();
+  M.Shards.reserve(ShardList.size());
+  for (const std::unique_ptr<Shard> &S : ShardList) {
+    ParallelShardMetrics SM;
+    SM.RoutedEvents = S->RoutedEvents;
+    SM.Batches = S->Batches.get();
+    SM.MergedRaces = S->MergedRaces;
+    SM.RingFullStalls = S->RingFullStalls.get();
+    SM.StallNs = S->StallNs.get();
+    SM.WorkerNs = S->WorkerNs.get();
+    SM.Engine = S->Engine.stats();
+    SM.Occupancy = S->Occupancy.counts();
+    SM.OccupancyMax = S->Occupancy.max();
+    SM.FillDeciles = S->FillDeciles.counts();
+    M.Actions += SM.RoutedEvents;
+    M.Shards.push_back(SM);
+    M.Spans.insert(M.Spans.end(), S->Spans.begin(), S->Spans.end());
+  }
+  // Chronological spans read better in tooling that ignores track order.
+  std::stable_sort(M.Spans.begin(), M.Spans.end(),
+                   [](const BatchSpan &A, const BatchSpan &B) {
+                     return A.EnqueueNs < B.EnqueueNs;
+                   });
+  return M;
+}
+
+void crd::writeChromeTrace(std::ostream &OS, const ParallelMetrics &M) {
+  metrics::JsonWriter W(OS);
+  // Rebase so the earliest enqueue is t=0 (Chrome renders absolute µs).
+  uint64_t Base = ~uint64_t(0);
+  uint32_t MaxShard = 0;
+  for (const BatchSpan &S : M.Spans) {
+    Base = std::min(Base, S.EnqueueNs);
+    MaxShard = std::max(MaxShard, S.Shard);
+  }
+  auto Us = [Base](uint64_t Ns) {
+    return static_cast<double>(Ns - Base) / 1000.0;
+  };
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+  if (!M.Spans.empty())
+    for (uint32_t Shard = 0; Shard <= MaxShard; ++Shard) {
+      W.beginObject();
+      W.field("name", "thread_name");
+      W.field("ph", "M");
+      W.field("pid", uint64_t(0));
+      W.field("tid", uint64_t(Shard));
+      W.key("args");
+      W.beginObject();
+      W.field("name", "shard " + std::to_string(Shard));
+      W.endObject();
+      W.endObject();
+    }
+  for (const BatchSpan &S : M.Spans) {
+    std::string Label = "batch " + std::to_string(S.Seq) + " (" +
+                        std::to_string(S.Events) + " ev)";
+    // Queue-wait slice (zero-length for inline single-shard batches).
+    if (S.BeginNs > S.EnqueueNs) {
+      W.beginObject();
+      W.field("name", "queued " + Label);
+      W.field("ph", "X");
+      W.field("pid", uint64_t(0));
+      W.field("tid", uint64_t(S.Shard));
+      W.field("ts", Us(S.EnqueueNs));
+      W.field("dur", static_cast<double>(S.BeginNs - S.EnqueueNs) / 1000.0);
+      W.endObject();
+    }
+    W.beginObject();
+    W.field("name", Label);
+    W.field("ph", "X");
+    W.field("pid", uint64_t(0));
+    W.field("tid", uint64_t(S.Shard));
+    W.field("ts", Us(S.BeginNs));
+    W.field("dur", static_cast<double>(S.EndNs - S.BeginNs) / 1000.0);
+    W.key("args");
+    W.beginObject();
+    W.field("events", S.Events);
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  W.field("displayTimeUnit", "ms");
+  W.endObject();
+  OS << '\n';
 }

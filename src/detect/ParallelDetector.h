@@ -35,13 +35,63 @@
 
 #include "detect/Algorithm1.h"
 #include "hb/VectorClockState.h"
+#include "support/Metrics.h"
 #include "trace/Trace.h"
 
+#include <array>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
 namespace crd {
+
+/// Lifetime of one dispatched shard batch, recorded when the detector is
+/// constructed with TraceBatches=true (and the build has CRD_METRICS=1).
+/// Rendered as a Chrome-trace timeline by writeChromeTrace().
+struct BatchSpan {
+  uint32_t Shard = 0;
+  uint64_t Seq = 0;       ///< Per-shard batch sequence number (0-based).
+  uint64_t Events = 0;    ///< Action refs carried by the batch.
+  uint64_t EnqueueNs = 0; ///< Producer pushed the batch into the ring.
+  uint64_t BeginNs = 0;   ///< Worker began executing the batch.
+  uint64_t EndNs = 0;     ///< Worker finished the batch.
+};
+
+/// Per-shard slice of a ParallelDetector metrics snapshot. All counts are
+/// zeros in a CRD_METRICS=OFF build except RoutedEvents (the shard-balance
+/// statistic, live in every build).
+struct ParallelShardMetrics {
+  uint64_t RoutedEvents = 0;   ///< Action events routed to this shard.
+  uint64_t Batches = 0;        ///< Batches the shard executed.
+  uint64_t MergedRaces = 0;    ///< Races this shard contributed at merges.
+  uint64_t RingFullStalls = 0; ///< Dispatches that found the ring full.
+  uint64_t StallNs = 0;        ///< Producer time blocked on a full ring.
+  uint64_t WorkerNs = 0;       ///< Worker time executing batches.
+  Algorithm1Stats Engine;      ///< The shard engine's own counters.
+  /// Ring occupancy observed at each dispatch: bucket i = i batches were
+  /// in flight (the last bucket absorbs the tail; with the blocking push
+  /// occupancy never exceeds the ring depth).
+  std::array<uint64_t, 10> Occupancy{};
+  uint64_t OccupancyMax = 0;
+  /// Batch fill at dispatch, in deciles of the configured batch size:
+  /// bucket i = fill in [i*10, (i+1)*10)%; bucket 10 = exactly full.
+  std::array<uint64_t, 11> FillDeciles{};
+};
+
+/// Whole-pipeline metrics snapshot (schema: docs/observability.md). Valid
+/// only on a quiesced pipeline — call after processTrace() or flush().
+struct ParallelMetrics {
+  uint64_t Events = 0;         ///< All events fed (every kind).
+  uint64_t Actions = 0;        ///< Invoke events routed to shards.
+  uint64_t SyncEvents = 0;     ///< Clock-machine events (fork/join/acq/rel).
+  uint64_t ClockSnapshots = 0; ///< Distinct clock snapshots materialized.
+  uint64_t PrePassNs = 0;      ///< Feed time: first routeEvent to flush.
+  uint64_t FlushWaitNs = 0;    ///< flush() time waiting for shard quiescence.
+  uint64_t MergeNs = 0;        ///< flush() time merging race vectors.
+  std::vector<ParallelShardMetrics> Shards;
+  std::vector<BatchSpan> Spans; ///< Empty unless TraceBatches was set.
+};
 
 /// Object-sharded parallel commutativity race detector. Mirrors the
 /// sequential CommutativityRaceDetector API for whole-trace processing and
@@ -52,11 +102,23 @@ public:
   /// handoff, small enough to keep all shards busy while the pre-pass runs.
   static constexpr size_t DefaultBatchSize = 4096;
 
+  /// Ring depth per shard: bounds in-flight batches (and thus pinned clock
+  /// snapshots / copied actions) while leaving slack for pre-pass bursts.
+  /// Public because the occupancy histogram in ParallelShardMetrics is
+  /// sized by it (RingDepth + 2 buckets: 0..RingDepth plus a tail).
+  static constexpr size_t RingDepth = 8;
+  static_assert(ParallelShardMetrics{}.Occupancy.size() == RingDepth + 2,
+                "occupancy histogram must cover 0..RingDepth plus a tail");
+
   /// \p NumShards worker shards (clamped to ≥ 1; 0 = hardware concurrency).
   /// With one shard the pipeline degenerates to inline execution on the
-  /// caller thread — no worker, no ring.
+  /// caller thread — no worker, no ring. \p TraceBatches additionally
+  /// records a BatchSpan per dispatched batch (CRD_METRICS builds only) for
+  /// writeChromeTrace(); it is fixed at construction because the shard
+  /// workers capture it.
   explicit ParallelDetector(unsigned NumShards = 0,
-                            size_t BatchSize = DefaultBatchSize);
+                            size_t BatchSize = DefaultBatchSize,
+                            bool TraceBatches = false);
   ~ParallelDetector();
 
   ParallelDetector(const ParallelDetector &) = delete;
@@ -112,6 +174,15 @@ public:
   /// statistic (a sound hash keeps the max close to the mean).
   std::vector<size_t> shardLoads() const;
 
+  /// Whether batch spans are being recorded (set at construction).
+  bool tracingBatches() const { return TraceBatches; }
+
+  /// Full metrics snapshot (docs/observability.md). Requires a quiesced
+  /// pipeline — call after processTrace() or flush(). In a CRD_METRICS=OFF
+  /// build the structural counts (Events, Actions, per-shard RoutedEvents,
+  /// conflict checks) stay live and everything timed reads zero.
+  ParallelMetrics metricsSnapshot() const;
+
 private:
   struct Shard;
 
@@ -138,10 +209,26 @@ private:
   /// Shard-local pipeline state (persists across processTrace calls).
   std::vector<std::unique_ptr<Shard>> ShardList;
   size_t BatchSizeVal;
+  bool TraceBatches = false;
   std::vector<CommutativityRace> Races;
   std::unordered_set<ObjectId> RacyObjects;
   size_t EventsProcessed = 0;
+  /// Observability state (single writer: the feeding thread; all of it is
+  /// inert when CRD_METRICS=0).
+  metrics::Counter SyncEventsCtr;
+  metrics::Counter ClockSnapshotsCtr;
+  metrics::Counter PrePassNsCtr;
+  metrics::Counter FlushWaitNsCtr;
+  metrics::Counter MergeNsCtr;
+  uint64_t FeedStartNs = 0; ///< nowNs() of the first routeEvent since flush.
 };
+
+/// Renders a metrics snapshot's batch spans as a Chrome-trace JSON document
+/// (chrome://tracing / Perfetto "trace event format": one "X" complete
+/// event per span with ts/dur in microseconds, tid = shard). Timestamps are
+/// rebased so the earliest enqueue is t=0. Each batch renders as two spans:
+/// "queued" (enqueue → worker pickup) and "run" (pickup → completion).
+void writeChromeTrace(std::ostream &OS, const ParallelMetrics &M);
 
 } // namespace crd
 

@@ -42,6 +42,7 @@ public:
 
   bool next(Event &E) override { return Source.next(E); }
   bool failed() const override { return Source.failed(); }
+  const WireReader *wireReader() const override { return Source.wireReader(); }
 
 private:
   std::ifstream In;

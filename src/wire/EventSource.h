@@ -47,6 +47,11 @@ public:
 
   /// True once the underlying input was diagnosed as malformed.
   virtual bool failed() const { return false; }
+
+  /// The binary decoder behind this source, when there is one — lets the
+  /// observability snapshot report decode counters without knowing how
+  /// many wrappers deep the WireReader sits. Wrapper sources forward.
+  virtual const WireReader *wireReader() const { return nullptr; }
 };
 
 /// Streams an in-memory Trace (e.g. a TraceRecorder capture).
@@ -91,6 +96,7 @@ public:
 
   bool next(Event &E) override { return Reader.next(E); }
   bool failed() const override { return Reader.failed(); }
+  const WireReader *wireReader() const override { return &Reader; }
 
   const WireReader &reader() const { return Reader; }
 

@@ -6,10 +6,40 @@
 
 #include "wire/StreamPipeline.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
+#include <ostream>
 
 using namespace crd;
 using namespace crd::wire;
+
+namespace {
+
+const char *backendName(Backend B) {
+  switch (B) {
+  case Backend::Sequential:
+    return "sequential";
+  case Backend::Parallel:
+    return "parallel";
+  case Backend::FastTrack:
+    return "fasttrack";
+  case Backend::Atomicity:
+    return "atomicity";
+  }
+  return "unknown";
+}
+
+void writeEngineStats(metrics::JsonWriter &W, const Algorithm1Stats &S) {
+  W.field("actions", S.Actions);
+  W.field("conflict_checks", S.ConflictChecks);
+  W.field("object_cache_hits", S.ObjectCacheHits);
+  W.field("object_cache_misses", S.ObjectCacheMisses);
+  W.field("activations", S.Activations);
+  W.field("active_points", S.ActivePoints);
+}
+
+} // namespace
 
 StreamPipeline::StreamPipeline(PipelineOptions Opts) : Opts(Opts) {
   this->Opts.BatchSize = std::max<size_t>(1, Opts.BatchSize);
@@ -18,8 +48,8 @@ StreamPipeline::StreamPipeline(PipelineOptions Opts) : Opts(Opts) {
     Seq = std::make_unique<CommutativityRaceDetector>();
     break;
   case Backend::Parallel:
-    Par = std::make_unique<ParallelDetector>(Opts.Shards,
-                                             this->Opts.BatchSize);
+    Par = std::make_unique<ParallelDetector>(Opts.Shards, this->Opts.BatchSize,
+                                             Opts.TraceBatches);
     break;
   case Backend::FastTrack:
     FT = std::make_unique<FastTrackDetector>();
@@ -63,6 +93,25 @@ void StreamPipeline::drainNewRaces() {
 
 void StreamPipeline::onEvent(const Event &E) {
   ++Events;
+  switch (E.kind()) {
+  case EventKind::Invoke:
+    InvokeEvents.inc();
+    break;
+  case EventKind::Fork:
+  case EventKind::Join:
+  case EventKind::Acquire:
+  case EventKind::Release:
+    SyncEvents.inc();
+    break;
+  case EventKind::Read:
+  case EventKind::Write:
+    MemEvents.inc();
+    break;
+  case EventKind::TxBegin:
+  case EventKind::TxEnd:
+    TxEvents.inc();
+    break;
+  }
   if (Seq) {
     Seq->process(E);
     drainNewRaces();
@@ -129,4 +178,97 @@ StreamSummary StreamPipeline::summary() const {
     S.DistinctRacyVars = FT->distinctRacyVars();
   S.Violations = violations().size();
   return S;
+}
+
+void StreamPipeline::writeMetricsJson(std::ostream &OS,
+                                      const EventSource *Source) const {
+  metrics::JsonWriter W(OS);
+  W.beginObject();
+  W.field("metrics_enabled", metrics::Enabled);
+  W.field("backend", backendName(Opts.TheBackend));
+  W.field("events", static_cast<uint64_t>(Events));
+
+  W.key("events_by_kind");
+  W.beginObject();
+  W.field("invoke", InvokeEvents.get());
+  W.field("sync", SyncEvents.get());
+  W.field("mem", MemEvents.get());
+  W.field("tx", TxEvents.get());
+  W.endObject();
+
+  StreamSummary Sum = summary();
+  W.key("summary");
+  W.beginObject();
+  W.field("races", static_cast<uint64_t>(Sum.Races));
+  W.field("distinct_racy_objects",
+          static_cast<uint64_t>(Sum.DistinctRacyObjects));
+  W.field("memory_races", static_cast<uint64_t>(Sum.MemoryRaces));
+  W.field("distinct_racy_vars", static_cast<uint64_t>(Sum.DistinctRacyVars));
+  W.field("violations", static_cast<uint64_t>(Sum.Violations));
+  W.endObject();
+
+  if (const WireReader *Reader = Source ? Source->wireReader() : nullptr) {
+    WireReaderStats RS = Reader->stats();
+    W.key("source");
+    W.beginObject();
+    W.field("chunks", RS.Chunks);
+    W.field("events", RS.Events);
+    W.field("crc_errors", RS.CrcErrors);
+    W.field("payload_bytes", RS.PayloadBytes);
+    W.field("symbols", RS.Symbols);
+    W.field("arena_peak_bytes", RS.ArenaPeakBytes);
+    W.endObject();
+  }
+
+  W.key("detector");
+  W.beginObject();
+  W.field("kind", backendName(Opts.TheBackend));
+  if (Seq)
+    writeEngineStats(W, Seq->engineStats());
+  if (Par) {
+    ParallelMetrics M = Par->metricsSnapshot();
+    W.field("shards", static_cast<uint64_t>(Par->shards()));
+    W.field("batch_size", static_cast<uint64_t>(Par->batchSize()));
+    W.field("actions", M.Actions);
+    W.field("sync_events", M.SyncEvents);
+    W.field("clock_snapshots", M.ClockSnapshots);
+    W.field("pre_pass_ns", M.PrePassNs);
+    W.field("flush_wait_ns", M.FlushWaitNs);
+    W.field("merge_ns", M.MergeNs);
+    W.field("batch_spans", static_cast<uint64_t>(M.Spans.size()));
+    W.key("per_shard");
+    W.beginArray();
+    for (size_t I = 0; I != M.Shards.size(); ++I) {
+      const ParallelShardMetrics &SM = M.Shards[I];
+      W.beginObject();
+      W.field("shard", static_cast<uint64_t>(I));
+      W.field("routed_events", SM.RoutedEvents);
+      W.field("batches", SM.Batches);
+      W.field("merged_races", SM.MergedRaces);
+      W.field("ring_full_stalls", SM.RingFullStalls);
+      W.field("stall_ns", SM.StallNs);
+      W.field("worker_ns", SM.WorkerNs);
+      W.key("engine");
+      W.beginObject();
+      writeEngineStats(W, SM.Engine);
+      W.endObject();
+      W.fieldArray("occupancy", SM.Occupancy);
+      W.field("occupancy_max", SM.OccupancyMax);
+      W.fieldArray("fill_deciles", SM.FillDeciles);
+      W.endObject();
+    }
+    W.endArray();
+  }
+  if (FT) {
+    FastTrackStats FS = FT->stats();
+    W.field("reads", FS.Reads);
+    W.field("writes", FS.Writes);
+    W.field("table_probes", FS.TableProbes);
+    W.field("same_epoch_hits", FS.SameEpochHits);
+  }
+  // The atomicity backend has no counters beyond the summary yet.
+  W.endObject();
+
+  W.endObject();
+  OS << '\n';
 }

@@ -29,6 +29,7 @@
 #include "wire/EventSource.h"
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 
 namespace crd {
@@ -60,6 +61,9 @@ struct PipelineOptions {
   Backend TheBackend = Backend::Sequential;
   unsigned Shards = 0;     ///< Parallel backend: 0 = hardware concurrency.
   size_t BatchSize = 4096; ///< Parallel backend batch granularity (≥ 1).
+  /// Parallel backend: record a BatchSpan per dispatched batch for Chrome
+  /// tracing (CRD_METRICS builds only; see ParallelDetector).
+  bool TraceBatches = false;
 };
 
 /// Streaming detector pipeline; EventSink so live runtimes can push.
@@ -102,6 +106,21 @@ public:
   const std::vector<MemoryRace> &memoryRaces() const;
   const std::vector<AtomicityViolation> &violations() const;
 
+  /// The parallel backend, or nullptr for other backends. Exposed so
+  /// callers (crd profile) can pull the full metrics snapshot / batch
+  /// spans. Quiesce with finish() before reading.
+  const ParallelDetector *parallelDetector() const { return Par.get(); }
+
+  /// Emits the observability snapshot as a JSON document (schema:
+  /// docs/observability.md). Valid on a quiesced pipeline — after run(),
+  /// or finish() when events were pushed. Pass the \p Source the stream
+  /// was pulled from to include decode-side counters (binary sources
+  /// only). Works in every build; a CRD_METRICS=OFF build emits
+  /// `"metrics_enabled": false` with structural counts live and
+  /// everything timed zero.
+  void writeMetricsJson(std::ostream &OS,
+                        const EventSource *Source = nullptr) const;
+
 private:
   void drainNewRaces();
 
@@ -115,6 +134,12 @@ private:
   size_t Events = 0;
   size_t RacesSeen = 0; ///< Races already handed to the callback.
   size_t MemoryRacesSeen = 0;
+  /// Per-kind ingress counters (single writer: the feeding thread; inert
+  /// when CRD_METRICS=0). Invoke + Sync + Mem + Tx == Events.
+  metrics::Counter InvokeEvents;
+  metrics::Counter SyncEvents;
+  metrics::Counter MemEvents;
+  metrics::Counter TxEvents;
 };
 
 } // namespace wire

@@ -47,9 +47,10 @@ HeaderRead readU32le(std::istream &In, uint32_t &V) {
 }
 
 /// Reads one chunk (header + CRC-validated payload) into \p Payload.
-/// Returns false at clean EOF; on error, reports and sets \p Failed.
+/// Returns false at clean EOF; on error, reports and sets \p Failed, and
+/// additionally sets \p *CrcError when the failure is a CRC mismatch.
 bool readChunk(std::istream &In, DiagnosticEngine &Diags, size_t &FileOffset,
-               std::string &Payload, bool &Failed) {
+               std::string &Payload, bool &Failed, bool *CrcError = nullptr) {
   uint32_t PayloadSize = 0, Crc = 0;
   HeaderRead First = readU32le(In, PayloadSize);
   if (First == HeaderRead::Eof)
@@ -81,6 +82,8 @@ bool readChunk(std::istream &In, DiagnosticEngine &Diags, size_t &FileOffset,
   }
   uint32_t Actual = crc32(Payload.data(), Payload.size());
   if (Actual != Crc) {
+    if (CrcError)
+      *CrcError = true;
     std::ostringstream OS;
     OS << "chunk CRC mismatch: header 0x" << std::hex << Crc << ", payload 0x"
        << Actual;
@@ -149,15 +152,22 @@ void WireReader::fail(std::string Message) {
 
 bool WireReader::loadChunk() {
   ChunkBase = FileOffset + ChunkHeaderSize;
-  if (!readChunk(In, Diags, FileOffset, Payload, Failed))
+  bool CrcError = false;
+  if (!readChunk(In, Diags, FileOffset, Payload, Failed, &CrcError)) {
+    if (CrcError)
+      CrcErrors.inc();
     return false;
+  }
   FileOffset += Payload.size();
   Pos = 0;
   PrevThread = 0;
   PrevObject = 0;
+  PayloadBytes.add(Payload.size());
   // The previous chunk's batch is fully handed out by now (next() only
   // loads a chunk once the prior one is drained), so its decoded values
   // can be reclaimed wholesale.
+  if (metrics::Enabled && ValueArena.bytesUsed() > ArenaPeak)
+    ArenaPeak = ValueArena.bytesUsed();
   ValueArena.reset();
 
   ByteReader R(reinterpret_cast<const uint8_t *>(Payload.data()),
@@ -173,6 +183,7 @@ bool WireReader::loadChunk() {
   }
   EventsLeft = *Count;
   Pos = R.offset();
+  SymbolCount.add(Syms.size());
   ++NumChunks;
   return true;
 }

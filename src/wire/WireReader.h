@@ -30,6 +30,7 @@
 
 #include "support/Arena.h"
 #include "support/Diagnostics.h"
+#include "support/Metrics.h"
 #include "trace/Event.h"
 #include "wire/WireFormat.h"
 
@@ -40,6 +41,19 @@
 
 namespace crd {
 namespace wire {
+
+/// Decode-side observability counters (docs/observability.md). Events and
+/// Chunks mirror eventsRead()/chunksRead() and stay live in every build;
+/// the rest read zero when CRD_METRICS=0. CrcErrors is at most 1 per
+/// reader — the reader fails hard on the first CRC mismatch.
+struct WireReaderStats {
+  uint64_t Chunks = 0;
+  uint64_t Events = 0;
+  uint64_t CrcErrors = 0;
+  uint64_t PayloadBytes = 0;    ///< Chunk payload bytes decoded (ex-headers).
+  uint64_t Symbols = 0;         ///< Symbol-table entries across all chunks.
+  uint64_t ArenaPeakBytes = 0;  ///< Peak per-chunk value-arena footprint.
+};
 
 /// Pull-based decoder over a binary trace stream.
 class WireReader {
@@ -59,6 +73,20 @@ public:
 
   size_t eventsRead() const { return NumEvents; }
   size_t chunksRead() const { return NumChunks; }
+
+  /// Metrics snapshot; valid any time, complete once decoding finished.
+  WireReaderStats stats() const {
+    WireReaderStats S;
+    S.Chunks = NumChunks;
+    S.Events = NumEvents;
+    S.CrcErrors = CrcErrors.get();
+    S.PayloadBytes = PayloadBytes.get();
+    S.Symbols = SymbolCount.get();
+    S.ArenaPeakBytes = ArenaPeak;
+    if (metrics::Enabled && ValueArena.bytesUsed() > S.ArenaPeakBytes)
+      S.ArenaPeakBytes = ValueArena.bytesUsed(); // Current chunk still live.
+    return S;
+  }
 
 private:
   bool loadChunk();
@@ -80,6 +108,11 @@ private:
   size_t NumEvents = 0;
   size_t NumChunks = 0;
   bool Failed = false;
+  /// Observability counters (single writer; no-ops when CRD_METRICS=0).
+  metrics::Counter CrcErrors;
+  metrics::Counter PayloadBytes;
+  metrics::Counter SymbolCount;
+  uint64_t ArenaPeak = 0;
 };
 
 /// Shape report of one chunk, as produced by scanWire (the `crd stats`

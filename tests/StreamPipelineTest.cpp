@@ -183,6 +183,103 @@ TEST(StreamPipelineTest, ParallelPushModeNeedsFinish) {
   expectRacesIdentical(P.races(), Reference.races());
 }
 
+TEST(StreamPipelineTest, MetricsSnapshotAccountsForEveryEvent) {
+  // The observability contract (docs/observability.md): on a quiesced
+  // pipeline, per-shard routed-event totals sum to the trace's action
+  // count, and total events match the trace size — across batch and shard
+  // configurations, in every build (RoutedEvents stays live with
+  // CRD_METRICS=OFF).
+  Trace T = testgen::randomTrace(9, 4, 50, 6);
+  size_t Actions = 0, Syncs = 0;
+  for (const Event &E : T) {
+    Actions += E.isInvoke();
+    Syncs += E.isSync();
+  }
+
+  for (size_t Batch : {size_t(1), size_t(3), size_t(64)}) {
+    for (unsigned Shards : {1u, 2u, 4u}) {
+      std::unique_ptr<StreamPipeline> P;
+      PipelineOptions Opts;
+      Opts.TheBackend = Backend::Parallel;
+      Opts.Shards = Shards;
+      Opts.BatchSize = Batch;
+      StreamSummary S = runBinary(T, Opts, P, /*EventsPerChunk=*/17);
+      SCOPED_TRACE(::testing::Message()
+                   << "batch=" << Batch << " shards=" << Shards);
+
+      ASSERT_NE(P->parallelDetector(), nullptr);
+      ParallelMetrics M = P->parallelDetector()->metricsSnapshot();
+      EXPECT_EQ(M.Events, T.size());
+      EXPECT_EQ(S.Events, T.size());
+      ASSERT_EQ(M.Shards.size(), Shards);
+      uint64_t Routed = 0, MergedRaces = 0, Batches = 0;
+      for (const ParallelShardMetrics &SM : M.Shards) {
+        Routed += SM.RoutedEvents;
+        MergedRaces += SM.MergedRaces;
+        Batches += SM.Batches;
+      }
+      // Shard routing covers exactly the action events; everything else
+      // stays on the pre-pass thread.
+      EXPECT_EQ(Routed, Actions);
+      EXPECT_EQ(M.Actions, Actions);
+      EXPECT_EQ(M.Events - M.Actions, T.size() - Actions);
+      // Per-shard merged races sum to the pipeline's race report.
+      EXPECT_EQ(MergedRaces, S.Races);
+      if (metrics::Enabled) {
+        EXPECT_EQ(M.SyncEvents, Syncs);
+        // Every routed action was executed in some batch, and no batch
+        // can carry more than the configured size.
+        EXPECT_GE(Batches, (Actions + Batch - 1) / Batch);
+        for (const ParallelShardMetrics &SM : M.Shards)
+          EXPECT_EQ(SM.Engine.Actions, SM.RoutedEvents);
+      }
+    }
+  }
+}
+
+TEST(StreamPipelineTest, BatchSpansCoverEveryDispatchedBatch) {
+  if (!metrics::Enabled)
+    GTEST_SKIP() << "batch tracing needs a CRD_METRICS build";
+  Trace T = testgen::randomTrace(9, 4, 50, 6);
+  size_t Actions = 0;
+  for (const Event &E : T)
+    Actions += E.isInvoke();
+
+  for (unsigned Shards : {1u, 3u}) {
+    std::unique_ptr<StreamPipeline> P;
+    PipelineOptions Opts;
+    Opts.TheBackend = Backend::Parallel;
+    Opts.Shards = Shards;
+    Opts.BatchSize = 8;
+    Opts.TraceBatches = true;
+    runBinary(T, Opts, P);
+    SCOPED_TRACE(::testing::Message() << "shards=" << Shards);
+
+    ParallelMetrics M = P->parallelDetector()->metricsSnapshot();
+    uint64_t Batches = 0, SpanEvents = 0;
+    for (const ParallelShardMetrics &SM : M.Shards)
+      Batches += SM.Batches;
+    EXPECT_EQ(M.Spans.size(), Batches);
+    for (const BatchSpan &S : M.Spans) {
+      EXPECT_LT(S.Shard, Shards);
+      EXPECT_LE(S.EnqueueNs, S.BeginNs);
+      EXPECT_LE(S.BeginNs, S.EndNs);
+      SpanEvents += S.Events;
+    }
+    // Spans partition the routed actions.
+    EXPECT_EQ(SpanEvents, Actions);
+
+    // The Chrome-trace rendering contains one "X" slice per span (plus
+    // queued slices) and is non-empty JSON.
+    std::ostringstream TraceOS;
+    writeChromeTrace(TraceOS, M);
+    std::string Rendered = TraceOS.str();
+    EXPECT_NE(Rendered.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(Rendered.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(Rendered.find("\"thread_name\""), std::string::npos);
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // FastTrack backend
 //===----------------------------------------------------------------------===//

@@ -15,6 +15,7 @@
 #include "trace/TraceIO.h"
 #include "trace/TraceStats.h"
 #include "translate/Translator.h"
+#include "support/Metrics.h"
 #include "wire/EventSource.h"
 #include "wire/StreamPipeline.h"
 #include "wire/WireReader.h"
@@ -614,6 +615,152 @@ int runBench(const ParsedArgs &Args, std::ostream &Out, std::ostream &Err) {
 }
 
 //===----------------------------------------------------------------------===//
+// crd profile
+//===----------------------------------------------------------------------===//
+
+const char ProfileHelp[] =
+    "usage: crd profile [options] <trace>\n"
+    "\n"
+    "Streams a trace through a detector backend and prints the\n"
+    "observability snapshot as JSON: ingress event-kind counts, decode\n"
+    "counters (binary traces), and per-backend detector counters — for\n"
+    "the parallel backend, per-shard loads, batches, ring occupancy,\n"
+    "stalls, and phase timings. Schema: docs/observability.md. Findings\n"
+    "are counted in the snapshot, not judged: a racy trace still exits 0.\n"
+    "Exit code 1 = malformed trace, 2 = usage or I/O error.\n"
+    "\n"
+    "options (--opt=V and --opt V forms are both accepted):\n"
+    "  --backend=seq|parallel|fasttrack|atomicity   backend (default seq)\n"
+    "  --spec=FILE          ECL spec for action commutativity (default:\n"
+    "                       builtin dictionary, paper Fig 6)\n"
+    "  --shards=N           parallel backend: worker shards (default: cores)\n"
+    "  --batch=N            parallel backend: events per batch (default 4096)\n"
+    "  --chrome-trace=FILE  parallel backend: also write a chrome://tracing\n"
+    "                       timeline of per-shard batch lifetimes to FILE\n";
+
+int runProfile(const std::vector<std::string> &Raw, std::ostream &Out,
+               std::ostream &Err) {
+  // Accept '--opt value' by joining it into the '--opt=value' form
+  // ParsedArgs understands. Only options documented to take a value are
+  // joined, so positional operands never get swallowed.
+  static const char *const ValueOpts[] = {"--backend", "--spec", "--shards",
+                                          "--batch", "--chrome-trace"};
+  std::vector<std::string> JoinedArgs;
+  JoinedArgs.reserve(Raw.size());
+  for (size_t I = 0; I != Raw.size(); ++I) {
+    bool Joined = false;
+    for (const char *Opt : ValueOpts)
+      if (Raw[I] == Opt && I + 1 != Raw.size()) {
+        JoinedArgs.push_back(Raw[I] + "=" + Raw[I + 1]);
+        ++I;
+        Joined = true;
+        break;
+      }
+    if (!Joined)
+      JoinedArgs.push_back(Raw[I]);
+  }
+  ParsedArgs Args(JoinedArgs);
+
+  if (Args.Help) {
+    Out << ProfileHelp;
+    return ExitClean;
+  }
+  if (auto Bad = Args.unknownOption(
+          {"backend", "spec", "shards", "batch", "chrome-trace"})) {
+    Err << "error: unknown option --" << *Bad << "\n" << ProfileHelp;
+    return ExitUsage;
+  }
+  if (Args.Positional.size() != 1) {
+    Err << ProfileHelp;
+    return ExitUsage;
+  }
+
+  wire::PipelineOptions Opts;
+  std::string BackendName = Args.option("backend").value_or("seq");
+  if (BackendName == "seq")
+    Opts.TheBackend = wire::Backend::Sequential;
+  else if (BackendName == "parallel")
+    Opts.TheBackend = wire::Backend::Parallel;
+  else if (BackendName == "fasttrack")
+    Opts.TheBackend = wire::Backend::FastTrack;
+  else if (BackendName == "atomicity")
+    Opts.TheBackend = wire::Backend::Atomicity;
+  else {
+    Err << "error: unknown backend '" << BackendName << "'\n" << ProfileHelp;
+    return ExitUsage;
+  }
+  if (auto S = Args.option("shards")) {
+    auto N = parseCount(*S);
+    if (!N) {
+      Err << "error: --shards expects an integer\n";
+      return ExitUsage;
+    }
+    Opts.Shards = static_cast<unsigned>(*N);
+  }
+  if (auto B = Args.option("batch")) {
+    auto N = parseCount(*B);
+    if (!N || *N == 0) {
+      Err << "error: --batch expects a positive integer\n";
+      return ExitUsage;
+    }
+    Opts.BatchSize = static_cast<size_t>(*N);
+  }
+  std::string ChromePath = Args.option("chrome-trace").value_or("");
+  if (!ChromePath.empty() && Opts.TheBackend != wire::Backend::Parallel) {
+    Err << "error: --chrome-trace requires --backend=parallel\n";
+    return ExitUsage;
+  }
+  Opts.TraceBatches = !ChromePath.empty();
+
+  if (!metrics::Enabled)
+    Err << "warning: this build has CRD_METRICS=OFF; instrumented counters "
+           "and timings read zero\n";
+
+  int Exit = ExitClean;
+  std::unique_ptr<TranslatedRep> Rep;
+  if (Opts.TheBackend != wire::Backend::FastTrack) {
+    Rep = loadProvider(Args.option("spec").value_or(""), Err, Exit);
+    if (!Rep)
+      return Exit;
+  }
+
+  DiagnosticEngine Diags;
+  auto Source = wire::openEventSource(Args.Positional[0], Diags);
+  if (!Source) {
+    Err << Diags.toString();
+    return ExitUsage;
+  }
+
+  wire::StreamPipeline Pipeline(Opts);
+  if (Rep)
+    Pipeline.setDefaultProvider(Rep.get());
+  Pipeline.run(*Source);
+  if (Source->failed()) {
+    Err << Args.Positional[0] << ":\n" << Diags.toString();
+    return ExitFindings;
+  }
+
+  Pipeline.writeMetricsJson(Out, Source.get());
+
+  if (!ChromePath.empty()) {
+    std::ofstream TraceFile(ChromePath);
+    if (!TraceFile) {
+      Err << "error: cannot write chrome trace file '" << ChromePath << "'\n";
+      return ExitUsage;
+    }
+    ParallelMetrics M = Pipeline.parallelDetector()->metricsSnapshot();
+    writeChromeTrace(TraceFile, M);
+    if (!TraceFile) {
+      Err << "error: I/O error writing '" << ChromePath << "'\n";
+      return ExitUsage;
+    }
+    Err << "wrote " << ChromePath << ": " << M.Spans.size()
+        << " batch spans\n";
+  }
+  return ExitClean;
+}
+
+//===----------------------------------------------------------------------===//
 // crd analyze (the classic trace_analyzer report)
 //===----------------------------------------------------------------------===//
 
@@ -727,6 +874,7 @@ const char DriverHelp[] =
     "  check     stream a trace through a race/atomicity detector\n"
     "  stats     chunk / size / compression report for a trace file\n"
     "  bench     ingestion throughput: text parse vs binary decode\n"
+    "  profile   metrics snapshot (JSON) + optional Chrome trace for a run\n"
     "  analyze   full offline report (races, triage, atomicity)\n"
     "\n"
     "Run 'crd <command> --help' for per-command options.\n"
@@ -753,6 +901,8 @@ int cli::crdMain(const std::vector<std::string> &Args, std::ostream &Out,
     return runStats(Parsed, Out, Err);
   if (Command == "bench")
     return runBench(Parsed, Out, Err);
+  if (Command == "profile")
+    return runProfile(Rest, Out, Err);
   if (Command == "analyze")
     return runAnalyze(Rest, Out, Err);
   Err << "error: unknown command '" << Command << "'\n\n" << DriverHelp;
