@@ -34,6 +34,7 @@
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <thread>
 
 using namespace crd;
 
@@ -107,6 +108,17 @@ int main(int Argc, char **Argv) {
             << " warmup\n\n";
 
   bench::BenchReport Report("parallel_scaling", "h2-complex-concurrency");
+  // On a single-hardware-thread host the shard workers timeshare with the
+  // pre-pass, so multi-shard configurations measure scheduling overhead,
+  // not overlap; flag the artifact so downstream comparisons know the
+  // parallel numbers carry no scaling signal.
+  unsigned HostCpus = std::thread::hardware_concurrency();
+  bool OverlapObservable = HostCpus > 1;
+  Report.setFlag("parallel_overlap_observable", OverlapObservable);
+  if (!OverlapObservable)
+    std::cout << "warning: single-CPU host (" << HostCpus
+              << " hardware thread); parallel configs cannot overlap and "
+                 "their numbers measure overhead only\n\n";
 
   Report.add(bench::measureMedian("seq/fullclock", 0, T.size(), Warmup, Reps,
                                   [&] {

@@ -18,10 +18,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #if defined(CRD_BENCH_ALLOC_COUNT)
@@ -47,6 +50,28 @@ inline uint64_t allocCount() {
 #else
 inline uint64_t allocCount() { return 0; }
 #endif
+
+/// Best-effort short git revision of the working tree the bench binary is
+/// run from (not where it was built — the artifact describes the code that
+/// produced the numbers, and a stale binary is a regeneration bug that the
+/// rev makes visible). "unknown" when git or the repository is absent.
+inline std::string gitRevision() {
+#if defined(_WIN32)
+  return "unknown";
+#else
+  std::string Rev;
+  if (FILE *P = ::popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    char Buf[64];
+    if (std::fgets(Buf, sizeof(Buf), P))
+      Rev.assign(Buf);
+    while (!Rev.empty() && (Rev.back() == '\n' || Rev.back() == '\r'))
+      Rev.pop_back();
+    if (::pclose(P) != 0)
+      Rev.clear();
+  }
+  return Rev.empty() ? "unknown" : Rev;
+#endif
+}
 
 /// One measured configuration.
 struct BenchEntry {
@@ -125,12 +150,34 @@ public:
 
   void add(BenchEntry Entry) { Entries.push_back(std::move(Entry)); }
 
+  /// Attaches an extra top-level boolean field (e.g.
+  /// "parallel_overlap_observable") emitted between the provenance fields
+  /// and the benchmarks array. Last write wins for a repeated name.
+  void setFlag(std::string Name, bool Value) {
+    for (auto &F : Flags)
+      if (F.first == Name) {
+        F.second = Value;
+        return;
+      }
+    Flags.emplace_back(std::move(Name), Value);
+  }
+
   /// Renders e.g.:
-  /// {"tool":"parallel_scaling","workload":"h2-complex","benchmarks":[...]}
+  /// {"tool":"parallel_scaling","workload":"h2-complex",
+  ///  "host_cpus":4,"git_rev":"abc123","benchmarks":[...]}
+  ///
+  /// host_cpus and git_rev record where the numbers came from:
+  /// bench_compare.py refuses to diff artifacts whose host_cpus differ,
+  /// because throughput ratios across host classes are noise, not signal.
   std::string toJson() const {
     std::ostringstream OS;
     OS << "{\n  \"tool\": \"" << Tool << "\",\n  \"workload\": \"" << Workload
-       << "\",\n  \"benchmarks\": [\n";
+       << "\",\n  \"host_cpus\": " << std::thread::hardware_concurrency()
+       << ",\n  \"git_rev\": \"" << gitRevision() << "\",\n";
+    for (const auto &F : Flags)
+      OS << "  \"" << F.first << "\": " << (F.second ? "true" : "false")
+         << ",\n";
+    OS << "  \"benchmarks\": [\n";
     for (size_t I = 0; I != Entries.size(); ++I) {
       const BenchEntry &E = Entries[I];
       OS << "    {\"name\": \"" << E.Name << "\", \"shards\": " << E.Shards
@@ -159,6 +206,7 @@ public:
 private:
   std::string Tool;
   std::string Workload;
+  std::vector<std::pair<std::string, bool>> Flags;
   std::vector<BenchEntry> Entries;
 };
 

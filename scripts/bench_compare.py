@@ -11,6 +11,17 @@ CI and for PR authors:
 
 Benchmarks only present in the new file are reported as additions and
 never fail the comparison.
+
+Artifacts record provenance (host_cpus, git_rev — bench/report.h). When
+both files carry host_cpus and the values differ, the comparison is
+refused with exit code 77 (the ctest SKIP convention): throughput ratios
+across host classes are noise, not signal. Pass --allow-host-mismatch to
+compare anyway (e.g. for manual inspection).
+
+On hosts with >= 4 CPUs the new artifact must additionally clear the
+scaling bar: parallel/shards=4 at >= 1.3x seq/epoch. The bar is skipped
+on smaller hosts, where shard workers timeshare with the pre-pass and no
+overlap is observable.
 """
 
 import argparse
@@ -55,6 +66,12 @@ def main():
         help="allowed absolute allocs_per_event growth when both artifacts "
         "carry the allocation counter (default 0.05)",
     )
+    ap.add_argument(
+        "--allow-host-mismatch",
+        action="store_true",
+        help="compare artifacts from different host classes anyway "
+        "(the diff is noise; default is to refuse with exit 77)",
+    )
     args = ap.parse_args()
 
     old_doc, old = load(args.old)
@@ -65,6 +82,22 @@ def main():
             f"({old_doc.get('tool')} vs {new_doc.get('tool')})",
             file=sys.stderr,
         )
+
+    # Host-class gate: a 1-CPU run and a 16-CPU run of the same benchmark
+    # are different experiments, and diffing them reports phantom
+    # regressions (or hides real ones). Refuse unless explicitly overridden.
+    old_cpus = old_doc.get("host_cpus")
+    new_cpus = new_doc.get("host_cpus")
+    if old_cpus is not None and new_cpus is not None and old_cpus != new_cpus:
+        msg = (
+            f"host class mismatch: {args.old} recorded host_cpus={old_cpus}, "
+            f"{args.new} recorded host_cpus={new_cpus}"
+        )
+        if not args.allow_host_mismatch:
+            print(f"refusing to compare: {msg}", file=sys.stderr)
+            print("(pass --allow-host-mismatch to compare anyway)", file=sys.stderr)
+            return 77
+        print(f"warning: {msg}; comparing anyway", file=sys.stderr)
 
     failures = []
     width = max((len(n) for n in old), default=10)
@@ -105,6 +138,24 @@ def main():
 
     for name in sorted(set(new) - set(old)):
         print(f"{name:<{width}}  (new configuration)")
+
+    # Absolute scaling bar, judged on the new artifact alone: with >= 4
+    # CPUs available the 4-shard pipeline must beat the sequential epoch
+    # detector by 1.3x. Gated on the recorded host_cpus, not the current
+    # machine — the artifact says what host produced the numbers.
+    seq = new.get("seq/epoch")
+    par4 = new.get("parallel/shards=4")
+    if isinstance(new_cpus, int) and new_cpus >= 4 and seq and par4:
+        seq_eps = float(seq.get("events_per_sec", 0))
+        par_eps = float(par4.get("events_per_sec", 0))
+        speedup = par_eps / seq_eps if seq_eps > 0 else float("inf")
+        print(f"\nscaling bar (host_cpus={new_cpus}): "
+              f"parallel/shards=4 at {speedup:.2f}x seq/epoch (need >= 1.30x)")
+        if speedup < 1.3:
+            failures.append(
+                f"parallel/shards=4: only {speedup:.2f}x seq/epoch on a "
+                f"{new_cpus}-cpu host (>= 1.3x required)"
+            )
 
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)

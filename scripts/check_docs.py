@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency checker (the `docs` ctest label).
 
-Two classes of rot this catches:
+Three classes of rot this catches:
 
 1. Dead relative links: every `[text](path)` markdown link in the checked
    pages whose target is a repo file (not http(s)/mailto/#anchor) must
@@ -12,6 +12,12 @@ Two classes of rot this catches:
    every `--flag` on such an invocation line must appear in that verb's
    `crd <verb> --help` text. Docs promising options the tool dropped (or
    never had) fail the build instead of misleading readers.
+
+3. Undocumented metrics: every JSON field name the observability snapshot
+   emits (the `W.field("...")` / `W.key("...")` calls in
+   src/wire/StreamPipeline.cpp) must be mentioned in
+   docs/observability.md, so `crd profile` output never grows fields the
+   reference page does not explain.
 
 Usage: check_docs.py <repo-root> <crd-binary>
 
@@ -34,6 +40,9 @@ TOP_LEVEL_PAGES = [
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# A metrics field emission in the snapshot writer: W.field("name", ...),
+# W.fieldArray("name", ...) or W.key("name").
+METRIC_FIELD_RE = re.compile(r'W\.(?:field|fieldArray|key)\("([a-z0-9_]+)"')
 INLINE_CODE_RE = re.compile(r"`([^`]+)`")
 CRD_INVOCATION_RE = re.compile(r"\bcrd\s+([a-z][a-z0-9-]*)")
 FLAG_RE = re.compile(r"(--[a-zA-Z][\w-]*)")
@@ -122,6 +131,28 @@ def check_cli_references(page, text, repo_root, verbs, verb_help, crd,
                     )
 
 
+def check_metric_fields(repo_root, problems):
+    """Every field the metrics snapshot emits must be documented."""
+    src = repo_root / "src" / "wire" / "StreamPipeline.cpp"
+    doc = repo_root / "docs" / "observability.md"
+    if not src.exists():
+        return
+    if not doc.exists():
+        problems.append(
+            "docs/observability.md: missing, but src/wire/StreamPipeline.cpp "
+            "emits a metrics snapshot"
+        )
+        return
+    fields = set(METRIC_FIELD_RE.findall(src.read_text(encoding="utf-8")))
+    doc_text = doc.read_text(encoding="utf-8")
+    for name in sorted(fields):
+        if name not in doc_text:
+            problems.append(
+                f"docs/observability.md: metrics field '{name}' (emitted by "
+                f"src/wire/StreamPipeline.cpp) is undocumented"
+            )
+
+
 def main():
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
@@ -149,6 +180,7 @@ def main():
         check_links(page, text, repo_root, problems)
         check_cli_references(page, text, repo_root, verbs, verb_help, crd,
                              problems)
+    check_metric_fields(repo_root, problems)
 
     for problem in problems:
         print(problem, file=sys.stderr)

@@ -7,11 +7,12 @@
 #include "detect/ParallelDetector.h"
 
 #include "support/Hashing.h"
+#include "support/KindScan.h"
 #include "support/SpscRing.h"
 
 #include <algorithm>
-#include <cassert>
 #include <atomic>
+#include <cassert>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -20,65 +21,114 @@ using namespace crd;
 
 namespace {
 
-/// One action event, ready for shard dispatch. Clock and action pointers
-/// stay valid until the pipeline quiesces: clocks live in the deque-backed
-/// ClockTable, actions either in the caller's Trace (whole-trace feeding,
-/// which syncs before returning) or in the batch's own Owned storage
-/// (streaming feeding).
-struct ActionRef {
-  size_t EventIndex;
-  ThreadId Thread;
-  const VectorClock *Clock;
-  const Action *A;
-};
+/// Mixed hash + fastrange: raw `index % shards` collapses strided object
+/// ids onto few shards; splitmix64 spreads every input bit first, and the
+/// multiply-shift maps the mixed value uniformly onto [0, #shards). A free
+/// function because shard workers compute routing locally — every shard
+/// evaluates the same hash and claims exactly its own objects, so no
+/// pre-routing pass is needed.
+unsigned shardIndex(ObjectId Obj, size_t NumShards) {
+  uint32_t H = static_cast<uint32_t>(hashMix64(Obj.index()));
+  return static_cast<unsigned>((uint64_t(H) * NumShards) >> 32);
+}
 
-/// A unit of shard work: a run of action refs plus the copied payloads the
-/// streaming path pinned for them. Actions wider than the inline value
-/// capacity keep their values in the batch's spill arena, so pinning never
-/// allocates per action; the arena's chunks (like the vectors' capacity)
-/// survive recycling.
-struct ShardBatch {
-  std::vector<ActionRef> Refs;
-  std::vector<Action> Owned;
-  Arena Spill;
-  uint64_t Seq = 0;       ///< Dispatch sequence number (observability).
-  uint64_t EnqueueNs = 0; ///< Producer's push timestamp (observability).
-
-  /// Drops the payloads but keeps every buffer for the next round.
-  void recycle() {
-    Refs.clear();
-    Owned.clear();
-    Spill.reset();
-  }
-};
+/// Resolves the clock for \p Thread against a run's clock map. Threads the
+/// clock machine never touched (nullptr / out-of-range entries) get a
+/// shard-local synthesized inc_τ(⊥) = {τ:1} — bit-identical to the lazy
+/// initialization the sequential VectorClockState would have performed,
+/// but without mutating any shared state. \p Synth is the shard's own
+/// synthesized-clock table (indexed by thread), written only by that
+/// shard's executing thread.
+const VectorClock *resolveClock(const std::vector<const VectorClock *> &Map,
+                                ThreadId Thread,
+                                std::vector<VectorClock> &Synth) {
+  size_t I = Thread.index();
+  if (I < Map.size() && Map[I])
+    return Map[I];
+  if (I >= Synth.size())
+    Synth.resize(I + 1);
+  VectorClock &C = Synth[I];
+  if (C.isBottom())
+    C.increment(Thread); // inc_τ(⊥): never bottom again, computed once.
+  return &C;
+}
 
 } // namespace
+
+/// A broadcast unit of shard work: one raw event batch plus its runs. The
+/// same RunBatch pointer is pushed to EVERY shard's ring; each worker
+/// walks the runs, claims the actions it owns (shardIndex), and stamps
+/// them with the run's shared clock map. Pending counts shards still
+/// reading; the producer reclaims the batch once it drops to zero.
+///
+/// Event storage is either Owned (streaming feeds — payloads pinned in the
+/// batch's own arena) or external (whole-trace feeds — Evs points into the
+/// caller's Trace, which outlives the flush).
+struct ParallelDetector::RunBatch {
+  struct Run {
+    uint32_t Begin; ///< First event of the run (inclusive, batch-relative).
+    uint32_t End;   ///< One past the last event (the next sync position).
+    const ClockMap *Map; ///< Shared clock snapshot for the whole run.
+  };
+
+  EventBatch Owned;
+  const Event *Evs = nullptr;
+  size_t N = 0;
+  uint64_t BaseIndex = 0; ///< Global event index of Evs[0].
+  std::vector<Run> Runs;
+  /// Batch-owned clock snapshots and run maps. Every pointer a run
+  /// publishes targets this batch's own storage, so reclaiming the batch
+  /// reclaims them — no cross-batch reference tracking, and recycling just
+  /// rewinds the used counters while the deques (stable under growth) keep
+  /// their slots warm: the steady state materializes snapshots into
+  /// existing capacity and never allocates.
+  std::deque<VectorClock> Clocks;
+  size_t ClocksUsed = 0;
+  std::deque<ClockMap> Maps;
+  size_t MapsUsed = 0;
+  uint64_t Seq = 0;       ///< Global dispatch sequence (observability).
+  uint64_t EnqueueNs = 0; ///< Producer's broadcast timestamp.
+  std::atomic<uint32_t> Pending{0}; ///< Shards still executing this batch.
+
+  VectorClock &nextClock() {
+    if (ClocksUsed == Clocks.size())
+      Clocks.emplace_back();
+    return Clocks[ClocksUsed++];
+  }
+  ClockMap &nextMap() {
+    if (MapsUsed == Maps.size())
+      Maps.emplace_back();
+    return Maps[MapsUsed++];
+  }
+  /// Drops the contents but keeps every buffer for the next round.
+  void recycle() {
+    Owned.clear();
+    Runs.clear();
+    Evs = nullptr;
+    N = 0;
+    ClocksUsed = 0;
+    MapsUsed = 0;
+  }
+};
 
 /// Per-shard pipeline state. The worker thread is declared last so it is
 /// destroyed (joined) before the state it references; the detector closes
 /// the ring first, which ends the worker loop after draining.
 struct ParallelDetector::Shard {
-  explicit Shard(size_t BatchSize) : Ring(RingDepth), Recycle(RingDepth) {
-    Pending.Refs.reserve(BatchSize);
-    Pending.Owned.reserve(BatchSize);
-  }
+  Shard() : Ring(RingDepth) {}
 
-  SpscRing<ShardBatch> Ring;
-  /// Drained batches flowing back from the worker so dispatch() can reuse
-  /// their buffers (vector capacity + arena chunks) instead of allocating
-  /// fresh ones per batch. SPSC with the roles reversed: the worker
-  /// produces, the pre-pass thread consumes. Both ends are non-blocking —
-  /// a full ring just drops the buffers, an empty one falls back to fresh
-  /// allocation — so recycling can never deadlock the pipeline.
-  SpscRing<ShardBatch> Recycle;
+  SpscRing<RunBatch *> Ring;
   std::atomic<uint64_t> Completed{0};
   uint64_t Enqueued = 0; ///< Producer-side only.
   Algorithm1Engine Engine;
-  /// The batch being filled by the pre-pass thread. Owned is reserved to
-  /// the batch size up front so pointers into it stay stable.
-  ShardBatch Pending;
+  /// Synthesized inc_τ(⊥) clocks for threads absent from a run's clock
+  /// map; written only by this shard's executing thread (the worker, or
+  /// the caller in single-shard inline mode).
+  std::vector<VectorClock> Synth;
+  /// Actions this shard claimed and executed. Written by the executing
+  /// thread, read after quiescence (shardLoads/metricsSnapshot) — live in
+  /// every build, like the engine's own counters.
   size_t RoutedEvents = 0;
-  uint64_t NextSeq = 0; ///< Producer-side batch sequence numbers.
   /// Races this shard contributed at the last merge. Structural like
   /// RoutedEvents (one add per flush, not per event), so it stays live —
   /// and the accounting invariant checkable — with CRD_METRICS=0.
@@ -108,37 +158,49 @@ ParallelDetector::ParallelDetector(unsigned NumShards, size_t BatchSize,
     NumShards = std::max(1u, std::thread::hardware_concurrency());
   ShardList.reserve(NumShards);
   for (unsigned I = 0; I != NumShards; ++I)
-    ShardList.push_back(std::make_unique<Shard>(BatchSizeVal));
+    ShardList.push_back(std::make_unique<Shard>());
   // One shard runs inline on the caller thread; otherwise each shard gets a
   // persistent worker consuming its ring so shard work overlaps the
-  // sequential clock pre-pass. The tracing flag and shard index are
-  // captured by value: the lambda must not read detector members that may
-  // be torn down while the worker drains.
+  // sequential sync-only pre-pass. Everything the lambda needs is captured
+  // by value or reachable through its own Shard / the producer-owned batch
+  // pool (which outlives the workers by declaration order): it must not
+  // read detector members that may be torn down while it drains.
   if (NumShards > 1)
     for (unsigned I = 0; I != NumShards; ++I) {
       Shard &S = *ShardList[I];
-      S.Worker = std::jthread([&S, Tracing = this->TraceBatches,
-                               ShardIdx = I] {
-        ShardBatch B;
-        while (S.Ring.pop(B)) {
+      S.Worker = std::jthread([&S, NumShards, ShardIdx = I,
+                               Tracing = this->TraceBatches] {
+        RunBatch *RB = nullptr;
+        while (S.Ring.pop(RB)) {
           uint64_t Begin = metrics::nowNs();
-          for (const ActionRef &R : B.Refs)
-            S.Engine.onAction(*R.A, R.Thread, *R.Clock, R.EventIndex);
+          uint64_t Mine = 0;
+          for (const RunBatch::Run &R : RB->Runs)
+            for (uint32_t J = R.Begin; J != R.End; ++J) {
+              const Event &E = RB->Evs[J];
+              if (E.kind() != EventKind::Invoke)
+                continue; // Runs carry raw events; only actions matter.
+              const Action &A = E.action();
+              if (shardIndex(A.object(), NumShards) != ShardIdx)
+                continue; // Locally computed routing: not ours.
+              const VectorClock *C = resolveClock(*R.Map, E.thread(), S.Synth);
+              S.Engine.onAction(A, E.thread(), *C, RB->BaseIndex + J);
+              ++Mine;
+            }
           uint64_t End = metrics::nowNs();
           S.WorkerNs.add(End - Begin);
           S.Batches.inc();
+          S.RoutedEvents += Mine;
           // Span recorded before the Completed signal so a quiesced
           // pipeline always observes every span.
           if (Tracing)
-            S.Spans.push_back({ShardIdx, B.Seq, B.Refs.size(), B.EnqueueNs,
-                               Begin, End});
-          B.recycle(); // Release payloads before signaling.
+            S.Spans.push_back(
+                {ShardIdx, RB->Seq, Mine, RB->EnqueueNs, Begin, End});
+          // Release the batch refcount only after the last read of it,
+          // then signal completion: quiescence implies every Pending
+          // decrement is visible to the producer.
+          RB->Pending.fetch_sub(1, std::memory_order_release);
           S.Completed.fetch_add(1, std::memory_order_release);
           S.Completed.notify_one();
-          // Hand the emptied buffers back for reuse; if the producer is
-          // RingDepth batches of buffers ahead, just let these free.
-          S.Recycle.tryPush(std::move(B));
-          B = ShardBatch();
         }
       });
     }
@@ -147,15 +209,12 @@ ParallelDetector::ParallelDetector(unsigned NumShards, size_t BatchSize,
 ParallelDetector::~ParallelDetector() {
   for (std::unique_ptr<Shard> &S : ShardList)
     S->Ring.close();
-  // Shard destructors join the workers (Worker is the last member).
+  // Shard destructors join the workers (Worker is the last member); the
+  // batch pool outlives them by declaration order.
 }
 
 unsigned ParallelDetector::shardOf(ObjectId Obj) const {
-  // Mixed hash + fastrange: raw `index % shards` collapses strided object
-  // ids onto few shards; splitmix64 spreads every input bit first, and the
-  // multiply-shift maps the mixed value uniformly onto [0, #shards).
-  uint32_t H = static_cast<uint32_t>(hashMix64(Obj.index()));
-  return static_cast<unsigned>((uint64_t(H) * ShardList.size()) >> 32);
+  return shardIndex(Obj, ShardList.size());
 }
 
 size_t ParallelDetector::conflictChecks() const {
@@ -193,128 +252,313 @@ void ParallelDetector::setDefaultProvider(const AccessPointProvider *Provider) {
 }
 
 void ParallelDetector::objectDied(ObjectId Obj) {
-  // Drain the owning shard so every earlier event on the object lands
-  // before its state is reclaimed.
+  // Dispatch anything staged, then drain the owning shard so every earlier
+  // event on the object lands before its state is reclaimed. Batches are
+  // broadcast, so only the owner needs to have caught up.
+  sealStaging();
   Shard &S = *ShardList[shardOf(Obj)];
-  dispatch(S);
   syncShard(S);
   S.Engine.objectDied(Obj);
 }
 
-const VectorClock *ParallelDetector::clockFor(ThreadId Tid) {
-  if (Tid.index() >= ClockCache.size())
-    ClockCache.resize(Tid.index() + 1, nullptr);
-  const VectorClock *&Snapshot = ClockCache[Tid.index()];
-  if (!Snapshot) {
-    ClockSnapshotsCtr.inc();
-    // Pooled snapshots: flush() rewinds ClockTableUsed instead of clearing
-    // the deque, so steady-state snapshotting assigns into clocks that
-    // already hold capacity (copyClockInto) — no allocation, no deep
-    // buffer churn. Deque growth never moves existing entries, so pointers
-    // held by in-flight batches stay valid.
-    if (ClockTableUsed == ClockTable.size())
-      ClockTable.emplace_back();
-    VectorClock &Slot = ClockTable[ClockTableUsed++];
-    VCState.copyClockInto(Tid, Slot);
-    Snapshot = &Slot;
+ParallelDetector::RunBatch *ParallelDetector::acquireBatch() {
+  reclaimCompleted();
+  if (FreeBatches.empty()) {
+    // Steady state never reaches this: the ring depth bounds in-flight
+    // batches, so after warmup the pool cycles.
+    BatchStore.emplace_back();
+    FreeBatches.push_back(&BatchStore.back());
   }
-  return Snapshot;
+  RunBatch *RB = FreeBatches.back();
+  FreeBatches.pop_back();
+  return RB;
 }
 
-void ParallelDetector::invalidateClock(ThreadId Tid) {
-  if (Tid.index() < ClockCache.size())
-    ClockCache[Tid.index()] = nullptr;
+void ParallelDetector::reclaimCompleted() {
+  // Batches complete in FIFO order per shard, and every shard consumes the
+  // same sequence, so scanning the in-flight queue from the front finds
+  // every reclaimable batch.
+  while (!InFlight.empty() &&
+         InFlight.front()->Pending.load(std::memory_order_acquire) == 0) {
+    RunBatch *RB = InFlight.front();
+    InFlight.pop_front();
+    RB->recycle(); // Keeps buffers + arena chunks warm for reuse.
+    FreeBatches.push_back(RB);
+  }
 }
 
-void ParallelDetector::routeEvent(const Event &E, bool OwnAction) {
+void ParallelDetector::prepassAndDispatch(
+    RunBatch *RB, const std::vector<uint32_t> &SyncPos) {
+  uint64_t PrepassBegin = TraceBatches ? metrics::nowNs() : 0;
+
+  // The current run map, materialized lazily into the batch's own storage
+  // on the first non-empty run (an all-sync batch never builds one).
+  // DirtyThreads collects threads whose clock changed since Cur was built;
+  // the next map copies Cur and re-snapshots only those.
+  const ClockMap *Cur = nullptr;
+  DirtyThreads.clear();
+  auto SnapshotInto = [&](ClockMap &M, ThreadId Tid) {
+    // Only threads the clock machine actually initialized get snapshots;
+    // forcing lazy init here would perturb Table 1 state for threads the
+    // trace never synchronized. Workers synthesize inc_τ(⊥) for the rest —
+    // value-identical to lazy initialization (VectorClockState.h).
+    if (!VCState.initializedClock(Tid)) {
+      M[Tid.index()] = nullptr;
+      return;
+    }
+    ClockSnapshotsCtr.inc();
+    VectorClock &Slot = RB->nextClock();
+    VCState.copyClockInto(Tid, Slot);
+    M[Tid.index()] = &Slot;
+  };
+  auto emitRun = [&](uint32_t Begin, uint32_t End) {
+    RunLengths.record(End - Begin); // Length 0 = back-to-back sync events.
+    if (Begin == End)
+      return;
+    if (!Cur) {
+      // Seed map: snapshot every initialized thread.
+      ClockMapsCtr.inc();
+      ClockMap &M = RB->nextMap();
+      size_t NumThreads = VCState.numThreads();
+      M.assign(NumThreads, nullptr);
+      for (size_t I = 0; I != NumThreads; ++I)
+        SnapshotInto(M, ThreadId(static_cast<uint32_t>(I)));
+      Cur = &M;
+    } else if (!DirtyThreads.empty()) {
+      // Incremental map: copy the previous one, re-snapshot the changed
+      // threads (a fork may have grown the thread set).
+      ClockMapsCtr.inc();
+      ClockMap &M = RB->nextMap();
+      M = *Cur;
+      M.resize(VCState.numThreads(), nullptr);
+      for (ThreadId Tid : DirtyThreads)
+        SnapshotInto(M, Tid);
+      Cur = &M;
+    }
+    DirtyThreads.clear();
+    RB->Runs.push_back({Begin, End, Cur});
+  };
+
+  // The sync-only walk: jump from sync position to sync position. Events
+  // between two of them form a run whose clocks are constant — the clock
+  // machine (and this thread) never looks at them. Work here is O(#sync),
+  // not O(#events).
+  uint32_t Prev = 0;
+  for (uint32_t Sync : SyncPos) {
+    emitRun(Prev, Sync);
+    const Event &E = RB->Evs[Sync];
+    SyncEventsCtr.inc();
+    PrepassVisitedCtr.inc();
+    VCState.process(E);
+    DirtyThreads.push_back(E.thread());
+    if (E.kind() == EventKind::Fork)
+      DirtyThreads.push_back(E.other());
+    Prev = Sync + 1;
+  }
+  emitRun(Prev, static_cast<uint32_t>(RB->N));
+
+  if (RB->Runs.empty()) {
+    // Every event was a sync event — the pre-pass consumed the whole
+    // batch; nothing to hand to the shards.
+    RB->recycle();
+    FreeBatches.push_back(RB);
+    return;
+  }
+
+  RB->Seq = NextSeq++;
+  if (TraceBatches)
+    PrePassSpans.push_back({0, RB->Seq, static_cast<uint64_t>(RB->N),
+                            PrepassBegin, PrepassBegin, metrics::nowNs()});
+  RB->EnqueueNs = metrics::nowNs();
+
+  // Broadcast: the same batch goes to every shard; workers filter locally.
+  // Pending is published to the workers by the ring pushes below.
+  RB->Pending.store(static_cast<uint32_t>(ShardList.size()),
+                    std::memory_order_relaxed);
+  InFlight.push_back(RB);
+  for (std::unique_ptr<Shard> &ShardPtr : ShardList) {
+    Shard &S = *ShardPtr;
+    S.FillDeciles.record(RB->N * 10 / BatchSizeVal);
+    // In-flight depth the producer observes at this dispatch; with the
+    // blocking push below it can reach but never exceed RingDepth.
+    S.Occupancy.record(S.Enqueued -
+                       S.Completed.load(std::memory_order_relaxed));
+    ++S.Enqueued;
+    // Fast path first; a full ring is a pipeline stall worth counting (the
+    // pre-pass is outrunning this shard by RingDepth batches). Moving a
+    // pointer copies it, so RB survives for the remaining shards.
+    if (!S.Ring.tryPush(std::move(RB))) {
+      S.RingFullStalls.inc();
+      uint64_t T0 = metrics::nowNs();
+      S.Ring.push(std::move(RB)); // Blocks until the worker frees a slot.
+      S.StallNs.add(metrics::nowNs() - T0);
+    }
+  }
+}
+
+void ParallelDetector::processEventFused(const Event &E, size_t Index) {
+  if (FusedWindowEvents == 0)
+    FusedWindowBeginNs = metrics::nowNs();
+  ++FusedWindowEvents;
+  if (static_cast<uint8_t>(E.kind()) < SyncKindBound) {
+    SyncEventsCtr.inc();
+    PrepassVisitedCtr.inc();
+    RunLengths.record(FusedRunLen);
+    FusedRunLen = 0;
+    VCState.process(E);
+  } else {
+    ++FusedRunLen;
+    if (E.kind() == EventKind::Invoke) {
+      // Single shard owns every object: no routing, no snapshot — the
+      // clock machine's own clock is safe to read, nothing runs ahead.
+      ShardList[0]->Engine.onAction(E.action(), E.thread(),
+                                    VCState.clockOf(E.thread()), Index);
+      ++FusedWindowActions;
+    }
+  }
+  if (FusedWindowEvents >= BatchSizeVal)
+    closeFusedWindow();
+}
+
+void ParallelDetector::closeFusedWindow() {
+  if (FusedWindowEvents == 0)
+    return;
+  Shard &S = *ShardList[0];
+  uint64_t End = metrics::nowNs();
+  S.Batches.inc();
+  S.WorkerNs.add(End - FusedWindowBeginNs);
+  S.FillDeciles.record(FusedWindowEvents * 10 / BatchSizeVal);
+  S.RoutedEvents += FusedWindowActions;
+  if (TraceBatches)
+    S.Spans.push_back({0, NextSeq, FusedWindowActions, FusedWindowBeginNs,
+                       FusedWindowBeginNs, End});
+  ++NextSeq;
+  FusedWindowEvents = 0;
+  FusedWindowActions = 0;
+}
+
+void ParallelDetector::sealStaging() {
+  if (Staging.empty())
+    return;
+  Staging.finalizeSyncIndex(); // SIMD kind-scan over the staged kinds.
+  RunBatch *RB = acquireBatch();
+  std::swap(RB->Owned, Staging); // Staging inherits warm, cleared buffers.
+  RB->Evs = RB->Owned.Events.data();
+  RB->N = RB->Owned.size();
+  RB->BaseIndex = StagingBase;
+  prepassAndDispatch(RB, RB->Owned.SyncPos);
+}
+
+void ParallelDetector::processEvent(const Event &E) {
   if (metrics::Enabled && FeedStartNs == 0)
     FeedStartNs = metrics::nowNs(); // Pre-pass clock starts at first feed.
-  size_t Index = EventsProcessed++;
-  switch (E.kind()) {
-  case EventKind::Invoke: {
-    const Action *A = &E.action();
-    Shard &S = *ShardList[shardOf(A->object())];
-    if (OwnAction) {
-      // Streaming feed: pin a copy — inline for small actions, spilled
-      // into the batch arena for wide ones, so the source (typically a
-      // wire decoder's per-chunk arena) can reset underneath us. Owned
-      // never reallocates below the batch size, so the pointer stays
-      // stable until dispatch moves the whole batch.
-      S.Pending.Owned.push_back(A->copyInto(S.Pending.Spill));
-      A = &S.Pending.Owned.back();
-    }
-    S.Pending.Refs.push_back({Index, E.thread(), clockFor(E.thread()), A});
-    ++S.RoutedEvents;
-    if (S.Pending.Refs.size() >= BatchSizeVal)
-      dispatch(S);
-    break;
+  if (fused()) {
+    ++EventsProcessed;
+    processEventFused(E, EventsProcessed - 1);
+    return;
   }
-  case EventKind::Fork:
-    SyncEventsCtr.inc();
-    VCState.process(E);
-    invalidateClock(E.thread());
-    invalidateClock(E.other());
-    break;
-  case EventKind::Join:
-  case EventKind::Acquire:
-  case EventKind::Release:
-    SyncEventsCtr.inc();
-    VCState.process(E);
-    invalidateClock(E.thread());
-    break;
-  default:
-    // Read/Write/Tx* never mutate Table 1 clocks (they only force lazy
-    // thread initialization, which clockFor performs on demand), so the
-    // pre-pass skips them outright.
-    break;
-  }
+  if (Staging.empty())
+    StagingBase = EventsProcessed;
+  ++EventsProcessed;
+  Staging.append(E); // Pins the payload into the staging batch's arena.
+  if (Staging.size() >= BatchSizeVal)
+    sealStaging();
 }
 
-void ParallelDetector::dispatch(Shard &S) {
-  if (S.Pending.Refs.empty())
-    return;
-  S.FillDeciles.record(S.Pending.Refs.size() * 10 / BatchSizeVal);
-  if (!S.Worker.joinable()) {
-    // Single-shard inline mode: run on the caller thread, then reuse the
-    // pending batch's buffers directly. The batch never queues, so its
-    // span (when tracing) has EnqueueNs == BeginNs.
-    uint64_t Begin = metrics::nowNs();
-    for (const ActionRef &R : S.Pending.Refs)
-      S.Engine.onAction(*R.A, R.Thread, *R.Clock, R.EventIndex);
-    uint64_t End = metrics::nowNs();
-    S.WorkerNs.add(End - Begin);
-    S.Batches.inc();
-    if (TraceBatches)
-      S.Spans.push_back(
-          {0, S.NextSeq, S.Pending.Refs.size(), Begin, Begin, End});
-    ++S.NextSeq;
-    S.Pending.recycle();
+void ParallelDetector::processBatch(EventBatch &B) {
+  if (metrics::Enabled && FeedStartNs == 0)
+    FeedStartNs = metrics::nowNs();
+  if (fused()) {
+    // Synchronous execution: payloads in B's arena are consumed before the
+    // caller gets the (cleared) batch back.
+    for (const Event &E : B.Events) {
+      ++EventsProcessed;
+      processEventFused(E, EventsProcessed - 1);
+    }
+    B.clear();
     return;
   }
-  ShardBatch B = std::move(S.Pending);
-  // Refill Pending from the recycle ring when the worker has handed
-  // buffers back; otherwise start fresh (warmup, or the worker is behind).
-  if (S.Recycle.tryPop(S.Pending)) {
-    assert(S.Pending.Refs.empty() && "recycled batch not empty");
-  } else {
-    S.Pending = ShardBatch();
-    S.Pending.Refs.reserve(BatchSizeVal);
-    S.Pending.Owned.reserve(BatchSizeVal);
+  sealStaging(); // Mixed feeding: staged events come first, in order.
+  if (B.empty())
+    return;
+  RunBatch *RB = acquireBatch();
+  std::swap(RB->Owned, B); // Hand the caller recycled warm buffers.
+  RB->Evs = RB->Owned.Events.data();
+  RB->N = RB->Owned.size();
+  RB->BaseIndex = EventsProcessed;
+  EventsProcessed += RB->N;
+  prepassAndDispatch(RB, RB->Owned.SyncPos);
+}
+
+void ParallelDetector::processTrace(const Trace &T) {
+  if (metrics::Enabled && FeedStartNs == 0)
+    FeedStartNs = metrics::nowNs();
+  if (fused()) {
+    // Bulk loop with the hot state hoisted into locals: the compiler
+    // cannot keep member counters (or the ShardList[0] indirection) in
+    // registers across the opaque onAction call, and at ~30ns/event those
+    // reloads are measurable against the sequential detector.
+    Shard &S = *ShardList[0];
+    uint64_t RunLen = FusedRunLen;
+    size_t WinEvents = FusedWindowEvents;
+    uint64_t WinActions = FusedWindowActions;
+    size_t Index = EventsProcessed;
+    for (const Event &E : T.events()) {
+      if (WinEvents == 0)
+        FusedWindowBeginNs = metrics::nowNs();
+      ++WinEvents;
+      if (static_cast<uint8_t>(E.kind()) < SyncKindBound) {
+        SyncEventsCtr.inc();
+        PrepassVisitedCtr.inc();
+        RunLengths.record(RunLen);
+        RunLen = 0;
+        VCState.process(E);
+      } else {
+        ++RunLen;
+        if (E.kind() == EventKind::Invoke) {
+          S.Engine.onAction(E.action(), E.thread(),
+                            VCState.clockOf(E.thread()), Index);
+          ++WinActions;
+        }
+      }
+      ++Index;
+      if (WinEvents >= BatchSizeVal) {
+        FusedWindowEvents = WinEvents;
+        FusedWindowActions = WinActions;
+        closeFusedWindow();
+        WinEvents = 0;
+        WinActions = 0;
+      }
+    }
+    EventsProcessed = Index;
+    FusedRunLen = RunLen;
+    FusedWindowEvents = WinEvents;
+    FusedWindowActions = WinActions;
+    flush();
+    return;
   }
-  // In-flight depth the producer observes at this dispatch; with the
-  // blocking push below it can reach but never exceed RingDepth.
-  S.Occupancy.record(S.Enqueued - S.Completed.load(std::memory_order_relaxed));
-  B.Seq = S.NextSeq++;
-  B.EnqueueNs = metrics::nowNs();
-  ++S.Enqueued;
-  // Fast path first; a full ring is a pipeline stall worth counting (the
-  // pre-pass is outrunning this shard by RingDepth batches).
-  if (!S.Ring.tryPush(std::move(B))) {
-    S.RingFullStalls.inc();
-    uint64_t T0 = metrics::nowNs();
-    S.Ring.push(std::move(B)); // Blocks until the worker frees a slot.
-    S.StallNs.add(metrics::nowNs() - T0);
+  sealStaging();
+  // Whole-trace feeding pins no copies: batches window the trace's own
+  // contiguous event storage, which outlives the flush below. Only the
+  // kind bytes are gathered (they are not contiguous inside Event), then
+  // the sync index comes from the SIMD scan.
+  const std::vector<Event> &Events = T.events();
+  for (size_t Begin = 0; Begin < Events.size(); Begin += BatchSizeVal) {
+    size_t N = std::min(BatchSizeVal, Events.size() - Begin);
+    RunBatch *RB = acquireBatch();
+    RB->Evs = Events.data() + Begin;
+    RB->N = N;
+    RB->BaseIndex = EventsProcessed;
+    EventsProcessed += N;
+    KindScratch.clear();
+    for (size_t J = 0; J != N; ++J)
+      KindScratch.push_back(static_cast<uint8_t>(RB->Evs[J].kind()));
+    SyncScratch.clear();
+    appendKindPositions(KindScratch.data(), N, SyncKindBound, /*Base=*/0,
+                        SyncScratch);
+    prepassAndDispatch(RB, SyncScratch);
   }
+  flush(); // Also the lifetime fence: refs into T die here.
 }
 
 void ParallelDetector::syncShard(Shard &S) {
@@ -335,55 +579,56 @@ void ParallelDetector::mergeResults() {
   for (std::unique_ptr<Shard> &S : ShardList) {
     std::vector<CommutativityRace> ShardRaces = S->Engine.takeRaces();
     S->MergedRaces += ShardRaces.size();
-    Races.insert(Races.end(), std::make_move_iterator(ShardRaces.begin()),
-                 std::make_move_iterator(ShardRaces.end()));
+    if (Races.empty())
+      Races = std::move(ShardRaces); // First contributor: steal the vector.
+    else
+      Races.insert(Races.end(), std::make_move_iterator(ShardRaces.begin()),
+                   std::make_move_iterator(ShardRaces.end()));
     RacyObjects.insert(S->Engine.racyObjects().begin(),
                        S->Engine.racyObjects().end());
   }
-  std::stable_sort(Races.begin() + FirstNew, Races.end(),
-                   [](const CommutativityRace &A, const CommutativityRace &B) {
-                     return A.EventIndex < B.EventIndex;
-                   });
+  // A single shard emits in event order already — nothing to reorder.
+  if (ShardList.size() > 1)
+    std::stable_sort(Races.begin() + FirstNew, Races.end(),
+                     [](const CommutativityRace &A,
+                        const CommutativityRace &B) {
+                       return A.EventIndex < B.EventIndex;
+                     });
 }
 
 void ParallelDetector::flush() {
+  if (fused()) {
+    closeFusedWindow();
+    if (FusedRunLen != 0) {
+      RunLengths.record(FusedRunLen); // Trailing run of the feed window.
+      FusedRunLen = 0;
+    }
+  }
+  sealStaging();
   if (metrics::Enabled && FeedStartNs != 0) {
     PrePassNsCtr.add(metrics::nowNs() - FeedStartNs);
     FeedStartNs = 0;
   }
-  for (std::unique_ptr<Shard> &S : ShardList)
-    dispatch(*S);
   uint64_t SyncStart = metrics::nowNs();
   for (std::unique_ptr<Shard> &S : ShardList)
     syncShard(*S);
   uint64_t MergeStart = metrics::nowNs();
   FlushWaitNsCtr.add(MergeStart - SyncStart);
+  reclaimCompleted(); // Quiesced: every in-flight batch recycles.
   mergeResults();
   MergeNsCtr.add(metrics::nowNs() - MergeStart);
-  // Nothing is in flight anymore: rewind the snapshot pool. The clocks
-  // keep their component capacity, so the next round's snapshots are
-  // assignments into warm storage.
-  ClockTableUsed = 0;
-  std::fill(ClockCache.begin(), ClockCache.end(), nullptr);
-}
-
-void ParallelDetector::processEvent(const Event &E) {
-  routeEvent(E, /*OwnAction=*/true);
-}
-
-void ParallelDetector::processTrace(const Trace &T) {
-  // Whole-trace feeding pins no copies: the refs point into T, which
-  // outlives the flush below.
-  for (const Event &E : T)
-    routeEvent(E, /*OwnAction=*/false);
-  flush();
 }
 
 ParallelMetrics ParallelDetector::metricsSnapshot() const {
   ParallelMetrics M;
   M.Events = EventsProcessed;
   M.SyncEvents = SyncEventsCtr.get();
+  M.PrepassEventsVisited = PrepassVisitedCtr.get();
   M.ClockSnapshots = ClockSnapshotsCtr.get();
+  M.ClockMaps = ClockMapsCtr.get();
+  M.Runs = RunLengths.count();
+  M.RunLengthPow2 = RunLengths.counts();
+  M.RunLengthMax = RunLengths.max();
   M.PrePassNs = PrePassNsCtr.get();
   M.FlushWaitNs = FlushWaitNsCtr.get();
   M.MergeNs = MergeNsCtr.get();
@@ -404,6 +649,7 @@ ParallelMetrics ParallelDetector::metricsSnapshot() const {
     M.Shards.push_back(SM);
     M.Spans.insert(M.Spans.end(), S->Spans.begin(), S->Spans.end());
   }
+  M.PrePassSpans = PrePassSpans;
   // Chronological spans read better in tooling that ignores track order.
   std::stable_sort(M.Spans.begin(), M.Spans.end(),
                    [](const BatchSpan &A, const BatchSpan &B) {
@@ -414,16 +660,20 @@ ParallelMetrics ParallelDetector::metricsSnapshot() const {
 
 void crd::writeChromeTrace(std::ostream &OS, const ParallelMetrics &M) {
   metrics::JsonWriter W(OS);
-  // Rebase so the earliest enqueue is t=0 (Chrome renders absolute µs).
+  // Rebase so the earliest span is t=0 (Chrome renders absolute µs).
   uint64_t Base = ~uint64_t(0);
   uint32_t MaxShard = 0;
   for (const BatchSpan &S : M.Spans) {
     Base = std::min(Base, S.EnqueueNs);
     MaxShard = std::max(MaxShard, S.Shard);
   }
+  for (const BatchSpan &S : M.PrePassSpans)
+    Base = std::min(Base, S.BeginNs);
   auto Us = [Base](uint64_t Ns) {
     return static_cast<double>(Ns - Base) / 1000.0;
   };
+  // The pre-pass renders as its own row below the shard rows.
+  uint64_t PrePassTid = uint64_t(MaxShard) + 1;
   W.beginObject();
   W.key("traceEvents");
   W.beginArray();
@@ -440,6 +690,18 @@ void crd::writeChromeTrace(std::ostream &OS, const ParallelMetrics &M) {
       W.endObject();
       W.endObject();
     }
+  if (!M.PrePassSpans.empty()) {
+    W.beginObject();
+    W.field("name", "thread_name");
+    W.field("ph", "M");
+    W.field("pid", uint64_t(0));
+    W.field("tid", PrePassTid);
+    W.key("args");
+    W.beginObject();
+    W.field("name", "pre-pass");
+    W.endObject();
+    W.endObject();
+  }
   for (const BatchSpan &S : M.Spans) {
     std::string Label = "batch " + std::to_string(S.Seq) + " (" +
                         std::to_string(S.Events) + " ev)";
@@ -459,6 +721,21 @@ void crd::writeChromeTrace(std::ostream &OS, const ParallelMetrics &M) {
     W.field("ph", "X");
     W.field("pid", uint64_t(0));
     W.field("tid", uint64_t(S.Shard));
+    W.field("ts", Us(S.BeginNs));
+    W.field("dur", static_cast<double>(S.EndNs - S.BeginNs) / 1000.0);
+    W.key("args");
+    W.beginObject();
+    W.field("events", S.Events);
+    W.endObject();
+    W.endObject();
+  }
+  for (const BatchSpan &S : M.PrePassSpans) {
+    W.beginObject();
+    W.field("name", "pre-pass " + std::to_string(S.Seq) + " (" +
+                        std::to_string(S.Events) + " ev)");
+    W.field("ph", "X");
+    W.field("pid", uint64_t(0));
+    W.field("tid", PrePassTid);
     W.field("ts", Us(S.BeginNs));
     W.field("dur", static_cast<double>(S.EndNs - S.BeginNs) / 1000.0);
     W.key("args");

@@ -9,24 +9,32 @@
 /// observation (the shard invariant documented in DESIGN.md) is that all of
 /// Algorithm 1's mutable state is partitioned per object: phases 1–2 for an
 /// event on object o touch only active(o). Only the Table 1 clock machine
-/// is inherently sequential. Rather than materializing the whole clock
-/// pre-pass and then fanning out behind a barrier, the detector streams:
+/// is inherently sequential — and it only *changes* at synchronization
+/// events, which are ~3% of a typical trace. The pipeline is therefore
+/// organized around RUNS: the maximal stretches of events between two sync
+/// events, over which every thread's clock is constant.
 ///
-///   1. Clock pre-pass (sequential, caller thread): run VectorClockState
-///      event-at-a-time and stamp each action with a shared clock snapshot
-///      (consecutive actions of a thread between synchronization events
-///      share one physical clock, so the table stores O(#sync) clocks).
-///   2. Shard dispatch (pipelined): actions are routed by a mixed hash of
-///      their ObjectId into per-shard batches; each full batch is handed to
-///      the owning shard's persistent worker through a bounded SPSC ring,
-///      so shard work overlaps the pre-pass instead of waiting for it.
+///   1. Sync-only pre-pass (sequential, caller thread): jump from sync
+///      event to sync event using the batch's precomputed sync index
+///      (emitted by the wire decoder, or SIMD kind-scanned for in-memory
+///      feeds — support/KindScan.h). Only sync events run the clock
+///      machine; per run the pre-pass publishes one shared clock-map
+///      snapshot (thread → clock pointer). Work is O(#sync), not
+///      O(#events).
+///   2. Run handoff (pipelined): whole raw event batches — annotated with
+///      their runs — are broadcast to every shard's persistent worker
+///      through bounded SPSC rings. Workers compute per-event shard
+///      routing locally (the same fastrange hash on every shard) and
+///      execute exactly the actions they own, so the caller thread never
+///      touches non-sync events at all.
 ///   3. Merge (sequential, deterministic): flush() waits for shard
 ///      quiescence, then orders the drained per-shard race vectors by event
 ///      index — bit-identical to the sequential CommutativityRaceDetector.
 ///
-/// Both whole-trace (processTrace) and streaming (processEvent + flush)
-/// feeding are supported; the streaming path copies action payloads into
-/// shard-owned storage, so callers may discard events immediately.
+/// Both whole-trace (processTrace), batch (processBatch) and event-at-a-
+/// time (processEvent + flush) feeding are supported; the streaming paths
+/// pin action payloads into batch-owned storage, so callers may discard
+/// events immediately.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +44,7 @@
 #include "detect/Algorithm1.h"
 #include "hb/VectorClockState.h"
 #include "support/Metrics.h"
+#include "trace/EventBatch.h"
 #include "trace/Trace.h"
 
 #include <array>
@@ -46,14 +55,17 @@
 
 namespace crd {
 
-/// Lifetime of one dispatched shard batch, recorded when the detector is
-/// constructed with TraceBatches=true (and the build has CRD_METRICS=1).
-/// Rendered as a Chrome-trace timeline by writeChromeTrace().
+/// Lifetime of one batch execution on one shard, recorded when the
+/// detector is constructed with TraceBatches=true (and the build has
+/// CRD_METRICS=1). Rendered as a Chrome-trace timeline by
+/// writeChromeTrace(). Since batches are broadcast, each dispatched batch
+/// produces one span per shard; Events counts the actions that shard
+/// actually owned and executed.
 struct BatchSpan {
   uint32_t Shard = 0;
-  uint64_t Seq = 0;       ///< Per-shard batch sequence number (0-based).
-  uint64_t Events = 0;    ///< Action refs carried by the batch.
-  uint64_t EnqueueNs = 0; ///< Producer pushed the batch into the ring.
+  uint64_t Seq = 0;       ///< Global batch sequence number (0-based).
+  uint64_t Events = 0;    ///< Actions this shard executed from the batch.
+  uint64_t EnqueueNs = 0; ///< Producer broadcast the batch to the rings.
   uint64_t BeginNs = 0;   ///< Worker began executing the batch.
   uint64_t EndNs = 0;     ///< Worker finished the batch.
 };
@@ -62,8 +74,8 @@ struct BatchSpan {
 /// zeros in a CRD_METRICS=OFF build except RoutedEvents (the shard-balance
 /// statistic, live in every build).
 struct ParallelShardMetrics {
-  uint64_t RoutedEvents = 0;   ///< Action events routed to this shard.
-  uint64_t Batches = 0;        ///< Batches the shard executed.
+  uint64_t RoutedEvents = 0;   ///< Actions this shard claimed and executed.
+  uint64_t Batches = 0;        ///< Run batches the shard executed.
   uint64_t MergedRaces = 0;    ///< Races this shard contributed at merges.
   uint64_t RingFullStalls = 0; ///< Dispatches that found the ring full.
   uint64_t StallNs = 0;        ///< Producer time blocked on a full ring.
@@ -83,14 +95,29 @@ struct ParallelShardMetrics {
 /// only on a quiesced pipeline — call after processTrace() or flush().
 struct ParallelMetrics {
   uint64_t Events = 0;         ///< All events fed (every kind).
-  uint64_t Actions = 0;        ///< Invoke events routed to shards.
+  uint64_t Actions = 0;        ///< Invoke events executed by shards.
   uint64_t SyncEvents = 0;     ///< Clock-machine events (fork/join/acq/rel).
+  /// Events the sequential pre-pass actually visited — exactly the sync
+  /// events under the run-based pipeline. prepass_events_visited / events
+  /// is the sequential fraction (the acceptance metric of the rework).
+  uint64_t PrepassEventsVisited = 0;
   uint64_t ClockSnapshots = 0; ///< Distinct clock snapshots materialized.
-  uint64_t PrePassNs = 0;      ///< Feed time: first routeEvent to flush.
+  uint64_t ClockMaps = 0;      ///< Per-run clock maps materialized.
+  uint64_t Runs = 0;           ///< Runs delimited (including empty ones).
+  /// Run-length histogram, power-of-two buckets: bucket 0 counts empty
+  /// runs (back-to-back sync events), bucket i counts lengths in
+  /// [2^(i-1), 2^i), the last bucket absorbs the tail.
+  std::array<uint64_t, 16> RunLengthPow2{};
+  uint64_t RunLengthMax = 0;
+  uint64_t PrePassNs = 0;      ///< Feed time: first feed to flush.
   uint64_t FlushWaitNs = 0;    ///< flush() time waiting for shard quiescence.
   uint64_t MergeNs = 0;        ///< flush() time merging race vectors.
   std::vector<ParallelShardMetrics> Shards;
   std::vector<BatchSpan> Spans; ///< Empty unless TraceBatches was set.
+  /// Producer-side pre-pass span per dispatched batch (TraceBatches only):
+  /// Seq/Events/EnqueueNs mirror the batch, Begin/End bracket the sync
+  /// walk + run emission. Rendered as a dedicated "pre-pass" row.
+  std::vector<BatchSpan> PrePassSpans;
 };
 
 /// Object-sharded parallel commutativity race detector. Mirrors the
@@ -98,7 +125,7 @@ struct ParallelMetrics {
 /// produces bit-identical race reports.
 class ParallelDetector {
 public:
-  /// Events per dispatched shard batch: large enough to amortize the ring
+  /// Events per dispatched batch: large enough to amortize the ring
   /// handoff, small enough to keep all shards busy while the pre-pass runs.
   static constexpr size_t DefaultBatchSize = 4096;
 
@@ -134,12 +161,21 @@ public:
   /// Processes a whole trace through the pipeline and flush()es. May be
   /// called repeatedly; results accumulate, and per-object detector state
   /// carries over between calls exactly as for the sequential detector.
+  /// Zero-copy: batches reference the trace's own event storage (the
+  /// trace outlives the internal flush).
   void processTrace(const Trace &T);
 
-  /// Streaming feed: routes one event into the pipeline. The action payload
-  /// is copied into shard-owned storage, so \p E need not outlive the call.
-  /// Results become visible after the next flush().
+  /// Streaming feed: stages one event. The action payload is pinned into
+  /// batch-owned storage, so \p E need not outlive the call. Results
+  /// become visible after the next flush().
   void processEvent(const Event &E);
+
+  /// Batch feed: takes \p B's contents (events, kinds, sync index, pinned
+  /// payloads) into the pipeline and hands \p B a recycled empty batch
+  /// whose buffers are warm — the zero-copy fast path for
+  /// EventSource::nextBatch() loops. \p B must have its sync index
+  /// populated (decoder batch path or finalizeSyncIndex()).
+  void processBatch(EventBatch &B);
 
   /// Dispatches all partial batches, waits for every shard to quiesce, and
   /// merges results deterministically. Idempotent; cheap when idle.
@@ -170,8 +206,9 @@ public:
   unsigned shards() const { return static_cast<unsigned>(ShardList.size()); }
   size_t batchSize() const { return BatchSizeVal; }
 
-  /// Action events routed to each shard so far — the shard-balance
-  /// statistic (a sound hash keeps the max close to the mean).
+  /// Action events each shard claimed and executed so far — the
+  /// shard-balance statistic (a sound hash keeps the max close to the
+  /// mean). Requires a quiesced pipeline.
   std::vector<size_t> shardLoads() const;
 
   /// Whether batch spans are being recorded (set at construction).
@@ -185,49 +222,92 @@ public:
 
 private:
   struct Shard;
+  struct RunBatch;
+
+  /// Thread → clock-snapshot pointers for one run; nullptr (or
+  /// out-of-range) entries are threads the clock machine has not touched,
+  /// for which workers synthesize inc_τ(⊥) locally.
+  using ClockMap = std::vector<const VectorClock *>;
 
   unsigned shardOf(ObjectId Obj) const;
-  void routeEvent(const Event &E, bool OwnAction);
-  const VectorClock *clockFor(ThreadId Tid);
-  void invalidateClock(ThreadId Tid);
-  void dispatch(Shard &S);
+  /// Single-shard degeneration: one shard owns every object, so the
+  /// run/handoff machinery buys nothing — events are executed synchronously
+  /// on the caller thread at sequential-detector cost (sync events run the
+  /// clock machine, actions go straight into the engine). Metrics windows
+  /// of BatchSize events stand in for dispatched batches so the
+  /// observability contract (batch counts, spans partitioning actions)
+  /// holds unchanged.
+  bool fused() const { return ShardList.size() == 1; }
+  void processEventFused(const Event &E, size_t Index);
+  void closeFusedWindow();
+  RunBatch *acquireBatch();
+  void sealStaging();
+  void prepassAndDispatch(RunBatch *RB, const std::vector<uint32_t> &SyncPos);
+  void reclaimCompleted();
   void syncShard(Shard &S);
   void mergeResults();
 
   /// Table 1 clock machine; persists across processTrace calls so split
   /// traces see the same happens-before as one concatenated trace.
+  /// Clock snapshots and run maps live in the RunBatch they belong to
+  /// (batch-owned storage), so batch recycling reclaims them without any
+  /// cross-batch reference tracking.
   VectorClockState VCState;
-  /// Clock snapshot pool referenced by in-flight batches. A deque so
-  /// growth never moves existing snapshots. Flush rewinds ClockTableUsed
-  /// instead of clearing, keeping every clock's storage warm for reuse —
-  /// steady-state snapshotting is allocation-free.
-  std::deque<VectorClock> ClockTable;
-  size_t ClockTableUsed = 0;
-  /// Per-thread pointer to the thread's current ClockTable snapshot;
-  /// nullptr after a synchronization event mutates the thread's clock.
-  std::vector<const VectorClock *> ClockCache;
+  /// Pre-pass scratch: threads whose clock changed since the current run
+  /// map was materialized (duplicates are harmless).
+  std::vector<ThreadId> DirtyThreads;
+  /// Fused single-shard mode state: current run length (events since the
+  /// last sync event) and the open metrics window.
+  uint64_t FusedRunLen = 0;
+  size_t FusedWindowEvents = 0;
+  uint64_t FusedWindowActions = 0;
+  uint64_t FusedWindowBeginNs = 0;
+  /// Run-batch pool: stable storage (deque — growth never moves batches),
+  /// free list, and the FIFO of batches whose workers may still be
+  /// running. Producer-side only. Declared BEFORE ShardList: destruction
+  /// runs in reverse, so the shard workers are joined before the batches
+  /// they read go away.
+  std::deque<RunBatch> BatchStore;
+  std::vector<RunBatch *> FreeBatches;
+  std::deque<RunBatch *> InFlight;
+  uint64_t NextSeq = 0; ///< Global dispatch sequence numbers.
   /// Shard-local pipeline state (persists across processTrace calls).
   std::vector<std::unique_ptr<Shard>> ShardList;
   size_t BatchSizeVal;
   bool TraceBatches = false;
+  /// Staging batch for the event-at-a-time feed; sealed into a RunBatch
+  /// when full (or at flush). StagingBase is the global index of its
+  /// first event.
+  EventBatch Staging;
+  uint64_t StagingBase = 0;
+  /// Scratch for the zero-copy processTrace path: per-window kind bytes
+  /// and SIMD-scanned sync positions.
+  std::vector<uint8_t> KindScratch;
+  std::vector<uint32_t> SyncScratch;
   std::vector<CommutativityRace> Races;
   std::unordered_set<ObjectId> RacyObjects;
   size_t EventsProcessed = 0;
   /// Observability state (single writer: the feeding thread; all of it is
   /// inert when CRD_METRICS=0).
   metrics::Counter SyncEventsCtr;
+  metrics::Counter PrepassVisitedCtr;
   metrics::Counter ClockSnapshotsCtr;
+  metrics::Counter ClockMapsCtr;
   metrics::Counter PrePassNsCtr;
   metrics::Counter FlushWaitNsCtr;
   metrics::Counter MergeNsCtr;
-  uint64_t FeedStartNs = 0; ///< nowNs() of the first routeEvent since flush.
+  metrics::Pow2Histogram<16> RunLengths;
+  std::vector<BatchSpan> PrePassSpans;
+  uint64_t FeedStartNs = 0; ///< nowNs() of the first feed since flush.
 };
 
 /// Renders a metrics snapshot's batch spans as a Chrome-trace JSON document
 /// (chrome://tracing / Perfetto "trace event format": one "X" complete
 /// event per span with ts/dur in microseconds, tid = shard). Timestamps are
-/// rebased so the earliest enqueue is t=0. Each batch renders as two spans:
-/// "queued" (enqueue → worker pickup) and "run" (pickup → completion).
+/// rebased so the earliest enqueue is t=0. Each batch renders as two spans
+/// per shard: "queued" (enqueue → worker pickup) and "run" (pickup →
+/// completion), plus one "pre-pass" span on a dedicated row showing the
+/// producer's sync walk for that batch.
 void writeChromeTrace(std::ostream &OS, const ParallelMetrics &M);
 
 } // namespace crd

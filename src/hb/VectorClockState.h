@@ -63,6 +63,18 @@ public:
     Out = clockOf(Thread);
   }
 
+  /// Returns T(τ) if \p Thread has already been initialized (by a
+  /// synchronization event or an earlier clockOf), nullptr otherwise —
+  /// without forcing the lazy initialization. The run-based pre-pass
+  /// builds its per-run clock maps through this so publishing a snapshot
+  /// table never initializes threads the trace hasn't touched; consumers
+  /// synthesize inc_τ(⊥) themselves for nullptr entries, which is
+  /// value-identical to what lazy initialization would produce.
+  const VectorClock *initializedClock(ThreadId Thread) const {
+    size_t I = Thread.index();
+    return I < Threads.size() && Initialized[I] ? &Threads[I] : nullptr;
+  }
+
   /// Returns L(l); ⊥ if the lock was never released.
   const VectorClock &lockClock(LockId Lock) const;
 

@@ -45,6 +45,25 @@ public:
   /// diagnosed input error (check failed()).
   virtual bool next(Event &E) = 0;
 
+  /// Batch pull: appends up to \p MaxEvents events to \p B and returns how
+  /// many were appended (0 at end of stream / on error). The batch owns
+  /// every payload (B pins invoke values into its own arena) and carries
+  /// the kind array + sync-event index the run-based parallel pipeline
+  /// consumes. The default pulls next() one event at a time and builds the
+  /// sync index with the SIMD kind-scan; the binary source overrides this
+  /// with the decoder's chunk-at-a-time path, which emits the index during
+  /// decode.
+  virtual size_t nextBatch(EventBatch &B, size_t MaxEvents) {
+    Event E = Event::txBegin(ThreadId(0)); // Overwritten by next().
+    size_t N = 0;
+    while (N != MaxEvents && next(E)) {
+      B.append(E);
+      ++N;
+    }
+    B.finalizeSyncIndex();
+    return N;
+  }
+
   /// True once the underlying input was diagnosed as malformed.
   virtual bool failed() const { return false; }
 
@@ -95,6 +114,9 @@ public:
       : Reader(In, Diags) {}
 
   bool next(Event &E) override { return Reader.next(E); }
+  size_t nextBatch(EventBatch &B, size_t MaxEvents) override {
+    return Reader.nextBatch(B, MaxEvents);
+  }
   bool failed() const override { return Reader.failed(); }
   const WireReader *wireReader() const override { return &Reader; }
 

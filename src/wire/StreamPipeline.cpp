@@ -139,6 +139,40 @@ void StreamPipeline::finish() {
 }
 
 StreamSummary StreamPipeline::run(EventSource &Source) {
+  if (Par) {
+    // Batched pull: whole event batches flow from the source into the
+    // shard pipeline, complete with the per-chunk sync index the decoder
+    // emitted (or the SIMD kind-scan built) — the pre-pass jumps straight
+    // to the sync events without touching anything per event here. The
+    // detector hands back a recycled batch each round, so the loop is
+    // allocation-free in the steady state.
+    EventBatch B;
+    while (size_t N = Source.nextBatch(B, Opts.BatchSize)) {
+      Events += N;
+      if (metrics::Enabled) {
+        // Ingress kind tally from the batch's kind bytes — one pass over
+        // a dense byte array instead of a per-event switch.
+        uint64_t Tally[4] = {0, 0, 0, 0};
+        for (uint8_t K : B.Kinds) {
+          unsigned Bucket =
+              K < SyncKindBound
+                  ? 1u
+                  : (K == static_cast<uint8_t>(EventKind::Invoke)
+                         ? 0u
+                         : (K <= static_cast<uint8_t>(EventKind::Write) ? 2u
+                                                                        : 3u));
+          ++Tally[Bucket];
+        }
+        InvokeEvents.add(Tally[0]);
+        SyncEvents.add(Tally[1]);
+        MemEvents.add(Tally[2]);
+        TxEvents.add(Tally[3]);
+      }
+      Par->processBatch(B);
+    }
+    finish();
+    return summary();
+  }
   Event E = Event::txBegin(ThreadId(0)); // Overwritten by next().
   while (Source.next(E))
     onEvent(E);
@@ -231,11 +265,24 @@ void StreamPipeline::writeMetricsJson(std::ostream &OS,
     W.field("batch_size", static_cast<uint64_t>(Par->batchSize()));
     W.field("actions", M.Actions);
     W.field("sync_events", M.SyncEvents);
+    // The acceptance metric of the run-based pre-pass: the fraction of the
+    // trace that stays sequential. prepass_events_visited counts exactly
+    // the events the caller thread ran the clock machine on.
+    W.field("sync_fraction",
+            M.Events ? static_cast<double>(M.SyncEvents) /
+                           static_cast<double>(M.Events)
+                     : 0.0);
+    W.field("prepass_events_visited", M.PrepassEventsVisited);
     W.field("clock_snapshots", M.ClockSnapshots);
+    W.field("clock_maps", M.ClockMaps);
+    W.field("runs", M.Runs);
+    W.fieldArray("run_length_pow2", M.RunLengthPow2);
+    W.field("run_length_max", M.RunLengthMax);
     W.field("pre_pass_ns", M.PrePassNs);
     W.field("flush_wait_ns", M.FlushWaitNs);
     W.field("merge_ns", M.MergeNs);
     W.field("batch_spans", static_cast<uint64_t>(M.Spans.size()));
+    W.field("prepass_spans", static_cast<uint64_t>(M.PrePassSpans.size()));
     W.key("per_shard");
     W.beginArray();
     for (size_t I = 0; I != M.Shards.size(); ++I) {

@@ -195,7 +195,7 @@ bool WireReader::next(Event &E) {
     if (!loadChunk())
       return false;
   }
-  if (!decodeEvent(E))
+  if (!decodeEvent(E, ValueArena))
     return false;
   --EventsLeft;
   ++NumEvents;
@@ -208,7 +208,39 @@ bool WireReader::next(Event &E) {
   return true;
 }
 
-bool WireReader::decodeEvent(Event &E) {
+size_t WireReader::nextBatch(EventBatch &B, size_t MaxEvents) {
+  size_t Decoded = 0;
+  Event E = Event::txBegin(ThreadId(0)); // Overwritten by decodeEvent.
+  while (Decoded != MaxEvents) {
+    if (Failed)
+      break;
+    if (EventsLeft == 0) {
+      if (!loadChunk())
+        break;
+      continue;
+    }
+    // Values land in the batch's arena, so the events appended here stay
+    // valid across the chunk turnover above — a batch may span chunks.
+    if (!decodeEvent(E, B.Values))
+      break;
+    --EventsLeft;
+    ++NumEvents;
+    if (EventsLeft == 0 && Pos != Payload.size()) {
+      fail("malformed chunk: " + std::to_string(Payload.size() - Pos) +
+           " trailing payload bytes after last event");
+      break;
+    }
+    // The kind is in hand — extend the sync-event index for free instead
+    // of re-scanning the batch afterwards.
+    if (static_cast<uint8_t>(E.kind()) < SyncKindBound)
+      B.SyncPos.push_back(static_cast<uint32_t>(B.size()));
+    B.appendPinned(std::move(E));
+    ++Decoded;
+  }
+  return Decoded;
+}
+
+bool WireReader::decodeEvent(Event &E, Arena &Values) {
   ByteReader R(reinterpret_cast<const uint8_t *>(Payload.data()) + Pos,
                Payload.size() - Pos);
   auto finishAt = [&] { Pos += R.offset(); };
@@ -370,7 +402,7 @@ bool WireReader::decodeEvent(Event &E) {
       }
     const Value *Vals = nullptr;
     if (Total != 0) {
-      Value *Block = ValueArena.allocate<Value>(Total);
+      Value *Block = Values.allocate<Value>(Total);
       std::memcpy(Block, ScratchValues.data(), Total * sizeof(Value));
       Vals = Block;
     }

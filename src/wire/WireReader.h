@@ -32,6 +32,7 @@
 #include "support/Diagnostics.h"
 #include "support/Metrics.h"
 #include "trace/Event.h"
+#include "trace/EventBatch.h"
 #include "wire/WireFormat.h"
 
 #include <iosfwd>
@@ -67,6 +68,16 @@ public:
   /// Invoke payloads are arena views — see the lifetime contract above.
   bool next(Event &E);
 
+  /// Batch decode: appends up to \p MaxEvents events to \p B, crossing
+  /// chunk boundaries as needed, and returns how many were appended (0 at
+  /// end of stream or on a structural error). Unlike next(), the decoded
+  /// invoke values are pinned in the BATCH's own arena (B.Values), so the
+  /// batch is self-contained — it survives chunk turnover and can be
+  /// handed to another thread wholesale. The per-chunk sync-event index
+  /// (B.Kinds / B.SyncPos) is emitted during decode, where the kind byte
+  /// is already in hand — no separate scan pass.
+  size_t nextBatch(EventBatch &B, size_t MaxEvents);
+
   /// True once a structural error has been diagnosed; the stream position
   /// is then unspecified and next() keeps returning false.
   bool failed() const { return Failed; }
@@ -90,7 +101,7 @@ public:
 
 private:
   bool loadChunk();
-  bool decodeEvent(Event &E);
+  bool decodeEvent(Event &E, Arena &Values);
   void fail(std::string Message);
 
   std::istream &In;

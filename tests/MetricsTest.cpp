@@ -226,11 +226,19 @@ std::string snapshotOf(const Trace &T, wire::PipelineOptions Opts) {
   return OS.str();
 }
 
-/// Zeroes every `"*_ns": <digits>` field: wall-clock times differ between
-/// identical runs, everything else must not.
+/// Zeroes every `"*_ns": <digits>` field and the queue-depth observations
+/// (`occupancy[]`, `occupancy_max`, `ring_full_stalls`): wall-clock times
+/// and how far the workers had drained their rings at each dispatch vary
+/// between identical runs — the run-based pre-pass races genuinely ahead
+/// of the shard workers — but everything else must not.
 std::string stripTimes(const std::string &Json) {
   static const std::regex TimeField("(\"[a-z_]*_ns\": )[0-9]+");
-  return std::regex_replace(Json, TimeField, "$10");
+  static const std::regex QueueDepth(
+      "(\"(?:occupancy_max|ring_full_stalls)\": )[0-9]+");
+  static const std::regex OccupancyArray("\"occupancy\": \\[[^\\]]*\\]");
+  std::string S = std::regex_replace(Json, TimeField, "$10");
+  S = std::regex_replace(S, QueueDepth, "$10");
+  return std::regex_replace(S, OccupancyArray, "\"occupancy\": [stripped]");
 }
 
 } // namespace

@@ -19,6 +19,7 @@
 #include "detect/OnlineAtomicity.h"
 #include "runtime/InstrumentedMap.h"
 #include "runtime/SimRuntime.h"
+#include "trace/TraceBuilder.h"
 #include "trace/TraceIO.h"
 #include "wire/StreamPipeline.h"
 #include "wire/WireWriter.h"
@@ -277,6 +278,147 @@ TEST(StreamPipelineTest, BatchSpansCoverEveryDispatchedBatch) {
     EXPECT_NE(Rendered.find("\"traceEvents\""), std::string::npos);
     EXPECT_NE(Rendered.find("\"ph\": \"X\""), std::string::npos);
     EXPECT_NE(Rendered.find("\"thread_name\""), std::string::npos);
+  }
+}
+
+namespace {
+
+/// Runs the parallel backend over \p T across shard/batch combinations and
+/// expects bit-identical races to the sequential reference. Returns the
+/// reference race count so callers can assert the trace was non-trivial.
+size_t expectParallelMatchesReference(
+    const Trace &T, std::initializer_list<unsigned> ShardCounts,
+    std::initializer_list<size_t> BatchSizes, size_t EventsPerChunk = 7) {
+  CommutativityRaceDetector Reference;
+  Reference.setDefaultProvider(&dictRep());
+  Reference.processTrace(T);
+
+  for (unsigned Shards : ShardCounts)
+    for (size_t Batch : BatchSizes) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << Shards << " batch=" << Batch);
+      std::unique_ptr<StreamPipeline> P;
+      PipelineOptions Opts;
+      Opts.TheBackend = Backend::Parallel;
+      Opts.Shards = Shards;
+      Opts.BatchSize = Batch;
+      StreamSummary S = runBinary(T, Opts, P, EventsPerChunk);
+      EXPECT_EQ(S.Events, T.size());
+      expectRacesIdentical(P->races(), Reference.races());
+    }
+  return Reference.races().size();
+}
+
+} // namespace
+
+TEST(StreamPipelineTest, SyncEventsAtBatchBoundaries) {
+  // Hand-placed sync events at both edges of every batch-of-4: positions
+  // 0/4/8/12 open a batch, 3/7/11 close one. The pre-pass must seed the
+  // first run of a batch from clocks published by the previous batch and
+  // publish boundary snapshots for the next one — an off-by-one in either
+  // direction changes which clock an invoke observes and breaks the
+  // bit-identical guarantee.
+  Value K1 = Value::string("k1"), K2 = Value::string("k2");
+  Trace T = TraceBuilder()
+                .fork(0, 1)                                       // 0 sync
+                .fork(0, 2)                                       // 1 sync
+                .invoke(1, 7, "put", {K1, Value::integer(10)}, Value::nil())
+                .acquire(1, 0)                                    // 3 sync
+                .release(1, 0)                                    // 4 sync
+                .invoke(2, 7, "put", {K1, Value::integer(20)}, Value::nil())
+                .invoke(1, 7, "put", {K2, Value::integer(1)}, Value::nil())
+                .acquire(2, 0)                                    // 7 sync
+                .release(2, 0)                                    // 8 sync
+                .invoke(2, 7, "put", {K2, Value::integer(2)}, Value::nil())
+                .invoke(1, 8, "get", {K1}, Value::integer(10))
+                .join(0, 1)                                       // 11 sync
+                .join(0, 2)                                       // 12 sync
+                .invoke(0, 7, "put", {K1, Value::integer(30)}, Value::nil())
+                .invoke(0, 8, "get", {K1}, Value::integer(30))
+                .take();
+
+  // Batch 4 is the engineered alignment; the neighbors make sure the
+  // result does not depend on it.
+  size_t Races =
+      expectParallelMatchesReference(T, {1u, 2u, 3u}, {1, 2, 4, 5, 64});
+  EXPECT_GT(Races, 0u) << "boundary trace should race (put/put on k1, k2)";
+}
+
+TEST(StreamPipelineTest, BackToBackSyncEventsYieldEmptyRuns) {
+  // Consecutive sync events produce zero-length runs between them; the
+  // pre-pass must advance the clock machine through each one without
+  // dispatching anything, and the snapshots the *last* sync published are
+  // the ones the next invoke observes.
+  Value K = Value::string("k");
+  TraceBuilder TB;
+  TB.fork(0, 1).fork(0, 2);
+  TB.acquire(1, 0).release(1, 0).acquire(1, 0).release(1, 0); // 4 in a row.
+  TB.invoke(1, 7, "put", {K, Value::integer(1)}, Value::nil());
+  TB.invoke(2, 7, "put", {K, Value::integer(2)}, Value::nil());
+  TB.acquire(2, 1).release(2, 1);
+  TB.join(0, 1).join(0, 2);
+  Trace T = TB.take();
+  size_t Syncs = 0;
+  for (const Event &E : T)
+    Syncs += E.isSync();
+
+  size_t Races = expectParallelMatchesReference(T, {1u, 2u}, {1, 3, 64});
+  EXPECT_GT(Races, 0u);
+
+  if (!metrics::Enabled)
+    return;
+  // The run accounting must see every sync and record the empty runs.
+  std::unique_ptr<StreamPipeline> P;
+  PipelineOptions Opts;
+  Opts.TheBackend = Backend::Parallel;
+  Opts.Shards = 2;
+  Opts.BatchSize = 64;
+  runBinary(T, Opts, P);
+  ParallelMetrics M = P->parallelDetector()->metricsSnapshot();
+  EXPECT_EQ(M.SyncEvents, Syncs);
+  EXPECT_EQ(M.PrepassEventsVisited, Syncs);
+  // With every event in one batch, each sync opens a run and the batch
+  // adds the trailing one; the back-to-back stretch makes several empty.
+  EXPECT_EQ(M.Runs, Syncs + 1);
+  EXPECT_GT(M.RunLengthPow2[0], 0u) << "no zero-length run recorded";
+}
+
+TEST(StreamPipelineTest, AllSyncTraceHasOnlyDegenerateRuns) {
+  // The degenerate extreme of the run-based pre-pass: a trace of nothing
+  // but synchronization. The caller thread visits every event, the shards
+  // receive none, and every recorded run has length zero.
+  TraceBuilder TB;
+  TB.fork(0, 1);
+  for (int I = 0; I != 9; ++I)
+    TB.acquire(1, 0).release(1, 0);
+  TB.join(0, 1);
+  Trace T = TB.take();
+
+  for (unsigned Shards : {1u, 2u}) {
+    for (size_t Batch : {size_t(1), size_t(4), size_t(64)}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << Shards << " batch=" << Batch);
+      std::unique_ptr<StreamPipeline> P;
+      PipelineOptions Opts;
+      Opts.TheBackend = Backend::Parallel;
+      Opts.Shards = Shards;
+      Opts.BatchSize = Batch;
+      StreamSummary S = runBinary(T, Opts, P, /*EventsPerChunk=*/5);
+
+      EXPECT_EQ(S.Events, T.size());
+      EXPECT_EQ(S.Races, 0u);
+      ParallelMetrics M = P->parallelDetector()->metricsSnapshot();
+      EXPECT_EQ(M.Actions, 0u);
+      uint64_t Routed = 0;
+      for (const ParallelShardMetrics &SM : M.Shards)
+        Routed += SM.RoutedEvents;
+      EXPECT_EQ(Routed, 0u);
+      if (metrics::Enabled) {
+        EXPECT_EQ(M.SyncEvents, T.size());
+        EXPECT_EQ(M.PrepassEventsVisited, T.size());
+        EXPECT_EQ(M.RunLengthMax, 0u);
+      }
+    }
   }
 }
 
