@@ -87,6 +87,11 @@ struct BenchEntry {
   /// (the define routes global operator new through a counter); -1 when
   /// the counter is compiled out, and the JSON field is omitted.
   double AllocsPerEvent = -1.0;
+  /// Events rejected by backpressure during the run (ingestion benches
+  /// under DropNewest). -1 = not applicable, and the JSON field is
+  /// omitted. Informational: bench_compare.py ignores it — drop counts
+  /// are scheduling-dependent, not a regression signal.
+  int64_t Drops = -1;
 };
 
 /// Times \p Run (which returns the race count) with \p Warmup discarded
@@ -186,6 +191,8 @@ public:
          << ", \"races\": " << E.Races << ", \"reps\": " << E.Reps;
       if (E.AllocsPerEvent >= 0)
         OS << ", \"allocs_per_event\": " << E.AllocsPerEvent;
+      if (E.Drops >= 0)
+        OS << ", \"drops\": " << E.Drops;
       OS << "}" << (I + 1 == Entries.size() ? "\n" : ",\n");
     }
     OS << "  ]\n}\n";

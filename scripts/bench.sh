@@ -22,8 +22,13 @@ cmake --build --preset release -j"$(nproc)"
 ./build-release/bench/wire_throughput "$WORKERS" "$QUERIES" "$REPS" \
   BENCH_wire.json
 
+# Live multi-producer ingestion: real threads through SPSC rings into the
+# collector, across drain/detect/record/drop configurations.
+./build-release/bench/ingest_throughput "$WORKERS" 200000 "$REPS" \
+  BENCH_ingest.json
+
 # Informational microbenchmarks (epoch ablation + shard sweep); failures
 # here must not mask the trajectory artifact above.
 ./build-release/bench/micro_detector --benchmark_min_time=0.05 || true
 
-echo "bench artifacts: $(pwd)/BENCH_detector.json $(pwd)/BENCH_wire.json"
+echo "bench artifacts: $(pwd)/BENCH_detector.json $(pwd)/BENCH_wire.json $(pwd)/BENCH_ingest.json"

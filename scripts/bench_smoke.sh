@@ -30,9 +30,9 @@ trap 'rm -rf "$OUT_DIR"' EXIT
 
 status=0
 run_and_compare() {
-  local tool="$1" json="$2"
-  echo "== $tool ($WORKERS workers, $QUERIES queries/worker, $REPS reps) =="
-  if ! "$BUILD_DIR/bench/$tool" "$WORKERS" "$QUERIES" "$REPS" \
+  local tool="$1" json="$2" arg1="${3:-$WORKERS}" arg2="${4:-$QUERIES}"
+  echo "== $tool ($arg1, $arg2, $REPS reps) =="
+  if ! "$BUILD_DIR/bench/$tool" "$arg1" "$arg2" "$REPS" \
       "$OUT_DIR/$json" >/dev/null; then
     echo "bench_smoke: $tool failed" >&2
     status=1
@@ -53,5 +53,8 @@ run_and_compare() {
 
 run_and_compare wire_throughput BENCH_wire.json
 run_and_compare parallel_scaling BENCH_detector.json
+# Live ingestion uses its own workload shape (producers, events/producer):
+# per-producer volume must be large enough that a rep is not timer noise.
+run_and_compare ingest_throughput BENCH_ingest.json 4 50000
 
 exit "$status"

@@ -131,26 +131,34 @@ def check_cli_references(page, text, repo_root, verbs, verb_help, crd,
                     )
 
 
+# Each snapshot writer and the reference page that must document every
+# JSON field it emits.
+METRIC_SNAPSHOT_PAIRS = [
+    ("src/wire/StreamPipeline.cpp", "docs/observability.md"),
+    ("src/ingest/Session.cpp", "docs/ingestion.md"),
+]
+
+
 def check_metric_fields(repo_root, problems):
-    """Every field the metrics snapshot emits must be documented."""
-    src = repo_root / "src" / "wire" / "StreamPipeline.cpp"
-    doc = repo_root / "docs" / "observability.md"
-    if not src.exists():
-        return
-    if not doc.exists():
-        problems.append(
-            "docs/observability.md: missing, but src/wire/StreamPipeline.cpp "
-            "emits a metrics snapshot"
-        )
-        return
-    fields = set(METRIC_FIELD_RE.findall(src.read_text(encoding="utf-8")))
-    doc_text = doc.read_text(encoding="utf-8")
-    for name in sorted(fields):
-        if name not in doc_text:
+    """Every field a metrics snapshot emits must be documented."""
+    for src_rel, doc_rel in METRIC_SNAPSHOT_PAIRS:
+        src = repo_root / Path(src_rel)
+        doc = repo_root / Path(doc_rel)
+        if not src.exists():
+            continue
+        if not doc.exists():
             problems.append(
-                f"docs/observability.md: metrics field '{name}' (emitted by "
-                f"src/wire/StreamPipeline.cpp) is undocumented"
+                f"{doc_rel}: missing, but {src_rel} emits a metrics snapshot"
             )
+            continue
+        fields = set(METRIC_FIELD_RE.findall(src.read_text(encoding="utf-8")))
+        doc_text = doc.read_text(encoding="utf-8")
+        for name in sorted(fields):
+            if name not in doc_text:
+                problems.append(
+                    f"{doc_rel}: metrics field '{name}' (emitted by "
+                    f"{src_rel}) is undocumented"
+                )
 
 
 def main():

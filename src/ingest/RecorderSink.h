@@ -1,0 +1,73 @@
+//===- ingest/RecorderSink.h - SimRuntime → live ingestion ------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bridges the simulated runtime onto the live ingestion path: a
+/// LiveRecorderSink demultiplexes the SimRuntime event stream by thread
+/// id into per-thread Recorders, so every existing workload exercises
+/// the ring/collector/merge machinery end to end. SimRuntime emits all
+/// events from one scheduler thread, which satisfies each ring's
+/// single-producer contract (one producer thread may own many rings).
+///
+/// The runtime's onThreadExit() notification closes that thread's ring
+/// mid-stream — the teardown path real producers take — instead of
+/// everything closing in a burst at the end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_INGEST_RECORDERSINK_H
+#define CRD_INGEST_RECORDERSINK_H
+
+#include "ingest/Session.h"
+#include "runtime/Sink.h"
+
+#include <vector>
+
+namespace crd {
+namespace ingest {
+
+/// EventSink that routes each event to its thread's Recorder, attaching
+/// producers lazily on first sight of a thread id.
+class LiveRecorderSink : public EventSink {
+public:
+  explicit LiveRecorderSink(Session &S) : TheSession(S) {}
+
+  void onEvent(const Event &E) override {
+    recorderFor(E.thread()).record(E);
+  }
+
+  /// Ends the exiting thread's stream; its ring's tail is still drained
+  /// by the collector (close ≠ discard).
+  void onThreadExit(ThreadId T) override {
+    uint32_t I = T.index();
+    if (I < ByThread.size() && ByThread[I].attached())
+      ByThread[I].finish();
+  }
+
+  /// Closes any still-open producers (threads alive at end of run).
+  void finishAll() {
+    for (Recorder &R : ByThread)
+      R.finish();
+  }
+
+private:
+  Recorder &recorderFor(ThreadId T) {
+    uint32_t I = T.index();
+    if (I >= ByThread.size())
+      ByThread.resize(I + 1);
+    if (!ByThread[I].attached())
+      ByThread[I] = TheSession.attach(T);
+    return ByThread[I];
+  }
+
+  Session &TheSession;
+  std::vector<Recorder> ByThread;
+};
+
+} // namespace ingest
+} // namespace crd
+
+#endif // CRD_INGEST_RECORDERSINK_H

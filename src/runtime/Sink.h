@@ -31,6 +31,12 @@ public:
   virtual bool enabled() const { return true; }
 
   virtual void onEvent(const Event &E) = 0;
+
+  /// Lifecycle notification: thread \p T has run to completion and will
+  /// emit no further events. Default no-op — only sinks that keep
+  /// per-thread state care (the live-ingestion recorder closes that
+  /// thread's ring so its stream ends mid-run instead of at teardown).
+  virtual void onThreadExit(ThreadId T) { (void)T; }
 };
 
 /// Drops everything; models the uninstrumented run.
@@ -74,6 +80,12 @@ public:
       A.onEvent(E);
     if (B.enabled())
       B.onEvent(E);
+  }
+  void onThreadExit(ThreadId T) override {
+    if (A.enabled())
+      A.onThreadExit(T);
+    if (B.enabled())
+      B.onThreadExit(T);
   }
 
 private:

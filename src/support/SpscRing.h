@@ -98,6 +98,38 @@ public:
     return true;
   }
 
+  /// Consumer: batched non-blocking drain. Moves up to \p Max items into
+  /// \p Out and returns how many were taken (0 when currently empty). One
+  /// acquire load of the tail and one release store of the head cover the
+  /// whole batch, so a collector draining K items pays two atomic
+  /// operations instead of 2K — the reason this exists (the live-ingestion
+  /// collector sweeps many producer rings per round).
+  size_t tryPopN(T *Out, size_t Max) {
+    if (Max == 0)
+      return 0;
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    uint64_t T0 = Tail.load(std::memory_order_acquire) & ~ClosedBit;
+    uint64_t Avail = T0 - H;
+    size_t N = Avail < Max ? static_cast<size_t>(Avail) : Max;
+    for (size_t I = 0; I != N; ++I)
+      Out[I] = std::move(Slots[(H + I) & (Slots.size() - 1)]);
+    if (N != 0) {
+      Head.store(H + N, std::memory_order_release);
+      Head.notify_one();
+    }
+    return N;
+  }
+
+  /// Items currently enqueued, as observed by two independent atomic
+  /// loads. Exact when called by the consumer (only it retires items);
+  /// from any other thread it is a momentary approximation — fine for the
+  /// ring-depth metrics it exists for, not for flow-control decisions.
+  size_t approxSize() const {
+    uint64_t T0 = Tail.load(std::memory_order_acquire) & ~ClosedBit;
+    uint64_t H = Head.load(std::memory_order_acquire);
+    return T0 >= H ? static_cast<size_t>(T0 - H) : 0;
+  }
+
   /// Producer: marks the stream as ended. Idempotent. The consumer drains
   /// remaining items, then pop() returns false.
   void close() {

@@ -39,6 +39,11 @@ enum class EventKind : uint8_t {
 /// One occurrence τ : a in a trace.
 class Event {
 public:
+  /// Placeholder event (a TxBegin on thread 0) so events can sit in
+  /// default-constructed container slots — ring buffers, decode cursors —
+  /// that are always overwritten before being read.
+  Event() : Event(EventKind::TxBegin, ThreadId(0)) {}
+
   static Event fork(ThreadId Thread, ThreadId Child) {
     Event E(EventKind::Fork, Thread);
     E.Other = Child;

@@ -132,6 +132,47 @@ void StreamPipeline::onEvent(const Event &E) {
   Atom->process(E);
 }
 
+void StreamPipeline::tallyBatchKinds(const EventBatch &B) {
+  // Ingress kind tally from the batch's kind bytes — one pass over a
+  // dense byte array instead of a per-event switch.
+  uint64_t Tally[4] = {0, 0, 0, 0};
+  for (uint8_t K : B.Kinds) {
+    unsigned Bucket =
+        K < SyncKindBound
+            ? 1u
+            : (K == static_cast<uint8_t>(EventKind::Invoke)
+                   ? 0u
+                   : (K <= static_cast<uint8_t>(EventKind::Write) ? 2u : 3u));
+    ++Tally[Bucket];
+  }
+  InvokeEvents.add(Tally[0]);
+  SyncEvents.add(Tally[1]);
+  MemEvents.add(Tally[2]);
+  TxEvents.add(Tally[3]);
+}
+
+void StreamPipeline::processBatch(EventBatch &B) {
+  if (B.empty())
+    return;
+  Events += B.size();
+  if (metrics::Enabled)
+    tallyBatchKinds(B);
+  if (Par) {
+    Par->processBatch(B);
+    return;
+  }
+  for (const Event &E : B.Events) {
+    if (Seq)
+      Seq->process(E);
+    else if (FT)
+      FT->process(E);
+    else
+      Atom->process(E);
+  }
+  drainNewRaces();
+  B.clear();
+}
+
 void StreamPipeline::finish() {
   if (Par)
     Par->flush();
@@ -149,25 +190,8 @@ StreamSummary StreamPipeline::run(EventSource &Source) {
     EventBatch B;
     while (size_t N = Source.nextBatch(B, Opts.BatchSize)) {
       Events += N;
-      if (metrics::Enabled) {
-        // Ingress kind tally from the batch's kind bytes — one pass over
-        // a dense byte array instead of a per-event switch.
-        uint64_t Tally[4] = {0, 0, 0, 0};
-        for (uint8_t K : B.Kinds) {
-          unsigned Bucket =
-              K < SyncKindBound
-                  ? 1u
-                  : (K == static_cast<uint8_t>(EventKind::Invoke)
-                         ? 0u
-                         : (K <= static_cast<uint8_t>(EventKind::Write) ? 2u
-                                                                        : 3u));
-          ++Tally[Bucket];
-        }
-        InvokeEvents.add(Tally[0]);
-        SyncEvents.add(Tally[1]);
-        MemEvents.add(Tally[2]);
-        TxEvents.add(Tally[3]);
-      }
+      if (metrics::Enabled)
+        tallyBatchKinds(B);
       Par->processBatch(B);
     }
     finish();

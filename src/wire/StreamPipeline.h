@@ -90,6 +90,14 @@ public:
   /// EventSink: feeds one event.
   void onEvent(const Event &E) override;
 
+  /// Push-side counterpart of run()'s batched pull, used by the live
+  /// ingestion collector: feeds a whole batch. \p B's sync index must be
+  /// populated (finalizeSyncIndex() after manual appends). On return
+  /// \p B is empty with warm buffers — the parallel backend swaps in a
+  /// recycled batch, the other backends consume and clear() it — so a
+  /// caller can refill the same batch allocation-free.
+  void processBatch(EventBatch &B);
+
   /// Pulls \p Source dry, then finish()es. Returns the summary.
   StreamSummary run(EventSource &Source);
 
@@ -123,6 +131,7 @@ public:
 
 private:
   void drainNewRaces();
+  void tallyBatchKinds(const EventBatch &B);
 
   PipelineOptions Opts;
   std::unique_ptr<CommutativityRaceDetector> Seq;

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "Cli.h"
+#include "CliInternal.h"
 
 #include "detect/AtomicityChecker.h"
 #include "detect/CommutativityDetector.h"
@@ -30,110 +31,9 @@
 
 using namespace crd;
 using namespace crd::cli;
+using namespace crd::cli::internal;
 
 namespace {
-
-//===----------------------------------------------------------------------===//
-// Small argument-parsing helpers
-//===----------------------------------------------------------------------===//
-
-/// Splits \p Args into `--name[=value]` options and positional operands.
-struct ParsedArgs {
-  std::vector<std::pair<std::string, std::string>> Options;
-  std::vector<std::string> Positional;
-  bool Help = false;
-
-  explicit ParsedArgs(const std::vector<std::string> &Args) {
-    for (const std::string &A : Args) {
-      if (A == "--help" || A == "-h") {
-        Help = true;
-      } else if (A.size() > 2 && A.compare(0, 2, "--") == 0) {
-        size_t Eq = A.find('=');
-        if (Eq == std::string::npos)
-          Options.emplace_back(A.substr(2), "");
-        else
-          Options.emplace_back(A.substr(2, Eq - 2), A.substr(Eq + 1));
-      } else {
-        Positional.push_back(A);
-      }
-    }
-  }
-
-  std::optional<std::string> option(const std::string &Name) const {
-    for (const auto &[K, V] : Options)
-      if (K == Name)
-        return V;
-    return std::nullopt;
-  }
-
-  /// First option name that is not in \p Known, if any.
-  std::optional<std::string>
-  unknownOption(std::initializer_list<const char *> Known) const {
-    for (const auto &[K, V] : Options) {
-      bool Ok = false;
-      for (const char *Name : Known)
-        Ok |= K == Name;
-      if (!Ok)
-        return K;
-    }
-    return std::nullopt;
-  }
-};
-
-std::optional<uint64_t> parseCount(const std::string &Text) {
-  if (Text.empty())
-    return std::nullopt;
-  uint64_t V = 0;
-  for (char C : Text) {
-    if (C < '0' || C > '9' || V > (~0ull - 9) / 10)
-      return std::nullopt;
-    V = V * 10 + static_cast<uint64_t>(C - '0');
-  }
-  return V;
-}
-
-std::optional<std::string> readFile(const std::string &Path) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return std::nullopt;
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  return SS.str();
-}
-
-//===----------------------------------------------------------------------===//
-// Spec loading
-//===----------------------------------------------------------------------===//
-
-/// Loads and translates the spec named by \p SpecPath (builtin dictionary
-/// when empty). Returns nullptr after printing the failure to \p Err.
-std::unique_ptr<TranslatedRep> loadProvider(const std::string &SpecPath,
-                                            std::ostream &Err, int &Exit) {
-  DiagnosticEngine Diags;
-  const ObjectSpec *Spec = &dictionarySpec();
-  std::optional<ObjectSpec> Parsed;
-  if (!SpecPath.empty()) {
-    auto Text = readFile(SpecPath);
-    if (!Text) {
-      Err << "error: cannot read spec file '" << SpecPath << "'\n";
-      Exit = ExitUsage;
-      return nullptr;
-    }
-    Parsed = parseObjectSpec(*Text, Diags);
-    if (!Parsed) {
-      Err << SpecPath << ":\n" << Diags.toString();
-      Exit = ExitFindings;
-      return nullptr;
-    }
-    Spec = &*Parsed;
-  }
-  auto Rep = translateSpec(*Spec, Diags);
-  if (!Rep) {
-    Err << "specification is not translatable:\n" << Diags.toString();
-    Exit = ExitFindings;
-  }
-  return Rep;
-}
 
 //===----------------------------------------------------------------------===//
 // crd convert
@@ -630,6 +530,10 @@ const char ProfileHelp[] =
     "Exit code 1 = malformed trace, 2 = usage or I/O error.\n"
     "\n"
     "options (--opt=V and --opt V forms are both accepted):\n"
+    "  --source=file|live   where events come from (default file). live is\n"
+    "                       not profiled here: a live session is driven by\n"
+    "                       'crd record --stress' (ingest metrics via its\n"
+    "                       --json flag); profile reads recorded traces\n"
     "  --backend=seq|parallel|fasttrack|atomicity   backend (default seq)\n"
     "  --spec=FILE          ECL spec for action commutativity (default:\n"
     "                       builtin dictionary, paper Fig 6)\n"
@@ -640,35 +544,35 @@ const char ProfileHelp[] =
 
 int runProfile(const std::vector<std::string> &Raw, std::ostream &Out,
                std::ostream &Err) {
-  // Accept '--opt value' by joining it into the '--opt=value' form
-  // ParsedArgs understands. Only options documented to take a value are
-  // joined, so positional operands never get swallowed.
-  static const char *const ValueOpts[] = {"--backend", "--spec", "--shards",
-                                          "--batch", "--chrome-trace"};
-  std::vector<std::string> JoinedArgs;
-  JoinedArgs.reserve(Raw.size());
-  for (size_t I = 0; I != Raw.size(); ++I) {
-    bool Joined = false;
-    for (const char *Opt : ValueOpts)
-      if (Raw[I] == Opt && I + 1 != Raw.size()) {
-        JoinedArgs.push_back(Raw[I] + "=" + Raw[I + 1]);
-        ++I;
-        Joined = true;
-        break;
-      }
-    if (!Joined)
-      JoinedArgs.push_back(Raw[I]);
-  }
-  ParsedArgs Args(JoinedArgs);
+  ParsedArgs Args(joinValueOptions(
+      Raw, {"--source", "--backend", "--spec", "--shards", "--batch",
+            "--chrome-trace"}));
 
   if (Args.Help) {
     Out << ProfileHelp;
     return ExitClean;
   }
   if (auto Bad = Args.unknownOption(
-          {"backend", "spec", "shards", "batch", "chrome-trace"})) {
+          {"source", "backend", "spec", "shards", "batch", "chrome-trace"})) {
     Err << "error: unknown option --" << *Bad << "\n" << ProfileHelp;
     return ExitUsage;
+  }
+  // --source is resolved before the positional check: '--source=live'
+  // takes no trace operand, and must not fall through to file-open with
+  // a confusing missing-operand message.
+  if (auto Src = Args.option("source")) {
+    if (*Src == "live") {
+      Err << "error: --source=live is not supported by 'crd profile': "
+             "there is no recorded artifact to profile. Drive a live "
+             "ingestion session with 'crd record --stress' (ingest metrics "
+             "via its --json flag, collector timeline via --chrome-trace), "
+             "or record with --out=FILE and profile that file.\n";
+      return ExitUsage;
+    }
+    if (*Src != "file") {
+      Err << "error: --source expects 'file' or 'live'\n";
+      return ExitUsage;
+    }
   }
   if (Args.Positional.size() != 1) {
     Err << ProfileHelp;
@@ -875,6 +779,7 @@ const char DriverHelp[] =
     "  stats     chunk / size / compression report for a trace file\n"
     "  bench     ingestion throughput: text parse vs binary decode\n"
     "  profile   metrics snapshot (JSON) + optional Chrome trace for a run\n"
+    "  record    live multi-producer recording stress into live detection\n"
     "  analyze   full offline report (races, triage, atomicity)\n"
     "\n"
     "Run 'crd <command> --help' for per-command options.\n"
@@ -903,6 +808,8 @@ int cli::crdMain(const std::vector<std::string> &Args, std::ostream &Out,
     return runBench(Parsed, Out, Err);
   if (Command == "profile")
     return runProfile(Rest, Out, Err);
+  if (Command == "record")
+    return internal::runRecord(Rest, Out, Err);
   if (Command == "analyze")
     return runAnalyze(Rest, Out, Err);
   Err << "error: unknown command '" << Command << "'\n\n" << DriverHelp;
