@@ -22,6 +22,11 @@ cmake --build --preset release -j"$(nproc)"
 ./build-release/bench/wire_throughput "$WORKERS" "$QUERIES" "$REPS" \
   BENCH_wire.json
 
+# Chunk-memoized analysis over a repetitive trace: decode vs analyze at
+# --memo=off/decode/full. Exits non-zero if memo=full misses the 2x
+# (vs off) / 1.2x (vs pure decode) acceptance bars or races drift.
+./build-release/bench/memo_throughput 64 16 "$REPS" BENCH_memo.json
+
 # Live multi-producer ingestion: real threads through SPSC rings into the
 # collector, across drain/detect/record/drop configurations.
 ./build-release/bench/ingest_throughput "$WORKERS" 200000 "$REPS" \
@@ -31,4 +36,4 @@ cmake --build --preset release -j"$(nproc)"
 # here must not mask the trajectory artifact above.
 ./build-release/bench/micro_detector --benchmark_min_time=0.05 || true
 
-echo "bench artifacts: $(pwd)/BENCH_detector.json $(pwd)/BENCH_wire.json $(pwd)/BENCH_ingest.json"
+echo "bench artifacts: $(pwd)/BENCH_detector.json $(pwd)/BENCH_wire.json $(pwd)/BENCH_memo.json $(pwd)/BENCH_ingest.json"

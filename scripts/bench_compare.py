@@ -157,6 +157,21 @@ def main():
                 f"{new_cpus}-cpu host (>= 1.3x required)"
             )
 
+    # Memo-mode anchor, judged on the new artifact alone: chunk
+    # memoization is an optimization, never an approximation, so every
+    # analyze/memo=* configuration in BENCH_memo.json must report the
+    # exact same races.
+    memo_races = {
+        name: b.get("races")
+        for name, b in new.items()
+        if name.startswith("analyze/memo=") and "races" in b
+    }
+    if len(set(memo_races.values())) > 1:
+        failures.append(
+            "races diverge across memo modes: "
+            + ", ".join(f"{n}={r}" for n, r in sorted(memo_races.items()))
+        )
+
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for f in failures:

@@ -53,6 +53,10 @@ run_and_compare() {
 
 run_and_compare wire_throughput BENCH_wire.json
 run_and_compare parallel_scaling BENCH_detector.json
+# Chunk memoization uses the repetitive-trace workload (bodies,
+# repetitions); the tool itself enforces the 2x / 1.2x memo bars and
+# race equality across modes, the diff guards against drift.
+run_and_compare memo_throughput BENCH_memo.json 16 24
 # Live ingestion uses its own workload shape (producers, events/producer):
 # per-producer volume must be large enough that a rep is not timer noise.
 run_and_compare ingest_throughput BENCH_ingest.json 4 50000

@@ -55,7 +55,10 @@ struct FullClockRep {
   VectorClock Clock;
 
   bool leq(const VectorClock &C) const { return Clock.leq(C); }
-  void accumulate(const VectorClock &C, ThreadId) { Clock.joinWith(C); }
+  /// Returns true when the representation changed (see EpochClock).
+  bool accumulate(const VectorClock &C, ThreadId) {
+    return Clock.joinWith(C);
+  }
   VectorClock toClock() const { return Clock; }
 };
 
@@ -81,6 +84,7 @@ public:
   /// their own map so they survive objectDied() reclamation.
   void bind(ObjectId Obj, const AccessPointProvider *Provider) {
     assert(Provider && "null provider");
+    ++ConfigStamp;
     Bindings[Obj] = Provider;
     if (auto *State = Objects.find(Obj))
       (*State)->Provider = Provider;
@@ -88,6 +92,7 @@ public:
 
   /// Representation used for objects without an explicit bind().
   void setDefaultProvider(const AccessPointProvider *Provider) {
+    ++ConfigStamp;
     DefaultProvider = Provider;
     refreshProviders();
   }
@@ -95,6 +100,7 @@ public:
   /// Copies another engine's bindings (used to replicate the configuration
   /// into per-shard engines).
   void adoptBindings(const BasicAlgorithm1Engine &Other) {
+    ++ConfigStamp;
     Bindings = Other.Bindings;
     DefaultProvider = Other.DefaultProvider;
     refreshProviders();
@@ -143,7 +149,9 @@ public:
     // Phase 2: accumulate this event's clock into every touched point.
     for (const AccessPoint &Pt : Scratch) {
       auto [Rep, Inserted] = State.Active.tryEmplace(Pt);
-      Rep->accumulate(Clock, Thread);
+      bool Changed = Rep->accumulate(Clock, Thread);
+      if (Inserted || Changed)
+        State.Version = ++MutStamp;
       if (Inserted) {
         ++ActivePoints;
         Activations.inc();
@@ -158,6 +166,7 @@ public:
     auto *State = Objects.find(Obj);
     if (!State)
       return;
+    ++MutStamp; // Erasure is a state mutation (objectVersion drops to 0).
     ActivePoints -= (*State)->Active.size();
     if (LastState == State->get())
       LastState = nullptr;
@@ -178,6 +187,47 @@ public:
   /// Total number of currently active access points across live objects.
   /// Maintained incrementally; O(1).
   size_t activePointCount() const { return ActivePoints; }
+
+  //===--------------------------------------------------------------------===//
+  // Chunk-memoization support (detect/ChunkMemo.h). A chunk summary is a
+  // pure function of (entry state restricted to its footprint, chunk
+  // bytes): the stamps below let the memo layer prove "entry state
+  // unchanged" in O(footprint) and "interpretation was a state no-op" in
+  // O(1), without hashing any clock.
+  //===--------------------------------------------------------------------===//
+
+  /// Monotonic stamp bumped on every observable engine-state mutation:
+  /// object-state creation/erasure and any active-point representation
+  /// change. Race pushes and counters are deliberately excluded — a
+  /// summary reproduces those itself.
+  uint64_t mutationStamp() const { return MutStamp; }
+
+  /// Bumped by bind()/setDefaultProvider()/adoptBindings(): summaries
+  /// depend on the provider configuration (touches/conflicts/className)
+  /// and must be invalidated when it changes.
+  uint64_t configStamp() const { return ConfigStamp; }
+
+  /// Version of \p Obj's per-object state: 0 when absent, else the
+  /// mutation stamp of its last change. Two equal reads with no config
+  /// change in between imply bit-identical phase-1/2 behavior for any
+  /// fixed action sequence on the object.
+  uint64_t objectVersion(ObjectId Obj) const {
+    const auto *State = Objects.find(Obj);
+    return State ? (*State)->Version : 0;
+  }
+
+  /// Replays one summarized race: pushes the (re-based) report and marks
+  /// the object racy, exactly as phase 1 would have.
+  void replayRace(const CommutativityRace &Race) {
+    RacyObjects.insert(Race.Current.object());
+    Races.push_back(Race);
+  }
+
+  /// Adds a replayed chunk's counter deltas (phase-1 probes and actions).
+  void addReplayStats(uint64_t Conflicts, uint64_t Actions) {
+    ConflictChecks += Conflicts;
+    ActionsSeen.add(Actions);
+  }
 
   /// Metrics snapshot (docs/observability.md). ConflictChecks is always
   /// live; the other counters read zero in a CRD_METRICS=OFF build.
@@ -214,6 +264,10 @@ private:
   struct ObjectState {
     FlatMap<AccessPoint, ClockRep> Active;
     const AccessPointProvider *Provider = nullptr;
+    /// Mutation stamp of the last change to this object's state. Global
+    /// (engine-wide) stamps make versions unambiguous across objectDied()
+    /// + re-creation, which per-object counters would alias.
+    uint64_t Version = 0;
   };
 
   ObjectState &stateFor(ObjectId Obj) {
@@ -227,6 +281,7 @@ private:
       *Slot = std::make_unique<ObjectState>();
       const AccessPointProvider *const *Bound = Bindings.find(Obj);
       (*Slot)->Provider = Bound ? *Bound : DefaultProvider;
+      (*Slot)->Version = ++MutStamp;
     }
     LastState = Slot->get();
     LastObj = Obj;
@@ -251,6 +306,8 @@ private:
   std::vector<AccessPoint> Scratch;
   size_t ConflictChecks = 0;
   size_t ActivePoints = 0;
+  uint64_t MutStamp = 0;   ///< See mutationStamp().
+  uint64_t ConfigStamp = 0;///< See configStamp().
   /// Observability counters (single writer — the thread driving the
   /// engine; no-ops when CRD_METRICS=0).
   metrics::Counter ActionsSeen;

@@ -6,6 +6,8 @@
 
 #include "detect/CommutativityDetector.h"
 
+#include <algorithm>
+
 using namespace crd;
 
 void CommutativityRaceDetector::process(const Event &E) {
@@ -19,4 +21,84 @@ void CommutativityRaceDetector::process(const Event &E) {
 void CommutativityRaceDetector::processTrace(const Trace &T) {
   for (const Event &E : T)
     process(E);
+}
+
+bool CommutativityRaceDetector::finishMemoRecord(const MemoRecordToken &Token,
+                                                 const EventBatch &B,
+                                                 size_t From, size_t N,
+                                                 ChunkSummary &Out) const {
+  Out.Memoizable = false;
+  Out.Events = N;
+  // Gate 2 (ChunkMemo.h): any sync event disqualifies the chunk. Gate 3:
+  // the interpretation must have been a state no-op, otherwise the entry
+  // versions collected below (which are *exit* versions) would not
+  // describe the state the summary depends on.
+  if (VCState.mutationStamp() != Token.VCStamp ||
+      Engine.mutationStamp() != Token.EngineStamp)
+    return false;
+  for (size_t I = From, E = From + N; I != E; ++I)
+    if (B.Events[I].isSync())
+      return false;
+
+  // State no-op ⇒ entry versions == current versions: the footprint can
+  // be collected after the fact by scanning the chunk's events.
+  std::vector<ThreadId> Threads;
+  std::vector<ObjectId> Objects;
+  uint64_t Invokes = 0, Mem = 0, Tx = 0;
+  for (size_t I = From, E = From + N; I != E; ++I) {
+    const Event &Ev = B.Events[I];
+    Threads.push_back(Ev.thread());
+    if (Ev.isInvoke()) {
+      ++Invokes;
+      Objects.push_back(Ev.action().object());
+    } else if (Ev.isMemoryAccess()) {
+      ++Mem;
+    } else {
+      ++Tx;
+    }
+  }
+  std::sort(Threads.begin(), Threads.end());
+  Threads.erase(std::unique(Threads.begin(), Threads.end()), Threads.end());
+  std::sort(Objects.begin(), Objects.end());
+  Objects.erase(std::unique(Objects.begin(), Objects.end()), Objects.end());
+
+  Out.ConfigStamp = Engine.configStamp();
+  Out.ThreadVersions.reserve(Threads.size());
+  for (ThreadId T : Threads)
+    Out.ThreadVersions.emplace_back(T, VCState.threadVersion(T));
+  Out.ObjectVersions.reserve(Objects.size());
+  for (ObjectId O : Objects)
+    Out.ObjectVersions.emplace_back(O, Engine.objectVersion(O));
+
+  const std::vector<CommutativityRace> &Races = Engine.races();
+  for (size_t I = Token.BaseRaces, E = Races.size(); I != E; ++I) {
+    const CommutativityRace &R = Races[I];
+    Out.Races.emplace_back(
+        static_cast<uint32_t>(R.EventIndex - Token.BaseEventIndex), R);
+  }
+  Out.Invokes = Invokes;
+  Out.MemEvents = Mem;
+  Out.TxEvents = Tx;
+  Out.ConflictChecks = Engine.conflictChecks() - Token.BaseConflictChecks;
+  Out.Memoizable = true;
+  return true;
+}
+
+bool CommutativityRaceDetector::tryReplayChunk(const ChunkSummary &S) {
+  if (!S.Memoizable || Engine.configStamp() != S.ConfigStamp)
+    return false;
+  for (const auto &[Thread, Version] : S.ThreadVersions)
+    if (VCState.threadVersion(Thread) != Version)
+      return false;
+  for (const auto &[Obj, Version] : S.ObjectVersions)
+    if (Engine.objectVersion(Obj) != Version)
+      return false;
+  for (const auto &[Rel, Race] : S.Races) {
+    CommutativityRace Rebased = Race;
+    Rebased.EventIndex = EventIndex + Rel;
+    Engine.replayRace(Rebased);
+  }
+  Engine.addReplayStats(S.ConflictChecks, S.Invokes);
+  EventIndex += S.Events;
+  return true;
 }

@@ -24,7 +24,9 @@
 #define CRD_DETECT_COMMUTATIVITYDETECTOR_H
 
 #include "detect/Algorithm1.h"
+#include "detect/ChunkMemo.h"
 #include "hb/VectorClockState.h"
+#include "trace/EventBatch.h"
 #include "trace/Trace.h"
 
 namespace crd {
@@ -77,6 +79,44 @@ public:
 
   /// The engine's metrics snapshot (docs/observability.md).
   Algorithm1Stats engineStats() const { return Engine.stats(); }
+
+  //===--------------------------------------------------------------------===//
+  // Chunk memoization (detect/ChunkMemo.h). The streaming pipeline drives
+  // these around verified-repeat chunks: beginMemoRecord() before
+  // interpreting, finishMemoRecord() after (turning a state-no-op chunk
+  // into a ChunkSummary), tryReplayChunk() on later occurrences.
+  //===--------------------------------------------------------------------===//
+
+  /// Snapshot of the stream position, race count, counter baselines and
+  /// mutation stamps taken before interpreting a candidate chunk.
+  struct MemoRecordToken {
+    size_t BaseEventIndex = 0;
+    size_t BaseRaces = 0;
+    uint64_t VCStamp = 0;
+    uint64_t EngineStamp = 0;
+    uint64_t BaseConflictChecks = 0;
+  };
+
+  /// Opens a recording window at the current detector state.
+  MemoRecordToken beginMemoRecord() const {
+    return {EventIndex, Engine.races().size(), VCState.mutationStamp(),
+            Engine.mutationStamp(), Engine.conflictChecks()};
+  }
+
+  /// Closes the window opened by \p Token after the chunk's events
+  /// (\p B [\p From, \p From + \p N)) were interpreted, filling \p Out.
+  /// Returns true iff the chunk is memoizable — sync-free and a detector
+  /// state no-op — in which case Out carries a replayable summary;
+  /// otherwise Out is a negative entry (Memoizable = false).
+  bool finishMemoRecord(const MemoRecordToken &Token, const EventBatch &B,
+                        size_t From, size_t N, ChunkSummary &Out) const;
+
+  /// Replays \p S if its entire entry-state footprint (config stamp,
+  /// thread versions, object versions) matches the current state: pushes
+  /// the re-based race reports, adds the counter deltas, and advances the
+  /// stream position by S.Events. Returns false (with no state change) on
+  /// any mismatch — the caller must interpret the chunk normally.
+  bool tryReplayChunk(const ChunkSummary &S);
 
   /// Snapshot of an object's active points and their accumulated clocks
   /// (diagnostic/testing API; order unspecified). Epoch-compressed points

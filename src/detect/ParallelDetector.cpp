@@ -658,7 +658,8 @@ ParallelMetrics ParallelDetector::metricsSnapshot() const {
   return M;
 }
 
-void crd::writeChromeTrace(std::ostream &OS, const ParallelMetrics &M) {
+void crd::writeChromeTrace(std::ostream &OS, const ParallelMetrics &M,
+                           const ChromeTraceAnnotation *Annotation) {
   metrics::JsonWriter W(OS);
   // Rebase so the earliest span is t=0 (Chrome renders absolute µs).
   uint64_t Base = ~uint64_t(0);
@@ -699,6 +700,19 @@ void crd::writeChromeTrace(std::ostream &OS, const ParallelMetrics &M) {
     W.key("args");
     W.beginObject();
     W.field("name", "pre-pass");
+    W.endObject();
+    W.endObject();
+  }
+  if (Annotation) {
+    W.beginObject();
+    W.field("name", Annotation->Name);
+    W.field("ph", "M");
+    W.field("pid", uint64_t(0));
+    W.field("tid", uint64_t(0));
+    W.key("args");
+    W.beginObject();
+    for (const auto &[Key, Val] : Annotation->Args)
+      W.field(Key.c_str(), Val);
     W.endObject();
     W.endObject();
   }

@@ -301,14 +301,25 @@ private:
   uint64_t FeedStartNs = 0; ///< nowNs() of the first feed since flush.
 };
 
+/// Optional run-level annotation for writeChromeTrace: rendered as one
+/// metadata ("M") event carrying named integer counters. Kept to plain
+/// strings/integers so this layer stays agnostic of who produces them
+/// (crd profile uses it for the --memo decode-cache counters).
+struct ChromeTraceAnnotation {
+  std::string Name;
+  std::vector<std::pair<std::string, uint64_t>> Args;
+};
+
 /// Renders a metrics snapshot's batch spans as a Chrome-trace JSON document
 /// (chrome://tracing / Perfetto "trace event format": one "X" complete
 /// event per span with ts/dur in microseconds, tid = shard). Timestamps are
 /// rebased so the earliest enqueue is t=0. Each batch renders as two spans
 /// per shard: "queued" (enqueue → worker pickup) and "run" (pickup →
 /// completion), plus one "pre-pass" span on a dedicated row showing the
-/// producer's sync walk for that batch.
-void writeChromeTrace(std::ostream &OS, const ParallelMetrics &M);
+/// producer's sync walk for that batch. \p Annotation, when non-null,
+/// is emitted as an extra metadata event.
+void writeChromeTrace(std::ostream &OS, const ParallelMetrics &M,
+                      const ChromeTraceAnnotation *Annotation = nullptr);
 
 } // namespace crd
 

@@ -14,12 +14,14 @@ VectorClock &VectorClockState::threadClock(ThreadId Thread) {
   if (Thread.index() >= Threads.size()) {
     Threads.resize(Thread.index() + 1);
     Initialized.resize(Thread.index() + 1, false);
+    Versions.resize(Thread.index() + 1, 0);
   }
   if (!Initialized[Thread.index()]) {
     // Lazy initialization to inc_τ(⊥): each thread starts one step into its
     // own local time. See the header comment for why this matters.
     Threads[Thread.index()].increment(Thread);
     Initialized[Thread.index()] = true;
+    touch(Thread.index());
   }
   return Threads[Thread.index()];
 }
@@ -64,6 +66,7 @@ void VectorClockState::process(const Event &E) {
     if (Child.index() >= Threads.size()) {
       Threads.resize(Child.index() + 1);
       Initialized.resize(Child.index() + 1, false);
+      Versions.resize(Child.index() + 1, 0);
     }
     assert(!Initialized[Child.index()] && "forked thread already initialized");
     VectorClock &Parent = threadClock(E.thread());
@@ -71,21 +74,26 @@ void VectorClockState::process(const Event &E) {
     ChildClock.increment(Child);
     Threads[Child.index()] = std::move(ChildClock);
     Initialized[Child.index()] = true;
+    touch(Child.index());
     threadClock(E.thread()).increment(E.thread());
+    touch(E.thread().index());
     return;
   }
   case EventKind::Join: {
     // T(τ) ← T(τ) ⊔ T(u).
     VectorClock &Self = threadClock(E.thread());
     Self.joinWith(threadClock(E.other()));
+    touch(E.thread().index());
     return;
   }
   case EventKind::Acquire: {
     // T(τ) ← T(τ) ⊔ L(l).
-    if (const VectorClock *L = findLockClock(E.lock()))
+    if (const VectorClock *L = findLockClock(E.lock())) {
       threadClock(E.thread()).joinWith(*L);
-    else
+      touch(E.thread().index());
+    } else {
       threadClock(E.thread()); // Still forces lazy initialization.
+    }
     return;
   }
   case EventKind::Release: {
@@ -93,6 +101,7 @@ void VectorClockState::process(const Event &E) {
     VectorClock &Self = threadClock(E.thread());
     lockClockFor(E.lock()) = Self;
     Self.increment(E.thread());
+    touch(E.thread().index());
     return;
   }
   case EventKind::Invoke:

@@ -81,6 +81,27 @@ public:
   /// Number of threads seen so far.
   size_t numThreads() const { return Threads.size(); }
 
+  //===--------------------------------------------------------------------===//
+  // Chunk-memoization support (detect/ChunkMemo.h). Every Table 1 update
+  // (and every lazy initialization) stamps the affected thread with a
+  // machine-wide monotonic counter, so the memo layer can prove "these
+  // threads' clocks are exactly as they were when the summary was
+  // recorded" by comparing one integer per footprint thread — no clock
+  // comparison, no hashing. Lock clocks carry no version: summarizable
+  // chunks are sync-free, so they never read L.
+  //===--------------------------------------------------------------------===//
+
+  /// Version stamp of \p Thread's clock: 0 while uninitialized, else the
+  /// mutation counter value of its last update.
+  uint64_t threadVersion(ThreadId Thread) const {
+    size_t I = Thread.index();
+    return I < Versions.size() ? Versions[I] : 0;
+  }
+
+  /// Total Table 1 mutations (incl. lazy initializations) so far. If this
+  /// is unchanged across an interval, no thread clock changed in it.
+  uint64_t mutationStamp() const { return MutCount; }
+
 private:
   /// Locks held inline before spilling to the overflow table. Covers the
   /// 1–4-lock common case; see the class comment.
@@ -95,9 +116,15 @@ private:
   /// Returns the existing L(l) or nullptr if \p Lock was never released.
   const VectorClock *findLockClock(LockId Lock) const;
 
-  // Dense per-thread clocks; Initialized[i] records lazy initialization.
+  /// Stamps thread \p I as mutated now (see threadVersion()).
+  void touch(size_t I) { Versions[I] = ++MutCount; }
+
+  // Dense per-thread clocks; Initialized[i] records lazy initialization,
+  // Versions[i] the mutation stamp of the last update.
   std::vector<VectorClock> Threads;
   std::vector<bool> Initialized;
+  std::vector<uint64_t> Versions;
+  uint64_t MutCount = 0;
 
   struct LockSlot {
     LockId Lock;

@@ -102,19 +102,27 @@ public:
   /// by \p Thread. While the new event is ordered after everything
   /// accumulated so far the epoch merely advances; otherwise the clock
   /// escalates and joins from then on.
-  void accumulate(const VectorClock &C, ThreadId Thread) {
-    if (Full) {
-      Full->joinWith(C);
-      return;
-    }
+  ///
+  /// Returns true when the *representation* changed — the (thread, time)
+  /// epoch pair moved, the clock escalated, or a shared component grew.
+  /// Representation (not value) change is what chunk memoization must
+  /// track: toClock() renders the representation into race reports, so a
+  /// value-equivalent but differently-represented clock would break race
+  /// bit-identity.
+  bool accumulate(const VectorClock &C, ThreadId Thread) {
+    if (Full)
+      return Full->joinWith(C);
     assert(C.get(Thread) > 0 && "event clock lacks its own component");
     if (Time <= C.get(Tid)) { // Covers ⊥ and the HB-ordered epoch case.
+      uint32_t NewTime = C.get(Thread);
+      bool Changed = !(Time != 0 && Tid == Thread && Time == NewTime);
       Tid = Thread;
-      Time = C.get(Thread);
-      return;
+      Time = NewTime;
+      return Changed;
     }
     escalate();
     Full->joinWith(C);
+    return true;
   }
 
   /// Replaces the representation with the single epoch \p T @ \p Thread

@@ -42,6 +42,30 @@ inline uint64_t hashMix64(uint64_t X) {
   return X ^ (X >> 31);
 }
 
+/// Content digest over a byte range: an 8-byte-stride multiply-mix with a
+/// splitmix64 finalizer. Unlike std::hash, the result is pinned by this
+/// definition — it must stay stable across processes, library versions and
+/// writer runs, because the wire format records it in chunk headers and
+/// readers key decode/summary caches by it (docs/trace-format.md).
+inline uint64_t hashBytes64(const void *Data, size_t Size) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  uint64_t H = 0x2545f4914f6cdd1dULL ^ (uint64_t(Size) * 0x9e3779b97f4a7c15ULL);
+  size_t I = 0;
+  for (; I + 8 <= Size; I += 8) {
+    uint64_t W = 0;
+    // Byte-wise little-endian load: identical on every host endianness.
+    for (unsigned B = 0; B != 8; ++B)
+      W |= uint64_t(P[I + B]) << (8 * B);
+    H = (H ^ hashMix64(W)) * 0xff51afd7ed558ccdULL;
+  }
+  uint64_t Tail = 0;
+  for (unsigned B = 0; I != Size; ++I, ++B)
+    Tail |= uint64_t(P[I]) << (8 * B);
+  if (Size % 8)
+    H = (H ^ hashMix64(Tail)) * 0xc4ceb9fe1a85ec53ULL;
+  return hashMix64(H);
+}
+
 } // namespace crd
 
 #endif // CRD_SUPPORT_HASHING_H

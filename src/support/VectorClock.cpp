@@ -33,13 +33,20 @@ void VectorClock::increment(ThreadId Thread) {
   ++Components[Thread.index()];
 }
 
-void VectorClock::joinWith(const VectorClock &Other) {
-  if (Other.Components.size() > Components.size())
+bool VectorClock::joinWith(const VectorClock &Other) {
+  bool Changed = false;
+  if (Other.Components.size() > Components.size()) {
     Components.resize(Other.Components.size());
+    Changed = true; // Other is normalized, so its last component is > 0.
+  }
   for (size_t I = 0, E = Other.Components.size(); I != E; ++I)
-    Components[I] = std::max(Components[I], Other.Components[I]);
+    if (Other.Components[I] > Components[I]) {
+      Components[I] = Other.Components[I];
+      Changed = true;
+    }
   // Join never introduces trailing zeros if neither operand had them, so no
   // normalize() is needed; both operands are kept normalized.
+  return Changed;
 }
 
 VectorClock VectorClock::join(const VectorClock &A, const VectorClock &B) {

@@ -53,8 +53,10 @@ public:
   /// inc_τ: increments this clock's τ component by one.
   void increment(ThreadId Thread);
 
-  /// c := c ⊔ Other (pointwise max).
-  void joinWith(const VectorClock &Other);
+  /// c := c ⊔ Other (pointwise max). Returns true when any component grew
+  /// — i.e. the representation changed. The chunk-memoization layer keys
+  /// "this chunk was a state no-op" on exactly this signal.
+  bool joinWith(const VectorClock &Other);
 
   /// Returns c1 ⊔ c2 without mutating either operand.
   static VectorClock join(const VectorClock &A, const VectorClock &B);

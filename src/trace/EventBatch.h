@@ -32,6 +32,7 @@
 #include "support/KindScan.h"
 #include "trace/Event.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -87,6 +88,33 @@ struct EventBatch {
   void appendPinned(Event &&E) {
     Kinds.push_back(static_cast<uint8_t>(E.kind()));
     Events.push_back(std::move(E));
+  }
+
+  /// Bulk-appends events [From, From+N) of \p Src, pinning invoke payloads
+  /// into this batch's arena and extending Kinds. Unlike append(), this
+  /// DOES maintain SyncPos: the relevant slice of Src's (sorted) sync
+  /// index is rebased instead of rescanning the kinds — the memoized wire
+  /// reader serves cached chunks through here, where a rescan would eat
+  /// into the decode-skipping win.
+  void appendRange(const EventBatch &Src, size_t From, size_t N) {
+    size_t Base = Events.size();
+    Kinds.insert(Kinds.end(), Src.Kinds.begin() + From,
+                 Src.Kinds.begin() + From + N);
+    Events.reserve(Base + N);
+    for (size_t I = From; I != From + N; ++I) {
+      const Event &E = Src.Events[I];
+      if (E.kind() == EventKind::Invoke)
+        Events.push_back(
+            Event::invoke(E.thread(), E.action().copyInto(Values)));
+      else
+        Events.push_back(E);
+    }
+    auto First = std::lower_bound(Src.SyncPos.begin(), Src.SyncPos.end(),
+                                  static_cast<uint32_t>(From));
+    auto Last = std::lower_bound(First, Src.SyncPos.end(),
+                                 static_cast<uint32_t>(From + N));
+    for (auto It = First; It != Last; ++It)
+      SyncPos.push_back(static_cast<uint32_t>(*It - From + Base));
   }
 
   /// Rebuilds the sync-event index from the kind array with the SIMD scan.

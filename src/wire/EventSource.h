@@ -71,6 +71,11 @@ public:
   /// observability snapshot report decode counters without knowing how
   /// many wrappers deep the WireReader sits. Wrapper sources forward.
   virtual const WireReader *wireReader() const { return nullptr; }
+
+  /// Mutable access to the binary decoder for memoization control
+  /// (setMemoMode, the chunk handshake). Null for sources with no wire
+  /// reader — memo modes then degrade to plain streaming.
+  virtual WireReader *memoReader() { return nullptr; }
 };
 
 /// Streams an in-memory Trace (e.g. a TraceRecorder capture).
@@ -119,6 +124,7 @@ public:
   }
   bool failed() const override { return Reader.failed(); }
   const WireReader *wireReader() const override { return &Reader; }
+  WireReader *memoReader() override { return &Reader; }
 
   const WireReader &reader() const { return Reader; }
 

@@ -64,6 +64,22 @@ struct PipelineOptions {
   /// Parallel backend: record a BatchSpan per dispatched batch for Chrome
   /// tracing (CRD_METRICS builds only; see ParallelDetector).
   bool TraceBatches = false;
+  /// Chunk memoization level for binary sources carrying content digests
+  /// (docs/trace-format.md). Decode enables the WireReader decode cache
+  /// (repeated chunk payloads skip varint/delta decode); Full additionally
+  /// memoizes detector chunk summaries (sequential backend only — other
+  /// backends degrade to Decode). Races are bit-identical in every mode.
+  MemoMode Memo = MemoMode::Off;
+};
+
+/// Detector-side memoization counters (always live, even in a
+/// CRD_METRICS=OFF build; see docs/observability.md "memo").
+struct PipelineMemoStats {
+  uint64_t SummaryHits = 0;      ///< Chunks replayed from a summary.
+  uint64_t SummaryRecords = 0;   ///< Summaries recorded (incl. re-records).
+  uint64_t SummaryFallbacks = 0; ///< Version-mismatch fallbacks to interpret.
+  uint64_t EventsReplayed = 0;   ///< Events covered by replays.
+  uint64_t ChunksInterpreted = 0;///< Chunks run through the detector.
 };
 
 /// Streaming detector pipeline; EventSink so live runtimes can push.
@@ -98,8 +114,13 @@ public:
   /// caller can refill the same batch allocation-free.
   void processBatch(EventBatch &B);
 
-  /// Pulls \p Source dry, then finish()es. Returns the summary.
+  /// Pulls \p Source dry, then finish()es. Returns the summary. With
+  /// PipelineOptions::Memo != Off and a binary source, drives the
+  /// memoized chunk loop (see runMemoized()).
   StreamSummary run(EventSource &Source);
+
+  /// Memoization counters (zero unless run() drove the Full memo loop).
+  const PipelineMemoStats &memoStats() const { return MemoStats; }
 
   /// Flushes the parallel pipeline; must be called once the stream ends
   /// when events were pushed via onEvent(). Idempotent.
@@ -132,8 +153,13 @@ public:
 private:
   void drainNewRaces();
   void tallyBatchKinds(const EventBatch &B);
+  /// The Full-memo chunk loop: replay verified-repeat chunks whose
+  /// summary footprint matches, interpret + record the rest.
+  StreamSummary runMemoized(WireReader &Reader);
 
   PipelineOptions Opts;
+  ChunkMemoTable MemoTable;
+  PipelineMemoStats MemoStats;
   std::unique_ptr<CommutativityRaceDetector> Seq;
   std::unique_ptr<ParallelDetector> Par;
   std::unique_ptr<FastTrackDetector> FT;

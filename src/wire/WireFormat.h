@@ -9,7 +9,8 @@
 /// lives in docs/trace-format.md):
 ///
 ///   file   := "CRDW" version flags chunk*
-///   chunk  := u32le payload_size | u32le crc32(payload) | payload
+///   chunk  := u32le payload_size | u32le crc32(payload)
+///             | u64le digest (iff flags bit 0) | payload
 ///   payload:= varint event_count
 ///             varint sym_count  (sym_count × (varint len, len bytes))
 ///             event_count × event
@@ -42,6 +43,22 @@ inline constexpr size_t FileHeaderSize = 6;
 
 /// Bytes of a chunk header: u32le payload size + u32le payload CRC-32.
 inline constexpr size_t ChunkHeaderSize = 8;
+
+/// File-header flag bit: every chunk header carries a u64le content digest
+/// after the CRC (DigestChunkHeaderSize applies). The digest is
+/// hashBytes64 over the chunk's event bytes — the payload AFTER the
+/// event-count/symbol-table prologue — so two chunks encoding the same
+/// logical events digest identically even though the digest ignores
+/// prologue framing. Readers recompute and reject mismatches exactly like
+/// a CRC failure; unknown flag bits are rejected outright.
+inline constexpr uint8_t FlagChunkDigests = 0x01;
+
+/// All flag bits a Version-1 reader understands.
+inline constexpr uint8_t KnownFlags = FlagChunkDigests;
+
+/// Bytes of a chunk header when FlagChunkDigests is set: size + CRC + the
+/// u64le content digest.
+inline constexpr size_t DigestChunkHeaderSize = 16;
 
 /// Upper bound a reader accepts for one chunk payload. Writers stay far
 /// below this; the cap keeps a corrupted/adversarial size field from

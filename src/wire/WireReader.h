@@ -36,8 +36,10 @@
 #include "wire/WireFormat.h"
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace crd {
@@ -45,16 +47,32 @@ namespace wire {
 
 /// Decode-side observability counters (docs/observability.md). Events and
 /// Chunks mirror eventsRead()/chunksRead() and stay live in every build;
-/// the rest read zero when CRD_METRICS=0. CrcErrors is at most 1 per
-/// reader — the reader fails hard on the first CRC mismatch.
+/// CrcErrors/DigestErrors/PayloadBytes/Symbols/ArenaPeakBytes read zero
+/// when CRD_METRICS=0, and the Memo* fields are always live (the memo
+/// bench bars and tests gate on them in every build). CrcErrors and
+/// DigestErrors are at most 1 per reader — the reader fails hard on the
+/// first mismatch of either kind.
 struct WireReaderStats {
   uint64_t Chunks = 0;
   uint64_t Events = 0;
   uint64_t CrcErrors = 0;
+  uint64_t DigestErrors = 0;    ///< Chunk-header digest mismatches.
   uint64_t PayloadBytes = 0;    ///< Chunk payload bytes decoded (ex-headers).
   uint64_t Symbols = 0;         ///< Symbol-table entries across all chunks.
   uint64_t ArenaPeakBytes = 0;  ///< Peak per-chunk value-arena footprint.
+  uint64_t MemoHits = 0;        ///< Chunks served from the decode cache.
+  uint64_t MemoMisses = 0;      ///< Chunks cold-decoded while memoizing.
+  uint64_t MemoBytesSaved = 0;  ///< Payload bytes whose decode was skipped.
+  uint64_t MemoCacheEntries = 0;
+  uint64_t MemoCacheBytes = 0;  ///< Payload + decoded-batch bytes cached.
 };
+
+/// How aggressively the reader (and the pipeline above it) memoizes
+/// repeated chunks. Off = decode every chunk; Decode = digest-keyed decode
+/// cache (repeated payloads skip varint/delta decode); Full = Decode plus
+/// detector-level chunk summaries (StreamPipeline replays a sync-free
+/// chunk's race effects without materializing its events).
+enum class MemoMode { Off, Decode, Full };
 
 /// Pull-based decoder over a binary trace stream.
 class WireReader {
@@ -85,22 +103,79 @@ public:
   size_t eventsRead() const { return NumEvents; }
   size_t chunksRead() const { return NumChunks; }
 
+  //===--------------------------------------------------------------------===//
+  // Chunk memoization (docs/trace-format.md, docs/observability.md).
+  //
+  // With a MemoMode other than Off the reader works chunk-at-a-time: each
+  // chunk is staged as a fully built EventBatch — decoded cold, or recycled
+  // from a digest-keyed cache when the payload is byte-identical to one
+  // already decoded (the full-payload compare makes 64-bit digest
+  // collisions harmless). next()/nextBatch() then serve from the staged
+  // batch, so a repeated chunk skips varint/delta decode entirely. Cache
+  // entries are never evicted (insertion stops at a byte cap), so a digest
+  // maps to one payload for the reader's lifetime — the invariant the
+  // detector's summary table builds on.
+  //===--------------------------------------------------------------------===//
+
+  /// Must be set before the first next()/nextBatch() call.
+  void setMemoMode(MemoMode M) { Memo = M; }
+  MemoMode memoMode() const { return Memo; }
+
+  /// What beginChunk() reveals about the staged chunk before any event is
+  /// handed out — enough for a caller to decide replay-vs-interpret.
+  struct ChunkView {
+    uint64_t Digest = 0;    ///< Content digest (header-carried).
+    bool HasDigest = false; ///< False for legacy digest-less chunks.
+    /// The payload is byte-identical to the cached payload under Digest —
+    /// i.e. this exact chunk was decoded before by this reader. Only a
+    /// verified repeat is safe to key detector summaries by.
+    bool VerifiedRepeat = false;
+    size_t Events = 0;      ///< Events in the chunk.
+  };
+
+  /// Stages the next chunk and describes it (memo modes only). Repeated
+  /// calls without consuming return the same view. Returns nullopt at end
+  /// of stream or on a structural error.
+  std::optional<ChunkView> beginChunk();
+
+  /// Discards the staged chunk's remaining events (the caller replayed
+  /// their effect from a summary instead of interpreting them).
+  void skipChunk();
+
+  /// Appends the staged chunk's remaining events to \p B (self-contained,
+  /// sync index maintained) and returns how many were appended.
+  size_t finishChunkInto(EventBatch &B);
+
   /// Metrics snapshot; valid any time, complete once decoding finished.
   WireReaderStats stats() const {
     WireReaderStats S;
     S.Chunks = NumChunks;
     S.Events = NumEvents;
     S.CrcErrors = CrcErrors.get();
+    S.DigestErrors = DigestErrors.get();
     S.PayloadBytes = PayloadBytes.get();
     S.Symbols = SymbolCount.get();
     S.ArenaPeakBytes = ArenaPeak;
     if (metrics::Enabled && ValueArena.bytesUsed() > S.ArenaPeakBytes)
       S.ArenaPeakBytes = ValueArena.bytesUsed(); // Current chunk still live.
+    S.MemoHits = MemoHits;
+    S.MemoMisses = MemoMisses;
+    S.MemoBytesSaved = MemoBytesSaved;
+    S.MemoCacheEntries = Cache.size();
+    S.MemoCacheBytes = CacheBytes;
     return S;
   }
 
 private:
+  /// One immortal decode-cache entry: the exact payload bytes (the hit
+  /// verifier) and the chunk decoded as a self-contained batch.
+  struct CacheEntry {
+    std::string Payload;
+    EventBatch Batch;
+  };
+
   bool loadChunk();
+  bool stageChunk();
   bool decodeEvent(Event &E, Arena &Values);
   void fail(std::string Message);
 
@@ -116,24 +191,50 @@ private:
   std::vector<Value> ScratchValues; ///< Reused value staging buffer.
   uint32_t PrevThread = 0;   ///< Thread delta predictor (resets per chunk).
   uint32_t PrevObject = 0;   ///< Object delta predictor (resets per chunk).
+  uint8_t Flags = 0;         ///< File-header flags (digest layout bit).
   size_t NumEvents = 0;
   size_t NumChunks = 0;
   bool Failed = false;
   /// Observability counters (single writer; no-ops when CRD_METRICS=0).
   metrics::Counter CrcErrors;
+  metrics::Counter DigestErrors;
   metrics::Counter PayloadBytes;
   metrics::Counter SymbolCount;
   uint64_t ArenaPeak = 0;
+
+  /// Memoization state. Staged points at the cache entry's batch on a hit
+  /// or at StagingBatch after a cold decode; unique_ptr entries keep batch
+  /// addresses stable across rehash. Insertion stops once CacheBytes
+  /// crosses MemoCacheMaxBytes — never evict, so digest→payload→batch
+  /// stays immutable for the reader's lifetime.
+  static constexpr size_t MemoCacheMaxBytes = size_t(256) << 20;
+  MemoMode Memo = MemoMode::Off;
+  std::unordered_map<uint64_t, std::unique_ptr<CacheEntry>> Cache;
+  size_t CacheBytes = 0;
+  const EventBatch *Staged = nullptr;
+  size_t StagedPos = 0;
+  EventBatch StagingBatch;
+  ChunkView OpenView;
+  /// Memo counters: always live (bench bars and tests read them in
+  /// metrics-off builds).
+  uint64_t MemoHits = 0;
+  uint64_t MemoMisses = 0;
+  uint64_t MemoBytesSaved = 0;
 };
 
 /// Shape report of one chunk, as produced by scanWire (the `crd stats`
 /// backend): sizes and entry counts, no event decoding.
 struct WireChunkInfo {
   size_t Offset = 0;       ///< File offset of the chunk header.
-  size_t PayloadBytes = 0; ///< Payload size (excluding the 8-byte header).
+  size_t PayloadBytes = 0; ///< Payload size (excluding the header).
   size_t Events = 0;
   size_t Symbols = 0;
   size_t SymbolBytes = 0;  ///< Bytes of the symbol table section.
+  /// Content digest over the chunk's event bytes. Read from the header
+  /// when the file carries digests (and verified), computed by the scan
+  /// for legacy files — so repetition statistics work on any wire file.
+  uint64_t Digest = 0;
+  bool DigestInHeader = false;
 };
 
 /// Whole-file shape summary.

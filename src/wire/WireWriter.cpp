@@ -6,6 +6,7 @@
 
 #include "wire/WireWriter.h"
 
+#include "support/Hashing.h"
 #include "trace/Trace.h"
 #include "wire/Crc32.h"
 #include "wire/Varint.h"
@@ -17,10 +18,13 @@
 using namespace crd;
 using namespace crd::wire;
 
-WireWriter::WireWriter(std::ostream &OS, size_t EventsPerChunk)
-    : OS(OS), EventsPerChunk(std::max<size_t>(1, EventsPerChunk)) {
-  char Header[FileHeaderSize] = {Magic[0], Magic[1], Magic[2], Magic[3],
-                                 static_cast<char>(Version), 0 /* flags */};
+WireWriter::WireWriter(std::ostream &OS, size_t EventsPerChunk,
+                       bool WithDigests)
+    : OS(OS), EventsPerChunk(std::max<size_t>(1, EventsPerChunk)),
+      WithDigests(WithDigests) {
+  char Header[FileHeaderSize] = {
+      Magic[0], Magic[1], Magic[2], Magic[3], static_cast<char>(Version),
+      static_cast<char>(WithDigests ? FlagChunkDigests : 0)};
   OS.write(Header, FileHeaderSize);
   NumBytes += FileHeaderSize;
   Pending.reserve(this->EventsPerChunk);
@@ -180,8 +184,19 @@ void WireWriter::flushChunk() {
 
   putU32le(OS, static_cast<uint32_t>(Payload.size()));
   putU32le(OS, crc32(Payload.data(), Payload.size()));
+  if (WithDigests) {
+    // Digest the event bytes only (not the prologue): the per-chunk symbol
+    // table and delta predictors are deterministic functions of the events,
+    // so identical logical chunks digest — and memcmp — identically.
+    uint64_t Digest = hashBytes64(Events.data(), Events.size());
+    char B[8];
+    for (unsigned I = 0; I != 8; ++I)
+      B[I] = static_cast<char>((Digest >> (8 * I)) & 0xFF);
+    OS.write(B, 8);
+  }
   OS.write(Payload.data(), static_cast<std::streamsize>(Payload.size()));
-  NumBytes += ChunkHeaderSize + Payload.size();
+  NumBytes +=
+      (WithDigests ? DigestChunkHeaderSize : ChunkHeaderSize) + Payload.size();
   ++NumChunks;
   Pending.clear();
 }

@@ -30,9 +30,13 @@ namespace wire {
 class WireWriter {
 public:
   /// Writes the file header to \p OS immediately. \p EventsPerChunk is
-  /// clamped to ≥ 1.
+  /// clamped to ≥ 1. By default every chunk header carries a content
+  /// digest over its event bytes (FlagChunkDigests) so readers can
+  /// memoize repeated chunks; \p WithDigests = false writes the legacy
+  /// digest-less layout (8-byte chunk headers, flags byte 0).
   explicit WireWriter(std::ostream &OS,
-                      size_t EventsPerChunk = DefaultEventsPerChunk);
+                      size_t EventsPerChunk = DefaultEventsPerChunk,
+                      bool WithDigests = true);
 
   /// finish() is idempotent; the destructor flushes a forgotten tail chunk.
   ~WireWriter();
@@ -60,6 +64,7 @@ private:
 
   std::ostream &OS;
   size_t EventsPerChunk;
+  bool WithDigests;
   std::vector<Event> Pending;
   size_t NumEvents = 0;
   size_t NumChunks = 0;

@@ -1,0 +1,109 @@
+//===- workloads/RepetitiveTrace.cpp - Chunk-repetitive trace gen -------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/RepetitiveTrace.h"
+
+#include "support/Value.h"
+#include "trace/Action.h"
+#include "wire/WireWriter.h"
+
+#include <algorithm>
+
+using namespace crd;
+
+namespace {
+
+/// Worker thread ids are 1..Threads; thread 0 is the forking main thread.
+ThreadId worker(unsigned I, unsigned Threads) {
+  return ThreadId(1 + I % Threads);
+}
+
+/// One full chunk of per-thread lock churn. Each thread cycles acq/rel on
+/// its own lock, so no cross-thread ordering is introduced, but every
+/// release bumps the releasing thread's clock — entry-state churn that
+/// invalidates any chunk summary recorded against the previous round.
+void emitSyncChunk(const RepetitiveTraceConfig &C,
+                   const std::function<void(const Event &)> &Emit) {
+  for (unsigned I = 0; I != C.EventsPerBody; ++I) {
+    ThreadId T = worker(I / 2, C.Threads);
+    LockId L(1 + T.index());
+    Emit(I % 2 == 0 ? Event::acquire(T, L) : Event::release(T, L));
+  }
+}
+
+/// One body: a full chunk of sync-free invokes. Workers round-robin gets
+/// on per-thread keys over the body's own objects (commuting — no races);
+/// a racy body ends with two conflicting puts on a shared key.
+void emitBody(const RepetitiveTraceConfig &C, unsigned Body,
+              const std::function<void(const Event &)> &Emit) {
+  Symbol Get = symbol("get");
+  Symbol Put = symbol("put");
+  uint32_t Base = 16 + Body * C.ObjectsPerBody;
+  unsigned Invokes = C.EventsPerBody - (C.Racy ? 2 : 0);
+  for (unsigned I = 0; I != Invokes; ++I) {
+    ThreadId T = worker(I, C.Threads);
+    ObjectId Obj(Base + (I / C.Threads) % C.ObjectsPerBody);
+    Emit(Event::invoke(
+        T, Action(Obj, Get, {Value::integer(T.index())}, Value::nil())));
+  }
+  if (C.Racy) {
+    // Two concurrent puts on the same key of the body's first object:
+    // put/put never commute, so each occurrence re-reports the same pair
+    // of races (race reporting is stateless — only clocks are state).
+    ObjectId Obj(Base);
+    Emit(Event::invoke(worker(0, C.Threads),
+                       Action(Obj, Put, {Value::integer(999), Value::integer(1)},
+                              Value::nil())));
+    Emit(Event::invoke(worker(1, C.Threads),
+                       Action(Obj, Put, {Value::integer(999), Value::integer(2)},
+                              Value::nil())));
+  }
+}
+
+} // namespace
+
+size_t crd::buildRepetitiveTrace(
+    const RepetitiveTraceConfig &Config,
+    const std::function<void(const Event &)> &Emit) {
+  RepetitiveTraceConfig C = Config;
+  C.Threads = std::max(1u, C.Threads);
+  C.ObjectsPerBody = std::max(1u, C.ObjectsPerBody);
+  C.EventsPerBody = std::max(C.Threads + 1, std::max(4u, C.EventsPerBody));
+
+  // Prelude chunk: fork the workers, pad with main-thread gets on a
+  // scratch object so the chunk is exactly full.
+  ThreadId Main(0);
+  for (unsigned T = 0; T != C.Threads; ++T)
+    Emit(Event::fork(Main, ThreadId(1 + T)));
+  Symbol Get = symbol("get");
+  for (unsigned I = C.Threads; I != C.EventsPerBody; ++I)
+    Emit(Event::invoke(
+        Main, Action(ObjectId(1), Get, {Value::integer(0)}, Value::nil())));
+  size_t Events = C.EventsPerBody;
+
+  for (unsigned Rep = 0; Rep != C.Repetitions; ++Rep) {
+    if (C.SyncEveryBodies != 0 && Rep % C.SyncEveryBodies == 0) {
+      emitSyncChunk(C, Emit);
+      Events += C.EventsPerBody;
+    }
+    for (unsigned Body = 0; Body != C.DistinctBodies; ++Body) {
+      emitBody(C, Body, Emit);
+      Events += C.EventsPerBody;
+    }
+  }
+  return Events;
+}
+
+size_t crd::writeRepetitiveTrace(std::ostream &OS,
+                                 const RepetitiveTraceConfig &Config) {
+  unsigned Chunk = std::max(std::max(1u, Config.Threads) + 1,
+                            std::max(4u, Config.EventsPerBody));
+  wire::WireWriter Writer(OS, Chunk, /*WithDigests=*/true);
+  size_t Events = buildRepetitiveTrace(
+      Config, [&Writer](const Event &E) { Writer.append(E); });
+  Writer.finish();
+  return Events;
+}

@@ -1,0 +1,338 @@
+//===- tests/MemoTest.cpp - chunk memoization tests -----------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chunk-memoization contract (docs/trace-format.md "Versioning and
+/// the content digest"): digests are stable across writer runs, races are
+/// bit-identical under every --memo mode × backend × batch size, a
+/// corrupted digest fails like a corrupted CRC, sync churn forces 100%
+/// fallback without changing the report, legacy digest-less files still
+/// decode, and the crd CLI validates --memo end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Cli.h"
+#include "detect/Race.h"
+#include "spec/Builtins.h"
+#include "translate/Translator.h"
+#include "wire/EventSource.h"
+#include "wire/StreamPipeline.h"
+#include "wire/WireFormat.h"
+#include "wire/WireReader.h"
+#include "wire/WireWriter.h"
+#include "workloads/RepetitiveTrace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace crd;
+using namespace crd::wire;
+
+namespace {
+
+RepetitiveTraceConfig smallConfig() {
+  RepetitiveTraceConfig C;
+  C.Threads = 2;
+  C.DistinctBodies = 3;
+  C.Repetitions = 5;
+  C.EventsPerBody = 32;
+  C.ObjectsPerBody = 2;
+  return C;
+}
+
+std::string repetitiveWire(const RepetitiveTraceConfig &C,
+                           size_t *EventsOut = nullptr) {
+  std::ostringstream OS;
+  size_t N = writeRepetitiveTrace(OS, C);
+  if (EventsOut)
+    *EventsOut = N;
+  return OS.str();
+}
+
+struct AnalyzeResult {
+  StreamSummary Summary;
+  std::vector<CommutativityRace> Races;
+  PipelineMemoStats Memo;
+  WireReaderStats Reader;
+};
+
+AnalyzeResult analyzeWire(const std::string &Wire, PipelineOptions Opts) {
+  DiagnosticEngine SpecDiags;
+  auto Rep = translateSpec(dictionarySpec(), SpecDiags);
+  EXPECT_TRUE(Rep) << SpecDiags.toString();
+  std::istringstream In(Wire);
+  DiagnosticEngine Diags;
+  BinaryStreamSource Source(In, Diags);
+  StreamPipeline P(Opts);
+  P.setDefaultProvider(Rep.get());
+  AnalyzeResult R;
+  R.Summary = P.run(Source);
+  EXPECT_FALSE(Source.failed()) << Diags.toString();
+  R.Races = P.races();
+  R.Memo = P.memoStats();
+  R.Reader = Source.reader().stats();
+  return R;
+}
+
+std::optional<WireFileInfo> scanString(const std::string &Wire) {
+  std::istringstream In(Wire);
+  DiagnosticEngine Diags;
+  return scanWire(In, Diags);
+}
+
+} // namespace
+
+// Two independent writer runs over the same logical events must produce
+// byte-identical files and, per chunk, identical header digests — the
+// property every cache in the memo stack keys on.
+TEST(MemoTest, DigestStableAcrossWriterRuns) {
+  RepetitiveTraceConfig C = smallConfig();
+  std::string A = repetitiveWire(C), B = repetitiveWire(C);
+  EXPECT_EQ(A, B);
+
+  auto Info = scanString(A);
+  ASSERT_TRUE(Info);
+  size_t ExpectChunks = 1 + size_t(C.DistinctBodies) * C.Repetitions;
+  ASSERT_EQ(Info->Chunks.size(), ExpectChunks);
+
+  std::map<uint64_t, size_t> Counts;
+  for (const WireChunkInfo &Ch : Info->Chunks) {
+    EXPECT_TRUE(Ch.DigestInHeader);
+    ++Counts[Ch.Digest];
+  }
+  // Prelude is unique; every body's digest recurs once per repetition.
+  EXPECT_EQ(Counts.size(), 1 + size_t(C.DistinctBodies));
+  size_t Repeated = 0;
+  for (const auto &KV : Counts)
+    Repeated += KV.second == C.Repetitions;
+  EXPECT_EQ(Repeated, size_t(C.DistinctBodies));
+}
+
+// Races must be bit-identical (full struct equality, clocks included)
+// across every memo mode, backend, and batch size; the layers that are
+// supposed to engage must actually engage.
+TEST(MemoTest, RacesBitIdenticalAcrossModesAndBackends) {
+  size_t Events = 0;
+  std::string Wire = repetitiveWire(smallConfig(), &Events);
+
+  PipelineOptions SeqOff;
+  AnalyzeResult Baseline = analyzeWire(Wire, SeqOff);
+  ASSERT_EQ(Baseline.Summary.Events, Events);
+  ASSERT_GT(Baseline.Races.size(), 0u);
+  EXPECT_EQ(Baseline.Reader.MemoHits, 0u);
+  EXPECT_EQ(Baseline.Reader.MemoCacheEntries, 0u);
+
+  for (MemoMode Memo : {MemoMode::Off, MemoMode::Decode, MemoMode::Full}) {
+    for (Backend B : {Backend::Sequential, Backend::Parallel}) {
+      for (size_t Batch : {size_t(3), size_t(4096)}) {
+        if (B == Backend::Sequential && Batch != 4096)
+          continue; // Batch size only affects the parallel backend.
+        PipelineOptions Opts;
+        Opts.TheBackend = B;
+        Opts.Shards = 2;
+        Opts.BatchSize = Batch;
+        Opts.Memo = Memo;
+        AnalyzeResult R = analyzeWire(Wire, Opts);
+        SCOPED_TRACE(testing::Message()
+                     << "memo=" << int(Memo) << " backend=" << int(B)
+                     << " batch=" << Batch);
+        EXPECT_EQ(R.Summary.Events, Events);
+        EXPECT_TRUE(R.Races == Baseline.Races);
+
+        if (Memo == MemoMode::Off) {
+          EXPECT_EQ(R.Reader.MemoHits, 0u);
+        } else {
+          // The decode cache serves every repeated body chunk.
+          EXPECT_GT(R.Reader.MemoHits, 0u);
+          EXPECT_GT(R.Reader.MemoBytesSaved, 0u);
+          EXPECT_GT(R.Reader.MemoCacheEntries, 0u);
+        }
+        if (Memo == MemoMode::Full && B == Backend::Sequential) {
+          EXPECT_GT(R.Memo.SummaryHits, 0u);
+          EXPECT_GT(R.Memo.SummaryRecords, 0u);
+          EXPECT_GT(R.Memo.EventsReplayed, 0u);
+        } else {
+          // Other modes/backends degrade to decode-level caching.
+          EXPECT_EQ(R.Memo.SummaryHits, 0u);
+          EXPECT_EQ(R.Memo.EventsReplayed, 0u);
+        }
+      }
+    }
+  }
+}
+
+// A corrupted digest byte must fail the file exactly like a corrupted
+// payload fails the CRC: hard error, counted, diagnosed with the offset.
+TEST(MemoTest, CorruptedDigestRejectedLikeCrc) {
+  std::string Wire = repetitiveWire(smallConfig());
+
+  // Flip a byte inside the first chunk header's digest field
+  // (size u32 + crc u32 + digest u64 — see trace-format.md).
+  std::string BadDigest = Wire;
+  BadDigest[FileHeaderSize + 12] ^= 0x5a;
+  {
+    std::istringstream In(BadDigest);
+    DiagnosticEngine Diags;
+    WireReader Reader(In, Diags);
+    Event E = Event::txBegin(ThreadId(0));
+    while (Reader.next(E))
+      ;
+    EXPECT_TRUE(Reader.failed());
+    EXPECT_EQ(Reader.stats().DigestErrors, 1u);
+    EXPECT_EQ(Reader.stats().CrcErrors, 0u);
+    EXPECT_NE(Diags.toString().find("chunk digest mismatch"),
+              std::string::npos)
+        << Diags.toString();
+  }
+
+  // Control: a payload flip is a CRC error (checked before the digest).
+  std::string BadPayload = Wire;
+  BadPayload[FileHeaderSize + DigestChunkHeaderSize + 3] ^= 0x5a;
+  {
+    std::istringstream In(BadPayload);
+    DiagnosticEngine Diags;
+    WireReader Reader(In, Diags);
+    Event E = Event::txBegin(ThreadId(0));
+    while (Reader.next(E))
+      ;
+    EXPECT_TRUE(Reader.failed());
+    EXPECT_EQ(Reader.stats().CrcErrors, 1u);
+    EXPECT_EQ(Reader.stats().DigestErrors, 0u);
+  }
+}
+
+// Adversarial shape: lock churn before every body round bumps the
+// worker clocks, so no body occurrence ever sees matching entry state.
+// The summary layer must fall back to interpretation on 100% of chunks
+// — zero replays, zero recorded summaries that survive — while the
+// decode cache still hits and the report stays bit-identical.
+TEST(MemoTest, SyncChurnForcesFullFallback) {
+  RepetitiveTraceConfig C = smallConfig();
+  C.SyncEveryBodies = 1;
+  size_t Events = 0;
+  std::string Wire = repetitiveWire(C, &Events);
+
+  AnalyzeResult Off = analyzeWire(Wire, PipelineOptions{});
+  PipelineOptions FullOpts;
+  FullOpts.Memo = MemoMode::Full;
+  AnalyzeResult Full = analyzeWire(Wire, FullOpts);
+
+  EXPECT_EQ(Full.Summary.Events, Events);
+  EXPECT_TRUE(Full.Races == Off.Races);
+  EXPECT_GT(Full.Races.size(), 0u);
+  EXPECT_EQ(Full.Memo.SummaryHits, 0u);
+  EXPECT_EQ(Full.Memo.EventsReplayed, 0u);
+  EXPECT_GT(Full.Memo.ChunksInterpreted, 0u);
+  EXPECT_GT(Full.Reader.MemoHits, 0u); // Decode cache is version-blind.
+}
+
+// A digest-less (legacy) file must still decode with memoization
+// requested — the caches simply never engage — and scanWire must compute
+// the same digests the writer would have recorded.
+TEST(MemoTest, LegacyDigestlessFileStillWorks) {
+  RepetitiveTraceConfig C = smallConfig();
+  std::string WithDigests = repetitiveWire(C);
+
+  std::ostringstream OS;
+  {
+    WireWriter Writer(OS, C.EventsPerBody, /*WithDigests=*/false);
+    buildRepetitiveTrace(C, [&](const Event &E) { Writer.append(E); });
+  }
+  std::string Legacy = OS.str();
+  ASSERT_LT(Legacy.size(), WithDigests.size()); // 8 bytes saved per chunk.
+
+  auto LegacyInfo = scanString(Legacy);
+  auto DigestInfo = scanString(WithDigests);
+  ASSERT_TRUE(LegacyInfo);
+  ASSERT_TRUE(DigestInfo);
+  ASSERT_EQ(LegacyInfo->Chunks.size(), DigestInfo->Chunks.size());
+  for (size_t I = 0; I != LegacyInfo->Chunks.size(); ++I) {
+    EXPECT_FALSE(LegacyInfo->Chunks[I].DigestInHeader);
+    EXPECT_TRUE(DigestInfo->Chunks[I].DigestInHeader);
+    // The scan computes what the writer would have stamped.
+    EXPECT_EQ(LegacyInfo->Chunks[I].Digest, DigestInfo->Chunks[I].Digest);
+  }
+
+  AnalyzeResult Off = analyzeWire(WithDigests, PipelineOptions{});
+  PipelineOptions FullOpts;
+  FullOpts.Memo = MemoMode::Full;
+  AnalyzeResult Full = analyzeWire(Legacy, FullOpts);
+  EXPECT_TRUE(Full.Races == Off.Races);
+  EXPECT_EQ(Full.Reader.MemoHits, 0u);
+  EXPECT_EQ(Full.Memo.SummaryHits, 0u);
+  EXPECT_GT(Full.Memo.ChunksInterpreted, 0u);
+}
+
+// CLI surface: --memo validation, the stats repetition line, profile's
+// memo JSON, and the live-source rejection naming the --memo constraint.
+TEST(MemoTest, CliMemoSurface) {
+  std::string Path = testing::TempDir() + "memo_cli_test.crdb";
+  {
+    std::ofstream OS(Path, std::ios::binary);
+    ASSERT_TRUE(OS.good());
+    writeRepetitiveTrace(OS, smallConfig());
+  }
+
+  for (const char *Verb : {"check", "profile", "analyze", "bench"}) {
+    std::ostringstream Out, Err;
+    int RC = cli::crdMain({Verb, Path, "--memo=bogus"}, Out, Err);
+    SCOPED_TRACE(Verb);
+    EXPECT_EQ(RC, 2);
+    EXPECT_NE(Err.str().find("unknown --memo mode 'bogus'"),
+              std::string::npos)
+        << Err.str();
+    EXPECT_NE(Err.str().find("accepted: off, decode, full"),
+              std::string::npos)
+        << Err.str();
+  }
+
+  {
+    std::ostringstream Out, Err;
+    int RC = cli::crdMain({"profile", "--source=live", Path}, Out, Err);
+    EXPECT_EQ(RC, 2);
+    EXPECT_NE(Err.str().find("crd record --stress"), std::string::npos)
+        << Err.str();
+    EXPECT_NE(Err.str().find("--memo"), std::string::npos) << Err.str();
+  }
+
+  {
+    std::ostringstream Out, Err;
+    int RC = cli::crdMain({"stats", Path}, Out, Err);
+    EXPECT_EQ(RC, 0) << Err.str();
+    EXPECT_NE(Out.str().find("chunk repetition:"), std::string::npos)
+        << Out.str();
+    EXPECT_NE(Out.str().find("distinct digests"), std::string::npos);
+  }
+
+  {
+    std::ostringstream Out, Err;
+    int RC = cli::crdMain({"profile", Path, "--memo=full"}, Out, Err);
+    EXPECT_EQ(RC, 0) << Err.str();
+    EXPECT_NE(Out.str().find("\"mode\": \"full\""), std::string::npos)
+        << Out.str();
+    EXPECT_NE(Out.str().find("\"summary_hits\""), std::string::npos);
+  }
+
+  {
+    // The trace is racy, so check exits 1 under every memo mode with the
+    // same report line.
+    std::string Reports[3];
+    int I = 0;
+    for (const char *Mode : {"off", "decode", "full"}) {
+      std::ostringstream Out, Err;
+      int RC = cli::crdMain(
+          {"check", Path, std::string("--memo=") + Mode}, Out, Err);
+      EXPECT_EQ(RC, 1) << Err.str();
+      Reports[I++] = Out.str();
+    }
+    EXPECT_EQ(Reports[0], Reports[1]);
+    EXPECT_EQ(Reports[0], Reports[2]);
+  }
+}

@@ -269,8 +269,10 @@ TEST(WireErrorTest, RejectsEveryTruncationPoint) {
 
 TEST(WireErrorTest, RejectsCorruptedPayloadByCrc) {
   std::string Bytes = encode(awkwardTrace(), 100);
-  // Flip one byte inside the payload (past header + chunk header).
-  Bytes[FileHeaderSize + ChunkHeaderSize + 3] ^= 0x40;
+  // Flip one byte inside the payload (past file header + the digest-bearing
+  // chunk header). CRC is verified before the content digest, so payload
+  // corruption is always reported as a CRC failure.
+  Bytes[FileHeaderSize + DigestChunkHeaderSize + 3] ^= 0x40;
   std::istringstream In(Bytes);
   DiagnosticEngine Diags;
   WireReader Reader(In, Diags);

@@ -28,6 +28,7 @@
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 
 using namespace crd;
 using namespace crd::cli;
@@ -165,6 +166,11 @@ const char CheckHelp[] =
     "                     builtin dictionary, paper Fig 6)\n"
     "  --shards=N         parallel backend: worker shards (default: cores)\n"
     "  --batch=N          parallel backend: events per batch (default 4096)\n"
+    "  --memo[=off|decode|full]   chunk memoization for binary traces with\n"
+    "                     content digests (default off; bare --memo = full).\n"
+    "                     decode caches repeated chunk decodes; full also\n"
+    "                     replays detector chunk summaries (seq backend).\n"
+    "                     Races are identical in every mode\n"
     "  --quiet            suppress per-race lines, print the summary only\n";
 
 int runCheck(const ParsedArgs &Args, std::ostream &Out, std::ostream &Err) {
@@ -172,8 +178,8 @@ int runCheck(const ParsedArgs &Args, std::ostream &Out, std::ostream &Err) {
     Out << CheckHelp;
     return ExitClean;
   }
-  if (auto Bad =
-          Args.unknownOption({"detector", "spec", "shards", "batch", "quiet"})) {
+  if (auto Bad = Args.unknownOption(
+          {"detector", "spec", "shards", "batch", "memo", "quiet"})) {
     Err << "error: unknown option --" << *Bad << "\n" << CheckHelp;
     return ExitUsage;
   }
@@ -212,6 +218,8 @@ int runCheck(const ParsedArgs &Args, std::ostream &Out, std::ostream &Err) {
     }
     Opts.BatchSize = static_cast<size_t>(*N);
   }
+  if (!parseMemoMode(Args, Opts.Memo, Err))
+    return ExitUsage;
   bool Quiet = Args.option("quiet").has_value();
 
   int Exit = ExitClean;
@@ -277,9 +285,11 @@ const char StatsHelp[] =
     "usage: crd stats [options] <trace>\n"
     "\n"
     "Reports the shape of a trace file. For binary traces: per-chunk\n"
-    "sizes, event and symbol counts, bytes/event, and the compression\n"
-    "ratio against the equivalent text rendering. For text traces: event\n"
-    "statistics and the projected binary size.\n"
+    "sizes, event and symbol counts, bytes/event, the compression ratio\n"
+    "against the equivalent text rendering, and chunk repetition (total\n"
+    "chunks vs distinct content digests, and the fraction of payload\n"
+    "bytes that repeat an earlier chunk — what --memo can skip). For\n"
+    "text traces: event statistics and the projected binary size.\n"
     "\n"
     "options:\n"
     "  --chunks=N         print at most N per-chunk rows (default 16)\n";
@@ -366,6 +376,25 @@ int runStats(const ParsedArgs &Args, std::ostream &Out, std::ostream &Err) {
       return ExitFindings;
     }
     Out << "  chunks: " << Info->Chunks.size() << "\n";
+    // Chunk repetition: how much of the payload a digest-keyed decode
+    // cache (crd check/analyze --memo) would never decode twice.
+    {
+      std::unordered_set<uint64_t> Seen;
+      uint64_t TotalPayload = 0, RepeatedPayload = 0;
+      for (const wire::WireChunkInfo &C : Info->Chunks) {
+        TotalPayload += C.PayloadBytes;
+        if (!Seen.insert(C.Digest).second)
+          RepeatedPayload += C.PayloadBytes;
+      }
+      std::ostringstream Rep;
+      Rep << std::fixed << std::setprecision(1);
+      Rep << "  chunk repetition: " << Seen.size() << " distinct digests";
+      if (TotalPayload != 0)
+        Rep << ", " << 100.0 * static_cast<double>(RepeatedPayload) /
+                           static_cast<double>(TotalPayload)
+            << "% repeated payload bytes";
+      Out << Rep.str() << "\n";
+    }
     size_t Rows = std::min(MaxRows, Info->Chunks.size());
     for (size_t I = 0; I != Rows; ++I) {
       const wire::WireChunkInfo &C = Info->Chunks[I];
@@ -393,7 +422,9 @@ const char BenchHelp[] =
     "\n"
     "options:\n"
     "  --reps=N           repetitions per configuration (default 5)\n"
-    "  --spec=FILE        spec for the decode+detect configuration\n";
+    "  --spec=FILE        spec for the decode+detect configuration\n"
+    "  --memo[=off|decode|full]   chunk memoization for the decode+detect\n"
+    "                     configuration (default off; bare --memo = full)\n";
 
 double bestSeconds(unsigned Reps, const std::function<void()> &Fn) {
   double Best = 1e100;
@@ -411,7 +442,7 @@ int runBench(const ParsedArgs &Args, std::ostream &Out, std::ostream &Err) {
     Out << BenchHelp;
     return ExitClean;
   }
-  if (auto Bad = Args.unknownOption({"reps", "spec"})) {
+  if (auto Bad = Args.unknownOption({"reps", "spec", "memo"})) {
     Err << "error: unknown option --" << *Bad << "\n" << BenchHelp;
     return ExitUsage;
   }
@@ -428,6 +459,9 @@ int runBench(const ParsedArgs &Args, std::ostream &Out, std::ostream &Err) {
     }
     Reps = static_cast<unsigned>(*N);
   }
+  wire::MemoMode Memo = wire::MemoMode::Off;
+  if (!parseMemoMode(Args, Memo, Err))
+    return ExitUsage;
 
   int Exit = ExitClean;
   auto Rep = loadProvider(Args.option("spec").value_or(""), Err, Exit);
@@ -485,7 +519,9 @@ int runBench(const ParsedArgs &Args, std::ostream &Out, std::ostream &Err) {
     std::istringstream In(Binary);
     DiagnosticEngine D;
     wire::BinaryStreamSource Src(In, D);
-    wire::StreamPipeline Pipeline;
+    wire::PipelineOptions POpts;
+    POpts.Memo = Memo;
+    wire::StreamPipeline Pipeline(POpts);
     Pipeline.setDefaultProvider(Rep.get());
     Pipeline.run(Src);
   });
@@ -540,7 +576,11 @@ const char ProfileHelp[] =
     "  --shards=N           parallel backend: worker shards (default: cores)\n"
     "  --batch=N            parallel backend: events per batch (default 4096)\n"
     "  --chrome-trace=FILE  parallel backend: also write a chrome://tracing\n"
-    "                       timeline of per-shard batch lifetimes to FILE\n";
+    "                       timeline of per-shard batch lifetimes to FILE\n"
+    "  --memo[=off|decode|full]   chunk memoization for binary traces with\n"
+    "                       content digests (default off; bare --memo =\n"
+    "                       full). The snapshot's \"memo\" and \"source\"\n"
+    "                       objects report hit/miss/replay counters\n";
 
 int runProfile(const std::vector<std::string> &Raw, std::ostream &Out,
                std::ostream &Err) {
@@ -552,8 +592,8 @@ int runProfile(const std::vector<std::string> &Raw, std::ostream &Out,
     Out << ProfileHelp;
     return ExitClean;
   }
-  if (auto Bad = Args.unknownOption(
-          {"source", "backend", "spec", "shards", "batch", "chrome-trace"})) {
+  if (auto Bad = Args.unknownOption({"source", "backend", "spec", "shards",
+                                     "batch", "chrome-trace", "memo"})) {
     Err << "error: unknown option --" << *Bad << "\n" << ProfileHelp;
     return ExitUsage;
   }
@@ -566,7 +606,10 @@ int runProfile(const std::vector<std::string> &Raw, std::ostream &Out,
              "there is no recorded artifact to profile. Drive a live "
              "ingestion session with 'crd record --stress' (ingest metrics "
              "via its --json flag, collector timeline via --chrome-trace), "
-             "or record with --out=FILE and profile that file.\n";
+             "or record with --out=FILE and profile that file. --memo is "
+             "likewise file-only: chunk memoization needs the recorded "
+             "wire chunks and their content digests, which a live event "
+             "stream does not have.\n";
       return ExitUsage;
     }
     if (*Src != "file") {
@@ -609,6 +652,8 @@ int runProfile(const std::vector<std::string> &Raw, std::ostream &Out,
     }
     Opts.BatchSize = static_cast<size_t>(*N);
   }
+  if (!parseMemoMode(Args, Opts.Memo, Err))
+    return ExitUsage;
   std::string ChromePath = Args.option("chrome-trace").value_or("");
   if (!ChromePath.empty() && Opts.TheBackend != wire::Backend::Parallel) {
     Err << "error: --chrome-trace requires --backend=parallel\n";
@@ -653,7 +698,23 @@ int runProfile(const std::vector<std::string> &Raw, std::ostream &Out,
       return ExitUsage;
     }
     ParallelMetrics M = Pipeline.parallelDetector()->metricsSnapshot();
-    writeChromeTrace(TraceFile, M);
+    // Annotate the timeline with the decode-cache counters when --memo is
+    // active (the parallel backend degrades full to decode-level caching).
+    ChromeTraceAnnotation MemoNote;
+    const ChromeTraceAnnotation *Note = nullptr;
+    if (Opts.Memo != wire::MemoMode::Off) {
+      if (const wire::WireReader *Reader = Source->wireReader()) {
+        wire::WireReaderStats S = Reader->stats();
+        MemoNote.Name = "memo";
+        MemoNote.Args = {{"memo_hits", S.MemoHits},
+                         {"memo_misses", S.MemoMisses},
+                         {"memo_bytes_saved", S.MemoBytesSaved},
+                         {"memo_cache_entries", S.MemoCacheEntries},
+                         {"memo_cache_bytes", S.MemoCacheBytes}};
+        Note = &MemoNote;
+      }
+    }
+    writeChromeTrace(TraceFile, M, Note);
     if (!TraceFile) {
       Err << "error: I/O error writing '" << ChromePath << "'\n";
       return ExitUsage;
@@ -669,12 +730,20 @@ int runProfile(const std::vector<std::string> &Raw, std::ostream &Out,
 //===----------------------------------------------------------------------===//
 
 const char AnalyzeHelp[] =
-    "usage: crd analyze <trace-file> [spec-file]\n"
+    "usage: crd analyze [options] <trace-file> [spec-file]\n"
     "\n"
     "The full offline report over one trace (text or binary): trace\n"
     "statistics, commutativity races with a triage summary, FastTrack\n"
     "read-write races, and — when the trace marks atomic blocks — the\n"
-    "commutativity-aware atomicity violations.\n";
+    "commutativity-aware atomicity violations.\n"
+    "\n"
+    "options:\n"
+    "  --memo[=off|decode|full]   chunk memoization for the commutativity\n"
+    "                     pass over binary traces with content digests\n"
+    "                     (default off; bare --memo = full). decode caches\n"
+    "                     repeated chunk decodes; full also replays\n"
+    "                     detector chunk summaries. Races are identical\n"
+    "                     in every mode\n";
 
 } // namespace
 
@@ -685,6 +754,13 @@ int cli::runAnalyze(const std::vector<std::string> &Args, std::ostream &Out,
     Out << AnalyzeHelp;
     return ExitClean;
   }
+  if (auto Bad = Parsed.unknownOption({"memo"})) {
+    Err << "error: unknown option --" << *Bad << "\n" << AnalyzeHelp;
+    return ExitUsage;
+  }
+  wire::MemoMode Memo = wire::MemoMode::Off;
+  if (!parseMemoMode(Parsed, Memo, Err))
+    return ExitUsage;
   if (Parsed.Positional.empty() || Parsed.Positional.size() > 2) {
     Err << AnalyzeHelp;
     return ExitUsage;
@@ -721,22 +797,49 @@ int cli::runAnalyze(const std::vector<std::string> &Args, std::ostream &Out,
   if (!Rep)
     return Exit;
 
+  // The commutativity pass streams through the pipeline when memoization
+  // is requested (the decode cache and chunk summaries live there); the
+  // materialized trace drives it otherwise. Races are bit-identical.
   CommutativityRaceDetector RD2;
-  RD2.setDefaultProvider(Rep.get());
-  RD2.processTrace(T);
+  wire::PipelineOptions POpts;
+  POpts.Memo = Memo;
+  wire::StreamPipeline MemoPipeline(POpts);
+  const std::vector<CommutativityRace> *CRaces = nullptr;
+  size_t DistinctObjs = 0;
+  if (Memo != wire::MemoMode::Off) {
+    MemoPipeline.setDefaultProvider(Rep.get());
+    DiagnosticEngine StreamDiags;
+    auto StreamSource = wire::openEventSource(TracePath, StreamDiags);
+    if (!StreamSource) {
+      Err << StreamDiags.toString();
+      return ExitUsage;
+    }
+    wire::StreamSummary Sum = MemoPipeline.run(*StreamSource);
+    if (StreamSource->failed()) {
+      Err << TracePath << ":\n" << StreamDiags.toString();
+      return ExitFindings;
+    }
+    CRaces = &MemoPipeline.races();
+    DistinctObjs = Sum.DistinctRacyObjects;
+  } else {
+    RD2.setDefaultProvider(Rep.get());
+    RD2.processTrace(T);
+    CRaces = &RD2.races();
+    DistinctObjs = RD2.distinctRacyObjects();
+  }
 
   FastTrackDetector FT;
   FT.processTrace(T);
 
   TraceStats::compute(T).print(Out);
   Out << '\n';
-  Out << "commutativity races (" << RD2.races().size() << " total, "
-      << RD2.distinctRacyObjects() << " distinct objects):\n";
-  for (const CommutativityRace &R : RD2.races())
+  Out << "commutativity races (" << CRaces->size() << " total, "
+      << DistinctObjs << " distinct objects):\n";
+  for (const CommutativityRace &R : *CRaces)
     Out << "  " << R << '\n';
-  if (!RD2.races().empty()) {
+  if (!CRaces->empty()) {
     Out << "\ntriage summary:\n";
-    RaceSummary::build(RD2.races()).print(Out);
+    RaceSummary::build(*CRaces).print(Out);
   }
 
   Out << "\nread-write races (" << FT.races().size() << " total, "
@@ -759,7 +862,7 @@ int cli::runAnalyze(const std::vector<std::string> &Args, std::ostream &Out,
       Out << "  " << V << '\n';
   }
 
-  return (RD2.races().empty() && FT.races().empty() && Violations == 0)
+  return (CRaces->empty() && FT.races().empty() && Violations == 0)
              ? ExitClean
              : ExitFindings;
 }

@@ -19,6 +19,7 @@
 #include "spec/Builtins.h"
 #include "spec/SpecParser.h"
 #include "translate/Translator.h"
+#include "wire/WireReader.h"
 
 #include <fstream>
 #include <memory>
@@ -149,6 +150,29 @@ loadProvider(const std::string &SpecPath, std::ostream &Err, int &Exit) {
     Exit = ExitFindings;
   }
   return Rep;
+}
+
+/// Parses the `--memo[=off|decode|full]` option shared by the analysis
+/// subcommands (bare `--memo` means full). Leaves \p Out untouched when
+/// the option is absent; returns false after printing a usage error when
+/// the value is not in the accepted set.
+inline bool parseMemoMode(const ParsedArgs &Args, wire::MemoMode &Out,
+                          std::ostream &Err) {
+  auto V = Args.option("memo");
+  if (!V)
+    return true;
+  if (V->empty() || *V == "full")
+    Out = wire::MemoMode::Full;
+  else if (*V == "off")
+    Out = wire::MemoMode::Off;
+  else if (*V == "decode")
+    Out = wire::MemoMode::Decode;
+  else {
+    Err << "error: unknown --memo mode '" << *V
+        << "' (accepted: off, decode, full)\n";
+    return false;
+  }
+  return true;
 }
 
 /// The `crd record` implementation (RecordCmd.cpp).
