@@ -45,6 +45,33 @@ void BM_VectorClockJoin(benchmark::State &State) {
   }
 }
 
+// Scalar twins of the two kernels above: together with the dispatched
+// variants swept over the same widths, this is the SIMD-speedup curve for
+// the clock kernels (flat in a CRD_DISABLE_SIMD build, where both names
+// run the same scalar code).
+void BM_VectorClockLeqScalar(benchmark::State &State) {
+  std::mt19937 Rng(42);
+  size_t Threads = static_cast<size_t>(State.range(0));
+  VectorClock A = randomClock(Rng, Threads);
+  VectorClock B = VectorClock::join(A, randomClock(Rng, Threads));
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(A.leqScalar(B));
+    benchmark::DoNotOptimize(B.leqScalar(A));
+  }
+}
+
+void BM_VectorClockJoinScalar(benchmark::State &State) {
+  std::mt19937 Rng(42);
+  size_t Threads = static_cast<size_t>(State.range(0));
+  VectorClock A = randomClock(Rng, Threads);
+  VectorClock B = randomClock(Rng, Threads);
+  for (auto _ : State) {
+    VectorClock C = A;
+    C.joinWithScalar(B);
+    benchmark::DoNotOptimize(C);
+  }
+}
+
 void BM_VectorClockStateSyncEvents(benchmark::State &State) {
   // Fork/acquire/release churn across 8 threads and 4 locks.
   for (auto _ : State) {
@@ -64,8 +91,15 @@ void BM_VectorClockStateSyncEvents(benchmark::State &State) {
 
 } // namespace
 
-BENCHMARK(BM_VectorClockLeq)->Arg(4)->Arg(16)->Arg(64);
-BENCHMARK(BM_VectorClockJoin)->Arg(4)->Arg(16)->Arg(64);
+// Width sweep: residues mod the 4-lane group size (5, 7), the SmallVec
+// inline/heap boundary (8, 9), and wide clocks where the SIMD loop
+// dominates (16..64).
+#define CRD_CLOCK_WIDTHS \
+  ->Arg(4)->Arg(5)->Arg(7)->Arg(8)->Arg(9)->Arg(16)->Arg(32)->Arg(64)
+BENCHMARK(BM_VectorClockLeq) CRD_CLOCK_WIDTHS;
+BENCHMARK(BM_VectorClockLeqScalar) CRD_CLOCK_WIDTHS;
+BENCHMARK(BM_VectorClockJoin) CRD_CLOCK_WIDTHS;
+BENCHMARK(BM_VectorClockJoinScalar) CRD_CLOCK_WIDTHS;
 BENCHMARK(BM_VectorClockStateSyncEvents);
 
 BENCHMARK_MAIN();

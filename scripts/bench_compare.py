@@ -62,9 +62,20 @@ def main():
     ap.add_argument(
         "--alloc-slack",
         type=float,
-        default=0.05,
+        default=0.01,
         help="allowed absolute allocs_per_event growth when both artifacts "
-        "carry the allocation counter (default 0.05)",
+        "carry the allocation counter (default 0.01; the whole hot path "
+        "sits at ~0.05-0.10, so 0.01 already flags one new allocation per "
+        "ten races)",
+    )
+    ap.add_argument(
+        "--alloc-ceiling",
+        type=float,
+        default=0.15,
+        help="absolute allocs_per_event any configuration may reach "
+        "(default 0.15 — the detectors run span/SSO-based reporting and "
+        "epoch escalation only, so every config sits well below this; "
+        "crossing it means per-event heap traffic came back)",
     )
     ap.add_argument(
         "--allow-host-mismatch",
@@ -134,6 +145,15 @@ def main():
                     f"(> {args.alloc_slack} slack)"
                 )
                 line += "  ALLOC GROWTH"
+            elif old_alloc <= args.alloc_ceiling < new_alloc:
+                # Ceiling only polices configurations that lived below it:
+                # text parsing legitimately allocates per line and is
+                # covered by the growth check alone.
+                failures.append(
+                    f"{name}: allocs_per_event {new_alloc:.4f} exceeds "
+                    f"the absolute ceiling {args.alloc_ceiling}"
+                )
+                line += "  ALLOC CEILING"
         print(line)
 
     for name in sorted(set(new) - set(old)):

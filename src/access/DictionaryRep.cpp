@@ -52,7 +52,7 @@ void DictionaryRep::touches(const Action &A,
   assert(false && "action method is not a dictionary method");
 }
 
-std::string DictionaryRep::className(uint32_t ClassId) const {
+std::string_view DictionaryRep::className(uint32_t ClassId) const {
   switch (ClassId) {
   case Read:
     return "o:r:k";

@@ -44,7 +44,7 @@ public:
   }
   const std::vector<uint32_t> &conflictsOf(uint32_t ClassId) const override;
   void touches(const Action &A, std::vector<AccessPoint> &Out) const override;
-  std::string className(uint32_t ClassId) const override;
+  std::string_view className(uint32_t ClassId) const override;
 
 private:
   std::vector<uint32_t> Conflicts[4];

@@ -12,8 +12,13 @@ using namespace crd;
 
 AccessPointProvider::~AccessPointProvider() = default;
 
-std::string AccessPointProvider::className(uint32_t ClassId) const {
-  return "class" + std::to_string(ClassId);
+std::string_view AccessPointProvider::className(uint32_t ClassId) const {
+  std::lock_guard<std::mutex> Lock(FallbackNamesMutex);
+  // A deque never relocates existing elements, so handed-out views stay
+  // valid as the table grows.
+  while (FallbackNames.size() <= ClassId)
+    FallbackNames.push_back("class" + std::to_string(FallbackNames.size()));
+  return FallbackNames[ClassId];
 }
 
 bool crd::pointsConflict(const AccessPointProvider &Provider,

@@ -24,7 +24,10 @@
 #include "access/AccessPoint.h"
 #include "trace/Action.h"
 
+#include <deque>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace crd {
@@ -50,8 +53,18 @@ public:
   /// cleared. Implementations must not emit duplicate points for one action.
   virtual void touches(const Action &A, std::vector<AccessPoint> &Out) const = 0;
 
-  /// Debug name of a class, e.g. "o:w:k". Defaults to "class<N>".
-  virtual std::string className(uint32_t ClassId) const;
+  /// Debug name of a class, e.g. "o:w:k". Defaults to "class<N>". The
+  /// returned view must stay valid for the provider's lifetime — race
+  /// reports keep it as-is instead of copying (a 40+ character translated
+  /// class name would otherwise cost one heap allocation per report).
+  virtual std::string_view className(uint32_t ClassId) const;
+
+private:
+  /// Backing storage for the default className() (lazily materialized;
+  /// the mutex makes concurrent shard workers safe — the fallback is
+  /// debug-only and cold).
+  mutable std::deque<std::string> FallbackNames;
+  mutable std::mutex FallbackNamesMutex;
 };
 
 /// Whether two concrete points conflict under \p Provider.

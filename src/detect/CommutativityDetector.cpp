@@ -7,6 +7,7 @@
 #include "detect/CommutativityDetector.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace crd;
 
@@ -18,9 +19,63 @@ void CommutativityRaceDetector::process(const Event &E) {
   VCState.process(E);
 }
 
+void CommutativityRaceDetector::processKinded(const Event *Evs,
+                                              const uint8_t *Kinds, size_t N) {
+  uint64_t Begin = metrics::nowNs();
+  // One SIMD pass yields sync and invoke positions together: the kind
+  // encoding puts fork/join/acquire/release below Invoke and everything
+  // else above it, so Below = Invoke + 1 selects exactly both. Memory and
+  // transaction events — the bulk of most traces — are never loaded.
+  ScanScratch.clear();
+  appendKindPositions(Kinds, N, static_cast<uint8_t>(SyncKindBound + 1),
+                      /*Base=*/0, ScanScratch);
+  InvokeScratch.clear();
+  auto Resolve = [this](ThreadId T) -> const VectorClock & {
+    return VCState.clockOf(T);
+  };
+  auto All = [](const Action &) { return true; };
+  auto FlushRun = [&] {
+    if (InvokeScratch.empty())
+      return;
+    Engine.onRun(Evs, InvokeScratch.data(), InvokeScratch.size(), EventIndex,
+                 Resolve, All);
+    InvokeScratch.clear();
+  };
+  for (uint32_t P : ScanScratch) {
+    if (Kinds[P] < SyncKindBound) {
+      // Sync event: the run before it is complete — execute its actions
+      // (their clocks predate this Table 1 update), then advance clocks.
+      FlushRun();
+      VCState.process(Evs[P]);
+    } else {
+      InvokeScratch.push_back(P);
+    }
+  }
+  FlushRun();
+  EventIndex += N;
+  KernelNs.add(metrics::nowNs() - Begin);
+}
+
 void CommutativityRaceDetector::processTrace(const Trace &T) {
-  for (const Event &E : T)
-    process(E);
+  // Windowed kernel feed: the trace stores events (not kind bytes), so
+  // each window gathers its kinds into reusable scratch first — the same
+  // shape the parallel detector's whole-trace path uses.
+  constexpr size_t Window = 4096;
+  const std::vector<Event> &Events = T.events();
+  for (size_t Begin = 0; Begin < Events.size(); Begin += Window) {
+    size_t N = std::min(Window, Events.size() - Begin);
+    KindScratch.clear();
+    for (size_t J = 0; J != N; ++J)
+      KindScratch.push_back(static_cast<uint8_t>(Events[Begin + J].kind()));
+    processKinded(Events.data() + Begin, KindScratch.data(), N);
+  }
+}
+
+void CommutativityRaceDetector::processBatch(const EventBatch &B) {
+  if (B.empty())
+    return;
+  assert(B.Kinds.size() == B.Events.size() && "batch kind array out of sync");
+  processKinded(B.Events.data(), B.Kinds.data(), B.size());
 }
 
 bool CommutativityRaceDetector::finishMemoRecord(const MemoRecordToken &Token,

@@ -22,6 +22,7 @@
 #include "spec/Spec.h"
 #include "trace/Trace.h"
 
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>

@@ -76,6 +76,11 @@ struct ParallelDetector::RunBatch {
   size_t N = 0;
   uint64_t BaseIndex = 0; ///< Global event index of Evs[0].
   std::vector<Run> Runs;
+  /// Ascending positions of the batch's invoke events — the pre-pass
+  /// publishes this once (one SIMD kind scan) so every shard worker walks
+  /// only the actions, slicing per-run subranges straight into the batched
+  /// onRun() kernel instead of re-scanning raw events.
+  std::vector<uint32_t> InvokePos;
   /// Batch-owned clock snapshots and run maps. Every pointer a run
   /// publishes targets this batch's own storage, so reclaiming the batch
   /// reclaims them — no cross-batch reference tracking, and recycling just
@@ -104,6 +109,7 @@ struct ParallelDetector::RunBatch {
   void recycle() {
     Owned.clear();
     Runs.clear();
+    InvokePos.clear();
     Evs = nullptr;
     N = 0;
     ClocksUsed = 0;
@@ -174,18 +180,31 @@ ParallelDetector::ParallelDetector(unsigned NumShards, size_t BatchSize,
         while (S.Ring.pop(RB)) {
           uint64_t Begin = metrics::nowNs();
           uint64_t Mine = 0;
-          for (const RunBatch::Run &R : RB->Runs)
-            for (uint32_t J = R.Begin; J != R.End; ++J) {
-              const Event &E = RB->Evs[J];
-              if (E.kind() != EventKind::Invoke)
-                continue; // Runs carry raw events; only actions matter.
-              const Action &A = E.action();
-              if (shardIndex(A.object(), NumShards) != ShardIdx)
-                continue; // Locally computed routing: not ours.
-              const VectorClock *C = resolveClock(*R.Map, E.thread(), S.Synth);
-              S.Engine.onAction(A, E.thread(), *C, RB->BaseIndex + J);
-              ++Mine;
-            }
+          // Locally computed routing: every shard claims exactly its own
+          // objects through the same hash.
+          auto Filter = [NumShards, ShardIdx](const Action &A) {
+            return shardIndex(A.object(), NumShards) == ShardIdx;
+          };
+          // Runs and invoke positions are both ascending, so one cursor
+          // over the batch's invoke index slices each run's actions; the
+          // batched kernel never touches the raw non-invoke events.
+          const std::vector<uint32_t> &Inv = RB->InvokePos;
+          size_t Cursor = 0;
+          for (const RunBatch::Run &R : RB->Runs) {
+            while (Cursor < Inv.size() && Inv[Cursor] < R.Begin)
+              ++Cursor;
+            size_t First = Cursor;
+            while (Cursor < Inv.size() && Inv[Cursor] < R.End)
+              ++Cursor;
+            if (Cursor == First)
+              continue;
+            auto Resolve = [&R, &S](ThreadId T) -> const VectorClock & {
+              return *resolveClock(*R.Map, T, S.Synth);
+            };
+            Mine += S.Engine.onRun(RB->Evs, Inv.data() + First,
+                                   Cursor - First, RB->BaseIndex, Resolve,
+                                   Filter);
+          }
           uint64_t End = metrics::nowNs();
           S.WorkerNs.add(End - Begin);
           S.Batches.inc();
@@ -288,8 +307,19 @@ void ParallelDetector::reclaimCompleted() {
 }
 
 void ParallelDetector::prepassAndDispatch(
-    RunBatch *RB, const std::vector<uint32_t> &SyncPos) {
+    RunBatch *RB, const std::vector<uint32_t> &SyncPos, const uint8_t *Kinds) {
   uint64_t PrepassBegin = TraceBatches ? metrics::nowNs() : 0;
+
+  // Publish the batch's invoke-position index for the shard workers: one
+  // combined SIMD scan (sync and invoke kinds are exactly the bytes below
+  // Invoke + 1) filtered down to the invokes. O(N/16) vector steps plus
+  // O(#sync + #invoke) scalar work — memory/tx events are never loaded.
+  CombinedScratch.clear();
+  appendKindPositions(Kinds, RB->N, static_cast<uint8_t>(SyncKindBound + 1),
+                      /*Base=*/0, CombinedScratch);
+  for (uint32_t P : CombinedScratch)
+    if (Kinds[P] >= SyncKindBound)
+      RB->InvokePos.push_back(P);
 
   // The current run map, materialized lazily into the batch's own storage
   // on the first non-empty run (an all-sync batch never builds one).
@@ -420,6 +450,64 @@ void ParallelDetector::processEventFused(const Event &E, size_t Index) {
     closeFusedWindow();
 }
 
+void ParallelDetector::processSpanFused(const Event *Evs, const uint8_t *Kinds,
+                                        size_t N, size_t BaseIndex) {
+  // Single shard owns every object: no routing, no snapshot — the clock
+  // machine's own clocks are safe to read, nothing runs ahead. Within a
+  // run no sync event intervenes, so each clock reference stays valid for
+  // the whole onRun() call.
+  Shard &S = *ShardList[0];
+  auto Resolve = [this](ThreadId T) -> const VectorClock & {
+    return VCState.clockOf(T);
+  };
+  auto All = [](const Action &) { return true; };
+  size_t I = 0;
+  while (I < N) {
+    if (FusedWindowEvents == 0)
+      FusedWindowBeginNs = metrics::nowNs();
+    size_t Window = std::min(N - I, BatchSizeVal - FusedWindowEvents);
+    // One combined SIMD scan finds the window's sync and invoke events;
+    // the walk flushes each run's invokes into the batched kernel before
+    // the delimiting sync event advances the clocks.
+    CombinedScratch.clear();
+    appendKindPositions(Kinds + I, Window,
+                        static_cast<uint8_t>(SyncKindBound + 1),
+                        static_cast<uint32_t>(I), CombinedScratch);
+    InvokeScratch.clear();
+    auto FlushRun = [&] {
+      if (InvokeScratch.empty())
+        return;
+      FusedWindowActions += S.Engine.onRun(Evs, InvokeScratch.data(),
+                                           InvokeScratch.size(), BaseIndex,
+                                           Resolve, All);
+      InvokeScratch.clear();
+    };
+    // Run-length accounting: every event not in the combined index is a
+    // memory/tx event, so [Prev, P) counts exactly the non-sync events
+    // since the last sync; FusedRunLen carries the tail across windows.
+    uint32_t Prev = static_cast<uint32_t>(I);
+    for (uint32_t P : CombinedScratch) {
+      if (Kinds[P] < SyncKindBound) {
+        FlushRun();
+        SyncEventsCtr.inc();
+        PrepassVisitedCtr.inc();
+        RunLengths.record(FusedRunLen + (P - Prev));
+        FusedRunLen = 0;
+        Prev = P + 1;
+        VCState.process(Evs[P]);
+      } else {
+        InvokeScratch.push_back(P);
+      }
+    }
+    FlushRun();
+    FusedRunLen += (I + Window) - Prev;
+    FusedWindowEvents += Window;
+    I += Window;
+    if (FusedWindowEvents >= BatchSizeVal)
+      closeFusedWindow();
+  }
+}
+
 void ParallelDetector::closeFusedWindow() {
   if (FusedWindowEvents == 0)
     return;
@@ -446,7 +534,7 @@ void ParallelDetector::sealStaging() {
   RB->Evs = RB->Owned.Events.data();
   RB->N = RB->Owned.size();
   RB->BaseIndex = StagingBase;
-  prepassAndDispatch(RB, RB->Owned.SyncPos);
+  prepassAndDispatch(RB, RB->Owned.SyncPos, RB->Owned.Kinds.data());
 }
 
 void ParallelDetector::processEvent(const Event &E) {
@@ -471,10 +559,9 @@ void ParallelDetector::processBatch(EventBatch &B) {
   if (fused()) {
     // Synchronous execution: payloads in B's arena are consumed before the
     // caller gets the (cleared) batch back.
-    for (const Event &E : B.Events) {
-      ++EventsProcessed;
-      processEventFused(E, EventsProcessed - 1);
-    }
+    processSpanFused(B.Events.data(), B.Kinds.data(), B.size(),
+                     EventsProcessed);
+    EventsProcessed += B.size();
     B.clear();
     return;
   }
@@ -487,53 +574,27 @@ void ParallelDetector::processBatch(EventBatch &B) {
   RB->N = RB->Owned.size();
   RB->BaseIndex = EventsProcessed;
   EventsProcessed += RB->N;
-  prepassAndDispatch(RB, RB->Owned.SyncPos);
+  prepassAndDispatch(RB, RB->Owned.SyncPos, RB->Owned.Kinds.data());
 }
 
 void ParallelDetector::processTrace(const Trace &T) {
   if (metrics::Enabled && FeedStartNs == 0)
     FeedStartNs = metrics::nowNs();
   if (fused()) {
-    // Bulk loop with the hot state hoisted into locals: the compiler
-    // cannot keep member counters (or the ShardList[0] indirection) in
-    // registers across the opaque onAction call, and at ~30ns/event those
-    // reloads are measurable against the sequential detector.
-    Shard &S = *ShardList[0];
-    uint64_t RunLen = FusedRunLen;
-    size_t WinEvents = FusedWindowEvents;
-    uint64_t WinActions = FusedWindowActions;
-    size_t Index = EventsProcessed;
-    for (const Event &E : T.events()) {
-      if (WinEvents == 0)
-        FusedWindowBeginNs = metrics::nowNs();
-      ++WinEvents;
-      if (static_cast<uint8_t>(E.kind()) < SyncKindBound) {
-        SyncEventsCtr.inc();
-        PrepassVisitedCtr.inc();
-        RunLengths.record(RunLen);
-        RunLen = 0;
-        VCState.process(E);
-      } else {
-        ++RunLen;
-        if (E.kind() == EventKind::Invoke) {
-          S.Engine.onAction(E.action(), E.thread(),
-                            VCState.clockOf(E.thread()), Index);
-          ++WinActions;
-        }
-      }
-      ++Index;
-      if (WinEvents >= BatchSizeVal) {
-        FusedWindowEvents = WinEvents;
-        FusedWindowActions = WinActions;
-        closeFusedWindow();
-        WinEvents = 0;
-        WinActions = 0;
-      }
+    // Windowed kernel feed: the trace stores events (not contiguous kind
+    // bytes), so each window gathers its kinds into reusable scratch and
+    // hands the span to the batched kernel — runs execute through the
+    // engine's prefetch-pipelined onRun() instead of a per-event loop.
+    const std::vector<Event> &Events = T.events();
+    for (size_t Begin = 0; Begin < Events.size(); Begin += BatchSizeVal) {
+      size_t N = std::min(BatchSizeVal, Events.size() - Begin);
+      KindScratch.clear();
+      for (size_t J = 0; J != N; ++J)
+        KindScratch.push_back(static_cast<uint8_t>(Events[Begin + J].kind()));
+      processSpanFused(Events.data() + Begin, KindScratch.data(), N,
+                       EventsProcessed);
+      EventsProcessed += N;
     }
-    EventsProcessed = Index;
-    FusedRunLen = RunLen;
-    FusedWindowEvents = WinEvents;
-    FusedWindowActions = WinActions;
     flush();
     return;
   }
@@ -556,7 +617,7 @@ void ParallelDetector::processTrace(const Trace &T) {
     SyncScratch.clear();
     appendKindPositions(KindScratch.data(), N, SyncKindBound, /*Base=*/0,
                         SyncScratch);
-    prepassAndDispatch(RB, SyncScratch);
+    prepassAndDispatch(RB, SyncScratch, KindScratch.data());
   }
   flush(); // Also the lifetime fence: refs into T die here.
 }

@@ -239,10 +239,20 @@ private:
   /// holds unchanged.
   bool fused() const { return ShardList.size() == 1; }
   void processEventFused(const Event &E, size_t Index);
+  /// Fused-mode batched kernel: feeds Evs[0..N) (with their kind bytes)
+  /// through the engine's prefetch-pipelined onRun(), one sync-free run at
+  /// a time, maintaining the fused run/window accounting across calls.
+  /// \p BaseIndex is the global index of Evs[0].
+  void processSpanFused(const Event *Evs, const uint8_t *Kinds, size_t N,
+                        size_t BaseIndex);
   void closeFusedWindow();
   RunBatch *acquireBatch();
   void sealStaging();
-  void prepassAndDispatch(RunBatch *RB, const std::vector<uint32_t> &SyncPos);
+  /// \p Kinds is the batch's kind-byte array (RB->N entries, aligned with
+  /// RB->Evs); the pre-pass SIMD-scans it once to publish the batch's
+  /// invoke-position index alongside the runs.
+  void prepassAndDispatch(RunBatch *RB, const std::vector<uint32_t> &SyncPos,
+                          const uint8_t *Kinds);
   void reclaimCompleted();
   void syncShard(Shard &S);
   void mergeResults();
@@ -284,6 +294,10 @@ private:
   /// and SIMD-scanned sync positions.
   std::vector<uint8_t> KindScratch;
   std::vector<uint32_t> SyncScratch;
+  /// Pre-pass scratch for the combined sync+invoke kind scan, and the
+  /// fused path's per-run invoke positions.
+  std::vector<uint32_t> CombinedScratch;
+  std::vector<uint32_t> InvokeScratch;
   std::vector<CommutativityRace> Races;
   std::unordered_set<ObjectId> RacyObjects;
   size_t EventsProcessed = 0;

@@ -28,7 +28,10 @@ struct CommutativityRace {
   size_t EventIndex = 0;   ///< Position of the current (second) event.
   ThreadId Thread;         ///< Thread of the current event.
   Action Current;          ///< The action of the current event.
-  std::string PointName;   ///< Conflicting access point class (debug name).
+  /// Conflicting access point class (debug name). Owned: race reports
+  /// outlive the provider whose className() they copy from (class names
+  /// are short, so the copy is SSO — no heap traffic on the hot path).
+  std::string PointName;
   VectorClock PriorClock;  ///< Accumulated clock of the conflicting point.
   VectorClock CurrentClock;
 

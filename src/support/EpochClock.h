@@ -91,10 +91,19 @@ public:
   }
 
   /// Accumulated-clock ⊑ \p C, for C obtainable from the clock machine
-  /// (see the file comment). O(1) while compressed.
+  /// (see the file comment). O(1) while compressed; the escalated path
+  /// runs the SIMD leq kernel (VectorClock.h).
   bool leq(const VectorClock &C) const {
     if (Full)
       return Full->leq(C);
+    return Time <= C.get(Tid);
+  }
+
+  /// leq() routed through the scalar clock kernel; differential-test
+  /// counterpart, bit-identical to leq().
+  bool leqScalar(const VectorClock &C) const {
+    if (Full)
+      return Full->leqScalar(C);
     return Time <= C.get(Tid);
   }
 
@@ -122,6 +131,25 @@ public:
     }
     escalate();
     Full->joinWith(C);
+    return true;
+  }
+
+  /// accumulate() routed through the scalar clock kernel; differential-test
+  /// counterpart, bit-identical (same Changed signal, same representation)
+  /// across the epoch-advance, escalation, and shared-join paths.
+  bool accumulateScalar(const VectorClock &C, ThreadId Thread) {
+    if (Full)
+      return Full->joinWithScalar(C);
+    assert(C.get(Thread) > 0 && "event clock lacks its own component");
+    if (Time <= C.get(Tid)) {
+      uint32_t NewTime = C.get(Thread);
+      bool Changed = !(Time != 0 && Tid == Thread && Time == NewTime);
+      Tid = Thread;
+      Time = NewTime;
+      return Changed;
+    }
+    escalate();
+    Full->joinWithScalar(C);
     return true;
   }
 

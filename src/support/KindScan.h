@@ -29,7 +29,7 @@
 #include <cstdint>
 #include <vector>
 
-#if defined(__SSE2__)
+#if defined(__SSE2__) && !defined(CRD_DISABLE_SIMD)
 #include <emmintrin.h>
 #define CRD_KINDSCAN_HAVE_SSE2 1
 #endif

@@ -1,0 +1,64 @@
+//===- support/Prefetch.h - Software prefetch hints -------------*- C++ -*-===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Portable software-prefetch hints for the batched detection kernel: the
+/// lookahead stage resolves the FlatMap slots of upcoming events and warms
+/// the object-state and clock lines while earlier events are still in the
+/// phase-1/phase-2 pipeline. Hints only — they never change results — but a
+/// CRD_DISABLE_SIMD build compiles them to no-ops so the scalar CI leg
+/// exercises zero vendor intrinsics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRD_SUPPORT_PREFETCH_H
+#define CRD_SUPPORT_PREFETCH_H
+
+#if !defined(CRD_DISABLE_SIMD)
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define CRD_PREFETCH_HAVE_SSE 1
+#elif defined(__GNUC__) || defined(__clang__)
+#define CRD_PREFETCH_HAVE_BUILTIN 1
+#endif
+#endif
+
+namespace crd {
+
+/// True when prefetch hints compile to real instructions. The kernel's
+/// prefetch counters gate on this so a CRD_DISABLE_SIMD build reports
+/// zero prefetches instead of counting no-ops.
+#if defined(CRD_PREFETCH_HAVE_SSE) || defined(CRD_PREFETCH_HAVE_BUILTIN)
+inline constexpr bool PrefetchEnabled = true;
+#else
+inline constexpr bool PrefetchEnabled = false;
+#endif
+
+/// Hints that the cache line holding \p P will soon be read.
+inline void prefetchRead(const void *P) {
+#if defined(CRD_PREFETCH_HAVE_SSE)
+  _mm_prefetch(static_cast<const char *>(P), _MM_HINT_T0);
+#elif defined(CRD_PREFETCH_HAVE_BUILTIN)
+  __builtin_prefetch(P, /*rw=*/0, /*locality=*/3);
+#else
+  (void)P;
+#endif
+}
+
+/// Hints that the cache line holding \p P will soon be written.
+inline void prefetchWrite(const void *P) {
+#if defined(CRD_PREFETCH_HAVE_SSE)
+  _mm_prefetch(static_cast<const char *>(P), _MM_HINT_T0);
+#elif defined(CRD_PREFETCH_HAVE_BUILTIN)
+  __builtin_prefetch(P, /*rw=*/1, /*locality=*/3);
+#else
+  (void)P;
+#endif
+}
+
+} // namespace crd
+
+#endif // CRD_SUPPORT_PREFETCH_H

@@ -33,35 +33,10 @@ void VectorClock::increment(ThreadId Thread) {
   ++Components[Thread.index()];
 }
 
-bool VectorClock::joinWith(const VectorClock &Other) {
-  bool Changed = false;
-  if (Other.Components.size() > Components.size()) {
-    Components.resize(Other.Components.size());
-    Changed = true; // Other is normalized, so its last component is > 0.
-  }
-  for (size_t I = 0, E = Other.Components.size(); I != E; ++I)
-    if (Other.Components[I] > Components[I]) {
-      Components[I] = Other.Components[I];
-      Changed = true;
-    }
-  // Join never introduces trailing zeros if neither operand had them, so no
-  // normalize() is needed; both operands are kept normalized.
-  return Changed;
-}
-
 VectorClock VectorClock::join(const VectorClock &A, const VectorClock &B) {
   VectorClock Result = A;
   Result.joinWith(B);
   return Result;
-}
-
-bool VectorClock::leq(const VectorClock &Other) const {
-  if (Components.size() > Other.Components.size())
-    return false; // Some component here is nonzero past Other's extent.
-  for (size_t I = 0, E = Components.size(); I != E; ++I)
-    if (Components[I] > Other.Components[I])
-      return false;
-  return true;
 }
 
 std::string VectorClock::toString() const {

@@ -128,6 +128,10 @@ public:
   /// Flattened values ~u~v as one vector.
   std::vector<Value> values() const;
 
+  /// Flattened values ~u~v as a view over the action's contiguous value
+  /// storage. Valid as long as the action (or, for views, the arena).
+  std::span<const Value> flatValues() const { return {Vals, numValues()}; }
+
   /// Copies this action, placing spilled values (beyond the inline
   /// capacity) in \p Spill instead of a per-action heap block. The copy is
   /// owning for small actions and an arena view otherwise, so batch

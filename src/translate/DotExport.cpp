@@ -12,7 +12,7 @@
 using namespace crd;
 
 /// Escapes double quotes and backslashes for a DOT string literal.
-static std::string escape(const std::string &Text) {
+static std::string escape(std::string_view Text) {
   std::string Out;
   Out.reserve(Text.size());
   for (char C : Text) {

@@ -28,7 +28,7 @@ const std::vector<uint32_t> &TranslatedRep::conflictsOf(uint32_t ClassId) const 
   return Conflicts[ClassId];
 }
 
-std::string TranslatedRep::className(uint32_t ClassId) const {
+std::string_view TranslatedRep::className(uint32_t ClassId) const {
   assert(ClassId < Classes.size() && "class id out of range");
   return Classes[ClassId].Name;
 }
@@ -72,7 +72,7 @@ void TranslatedRep::touches(const Action &A,
   const MethodInfo &M = Methods[MethodIdx];
   assert(A.numValues() == M.NumValues && "action arity mismatch");
 
-  std::vector<Value> Values = A.values();
+  std::span<const Value> Values = A.flatValues();
   uint32_t Mask = betaMask(MethodIdx, Values);
 
   size_t FirstNew = Out.size();

@@ -70,7 +70,7 @@ public:
   bool classCarriesValue(uint32_t ClassId) const override;
   const std::vector<uint32_t> &conflictsOf(uint32_t ClassId) const override;
   void touches(const Action &A, std::vector<AccessPoint> &Out) const override;
-  std::string className(uint32_t ClassId) const override;
+  std::string_view className(uint32_t ClassId) const override;
 
   /// The β vector (as a bitmask over B(Φ,m)) of an action of method
   /// \p MethodIdx with flattened values \p Values. Exposed for tests that

@@ -49,6 +49,10 @@ void writeEngineStats(metrics::JsonWriter &W, const Algorithm1Stats &S) {
   W.field("object_cache_misses", S.ObjectCacheMisses);
   W.field("activations", S.Activations);
   W.field("active_points", S.ActivePoints);
+  W.field("kernel_events", S.KernelEvents);
+  W.field("prefetches_issued", S.PrefetchesIssued);
+  W.fieldArray("lookahead_occupancy", S.LookaheadOccupancy);
+  W.field("lookahead_occupancy_max", S.LookaheadOccupancyMax);
 }
 
 } // namespace
@@ -173,13 +177,17 @@ void StreamPipeline::processBatch(EventBatch &B) {
     Par->processBatch(B);
     return;
   }
-  for (const Event &E : B.Events) {
-    if (Seq)
-      Seq->process(E);
-    else if (FT)
-      FT->process(E);
-    else
-      Atom->process(E);
+  if (Seq) {
+    // Whole batch through the sequential detector's batched kernel; races
+    // surface (and hit the callback) after the batch.
+    Seq->processBatch(B);
+  } else {
+    for (const Event &E : B.Events) {
+      if (FT)
+        FT->process(E);
+      else
+        Atom->process(E);
+    }
   }
   drainNewRaces();
   B.clear();
@@ -274,6 +282,24 @@ StreamSummary StreamPipeline::run(EventSource &Source) {
       if (metrics::Enabled)
         tallyBatchKinds(B);
       Par->processBatch(B);
+    }
+    finish();
+    return summary();
+  }
+  if (Seq) {
+    // Batched pull for the sequential backend too: whole event batches
+    // flow into the detector's kinded kernel (one SIMD kind scan per
+    // batch, runs through the prefetch-pipelined engine), with the batch
+    // recycled each round so the loop is allocation-free in the steady
+    // state. Race callbacks fire after each batch.
+    EventBatch B;
+    while (size_t N = Source.nextBatch(B, Opts.BatchSize)) {
+      Events += N;
+      if (metrics::Enabled)
+        tallyBatchKinds(B);
+      Seq->processBatch(B);
+      drainNewRaces();
+      B.clear();
     }
     finish();
     return summary();
@@ -379,8 +405,10 @@ void StreamPipeline::writeMetricsJson(std::ostream &OS,
   W.key("detector");
   W.beginObject();
   W.field("kind", backendName(Opts.TheBackend));
-  if (Seq)
+  if (Seq) {
     writeEngineStats(W, Seq->engineStats());
+    W.field("kernel_ns", Seq->kernelNs());
+  }
   if (Par) {
     ParallelMetrics M = Par->metricsSnapshot();
     W.field("shards", static_cast<uint64_t>(Par->shards()));

@@ -93,8 +93,9 @@ public:
   void bind(ObjectId Obj, const AccessPointProvider *Provider);
 
   /// Invoked for every commutativity race as soon as the backend reports
-  /// it (after the offending event for Sequential; at finish() for
-  /// Parallel, whose races surface when the pipeline flushes).
+  /// it (after the offending event for Sequential's per-event feed, after
+  /// the containing batch for its batched feed; at finish() for Parallel,
+  /// whose races surface when the pipeline flushes).
   void setRaceCallback(std::function<void(const CommutativityRace &)> Cb) {
     RaceCallback = std::move(Cb);
   }
@@ -139,6 +140,12 @@ public:
   /// callers (crd profile) can pull the full metrics snapshot / batch
   /// spans. Quiesce with finish() before reading.
   const ParallelDetector *parallelDetector() const { return Par.get(); }
+
+  /// The sequential backend, or nullptr for other backends. Exposed so
+  /// callers (crd bench) can read the batched-kernel timing directly.
+  const CommutativityRaceDetector *sequentialDetector() const {
+    return Seq.get();
+  }
 
   /// Emits the observability snapshot as a JSON document (schema:
   /// docs/observability.md). Valid on a quiesced pipeline — after run(),

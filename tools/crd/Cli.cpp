@@ -515,6 +515,7 @@ int runBench(const ParsedArgs &Args, std::ostream &Out, std::ostream &Err) {
     if (N != Events || Reader.failed())
       std::abort();
   });
+  uint64_t KernelNs = 0; // Last rep's batched-kernel time (metrics builds).
   double DetectSec = bestSeconds(Reps, [&] {
     std::istringstream In(Binary);
     DiagnosticEngine D;
@@ -524,6 +525,7 @@ int runBench(const ParsedArgs &Args, std::ostream &Out, std::ostream &Err) {
     wire::StreamPipeline Pipeline(POpts);
     Pipeline.setDefaultProvider(Rep.get());
     Pipeline.run(Src);
+    KernelNs = Pipeline.sequentialDetector()->kernelNs();
   });
 
   auto row = [&](const char *Name, double Sec, size_t Bytes) {
@@ -542,6 +544,20 @@ int runBench(const ParsedArgs &Args, std::ostream &Out, std::ostream &Err) {
   row("text parse", TextSec, Text.size());
   row("binary decode", DecodeSec, Binary.size());
   row("binary decode+detect", DetectSec, Binary.size());
+  if (KernelNs != 0) {
+    // How much of decode+detect sat inside the batched detection kernel
+    // (scan + lookahead + both Algorithm 1 phases; docs/observability.md
+    // "kernel_ns"). Zero — and no row — in a CRD_METRICS=OFF build.
+    double KernelSec = static_cast<double>(KernelNs) * 1e-9;
+    std::ostringstream Line;
+    Line << std::fixed;
+    Line << "  " << std::left << std::setw(22) << "detect kernel"
+         << std::right << std::setw(12)
+         << static_cast<uint64_t>(static_cast<double>(Events) / KernelSec)
+         << " events/s   " << std::setprecision(1) << std::setw(6)
+         << 100.0 * KernelSec / DetectSec << " % of decode+detect\n";
+    Out << Line.str();
+  }
   std::ostringstream Speedup;
   Speedup << std::fixed << std::setprecision(2)
           << TextSec / DecodeSec;
