@@ -1,0 +1,280 @@
+//===- bench/serve_throughput.cpp - detection daemon throughput --------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the `crd serve` daemon (src/serve) end to end: an in-process
+/// Server on a Unix-domain socket, real client threads streaming a
+/// pre-encoded binary wire trace through the full protocol path —
+/// handshake, envelope framing, chunk reassembly, per-session decode,
+/// detection, reply emission — across a sessions × shared-worker-pool
+/// sweep:
+///
+///   * serve/sessions=1,workers=1   — the single-tenant floor;
+///   * serve/sessions=S,workers=1   — S sessions contending for one
+///     detection worker (queueing overhead);
+///   * serve/sessions=S,workers=2   — minimal overlap;
+///   * serve/sessions=S,workers=4   — the shared-pool steady state.
+///
+/// The workload gives every logical thread a private object and a
+/// private lock, so the race count is deterministically zero (the
+/// correctness anchor bench_compare.py diffs) regardless of session
+/// interleaving; every session must also report exactly the encoded
+/// event count, or the run aborts. Built with CRD_BENCH_ALLOC_COUNT:
+/// allocs_per_event covers the daemon's decode + detection + reply path.
+///
+/// Emits BENCH_serve.json (bench/report.h). On a single-CPU host the
+/// clients, the I/O thread, and the workers all timeshare, so the
+/// artifact carries serve_overlap_observable=false and bench_compare.py's
+/// host_cpus gate keeps such numbers from being diffed across classes.
+///
+/// Usage: ./serve_throughput [sessions] [events-per-session] [reps]
+///                           [json-path]
+///
+//===----------------------------------------------------------------------===//
+
+#include "report.h"
+
+#include "access/DictionaryRep.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "wire/WireWriter.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace crd;
+
+namespace {
+
+/// Encodes \p Events invoke/lock events over \p Threads logical threads,
+/// each touching only its PRIVATE object under its PRIVATE lock —
+/// race-free by construction, so every configuration's race anchor is
+/// exactly 0.
+std::string encodeTrace(size_t Events, unsigned Threads) {
+  std::ostringstream OS;
+  wire::WireWriter Writer(OS);
+  Symbol Put = symbol("put");
+  Symbol Get = symbol("get");
+  uint64_t S = 0x9e3779b97f4a7c15ull;
+  for (size_t I = 0; I != Events; ++I) {
+    ThreadId Tid(static_cast<uint32_t>(I % Threads));
+    if (I % 64 == 0) {
+      Writer.append(Event::acquire(Tid, LockId(Tid.index())));
+      continue;
+    }
+    if (I % 64 == 63) {
+      Writer.append(Event::release(Tid, LockId(Tid.index())));
+      continue;
+    }
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    Value Key = Value::integer(static_cast<int64_t>(S % 256));
+    if (S % 4 != 0) {
+      Value Vals[3] = {Key, Value::integer(static_cast<int64_t>(S >> 32)),
+                       Value::nil()};
+      Action View(ObjectId(Tid.index()), Put, Vals, 2, 1);
+      Action Owned = View;
+      Writer.append(Event::invoke(Tid, std::move(Owned)));
+    } else {
+      Value Vals[2] = {Key, Value::nil()};
+      Action View(ObjectId(Tid.index()), Get, Vals, 1, 1);
+      Action Owned = View;
+      Writer.append(Event::invoke(Tid, std::move(Owned)));
+    }
+  }
+  Writer.finish();
+  return OS.str();
+}
+
+/// One client session over the real socket: handshake, the trace as 'W'
+/// frames, 'E', then the reply stream. Returns the summary's race count;
+/// aborts on protocol failure or an event-count mismatch (a dropped or
+/// duplicated chunk would silently skew the throughput number).
+size_t runClient(const std::string &SockPath, const std::string &Trace,
+                 size_t ExpectEvents) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    std::abort();
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, SockPath.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    std::abort();
+
+  std::string Msg = std::string(serve::ProtocolTag) + "\n";
+  constexpr size_t Slice = 60000;
+  for (size_t Pos = 0; Pos < Trace.size(); Pos += Slice) {
+    size_t N = std::min(Slice, Trace.size() - Pos);
+    serve::appendFrameHeader(Msg, serve::FrameType::Wire,
+                             static_cast<uint32_t>(N));
+    Msg.append(Trace, Pos, N);
+  }
+  serve::appendFrameHeader(Msg, serve::FrameType::End, 0);
+  size_t Off = 0;
+  while (Off != Msg.size()) {
+    ssize_t W = ::write(Fd, Msg.data() + Off, Msg.size() - Off);
+    if (W <= 0) {
+      if (errno == EINTR)
+        continue;
+      std::abort();
+    }
+    Off += static_cast<size_t>(W);
+  }
+  ::shutdown(Fd, SHUT_WR);
+
+  std::string Reply;
+  char Buf[65536];
+  for (;;) {
+    ssize_t R = ::read(Fd, Buf, sizeof(Buf));
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R <= 0)
+      break;
+    Reply.append(Buf, static_cast<size_t>(R));
+  }
+  ::close(Fd);
+
+  size_t Summary = Reply.find("\"type\":\"summary\"");
+  if (Summary == std::string::npos)
+    std::abort();
+  auto Field = [&](const char *Name) -> size_t {
+    std::string Needle = std::string("\"") + Name + "\":";
+    size_t At = Reply.find(Needle, Summary);
+    if (At == std::string::npos)
+      std::abort();
+    return std::strtoull(Reply.c_str() + At + Needle.size(), nullptr, 10);
+  };
+  if (Field("events") != ExpectEvents)
+    std::abort();
+  return Field("races");
+}
+
+/// One timed repetition: a fresh daemon with \p Workers pool workers,
+/// \p Sessions concurrent clients each streaming the whole trace.
+size_t runOnce(unsigned Sessions, unsigned Workers, const std::string &Trace,
+               size_t ExpectEvents, const DictionaryRep &Rep,
+               const std::string &SockPath) {
+  serve::ServeOptions Opts;
+  Opts.UnixPath = SockPath;
+  Opts.Workers = Workers;
+  Opts.Provider = &Rep;
+  serve::Server Server(std::move(Opts));
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::cerr << "serve_throughput: " << Error << "\n";
+    std::abort();
+  }
+  std::thread Runner([&] { Server.run(); });
+
+  std::vector<size_t> Races(Sessions, 0);
+  std::vector<std::thread> Clients;
+  Clients.reserve(Sessions);
+  for (unsigned C = 0; C != Sessions; ++C)
+    Clients.emplace_back([&, C] {
+      Races[C] = runClient(SockPath, Trace, ExpectEvents);
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  Server.requestStop();
+  Runner.join();
+
+  size_t Total = 0;
+  for (size_t R : Races)
+    Total += R;
+  return Total;
+}
+
+unsigned parsePositive(const char *Arg, const char *Name) {
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Arg, &End, 10);
+  if (End == Arg || *End != '\0' || V == 0) {
+    std::cerr << "invalid " << Name << " '" << Arg
+              << "' (expected a positive integer)\n"
+              << "usage: serve_throughput [sessions] [events-per-session]"
+                 " [reps] [json-path]\n";
+    std::exit(2);
+  }
+  return static_cast<unsigned>(V);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Sessions = Argc > 1 ? parsePositive(Argv[1], "sessions") : 8;
+  unsigned Events =
+      Argc > 2 ? parsePositive(Argv[2], "events-per-session") : 100000;
+  unsigned Reps = Argc > 3 ? parsePositive(Argv[3], "reps") : 5;
+  std::string JsonPath = Argc > 4 ? Argv[4] : "BENCH_serve.json";
+  constexpr unsigned Warmup = 1;
+
+  DictionaryRep Rep;
+  const std::string Trace = encodeTrace(Events, /*Threads=*/4);
+  const std::string SockPath =
+      "/tmp/crd_serve_bench_" + std::to_string(::getpid()) + ".sock";
+
+  std::cout << "serve daemon: " << Sessions << " sessions x " << Events
+            << " events (" << Trace.size() << " wire bytes), median of "
+            << Reps << " reps after " << Warmup << " warmup\n\n";
+
+  bench::BenchReport Report("serve_throughput", "private-dictionary-stress");
+  unsigned HostCpus = std::thread::hardware_concurrency();
+  Report.setFlag("serve_overlap_observable", HostCpus > 1);
+  if (HostCpus <= 1)
+    std::cout << "warning: single-CPU host; clients, the I/O thread, and "
+                 "the workers timeshare — throughput numbers measure "
+                 "overhead only\n\n";
+
+  struct Config {
+    unsigned Sessions;
+    unsigned Workers;
+  };
+  const Config Configs[] = {
+      {1, 1}, {Sessions, 1}, {Sessions, 2}, {Sessions, 4}};
+
+  for (const Config &C : Configs) {
+    std::string Name = "serve/sessions=" + std::to_string(C.Sessions) +
+                       ",workers=" + std::to_string(C.Workers);
+    size_t Total = size_t(C.Sessions) * Events;
+    bench::BenchEntry E = bench::measureMedian(
+        Name, /*Shards=*/C.Workers, Total, Warmup, Reps, [&] {
+          return runOnce(C.Sessions, C.Workers, Trace, Events, Rep,
+                         SockPath);
+        });
+    if (E.Races != 0) {
+      std::cerr << Name
+                << ": race-free workload reported races: " << E.Races
+                << "\n";
+      return 1;
+    }
+    Report.add(E);
+    std::cout << "  " << std::left << std::setw(30) << Name << std::right
+              << std::setw(12) << static_cast<uint64_t>(E.EventsPerSec)
+              << " events/s";
+    if (E.AllocsPerEvent >= 0)
+      std::cout << "  allocs/event=" << std::fixed << std::setprecision(4)
+                << E.AllocsPerEvent;
+    std::cout << "\n";
+  }
+  ::unlink(SockPath.c_str());
+
+  if (!Report.write(JsonPath)) {
+    std::cerr << "failed to write " << JsonPath << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << JsonPath << "\n";
+  return 0;
+}

@@ -32,8 +32,12 @@ cmake --build --preset release -j"$(nproc)"
 ./build-release/bench/ingest_throughput "$WORKERS" 200000 "$REPS" \
   BENCH_ingest.json
 
+# Detection daemon: concurrent sessions over real Unix sockets across a
+# sessions x shared-worker-pool sweep.
+./build-release/bench/serve_throughput 8 100000 "$REPS" BENCH_serve.json
+
 # Informational microbenchmarks (epoch ablation + shard sweep); failures
 # here must not mask the trajectory artifact above.
 ./build-release/bench/micro_detector --benchmark_min_time=0.05 || true
 
-echo "bench artifacts: $(pwd)/BENCH_detector.json $(pwd)/BENCH_wire.json $(pwd)/BENCH_memo.json $(pwd)/BENCH_ingest.json"
+echo "bench artifacts: $(pwd)/BENCH_detector.json $(pwd)/BENCH_wire.json $(pwd)/BENCH_memo.json $(pwd)/BENCH_ingest.json $(pwd)/BENCH_serve.json"

@@ -60,5 +60,8 @@ run_and_compare memo_throughput BENCH_memo.json 16 24
 # Live ingestion uses its own workload shape (producers, events/producer):
 # per-producer volume must be large enough that a rep is not timer noise.
 run_and_compare ingest_throughput BENCH_ingest.json 4 50000
+# The detection daemon sweep (sessions, events/session): real sockets and
+# a fresh server per rep, so per-session volume carries the signal.
+run_and_compare serve_throughput BENCH_serve.json 8 25000
 
 exit "$status"

@@ -136,6 +136,7 @@ def check_cli_references(page, text, repo_root, verbs, verb_help, crd,
 METRIC_SNAPSHOT_PAIRS = [
     ("src/wire/StreamPipeline.cpp", "docs/observability.md"),
     ("src/ingest/Session.cpp", "docs/ingestion.md"),
+    ("src/serve/Server.cpp", "docs/serve.md"),
 ]
 
 

@@ -1,0 +1,195 @@
+//===- serve/Protocol.cpp - Detection daemon wire protocol -------------------===//
+//
+// Part of the CRD project (PLDI 2014 "Commutativity Race Detection" repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace crd;
+using namespace crd::serve;
+
+namespace {
+
+/// Splits off the next space-separated token of \p Rest.
+std::string_view nextToken(std::string_view &Rest) {
+  while (!Rest.empty() && Rest.front() == ' ')
+    Rest.remove_prefix(1);
+  size_t End = Rest.find(' ');
+  std::string_view Tok = Rest.substr(0, End);
+  Rest.remove_prefix(End == std::string_view::npos ? Rest.size() : End);
+  return Tok;
+}
+
+bool parseUnsigned(std::string_view V, uint64_t &Out) {
+  if (V.empty() || V.size() > 12)
+    return false;
+  Out = 0;
+  for (char C : V) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return true;
+}
+
+} // namespace
+
+uint64_t serve::monotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char *serve::backendToken(wire::Backend B) {
+  switch (B) {
+  case wire::Backend::Sequential:
+    return "seq";
+  case wire::Backend::Parallel:
+    return "parallel";
+  case wire::Backend::FastTrack:
+    return "fasttrack";
+  case wire::Backend::Atomicity:
+    return "atomicity";
+  }
+  return "seq";
+}
+
+const char *serve::memoToken(wire::MemoMode M) {
+  switch (M) {
+  case wire::MemoMode::Off:
+    return "off";
+  case wire::MemoMode::Decode:
+    return "decode";
+  case wire::MemoMode::Full:
+    return "full";
+  }
+  return "off";
+}
+
+bool serve::parseHandshake(std::string_view Line, Handshake &H,
+                           std::string &Error) {
+  // Tolerate a trailing '\r' so `nc` users on CRLF terminals still parse.
+  if (!Line.empty() && Line.back() == '\r')
+    Line.remove_suffix(1);
+  if (nextToken(Line) != ProtocolTag) {
+    Error = std::string("handshake must open with '") + ProtocolTag + "'";
+    return false;
+  }
+  H = Handshake();
+  for (std::string_view Tok = nextToken(Line); !Tok.empty();
+       Tok = nextToken(Line)) {
+    if (Tok == "status") {
+      H.Status = true;
+      continue;
+    }
+    size_t Eq = Tok.find('=');
+    std::string_view Key = Tok.substr(0, Eq);
+    std::string_view Val =
+        Eq == std::string_view::npos ? std::string_view() : Tok.substr(Eq + 1);
+    if (Key == "detector") {
+      if (Val == "seq")
+        H.TheBackend = wire::Backend::Sequential;
+      else if (Val == "parallel")
+        H.TheBackend = wire::Backend::Parallel;
+      else if (Val == "fasttrack")
+        H.TheBackend = wire::Backend::FastTrack;
+      else if (Val == "atomicity")
+        H.TheBackend = wire::Backend::Atomicity;
+      else {
+        Error = "unknown detector '" + std::string(Val) + "'";
+        return false;
+      }
+    } else if (Key == "shards") {
+      uint64_t N = 0;
+      if (!parseUnsigned(Val, N) || N > 1024) {
+        Error = "shards expects an integer";
+        return false;
+      }
+      H.Shards = static_cast<unsigned>(N);
+    } else if (Key == "batch") {
+      uint64_t N = 0;
+      if (!parseUnsigned(Val, N) || N == 0 || N > (1u << 24)) {
+        Error = "batch expects a positive integer";
+        return false;
+      }
+      H.BatchSize = static_cast<size_t>(N);
+    } else if (Key == "memo") {
+      if (Val == "off")
+        H.Memo = wire::MemoMode::Off;
+      else if (Val == "decode")
+        H.Memo = wire::MemoMode::Decode;
+      else if (Val == "full")
+        H.Memo = wire::MemoMode::Full;
+      else {
+        Error = "unknown memo mode '" + std::string(Val) + "'";
+        return false;
+      }
+    } else {
+      Error = "unknown handshake token '" + std::string(Tok) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string serve::renderHandshake(const Handshake &H) {
+  std::string Line = ProtocolTag;
+  if (H.Status) {
+    Line += " status";
+    return Line;
+  }
+  Line += " detector=";
+  Line += backendToken(H.TheBackend);
+  if (H.Shards) {
+    Line += " shards=";
+    Line += std::to_string(H.Shards);
+  }
+  Line += " batch=";
+  Line += std::to_string(H.BatchSize);
+  Line += " memo=";
+  Line += memoToken(H.Memo);
+  return Line;
+}
+
+void serve::appendFrameHeader(std::string &Out, FrameType T,
+                              uint32_t BodySize) {
+  Out.push_back(static_cast<char>(T));
+  for (unsigned I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((BodySize >> (8 * I)) & 0xff));
+}
+
+void serve::appendJsonEscaped(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+      break;
+    }
+  }
+}

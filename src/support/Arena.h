@@ -70,6 +70,17 @@ public:
     return Used;
   }
 
+  /// Total chunk bytes held, including chunks retained across resets —
+  /// the arena's actual resident footprint, which is what per-session
+  /// memory ceilings must budget (bytesUsed() drops to zero at reset()
+  /// while the chunks live on).
+  size_t bytesReserved() const {
+    size_t Total = 0;
+    for (const Chunk &C : Chunks)
+      Total += C.Size;
+    return Total;
+  }
+
 private:
   struct Chunk {
     std::unique_ptr<std::byte[]> Data;

@@ -124,6 +124,15 @@ struct EventBatch {
                         /*Base=*/0, SyncPos);
   }
 
+  /// Resident footprint of this batch: vector capacities plus retained
+  /// arena chunks. Stable across clear() (which frees nothing), so a
+  /// serving session can budget its recycled batches against a memory
+  /// ceiling without re-measuring per fill.
+  size_t memoryFootprint() const {
+    return Events.capacity() * sizeof(Event) + Kinds.capacity() +
+           SyncPos.capacity() * sizeof(uint32_t) + Values.bytesReserved();
+  }
+
   /// Drops the events but keeps vector capacity and arena chunks, so the
   /// next fill is allocation-free.
   void clear() {

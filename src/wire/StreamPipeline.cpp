@@ -199,65 +199,65 @@ void StreamPipeline::finish() {
   drainNewRaces();
 }
 
-StreamSummary StreamPipeline::runMemoized(WireReader &Reader) {
+bool StreamPipeline::pumpChunk(WireReader &Reader) {
   // Chunk-at-a-time: the reader stages each chunk (from its decode cache
   // when the payload repeats), and verified-repeat chunks consult the
   // summary table before any event is interpreted.
-  EventBatch B;
-  while (std::optional<WireReader::ChunkView> View = Reader.beginChunk()) {
-    if (View->VerifiedRepeat) {
-      if (const ChunkSummary *S = MemoTable.find(View->Digest)) {
-        if (S->Memoizable && Seq->tryReplayChunk(*S)) {
-          Reader.skipChunk();
-          ++MemoStats.SummaryHits;
-          MemoStats.EventsReplayed += S->Events;
-          Events += S->Events;
-          if (metrics::Enabled) {
-            InvokeEvents.add(S->Invokes);
-            MemEvents.add(S->MemEvents);
-            TxEvents.add(S->TxEvents);
-          }
-          drainNewRaces();
-          continue;
+  std::optional<WireReader::ChunkView> View = Reader.beginChunk();
+  if (!View)
+    return false;
+  if (View->VerifiedRepeat) {
+    if (const ChunkSummary *S = MemoTable.find(View->Digest)) {
+      if (S->Memoizable && Seq->tryReplayChunk(*S)) {
+        Reader.skipChunk();
+        ++MemoStats.SummaryHits;
+        MemoStats.EventsReplayed += S->Events;
+        Events += S->Events;
+        if (metrics::Enabled) {
+          InvokeEvents.add(S->Invokes);
+          MemEvents.add(S->MemEvents);
+          TxEvents.add(S->TxEvents);
         }
-        if (S->Memoizable)
-          ++MemoStats.SummaryFallbacks; // Entry-state footprint moved on.
+        drainNewRaces();
+        return true;
       }
+      if (S->Memoizable)
+        ++MemoStats.SummaryFallbacks; // Entry-state footprint moved on.
     }
-    B.clear();
-    size_t N = Reader.finishChunkInto(B);
-    if (N == 0)
-      continue;
-    CommutativityRaceDetector::MemoRecordToken Token = Seq->beginMemoRecord();
-    for (const Event &E : B.Events)
-      Seq->process(E);
-    ++MemoStats.ChunksInterpreted;
-    Events += N;
-    if (metrics::Enabled)
-      tallyBatchKinds(B);
-    // Record (or re-record after a fallback) only for verified repeats:
-    // a summary keyed by digest alone could be poisoned by a collision.
-    // Sync-bearing chunks become sticky negative entries (never
-    // memoizable); a sync-free chunk that merely mutated state this time
-    // is retried on its next occurrence — repeated payloads often reach a
-    // detector fixed point after a warm-up pass.
-    if (View->VerifiedRepeat) {
-      const ChunkSummary *Existing = MemoTable.find(View->Digest);
-      if (!Existing || Existing->Memoizable) {
-        ChunkSummary &S = MemoTable.insert(View->Digest);
-        if (Seq->finishMemoRecord(Token, B, 0, N, S))
-          ++MemoStats.SummaryRecords;
-        else if (B.SyncPos.empty())
-          MemoTable.erase(View->Digest);
-      }
-    }
-    drainNewRaces();
   }
-  finish();
-  return summary();
+  EventBatch &B = PumpBatch;
+  B.clear();
+  size_t N = Reader.finishChunkInto(B);
+  if (N == 0)
+    return true;
+  CommutativityRaceDetector::MemoRecordToken Token = Seq->beginMemoRecord();
+  for (const Event &E : B.Events)
+    Seq->process(E);
+  ++MemoStats.ChunksInterpreted;
+  Events += N;
+  if (metrics::Enabled)
+    tallyBatchKinds(B);
+  // Record (or re-record after a fallback) only for verified repeats:
+  // a summary keyed by digest alone could be poisoned by a collision.
+  // Sync-bearing chunks become sticky negative entries (never
+  // memoizable); a sync-free chunk that merely mutated state this time
+  // is retried on its next occurrence — repeated payloads often reach a
+  // detector fixed point after a warm-up pass.
+  if (View->VerifiedRepeat) {
+    const ChunkSummary *Existing = MemoTable.find(View->Digest);
+    if (!Existing || Existing->Memoizable) {
+      ChunkSummary &S = MemoTable.insert(View->Digest);
+      if (Seq->finishMemoRecord(Token, B, 0, N, S))
+        ++MemoStats.SummaryRecords;
+      else if (B.SyncPos.empty())
+        MemoTable.erase(View->Digest);
+    }
+  }
+  drainNewRaces();
+  return true;
 }
 
-StreamSummary StreamPipeline::run(EventSource &Source) {
+void StreamPipeline::pump(EventSource &Source) {
   WireReader *Reader =
       Opts.Memo != MemoMode::Off ? Source.memoReader() : nullptr;
   if (Reader) {
@@ -266,8 +266,11 @@ StreamSummary StreamPipeline::run(EventSource &Source) {
     // access to the full detector state).
     Reader->setMemoMode(Opts.Memo == MemoMode::Full && Seq ? MemoMode::Full
                                                            : MemoMode::Decode);
-    if (Opts.Memo == MemoMode::Full && Seq)
-      return runMemoized(*Reader);
+    if (Opts.Memo == MemoMode::Full && Seq) {
+      while (pumpChunk(*Reader)) {
+      }
+      return;
+    }
   }
   if (Par) {
     // Batched pull: whole event batches flow from the source into the
@@ -276,15 +279,13 @@ StreamSummary StreamPipeline::run(EventSource &Source) {
     // to the sync events without touching anything per event here. The
     // detector hands back a recycled batch each round, so the loop is
     // allocation-free in the steady state.
-    EventBatch B;
-    while (size_t N = Source.nextBatch(B, Opts.BatchSize)) {
+    while (size_t N = Source.nextBatch(PumpBatch, Opts.BatchSize)) {
       Events += N;
       if (metrics::Enabled)
-        tallyBatchKinds(B);
-      Par->processBatch(B);
+        tallyBatchKinds(PumpBatch);
+      Par->processBatch(PumpBatch);
     }
-    finish();
-    return summary();
+    return;
   }
   if (Seq) {
     // Batched pull for the sequential backend too: whole event batches
@@ -292,21 +293,30 @@ StreamSummary StreamPipeline::run(EventSource &Source) {
     // batch, runs through the prefetch-pipelined engine), with the batch
     // recycled each round so the loop is allocation-free in the steady
     // state. Race callbacks fire after each batch.
-    EventBatch B;
-    while (size_t N = Source.nextBatch(B, Opts.BatchSize)) {
+    while (size_t N = Source.nextBatch(PumpBatch, Opts.BatchSize)) {
       Events += N;
       if (metrics::Enabled)
-        tallyBatchKinds(B);
-      Seq->processBatch(B);
+        tallyBatchKinds(PumpBatch);
+      Seq->processBatch(PumpBatch);
       drainNewRaces();
-      B.clear();
+      PumpBatch.clear();
     }
-    finish();
-    return summary();
+    return;
   }
   Event E = Event::txBegin(ThreadId(0)); // Overwritten by next().
   while (Source.next(E))
     onEvent(E);
+}
+
+void StreamPipeline::objectDied(ObjectId Obj) {
+  if (Seq)
+    Seq->objectDied(Obj);
+  if (Par)
+    Par->objectDied(Obj);
+}
+
+StreamSummary StreamPipeline::run(EventSource &Source) {
+  pump(Source);
   finish();
   return summary();
 }

@@ -117,11 +117,35 @@ public:
 
   /// Pulls \p Source dry, then finish()es. Returns the summary. With
   /// PipelineOptions::Memo != Off and a binary source, drives the
-  /// memoized chunk loop (see runMemoized()).
+  /// memoized chunk loop (see pumpChunk()).
   StreamSummary run(EventSource &Source);
+
+  /// Incremental counterpart of run(): pulls whatever \p Source can
+  /// deliver right now and feeds it to the backend, returning when the
+  /// source reports end of stream — which, for a resumable stream (a
+  /// serve session's byte queue after WireReader::resume()), just means
+  /// "no more complete input yet". Unlike run() this neither finish()es
+  /// nor summarizes: callers pump again as input arrives and call
+  /// finish() once the stream truly ends. Memo modes arm on the first
+  /// call, with the same backend rules as run(). run() itself is
+  /// pump-until-dry + finish(), so batch shapes and race callback timing
+  /// are identical on both paths.
+  void pump(EventSource &Source);
+
+  /// Forwards the paper's §5.3 reclamation hook to backends that keep
+  /// per-object state (sequential and parallel; FastTrack and atomicity
+  /// key state by variable/transaction and ignore it). Serving sessions
+  /// call this for client die notices so long-lived streams keep the
+  /// detector footprint bounded. Races already found are retained.
+  void objectDied(ObjectId Obj);
 
   /// Memoization counters (zero unless run() drove the Full memo loop).
   const PipelineMemoStats &memoStats() const { return MemoStats; }
+
+  /// Resident bytes of the recycled pull batch — the piece of pipeline
+  /// footprint a serving session must budget alongside the decoder's
+  /// arenas and caches (EventBatch::memoryFootprint()).
+  size_t batchFootprint() const { return PumpBatch.memoryFootprint(); }
 
   /// Flushes the parallel pipeline; must be called once the stream ends
   /// when events were pushed via onEvent(). Idempotent.
@@ -160,9 +184,10 @@ public:
 private:
   void drainNewRaces();
   void tallyBatchKinds(const EventBatch &B);
-  /// The Full-memo chunk loop: replay verified-repeat chunks whose
-  /// summary footprint matches, interpret + record the rest.
-  StreamSummary runMemoized(WireReader &Reader);
+  /// One step of the Full-memo chunk loop: replay a verified-repeat chunk
+  /// whose summary footprint matches, interpret + record otherwise.
+  /// Returns false when the reader has no staged chunk (end of stream).
+  bool pumpChunk(WireReader &Reader);
 
   PipelineOptions Opts;
   ChunkMemoTable MemoTable;
@@ -176,6 +201,9 @@ private:
   size_t Events = 0;
   size_t RacesSeen = 0; ///< Races already handed to the callback.
   size_t MemoryRacesSeen = 0;
+  /// Recycled pull batch shared by pump()'s loops, kept as a member so a
+  /// resumable stream's many short pump rounds stay allocation-free.
+  EventBatch PumpBatch;
   /// Per-kind ingress counters (single writer: the feeding thread; inert
   /// when CRD_METRICS=0). Invoke + Sync + Mem + Tx == Events.
   metrics::Counter InvokeEvents;

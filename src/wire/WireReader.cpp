@@ -195,6 +195,15 @@ WireReader::WireReader(std::istream &In, DiagnosticEngine &Diags)
   FileOffset = FileHeaderSize;
 }
 
+void WireReader::resume() {
+  if (Failed)
+    return;
+  // A clean end of stream leaves eofbit (and failbit, from the short
+  // read) set on the istream; clear both so the next header probe sees
+  // whatever bytes the feeder appended since.
+  In.clear();
+}
+
 void WireReader::fail(std::string Message) {
   Diags.error({}, atOffset(ChunkBase + Pos, std::move(Message)));
   Failed = true;

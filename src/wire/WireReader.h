@@ -100,6 +100,17 @@ public:
   /// is then unspecified and next() keeps returning false.
   bool failed() const { return Failed; }
 
+  /// Serving path: tells the reader the underlying stream has grown since
+  /// next()/nextBatch()/beginChunk() last reported end of stream. End of
+  /// stream is non-destructive when it falls on a chunk boundary (the
+  /// reader probes for it before the first header byte), so resume()
+  /// clears the stream's eof state and the next pull retries the
+  /// chunk-header read where decoding stopped. The feeder must only ever
+  /// expose whole chunks to the stream — EOF inside a chunk header or
+  /// payload is diagnosed as truncation and is permanent. No-op after a
+  /// structural failure.
+  void resume();
+
   size_t eventsRead() const { return NumEvents; }
   size_t chunksRead() const { return NumChunks; }
 

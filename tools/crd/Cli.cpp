@@ -617,17 +617,16 @@ int runProfile(const std::vector<std::string> &Raw, std::ostream &Out,
   // takes no trace operand, and must not fall through to file-open with
   // a confusing missing-operand message.
   if (auto Src = Args.option("source")) {
-    if (*Src == "live") {
-      Err << "error: --source=live is not supported by 'crd profile': "
-             "there is no recorded artifact to profile. Drive a live "
-             "ingestion session with 'crd record --stress' (ingest metrics "
-             "via its --json flag, collector timeline via --chrome-trace), "
-             "or record with --out=FILE and profile that file. --memo is "
-             "likewise file-only: chunk memoization needs the recorded "
-             "wire chunks and their content digests, which a live event "
-             "stream does not have.\n";
-      return ExitUsage;
-    }
+    if (*Src == "live")
+      return rejectUnsupported(
+          Err, "profile", "--source=live",
+          "there is no recorded artifact to profile. Drive a live "
+          "ingestion session with 'crd record --stress' (ingest metrics "
+          "via its --json flag, collector timeline via --chrome-trace), "
+          "or record with --out=FILE and profile that file. --memo is "
+          "likewise file-only: chunk memoization needs the recorded "
+          "wire chunks and their content digests, which a live event "
+          "stream does not have.");
     if (*Src != "file") {
       Err << "error: --source expects 'file' or 'live'\n";
       return ExitUsage;
@@ -899,6 +898,7 @@ const char DriverHelp[] =
     "  bench     ingestion throughput: text parse vs binary decode\n"
     "  profile   metrics snapshot (JSON) + optional Chrome trace for a run\n"
     "  record    live multi-producer recording stress into live detection\n"
+    "  serve     multi-tenant detection daemon over sockets (and client)\n"
     "  analyze   full offline report (races, triage, atomicity)\n"
     "\n"
     "Run 'crd <command> --help' for per-command options.\n"
@@ -929,6 +929,8 @@ int cli::crdMain(const std::vector<std::string> &Args, std::ostream &Out,
     return runProfile(Rest, Out, Err);
   if (Command == "record")
     return internal::runRecord(Rest, Out, Err);
+  if (Command == "serve")
+    return internal::runServe(Rest, Out, Err);
   if (Command == "analyze")
     return runAnalyze(Rest, Out, Err);
   Err << "error: unknown command '" << Command << "'\n\n" << DriverHelp;

@@ -175,9 +175,27 @@ inline bool parseMemoMode(const ParsedArgs &Args, wire::MemoMode &Out,
   return true;
 }
 
+/// Uniform exit-2 diagnostic for an option or mode a verb rejects by
+/// design: every mode-restricted flag reports as
+///   error: <combination> is not supported by 'crd <verb>': <route>
+/// where \p Route names the supported way to get the same effect. Keeps
+/// serve/record/profile restriction messages interchangeable instead of
+/// each hand-rolling its own phrasing.
+inline int rejectUnsupported(std::ostream &Err, const char *Verb,
+                             const std::string &Combination,
+                             const std::string &Route) {
+  Err << "error: " << Combination << " is not supported by 'crd " << Verb
+      << "': " << Route << "\n";
+  return ExitUsage;
+}
+
 /// The `crd record` implementation (RecordCmd.cpp).
 int runRecord(const std::vector<std::string> &Raw, std::ostream &Out,
               std::ostream &Err);
+
+/// The `crd serve` implementation (ServeCmd.cpp).
+int runServe(const std::vector<std::string> &Raw, std::ostream &Out,
+             std::ostream &Err);
 
 } // namespace internal
 } // namespace cli

@@ -172,12 +172,12 @@ int crd::cli::internal::runRecord(const std::vector<std::string> &Raw,
     Err << "error: crd record takes no positional operands\n" << RecordHelp;
     return ExitUsage;
   }
-  if (!Args.option("stress")) {
-    Err << "error: crd record currently only drives the synthetic stress "
-           "workload; pass --stress (the embedding API is documented in "
-           "docs/ingestion.md)\n";
-    return ExitUsage;
-  }
+  if (!Args.option("stress"))
+    return rejectUnsupported(
+        Err, "record", "running without --stress",
+        "this verb currently only drives the synthetic stress workload; "
+        "pass --stress (the embedding API is documented in "
+        "docs/ingestion.md)");
 
   StressConfig C;
   auto CountOpt = [&](const char *Name, uint64_t &Slot, bool AllowZero,
@@ -256,11 +256,11 @@ int crd::cli::internal::runRecord(const std::vector<std::string> &Raw,
 
   std::string OutPath = Args.option("out").value_or("");
   bool VerifyReplay = Args.option("verify-replay").has_value();
-  if (VerifyReplay && !Detect) {
-    Err << "error: --verify-replay needs a live detector (--detector=seq "
-           "or parallel)\n";
-    return ExitUsage;
-  }
+  if (VerifyReplay && !Detect)
+    return rejectUnsupported(
+        Err, "record", "--verify-replay with --detector=none",
+        "replay verification compares the recorded stream against live "
+        "findings; run with --detector=seq or --detector=parallel");
   std::string ChromePath = Args.option("chrome-trace").value_or("");
 
   // Pre-intern the method symbols so producer threads never contend on
